@@ -1,0 +1,81 @@
+// Ablation: the randomized-RTO defense (Yang, Gerla & Sanadidi [7]) against
+// both attack classes, reproducing the paper's §1.1 claim:
+//
+//   "it is proposed to randomize the timeout value in [7]. However, this
+//    method cannot defend the AIMD-based attack, because the attack's
+//    timing does not rely on the TCP timeout values."
+//
+// We run the shrew attack (period = minRTO) and the optimized AIMD attack
+// with and without RTO randomization: the defense should recover a large
+// share of the shrew victim's throughput but barely change the AIMD
+// attack's damage.
+#include <cstdio>
+
+#include "attack/shrew.hpp"
+#include "common.hpp"
+
+using namespace pdos;
+
+namespace {
+
+double degradation_with(const ScenarioConfig& base, const PulseTrain& train,
+                        Time rto_jitter, const RunControl& control) {
+  ScenarioConfig scenario = base;
+  scenario.tcp.rto_jitter = rto_jitter;
+  const BitRate baseline = measure_baseline(scenario, control);
+  return measure_gain(scenario, train, 1.0, control, baseline).degradation;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Mode mode = bench::Mode::from_args(argc, argv);
+  if (!mode.full) mode.control.measure = sec(20);
+  std::printf("# Randomized-RTO defense ablation (%s mode)\n", mode.name());
+
+  // The shrew regime needs a SHORT outage: the pulse must wipe in-flight
+  // windows, but the queue must drain quickly so that a retransmission at
+  // a random phase survives and enjoys most of the period. A small buffer
+  // keeps the congestion epoch down to ~100 ms of the 1 s period.
+  ScenarioConfig scenario = ScenarioConfig::ns2_dumbbell(15);
+  scenario.buffer_packets = 60;
+  const Time jitter = sec(1.0);  // minRTO drawn from [1 s, 2 s]
+
+  // Shrew train: pulses at exactly minRTO, intense enough for burst loss.
+  PulseTrain shrew;
+  shrew.textent = ms(50);
+  shrew.rattack = mbps(50);
+  shrew.tspace = scenario.tcp.rto_min - shrew.textent;
+
+  // AIMD-based train: optimized risk-neutral plan for the same pulse rate.
+  AttackPlanRequest request;
+  request.victim = scenario.victim_profile();
+  request.textent = ms(50);
+  request.rattack = mbps(30);
+  request.kappa = 1.0;
+  const AttackPlan aimd = plan_attack(request);
+
+  std::printf("%-28s %16s %16s %12s\n", "attack", "Gamma_no_defense",
+              "Gamma_defended", "recovered");
+  struct Row {
+    const char* name;
+    const PulseTrain& train;
+  };
+  const Row rows[] = {{"shrew (T_AIMD = minRTO)", shrew},
+                      {"AIMD-based (gamma*)", aimd.train}};
+  for (const Row& row : rows) {
+    const double undefended =
+        degradation_with(scenario, row.train, 0.0, mode.control);
+    const double defended =
+        degradation_with(scenario, row.train, jitter, mode.control);
+    std::printf("%-28s %16.3f %16.3f %11.1f%%\n", row.name, undefended,
+                defended,
+                undefended > 0.0
+                    ? 100.0 * (undefended - defended) / undefended
+                    : 0.0);
+  }
+  std::printf("# expected: randomization recovers far more throughput from "
+              "the shrew attack\n# than from the AIMD-based attack (whose "
+              "timing never waits for an RTO).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: distributed (multi-source) PDoS.
+//
+// Splitting the pulse across k zombies keeps the aggregate train — and so
+// the damage — while each source's average rate (what a per-link ingress
+// detector sees) falls by k. Phase-spreading the sources softens the pulse
+// edge and trades a little damage for a lower aggregate peak.
+#include <cstdio>
+
+#include "attack/distributed.hpp"
+#include "common.hpp"
+#include "detect/rate_detector.hpp"
+
+using namespace pdos;
+
+int main(int argc, char** argv) {
+  const bench::Mode mode = bench::Mode::from_args(argc, argv);
+  std::printf("# Distributed-attack ablation (%s mode): 15 flows, "
+              "T_extent=50ms, aggregate R_attack=25Mbps, gamma=0.5\n",
+              mode.name());
+
+  ScenarioConfig base = ScenarioConfig::ns2_dumbbell(15);
+  const BitRate baseline = measure_baseline(base, mode.control);
+  const PulseTrain train =
+      PulseTrain::from_gamma(ms(50), mbps(25), 0.5, base.bottleneck);
+
+  std::printf("%12s %12s %10s %16s %18s\n", "sources", "phase_ms",
+              "Gamma_sim", "gamma_per_source", "src_detector");
+  for (int k : {1, 2, 5, 10}) {
+    for (Time spread : {0.0, ms(25)}) {
+      ScenarioConfig scenario = base;
+      scenario.num_attackers = k;
+      scenario.attacker_phase_spread = spread;
+      const GainMeasurement point =
+          measure_gain(scenario, train, 1.0, mode.control, baseline);
+      const double src_gamma =
+          per_source_gamma(train, k, scenario.bottleneck);
+      // A per-source ingress detector sees 1/k of the attack: alarm iff
+      // the per-source average exceeds 30% of an access-link-sized budget.
+      const bool caught = src_gamma * scenario.bottleneck > 0.3 * mbps(10);
+      std::printf("%12d %12.0f %10.3f %16.3f %18s\n", k, to_ms(spread),
+                  point.degradation, src_gamma,
+                  caught ? "CAUGHT" : "evaded");
+    }
+  }
+  std::printf("# expected: Gamma is nearly k-invariant for synchronized "
+              "sources; per-source\n# gamma (and hence detectability at "
+              "the sources) shrinks as 1/k.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablations beyond the paper's figures:
+//   (1) §5's forward-looking claim: a PDoS attacker achieves a higher gain
+//       against a RED bottleneck than against a drop-tail bottleneck.
+//   (2) The risk term quantified: detection outcomes for flooding vs
+//       optimized PDoS vs shrew trains under a windowed rate detector
+//       (flooding-era defenses) and the DTW pulse detector of [8], at two
+//       sampling periods to expose its T_extent blind spot.
+#include <cstdio>
+
+#include "common.hpp"
+#include "detect/dtw_detector.hpp"
+#include "detect/rate_detector.hpp"
+#include "stats/timeseries.hpp"
+
+using namespace pdos;
+
+namespace {
+
+void queue_ablation(const bench::Mode& mode) {
+  std::printf("## (1) RED vs drop-tail bottleneck, 15 flows, "
+              "T_extent=75ms R_attack=30Mbps, kappa=1\n");
+  std::printf("%8s %14s %14s\n", "gamma", "gain_red", "gain_droptail");
+  ScenarioConfig red = ScenarioConfig::ns2_dumbbell(15);
+  ScenarioConfig droptail = red;
+  droptail.queue = QueueKind::kDropTail;
+  const BitRate red_base = measure_baseline(red, mode.control);
+  const BitRate dt_base = measure_baseline(droptail, mode.control);
+  double red_total = 0.0;
+  double dt_total = 0.0;
+  for (double gamma : {0.25, 0.4, 0.55, 0.7, 0.85}) {
+    const PulseTrain train =
+        PulseTrain::from_gamma(ms(75), mbps(30), gamma, red.bottleneck);
+    const double g_red =
+        measure_gain(red, train, 1.0, mode.control, red_base).gain;
+    const double g_dt =
+        measure_gain(droptail, train, 1.0, mode.control, dt_base).gain;
+    std::printf("%8.2f %14.4f %14.4f\n", gamma, g_red, g_dt);
+    red_total += g_red;
+    dt_total += g_dt;
+  }
+  std::printf("# mean gain: RED %.4f vs drop-tail %.4f -> RED is the %s "
+              "target\n\n",
+              red_total / 5, dt_total / 5,
+              red_total >= dt_total ? "softer" : "harder");
+}
+
+void detection_ablation(const bench::Mode& mode) {
+  std::printf("## (2) detection outcomes (attack traffic at the ingress)\n");
+  ScenarioConfig scenario = ScenarioConfig::ns2_dumbbell(10);
+  RunControl control = mode.control;
+  control.warmup = 0.0;
+  control.bin_width = ms(100);
+
+  struct TrainSpec {
+    const char* name;
+    PulseTrain train;
+  };
+  const TrainSpec specs[] = {
+      {"flooding 25M", PulseTrain::flooding(mbps(25))},
+      {"pdos g=0.5 Te=50ms",
+       PulseTrain::from_gamma(ms(50), mbps(25), 0.5, mbps(15))},
+      {"pdos g=0.25 Te=50ms",
+       PulseTrain::from_gamma(ms(50), mbps(25), 0.25, mbps(15))},
+      {"shrew T=1s Te=100ms",
+       PulseTrain{ms(100), mbps(30), ms(900), /*n=*/1 << 30, 1040}},
+  };
+
+  std::printf("%-22s %10s %12s %14s %14s\n", "attack", "gamma",
+              "rate_alarm", "dtw_100ms", "dtw_500ms");
+  for (const auto& spec : specs) {
+    const RunResult result = run_scenario(scenario, spec.train, control);
+
+    RateDetectorConfig rate_config;
+    rate_config.window = sec(1.0);
+    rate_config.threshold_fraction = 0.9;
+    rate_config.capacity = scenario.bottleneck;
+    RateAnomalyDetector rate_detector(rate_config);
+    for (std::size_t i = 0; i < result.attack_bins.size(); ++i) {
+      rate_detector.observe(static_cast<double>(i) * control.bin_width,
+                            static_cast<Bytes>(result.attack_bins[i]));
+    }
+    rate_detector.finish(control.horizon());
+
+    // The DTW detector watches the router's aggregate traffic, as deployed
+    // in [8]; legitimate TCP provides the background it must see through.
+    DtwDetectorConfig fine;
+    fine.sampling_period = ms(100);
+    const auto fine_result =
+        DtwPulseDetector(fine).analyze(result.incoming_bins);
+
+    DtwDetectorConfig coarse;
+    coarse.sampling_period = ms(500);
+    BinnedSeries coarse_bins(ms(500));
+    for (std::size_t i = 0; i < result.incoming_bins.size(); ++i) {
+      coarse_bins.add(static_cast<double>(i) * control.bin_width,
+                      result.incoming_bins[i]);
+    }
+    const auto coarse_result = DtwPulseDetector(coarse).analyze(
+        coarse_bins.bins_until(control.horizon()));
+
+    char fine_s[32];
+    char coarse_s[32];
+    std::snprintf(fine_s, sizeof(fine_s), "%s(%.2f)",
+                  fine_result.detected ? "CAUGHT" : "evaded",
+                  fine_result.score);
+    std::snprintf(coarse_s, sizeof(coarse_s), "%s(%.2f)",
+                  coarse_result.detected ? "CAUGHT" : "evaded",
+                  coarse_result.score);
+    std::printf("%-22s %10.2f %12s %14s %14s\n", spec.name,
+                spec.train.gamma(scenario.bottleneck),
+                rate_detector.triggered() ? "CAUGHT" : "evaded", fine_s,
+                coarse_s);
+  }
+  std::printf(
+      "# expected: flooding trips the rate detector but carries no pulse\n"
+      "# shape for DTW; the slow shrew train (T_AIMD = 1 s) is exactly what\n"
+      "# DTW at Ts=100ms catches; the optimized PDoS train (short period,\n"
+      "# T_extent ~ Ts) evades both — the paper's motivation for tuning\n"
+      "# gamma, and [8]'s blind spot once Ts exceeds the pulse width.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Mode mode = bench::Mode::from_args(argc, argv);
+  std::printf("# Ablations: queue discipline and detection (%s mode)\n\n",
+              mode.name());
+  queue_ablation(mode);
+  detection_ablation(mode);
+  return 0;
+}

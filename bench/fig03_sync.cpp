@@ -1,0 +1,86 @@
+// Reproduces Fig. 3: the quasi-global synchronization phenomenon.
+//   (a) ns-2:     24 flows, T_extent=50 ms,  T_space=1950 ms, R=100 Mbps
+//                 -> 30 evenly spaced pinnacles in 60 s (period 2.0 s)
+//   (b) test-bed: 15 flows, T_extent=100 ms, T_space=2400 ms, R=50 Mbps
+//                 -> 24 pinnacles in 60 s (period 2.5 s)
+// Output: the zero-mean PAA of the bottleneck's incoming traffic (exactly
+// the paper's post-processing), plus the measured peak count and period.
+#include <cstdio>
+
+#include "common.hpp"
+#include "stats/timeseries.hpp"
+
+using namespace pdos;
+
+namespace {
+
+void run_panel(const char* name, const char* stem,
+               const ScenarioConfig& scenario, const PulseTrain& train,
+               Time horizon, double expected_peaks,
+               const std::string& out_dir) {
+  RunControl control;
+  control.warmup = 0.0;
+  control.measure = horizon;
+  control.bin_width = ms(100);
+  const RunResult result = run_scenario(scenario, train, control);
+
+  // The paper's pipeline: normalize to zero mean, then PAA.
+  const auto normalized = normalize_zscore(result.incoming_bins);
+  const auto reduced = paa(normalized, normalized.size() / 2);
+
+  const Time period = estimate_period(normalized, control.bin_width, 5,
+                                      static_cast<std::size_t>(
+                                          4.0 * train.period() /
+                                          control.bin_width));
+  const std::size_t peaks = count_peaks(normalized, 1.0, 3);
+
+  std::printf("\n## %s\n", name);
+  std::printf("# attack: T_extent=%.0fms T_space=%.0fms R=%.0fMbps "
+              "-> T_AIMD=%.2fs\n",
+              to_ms(train.textent), to_ms(train.tspace),
+              to_mbps(train.rattack), train.period());
+  std::printf("# measured: %zu peaks in %.0f s (paper expects ~%.0f), "
+              "period %.2f s (attack period %.2f s)\n",
+              peaks, horizon, expected_peaks, period, train.period());
+  std::printf("%8s %12s\n", "time_s", "paa_zscore");
+  const Time paa_width = horizon / static_cast<double>(reduced.size());
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    std::printf("%8.2f %12.4f\n", (static_cast<double>(i) + 0.5) * paa_width,
+                reduced[i]);
+  }
+  if (!out_dir.empty()) {
+    const std::string gp =
+        write_timeseries_figure(out_dir, stem, name, reduced, paa_width);
+    std::printf("# plot artifacts: %s\n", gp.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Mode mode = bench::Mode::from_args(argc, argv);
+  std::printf("# Fig. 3: quasi-global synchronization (%s mode)\n",
+              mode.name());
+  const Time horizon = mode.full ? sec(60) : sec(30);
+  const double scale = horizon / 60.0;
+
+  {
+    ScenarioConfig scenario = ScenarioConfig::ns2_dumbbell(24);
+    PulseTrain train;
+    train.textent = ms(50);
+    train.tspace = ms(1950);
+    train.rattack = mbps(100);
+    run_panel("(a) ns-2 scenario", "fig03a", scenario, train, horizon,
+              30.0 * scale, mode.out_dir);
+  }
+  {
+    ScenarioConfig scenario = ScenarioConfig::testbed(15);
+    PulseTrain train;
+    train.textent = ms(100);
+    train.tspace = ms(2400);
+    train.rattack = mbps(50);
+    run_panel("(b) test-bed scenario", "fig03b", scenario, train, horizon,
+              24.0 * scale, mode.out_dir);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces Fig. 4: the attacker's risk preference (1 - gamma)^kappa for
+// risk-loving (kappa < 1), risk-neutral (kappa = 1) and risk-averse
+// (kappa > 1) attackers, including the limiting cases discussed in §3.
+#include <cstdio>
+
+#include "core/model.hpp"
+#include "core/params.hpp"
+
+using namespace pdos;
+
+int main() {
+  std::printf("# Fig. 4: risk preference (1-gamma)^kappa\n");
+  const double kappas[] = {0.0, 0.2, 0.5, 1.0, 2.0, 5.0, 50.0};
+  std::printf("%8s", "gamma");
+  for (double kappa : kappas) std::printf("  k=%-8.1f", kappa);
+  std::printf("\n");
+  for (double gamma = 0.0; gamma <= 1.0001; gamma += 0.05) {
+    const double g = gamma > 1.0 ? 1.0 : gamma;
+    std::printf("%8.2f", g);
+    for (double kappa : kappas) std::printf("  %-10.4f", risk_term(g, kappa));
+    std::printf("\n");
+  }
+  std::printf("# kappa -> 0: risk ignored (flooding attacker); "
+              "kappa -> inf: risk-dominated (no attack)\n");
+  std::printf("# classes: kappa<1 %s, kappa=1 %s, kappa>1 %s\n",
+              risk_class_name(classify_risk(0.5)),
+              risk_class_name(classify_risk(1.0)),
+              risk_class_name(classify_risk(2.0)));
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Reproduces Fig. 6: PDoS attack gains with R_attack = 25 Mbps.
+#include "fig_gain_sweep.hpp"
+
+int main(int argc, char** argv) {
+  return pdos::bench::run_gain_figure("Fig. 6", pdos::mbps(25), argc, argv);
+}

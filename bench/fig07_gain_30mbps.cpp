@@ -1,0 +1,6 @@
+// Reproduces Fig. 7: PDoS attack gains with R_attack = 30 Mbps.
+#include "fig_gain_sweep.hpp"
+
+int main(int argc, char** argv) {
+  return pdos::bench::run_gain_figure("Fig. 7", pdos::mbps(30), argc, argv);
+}

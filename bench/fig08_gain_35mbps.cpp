@@ -1,0 +1,6 @@
+// Reproduces Fig. 8: PDoS attack gains with R_attack = 35 Mbps.
+#include "fig_gain_sweep.hpp"
+
+int main(int argc, char** argv) {
+  return pdos::bench::run_gain_figure("Fig. 8", pdos::mbps(35), argc, argv);
+}

@@ -1,0 +1,6 @@
+// Reproduces Fig. 9: PDoS attack gains with R_attack = 40 Mbps.
+#include "fig_gain_sweep.hpp"
+
+int main(int argc, char** argv) {
+  return pdos::bench::run_gain_figure("Fig. 9", pdos::mbps(40), argc, argv);
+}

@@ -1,0 +1,63 @@
+// Shared driver for Figs. 6-9: attack gain vs gamma on the ns-2 dumbbell,
+// one figure per R_attack, four subplots (15/25/35/45 flows), three curves
+// per subplot (T_extent = 50/75/100 ms).
+#pragma once
+
+#include "common.hpp"
+
+namespace pdos::bench {
+
+inline int run_gain_figure(const char* figure, BitRate rattack, int argc,
+                           char** argv) {
+  const Mode mode = Mode::from_args(argc, argv);
+  std::printf("# %s: attack gain vs gamma, R_attack = %.0f Mbps (%s mode)\n",
+              figure, to_mbps(rattack), mode.name());
+  std::printf("# lines: analytical Eq. (12); symbols: simulation; kappa=1\n");
+
+  const std::vector<int> flow_counts = {15, 25, 35, 45};
+  const std::vector<Time> textents = {ms(50), ms(75), ms(100)};
+
+  for (int flows : flow_counts) {
+    const ScenarioConfig scenario = ScenarioConfig::ns2_dumbbell(flows);
+    const BitRate baseline = measure_baseline(scenario, mode.control);
+    std::printf("\n## %d TCP flows (baseline goodput %.2f Mbps, "
+                "utilization %.2f)\n",
+                flows, to_mbps(baseline), baseline / scenario.bottleneck);
+    std::vector<GainCurveData> curves;
+    for (Time textent : textents) {
+      const double c_attack = rattack / scenario.bottleneck;
+      const double cpsi =
+          c_psi(scenario.victim_profile(), textent, c_attack);
+      const auto gammas =
+          gamma_grid(std::max(0.1, cpsi + 0.02), 0.95, mode.gamma_points);
+      const auto rows = gain_curve(scenario, textent, rattack, 1.0, gammas,
+                                   mode.control, baseline);
+      char label[128];
+      std::snprintf(label, sizeof(label),
+                    "T_extent = %.0f ms  (C_psi = %.3f)", to_ms(textent),
+                    cpsi);
+      print_gain_header(label);
+      print_gain_rows(rows);
+      std::printf("# regime: %s\n", classify_regime(rows));
+      char short_label[64];
+      std::snprintf(short_label, sizeof(short_label), "T_extent = %.0f ms",
+                    to_ms(textent));
+      curves.push_back(to_curve(short_label, rows));
+    }
+    if (!mode.out_dir.empty()) {
+      char stem[64];
+      std::snprintf(stem, sizeof(stem), "%s_%dflows", figure, flows);
+      for (char& c : stem) {
+        if (c == ' ' || c == '.') c = '_';
+      }
+      const std::string gp = write_gain_figure(
+          mode.out_dir, stem, std::string(figure) + ", " +
+                                  std::to_string(flows) + " flows",
+          curves);
+      std::printf("# plot artifacts: %s\n", gp.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace pdos::bench

@@ -1,0 +1,154 @@
+// Engine microbenchmarks (google-benchmark): scheduler throughput, queue
+// disciplines, DTW, the analytical model/optimizer, and end-to-end
+// simulation event rates. These guard the simulator's performance envelope
+// — the figure harnesses run hundreds of packet-level simulations.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "core/experiment.hpp"
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+#include "detect/dtw_detector.hpp"
+#include "net/droptail.hpp"
+#include "net/red.hpp"
+#include "sim/scheduler.hpp"
+
+namespace pdos {
+namespace {
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    int sink = 0;
+    for (int i = 0; i < n; ++i) {
+      sched.schedule(static_cast<Time>((i * 2654435761u) % 1000),
+                     [&sink] { ++sink; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  // TCP-like pattern: schedule a timer, cancel it, schedule the next.
+  for (auto _ : state) {
+    Scheduler sched;
+    EventId pending = kInvalidEventId;
+    for (int i = 0; i < 10000; ++i) {
+      if (pending != kInvalidEventId) sched.cancel(pending);
+      pending = sched.schedule(1000.0, [] {});
+      sched.schedule(0.001 * i, [] {});
+    }
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  DropTailQueue queue(256);
+  Packet pkt;
+  pkt.size_bytes = 1040;
+  for (auto _ : state) {
+    for (int i = 0; i < 128; ++i) queue.enqueue(pkt);
+    while (queue.dequeue().has_value()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_RedEnqueueDequeue(benchmark::State& state) {
+  RedQueue queue(RedParams::paper_testbed(256), Rng(1));
+  Packet pkt;
+  pkt.size_bytes = 1040;
+  for (auto _ : state) {
+    for (int i = 0; i < 128; ++i) queue.enqueue(pkt);
+    while (queue.dequeue().has_value()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_RedEnqueueDequeue);
+
+void BM_DtwDistance(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = (i % 10 == 0) ? 1.0 : 0.0;
+    b[i] = (i % 12 == 0) ? 1.0 : 0.0;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(dtw_distance(a, b));
+}
+BENCHMARK(BM_DtwDistance)->Arg(100)->Arg(400);
+
+void BM_ModelCpsi(benchmark::State& state) {
+  VictimProfile victim;
+  victim.rbottle = mbps(15);
+  victim.rtts = VictimProfile::even_rtts(45, ms(20), ms(460));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c_psi(victim, ms(50), 25.0 / 15.0));
+  }
+}
+BENCHMARK(BM_ModelCpsi);
+
+void BM_OptimizerClosedForm(benchmark::State& state) {
+  for (auto _ : state) {
+    for (double kappa = 0.1; kappa < 10.0; kappa += 0.1) {
+      benchmark::DoNotOptimize(optimal_gamma(0.2, kappa));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 99);
+}
+BENCHMARK(BM_OptimizerClosedForm);
+
+void BM_OptimizerGoldenSection(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_gamma_numeric(0.2, 1.5));
+  }
+}
+BENCHMARK(BM_OptimizerGoldenSection);
+
+void BM_ScenarioBaseline(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  const ScenarioConfig config = ScenarioConfig::ns2_dumbbell(flows);
+  RunControl control;
+  control.warmup = sec(1);
+  control.measure = sec(4);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const RunResult result = run_scenario(config, std::nullopt, control);
+    events += result.events_executed;
+    benchmark::DoNotOptimize(result.goodput_bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_ScenarioBaseline)->Arg(15)->Arg(45)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioUnderAttack(benchmark::State& state) {
+  const ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  const PulseTrain train =
+      PulseTrain::from_gamma(ms(50), mbps(25), 0.5, mbps(15));
+  RunControl control;
+  control.warmup = sec(1);
+  control.measure = sec(4);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const RunResult result = run_scenario(config, train, control);
+    events += result.events_executed;
+    benchmark::DoNotOptimize(result.goodput_bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_ScenarioUnderAttack)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pdos
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// §3.2 companion table: the optimal attack settings across the attacker-
+// preference space. For a grid of (C_Psi, kappa) it prints the closed-form
+// gamma* (Eq. 13), the numerically maximized gamma (golden section), the
+// optimal gain, and the pulse spacing mu (exact and the paper's Eq. 16
+// approximation), verifying Corollaries 1-4 at the grid edges.
+#include <cstdio>
+
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+#include "util/units.hpp"
+
+using namespace pdos;
+
+int main() {
+  std::printf("# Optimal attack surface: gamma*, G*, mu over (C_psi, kappa)"
+              "\n");
+  std::printf("# C_attack = 25/15 (ns-2 scenario pulse rate over "
+              "bottleneck)\n");
+  const double c_attack = 25.0 / 15.0;
+  std::printf("%8s %8s %12s %12s %12s %10s %10s\n", "C_psi", "kappa",
+              "gamma*_eq13", "gamma*_num", "G*", "mu_exact", "mu_eq16");
+  for (double cpsi : {0.05, 0.1, 0.2, 0.3, 0.5, 0.7}) {
+    for (double kappa : {0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+      const double g_closed = optimal_gamma(cpsi, kappa);
+      const double g_numeric = optimal_gamma_numeric(cpsi, kappa);
+      const double gain = optimal_gain(cpsi, kappa);
+      double mu_exact = -1.0;
+      if (g_closed <= c_attack) {
+        mu_exact = optimal_mu_exact(c_attack, cpsi, kappa);
+      }
+      const double mu_paper = optimal_mu_paper(c_attack, cpsi, kappa);
+      std::printf("%8.2f %8.1f %12.6f %12.6f %12.6f %10.4f %10.4f\n", cpsi,
+                  kappa, g_closed, g_numeric, gain, mu_exact, mu_paper);
+    }
+  }
+  std::printf("\n# corollary checks\n");
+  const double cpsi = 0.2;
+  std::printf("kappa=1    : gamma* = %.6f, sqrt(C_psi) = %.6f (Cor. 3)\n",
+              optimal_gamma(cpsi, 1.0), optimal_gamma_risk_neutral(cpsi));
+  std::printf("kappa=1e9  : gamma* = %.6f -> C_psi = %.6f (Cor. 1)\n",
+              optimal_gamma(cpsi, 1e9), cpsi);
+  std::printf("kappa=1e-9 : gamma* = %.6f -> 1 (Cor. 2)\n",
+              optimal_gamma(cpsi, 1e-9));
+  std::printf("Cor. 4     : mu = sqrt(C_attack/(T_extent*C_victim)) = %.4f "
+              "vs Eq. 16 at kappa=1: %.4f\n",
+              optimal_mu_risk_neutral_paper(c_attack, ms(50),
+                                            cpsi / (ms(50) * c_attack)),
+              optimal_mu_paper(c_attack, cpsi, 1.0));
+  return 0;
+}

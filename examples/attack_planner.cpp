@@ -1,0 +1,71 @@
+// Attack-planner CLI: the library's optimization pipeline end to end.
+//
+// Describe a victim (bottleneck rate, flow count, RTT range) and a pulse
+// shape on the command line; the planner prints the optimal settings for
+// risk-loving, risk-neutral and risk-averse attackers, plus the full
+// gain-vs-gamma landscape those optima sit on.
+//
+// Usage: attack_planner [flows] [bottleneck_mbps] [textent_ms]
+//                       [rattack_mbps] [kappa]
+// Defaults reproduce the paper's ns-2 scenario with 15 flows.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+#include "core/planner.hpp"
+
+using namespace pdos;
+
+int main(int argc, char** argv) {
+  const int flows = argc > 1 ? std::atoi(argv[1]) : 15;
+  const double bottleneck_mbps = argc > 2 ? std::atof(argv[2]) : 15.0;
+  const double textent_ms = argc > 3 ? std::atof(argv[3]) : 50.0;
+  const double rattack_mbps = argc > 4 ? std::atof(argv[4]) : 25.0;
+  const double kappa = argc > 5 ? std::atof(argv[5]) : 1.0;
+
+  AttackPlanRequest request;
+  request.victim.aimd = AimdParams::new_reno();
+  request.victim.spacket = 1040;
+  request.victim.rbottle = mbps(bottleneck_mbps);
+  request.victim.rtts = VictimProfile::even_rtts(flows, ms(20), ms(460));
+  request.textent = ms(textent_ms);
+  request.rattack = mbps(rattack_mbps);
+  request.victim_min_rto = sec(1.0);
+
+  std::printf("victim: %d flows, %.0f Mbps bottleneck, RTT 20-460 ms, "
+              "AIMD(%.0f, %.1f), C_victim = %.3f\n",
+              flows, bottleneck_mbps, request.victim.aimd.a,
+              request.victim.aimd.b, c_victim(request.victim));
+  std::printf("pulse shape: T_extent = %.0f ms at %.0f Mbps -> C_psi = "
+              "%.3f\n\n",
+              textent_ms, rattack_mbps,
+              c_psi(request.victim, request.textent,
+                    request.rattack / request.victim.rbottle));
+
+  std::printf("optimal plans by risk preference:\n");
+  for (double k : {0.3, 1.0, 3.0, kappa}) {
+    request.kappa = k;
+    const AttackPlan plan = plan_attack(request);
+    std::printf("  kappa=%-5.2f %s\n", k, plan.summary().c_str());
+  }
+
+  request.kappa = kappa;
+  const AttackPlan chosen = plan_attack(request);
+  std::printf("\ngain landscape at kappa = %.2f (maximum marked *):\n", kappa);
+  std::printf("%8s %12s %14s %16s\n", "gamma", "G(gamma)",
+              "degradation", "avg_rate_mbps");
+  for (double gamma = 0.05; gamma < 1.0; gamma += 0.05) {
+    if (gamma <= chosen.c_psi ||
+        gamma > request.rattack / request.victim.rbottle) {
+      continue;
+    }
+    const double gain = attack_gain(gamma, chosen.c_psi, kappa);
+    const bool near_opt = std::abs(gamma - chosen.gamma) < 0.025;
+    std::printf("%8.2f %12.4f %14.4f %16.2f %s\n", gamma, gain,
+                1.0 - chosen.c_psi / gamma,
+                to_mbps(gamma * request.victim.rbottle),
+                near_opt ? "*" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Generic scenario runner: every knob of the experiment pipeline on the
+// command line, for exploring configurations beyond the paper's grid.
+//
+// Usage:
+//   scenario_runner [--flows N] [--bottleneck MBPS] [--buffer PKTS]
+//                   [--queue red|droptail] [--tcp tahoe|reno|newreno]
+//                   [--rtomin MS] [--textent MS] [--rattack MBPS]
+//                   [--gamma G | --no-attack] [--kappa K]
+//                   [--warmup S] [--measure S] [--seed N]
+//
+// Prints baseline and attacked goodput, measured vs predicted degradation,
+// queue drop counters and TCP state statistics.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "pdos/pdos.hpp"
+
+using namespace pdos;
+
+namespace {
+
+double arg_of(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string arg_of(int argc, char** argv, const char* flag,
+                   const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioConfig scenario = ScenarioConfig::ns2_dumbbell(
+      static_cast<int>(arg_of(argc, argv, "--flows", 15)));
+  scenario.bottleneck = mbps(arg_of(argc, argv, "--bottleneck", 15.0));
+  scenario.buffer_packets = static_cast<std::size_t>(
+      arg_of(argc, argv, "--buffer",
+             static_cast<double>(scenario.buffer_packets)));
+  scenario.tcp.rto_min =
+      ms(arg_of(argc, argv, "--rtomin", to_ms(scenario.tcp.rto_min)));
+  scenario.seed = static_cast<std::uint64_t>(arg_of(argc, argv, "--seed", 1));
+
+  const std::string queue = arg_of(argc, argv, "--queue", "red");
+  scenario.queue =
+      queue == "droptail" ? QueueKind::kDropTail : QueueKind::kRed;
+  const std::string tcp = arg_of(argc, argv, "--tcp", "newreno");
+  scenario.tcp.variant = tcp == "tahoe"  ? TcpVariant::kTahoe
+                         : tcp == "reno" ? TcpVariant::kReno
+                                         : TcpVariant::kNewReno;
+
+  RunControl control;
+  control.warmup = sec(arg_of(argc, argv, "--warmup", 5.0));
+  control.measure = sec(arg_of(argc, argv, "--measure", 20.0));
+
+  std::printf("scenario: %d flows, %.1f Mbps %s bottleneck, B=%zu pkts, "
+              "TCP %s, minRTO=%.0fms, seed=%llu\n",
+              scenario.num_flows, to_mbps(scenario.bottleneck),
+              queue.c_str(), scenario.buffer_packets,
+              tcp_variant_name(scenario.tcp.variant),
+              to_ms(scenario.tcp.rto_min),
+              static_cast<unsigned long long>(scenario.seed));
+
+  const BitRate baseline = measure_baseline(scenario, control);
+  std::printf("baseline: %.2f Mbps goodput (%.1f%% utilization), jitter "
+              "gauge below\n",
+              to_mbps(baseline), 100.0 * baseline / scenario.bottleneck);
+  if (has_flag(argc, argv, "--no-attack")) return 0;
+
+  AttackPlanRequest request;
+  request.victim = scenario.victim_profile();
+  request.textent = ms(arg_of(argc, argv, "--textent", 50.0));
+  request.rattack = mbps(arg_of(argc, argv, "--rattack", 25.0));
+  request.kappa = arg_of(argc, argv, "--kappa", 1.0);
+  request.victim_min_rto = scenario.tcp.rto_min;
+
+  const double gamma = arg_of(argc, argv, "--gamma", -1.0);
+  const AttackPlan plan = gamma > 0.0
+                              ? plan_attack_at_gamma(request, gamma)
+                              : plan_attack(request);
+  std::printf("\n%s\n\n", plan.summary().c_str());
+
+  const GainMeasurement point =
+      measure_gain(scenario, plan.train, request.kappa, control, baseline);
+  const RunResult& run = point.run;
+  std::printf("under attack: %.2f Mbps goodput\n",
+              to_mbps(run.goodput_rate));
+  std::printf("degradation Gamma: measured %.3f vs predicted %.3f\n",
+              point.degradation, plan.predicted_degradation);
+  std::printf("attack gain G:     measured %.3f vs predicted %.3f\n",
+              point.gain, plan.predicted_gain);
+  std::printf("delivery jitter:   %.1f ms (smoothed)\n",
+              to_ms(run.mean_delivery_jitter));
+  std::printf("bottleneck drops:  %llu total (%llu tcp, %llu attack; "
+              "RED early %llu, forced %llu)\n",
+              static_cast<unsigned long long>(run.bottleneck_queue.dropped),
+              static_cast<unsigned long long>(
+                  run.bottleneck_queue.dropped_tcp),
+              static_cast<unsigned long long>(
+                  run.bottleneck_queue.dropped_attack),
+              static_cast<unsigned long long>(run.red_early_drops),
+              static_cast<unsigned long long>(run.red_forced_drops));
+  std::printf("TCP state:         %llu timeouts, %llu fast recoveries, "
+              "%llu retransmits\n",
+              static_cast<unsigned long long>(run.total_timeouts),
+              static_cast<unsigned long long>(run.total_fast_recoveries),
+              static_cast<unsigned long long>(run.total_retransmits));
+  std::printf("simulation:        %llu events, %llu attack packets\n",
+              static_cast<unsigned long long>(run.events_executed),
+              static_cast<unsigned long long>(run.attack_packets_sent));
+  return 0;
+}

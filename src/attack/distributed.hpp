@@ -1,0 +1,33 @@
+// Distributed PDoS coordination.
+//
+// A botnet launching the attack splits the pulse among k sources: each
+// zombie sends at R_attack/k during the same T_extent windows, so the
+// aggregate at the bottleneck reproduces the single-attacker train while
+// each source's average rate shrinks by k — pushing every per-link
+// detector threshold k times further away. `split_train` produces the
+// per-source trains; `spread_phases` optionally staggers source start
+// times *within* the pulse so the aggregate edge is softened (a knob the
+// attacker can use against edge-detection defenses at a small damage
+// cost).
+#pragma once
+
+#include <vector>
+
+#include "attack/pulse.hpp"
+#include "util/rng.hpp"
+
+namespace pdos {
+
+/// Split `train` into `k` identical sub-trains of rate R_attack/k.
+/// The aggregate of the k sub-trains equals the original train.
+std::vector<PulseTrain> split_train(const PulseTrain& train, int k);
+
+/// Start offsets for `k` sources spread uniformly over [0, spread].
+/// spread = 0 (fully synchronized) reproduces the sharp pulse edge.
+std::vector<Time> spread_phases(int k, Time spread, Rng& rng);
+
+/// Per-source normalized average rate after an even k-way split:
+/// gamma_source = gamma_aggregate / k.
+double per_source_gamma(const PulseTrain& train, int k, BitRate rbottle);
+
+}  // namespace pdos

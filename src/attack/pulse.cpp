@@ -1,0 +1,90 @@
+#include "attack/pulse.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+void PulseTrain::validate() const {
+  PDOS_REQUIRE(textent > 0.0, "PulseTrain: textent must be > 0");
+  PDOS_REQUIRE(rattack > 0.0, "PulseTrain: rattack must be > 0");
+  PDOS_REQUIRE(tspace >= 0.0, "PulseTrain: tspace must be >= 0");
+  PDOS_REQUIRE(n >= 1, "PulseTrain: n must be >= 1");
+  PDOS_REQUIRE(packet_bytes > 0, "PulseTrain: packet_bytes must be > 0");
+}
+
+PulseTrain PulseTrain::from_gamma(Time textent, BitRate rattack, double gamma,
+                                  BitRate rbottle, Bytes packet_bytes) {
+  PDOS_REQUIRE(gamma > 0.0 && gamma <= 1.0,
+               "PulseTrain::from_gamma: gamma must be in (0, 1]");
+  PDOS_REQUIRE(rbottle > 0.0, "PulseTrain::from_gamma: rbottle must be > 0");
+  // Eq. (4): gamma = rattack * textent / (rbottle * period).
+  const Time period = rattack * textent / (rbottle * gamma);
+  PDOS_REQUIRE(period >= textent,
+               "PulseTrain::from_gamma: gamma implies tspace < 0 "
+               "(rattack/rbottle < gamma)");
+  PulseTrain train;
+  train.textent = textent;
+  train.rattack = rattack;
+  train.tspace = period - textent;
+  train.packet_bytes = packet_bytes;
+  return train;
+}
+
+PulseTrain PulseTrain::flooding(BitRate rate, Bytes packet_bytes) {
+  PulseTrain train;
+  train.textent = sec(1.0);  // arbitrary slice; back-to-back pulses
+  train.rattack = rate;
+  train.tspace = 0.0;
+  train.packet_bytes = packet_bytes;
+  return train;
+}
+
+PulseAttacker::PulseAttacker(Simulator& sim, PulseTrain train, NodeId self,
+                             NodeId sink, PacketHandler* out, FlowId flow)
+    : sim_(sim),
+      train_(train),
+      self_(self),
+      sink_(sink),
+      out_(out),
+      flow_(flow) {
+  PDOS_REQUIRE(out != nullptr, "PulseAttacker: out must be non-null");
+  train_.validate();
+  packet_spacing_ = transmission_time(train_.packet_bytes, train_.rattack);
+  // Emit packets whose spacing fits fully inside the pulse window, at least
+  // one per pulse.
+  packets_per_pulse_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor(train_.textent /
+                                              packet_spacing_)));
+}
+
+void PulseAttacker::start(Time when) {
+  sim_.schedule_at(when, [this] { fire_pulse(); });
+}
+
+void PulseAttacker::fire_pulse() {
+  if (stopped_ || stats_.pulses_started >= train_.n) return;
+  ++stats_.pulses_started;
+  for (std::int64_t i = 0; i < packets_per_pulse_; ++i) {
+    sim_.schedule(static_cast<double>(i) * packet_spacing_,
+                  [this] { emit_packet(); });
+  }
+  if (stats_.pulses_started < train_.n) {
+    sim_.schedule(train_.period(), [this] { fire_pulse(); });
+  }
+}
+
+void PulseAttacker::emit_packet() {
+  Packet pkt;
+  pkt.type = PacketType::kAttack;
+  pkt.flow = flow_;
+  pkt.src = self_;
+  pkt.dst = sink_;
+  pkt.size_bytes = train_.packet_bytes;
+  ++stats_.packets_sent;
+  stats_.bytes_sent += pkt.size_bytes;
+  out_->handle(std::move(pkt));
+}
+
+}  // namespace pdos

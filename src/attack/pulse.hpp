@@ -1,0 +1,88 @@
+// PDoS pulse-train attacker.
+//
+// Implements the paper's attack process A(T_extent, R_attack, T_space, N):
+// N pulses, each emitting packets back-to-back at rate R_attack for
+// T_extent seconds, separated by T_space seconds of silence. T_space = 0
+// degenerates into the traditional flooding attack; pacing the period to
+// minRTO/n yields the shrew (timeout-based) attack. Attack packets are
+// UDP-like: no feedback, addressed to a sink behind the bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+struct PulseTrain {
+  Time textent = ms(50);        // pulse width, seconds (> 0)
+  BitRate rattack = mbps(25);   // in-pulse sending rate, bps (> 0)
+  Time tspace = ms(1950);       // inter-pulse gap, seconds (>= 0)
+  std::int64_t n = std::numeric_limits<std::int64_t>::max();  // pulse count
+  Bytes packet_bytes = 1040;    // wire size of each attack packet
+
+  /// Attack period T_AIMD = T_space + T_extent.
+  Time period() const { return tspace + textent; }
+
+  /// Duty-cycle reciprocal μ = T_space / T_extent.
+  double mu() const { return tspace / textent; }
+
+  /// Long-run average rate R_attack * T_extent / T_AIMD, in bps.
+  BitRate average_rate() const { return rattack * textent / period(); }
+
+  /// Normalized average attack rate γ (Eq. 4) for a bottleneck of
+  /// `rbottle` bps.
+  double gamma(BitRate rbottle) const { return average_rate() / rbottle; }
+
+  /// Construct the train the paper parameterizes by (T_extent, R_attack, γ):
+  /// γ fixes the period via Eq. (4), hence T_space.
+  static PulseTrain from_gamma(Time textent, BitRate rattack, double gamma,
+                               BitRate rbottle, Bytes packet_bytes = 1040);
+
+  /// Flooding baseline: continuous transmission at `rate`.
+  static PulseTrain flooding(BitRate rate, Bytes packet_bytes = 1040);
+
+  void validate() const;
+};
+
+struct AttackerStats {
+  std::int64_t pulses_started = 0;
+  std::int64_t packets_sent = 0;
+  Bytes bytes_sent = 0;
+};
+
+/// Emits the pulse train into `out` (typically the attacker's access link).
+class PulseAttacker {
+ public:
+  PulseAttacker(Simulator& sim, PulseTrain train, NodeId self, NodeId sink,
+                PacketHandler* out, FlowId flow = -1000);
+
+  /// Begin the first pulse at absolute virtual time `when`.
+  void start(Time when);
+
+  /// Stop after the current pulse; no further pulses are scheduled.
+  void stop() { stopped_ = true; }
+
+  const PulseTrain& train() const { return train_; }
+  const AttackerStats& stats() const { return stats_; }
+
+ private:
+  void fire_pulse();
+  void emit_packet();
+
+  Simulator& sim_;
+  PulseTrain train_;
+  NodeId self_;
+  NodeId sink_;
+  PacketHandler* out_;
+  FlowId flow_;
+  Time packet_spacing_;
+  std::int64_t packets_per_pulse_;
+  bool stopped_ = false;
+  AttackerStats stats_;
+};
+
+}  // namespace pdos

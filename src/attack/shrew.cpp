@@ -1,0 +1,36 @@
+#include "attack/shrew.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+Time shrew_period(Time min_rto, int n) {
+  PDOS_REQUIRE(min_rto > 0.0, "shrew_period: min_rto must be > 0");
+  PDOS_REQUIRE(n >= 1, "shrew_period: harmonic must be >= 1");
+  return min_rto / static_cast<double>(n);
+}
+
+std::vector<Time> shrew_periods(Time min_rto, int max_harmonic, Time floor) {
+  std::vector<Time> periods;
+  for (int n = 1; n <= max_harmonic; ++n) {
+    const Time p = shrew_period(min_rto, n);
+    if (p < floor) break;
+    periods.push_back(p);
+  }
+  return periods;
+}
+
+std::optional<int> matching_shrew_harmonic(Time period, Time min_rto,
+                                           int max_harmonic,
+                                           double tolerance) {
+  PDOS_REQUIRE(period > 0.0, "matching_shrew_harmonic: period must be > 0");
+  for (int n = 1; n <= max_harmonic; ++n) {
+    const Time p = shrew_period(min_rto, n);
+    if (std::abs(period - p) / p <= tolerance) return n;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pdos

@@ -1,0 +1,31 @@
+// Shrew (timeout-based) attack helpers.
+//
+// A pulse train whose period T_AIMD is close to minRTO/n, n = 1..minRTO/RTT,
+// re-hits retransmissions after each timeout and pins senders in the TO
+// state — the Kuzmanovic-Knightly shrew attack. The paper's analytical model
+// deliberately ignores timeouts, so these periods are where simulation gain
+// exceeds the analytical prediction (Fig. 10); this header provides the
+// period arithmetic used to mark those points.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pdos {
+
+/// The n-th shrew period minRTO / n.
+Time shrew_period(Time min_rto, int n);
+
+/// All shrew periods >= `floor` for harmonics n = 1..max_harmonic.
+std::vector<Time> shrew_periods(Time min_rto, int max_harmonic,
+                                Time floor = ms(100));
+
+/// If `period` lies within `tolerance` (relative) of minRTO/n for some
+/// n in [1, max_harmonic], returns that n.
+std::optional<int> matching_shrew_harmonic(Time period, Time min_rto,
+                                           int max_harmonic,
+                                           double tolerance = 0.1);
+
+}  // namespace pdos

@@ -1,0 +1,347 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "attack/distributed.hpp"
+#include "core/model.hpp"
+#include "net/droptail.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "stats/fairness.hpp"
+#include "stats/jitter.hpp"
+#include "stats/timeseries.hpp"
+#include "traffic/sources.hpp"
+#include "tcp/connection.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+
+ScenarioConfig ScenarioConfig::ns2_dumbbell(int num_flows) {
+  ScenarioConfig config;
+  config.num_flows = num_flows;
+  config.bottleneck = mbps(15);
+  config.access = mbps(50);
+  config.bottleneck_delay = ms(1);
+  config.rtts = VictimProfile::even_rtts(num_flows, ms(20), ms(460));
+  config.queue = QueueKind::kRed;
+  // Not restated by the paper; ~0.55 x BDP at the mean RTT keeps the
+  // bottleneck >90% utilized without an attack (Lemma 1's premise) while
+  // letting 50-100 ms pulses overflow it. See EXPERIMENTS.md.
+  config.buffer_packets = 240;
+  config.tcp = TcpSenderConfig{};
+  config.tcp.aimd = AimdParams::new_reno();  // ns-2: no delayed ACKs
+  config.tcp.rto_min = sec(1.0);             // ns-2 default minRTO
+  return config;
+}
+
+ScenarioConfig ScenarioConfig::testbed(int num_flows) {
+  ScenarioConfig config;
+  config.num_flows = num_flows;
+  config.bottleneck = mbps(10);
+  config.access = mbps(100);
+  config.bottleneck_delay = ms(1);
+  // Dummynet adds 150 ms of delay shared by every flow.
+  config.rtts.assign(num_flows, ms(150));
+  config.queue = QueueKind::kRed;
+  config.tcp = TcpSenderConfig{};
+  config.tcp.aimd = AimdParams::new_reno_delack();  // Linux: delayed ACKs
+  config.tcp.rto_min = ms(200);                     // Fedora kernel 2.6.5
+  // Rule-of-thumb buffer B = RTT * R_bottle, in packets.
+  const Bytes spacket = config.tcp.mss + config.tcp.header_bytes;
+  config.buffer_packets = static_cast<std::size_t>(
+      ms(150) * mbps(10) / 8.0 / static_cast<double>(spacket));
+  return config;
+}
+
+void ScenarioConfig::validate() const {
+  PDOS_REQUIRE(num_flows >= 1, "Scenario: need at least one flow");
+  PDOS_REQUIRE(static_cast<int>(rtts.size()) == num_flows,
+               "Scenario: rtts.size() must equal num_flows");
+  PDOS_REQUIRE(bottleneck > 0.0 && access > 0.0,
+               "Scenario: link rates must be > 0");
+  PDOS_REQUIRE(buffer_packets >= 2, "Scenario: buffer must hold >= 2 packets");
+  PDOS_REQUIRE(num_attackers >= 1, "Scenario: need at least one attacker");
+  PDOS_REQUIRE(attacker_phase_spread >= 0.0,
+               "Scenario: attacker_phase_spread must be >= 0");
+  PDOS_REQUIRE(cross_traffic_rate >= 0.0,
+               "Scenario: cross_traffic_rate must be >= 0");
+  for (Time rtt : rtts) {
+    PDOS_REQUIRE(rtt > 2.0 * bottleneck_delay,
+                 "Scenario: RTT must exceed bottleneck propagation");
+  }
+  tcp.validate();
+}
+
+VictimProfile ScenarioConfig::victim_profile() const {
+  VictimProfile victim;
+  victim.aimd = tcp.aimd;
+  victim.spacket = tcp.mss + tcp.header_bytes;
+  victim.rbottle = bottleneck;
+  victim.rtts = rtts;
+  return victim;
+}
+
+namespace {
+
+/// All the wiring for one dumbbell run, kept alive for the run's duration.
+struct Testframe {
+  Simulator sim;
+  Node* router_s = nullptr;
+  Node* router_r = nullptr;
+  Link* bottleneck = nullptr;
+  std::vector<TcpConnection> connections;
+  std::vector<PulseAttacker*> attackers;
+  OnOffSource* cross_traffic = nullptr;
+
+  explicit Testframe(std::uint64_t seed) : sim(seed) {}
+};
+
+std::unique_ptr<QueueDiscipline> make_queue(const ScenarioConfig& config,
+                                            Rng rng) {
+  if (config.queue == QueueKind::kDropTail) {
+    return std::make_unique<DropTailQueue>(config.buffer_packets);
+  }
+  return std::make_unique<RedQueue>(
+      RedParams::paper_testbed(config.buffer_packets), rng);
+}
+
+std::unique_ptr<DropTailQueue> big_fifo() {
+  // Access links are never the bottleneck; give them ample tail-drop space.
+  return std::make_unique<DropTailQueue>(1000);
+}
+
+void build(Testframe& frame, const ScenarioConfig& config,
+           const std::optional<PulseTrain>& attack) {
+  const int m = config.num_flows;
+  const NodeId router_s_id = 2 * m;
+  const NodeId router_r_id = 2 * m + 1;
+  const NodeId attacker_id = 2 * m + 2;
+  Simulator& sim = frame.sim;
+
+  frame.router_s = sim.make<Node>(router_s_id, "routerS");
+  frame.router_r = sim.make<Node>(router_r_id, "routerR");
+
+  const Bytes spacket = config.tcp.mss + config.tcp.header_bytes;
+  frame.bottleneck = sim.make<Link>(
+      sim, "bottleneck", config.bottleneck, config.bottleneck_delay,
+      make_queue(config, sim.rng().fork()), frame.router_r, spacket);
+  auto* bottleneck_rev = sim.make<Link>(sim, "bottleneck.rev",
+                                        config.bottleneck,
+                                        config.bottleneck_delay, big_fifo(),
+                                        frame.router_s, spacket);
+  frame.router_r->add_route(router_s_id, bottleneck_rev);
+
+  for (int i = 0; i < m; ++i) {
+    const NodeId snd_id = i;
+    const NodeId rcv_id = m + i;
+    auto* snd = sim.make<Node>(snd_id, "sender" + std::to_string(i));
+    auto* rcv = sim.make<Node>(rcv_id, "receiver" + std::to_string(i));
+
+    // Split the flow's propagation RTT between its two access links.
+    const Time side = (config.rtts[i] / 2.0 - config.bottleneck_delay) / 2.0;
+    PDOS_CHECK(side > 0.0);
+
+    auto* snd_fwd = sim.make<Link>(sim, "acc.s" + std::to_string(i),
+                                   config.access, side, big_fifo(),
+                                   frame.router_s, spacket);
+    auto* snd_rev = sim.make<Link>(sim, "acc.s.rev" + std::to_string(i),
+                                   config.access, side, big_fifo(), snd,
+                                   spacket);
+    auto* rcv_fwd = sim.make<Link>(sim, "acc.r" + std::to_string(i),
+                                   config.access, side, big_fifo(), rcv,
+                                   spacket);
+    auto* rcv_rev = sim.make<Link>(sim, "acc.r.rev" + std::to_string(i),
+                                   config.access, side, big_fifo(),
+                                   frame.router_r, spacket);
+
+    snd->set_default_route(snd_fwd);
+    rcv->set_default_route(rcv_rev);
+    frame.router_s->add_route(rcv_id, frame.bottleneck);
+    frame.router_s->add_route(snd_id, snd_rev);
+    frame.router_r->add_route(rcv_id, rcv_fwd);
+    frame.router_r->add_route(snd_id, bottleneck_rev);
+
+    frame.connections.push_back(
+        make_tcp_connection(sim, *snd, *rcv, /*flow=*/i, config.tcp));
+  }
+  frame.router_s->add_route(router_r_id, frame.bottleneck);
+
+  if (config.cross_traffic_rate > 0.0) {
+    const NodeId cross_id = 2 * m + 3;
+    auto* cross_node = sim.make<Node>(cross_id, "cross");
+    auto* cross_link = sim.make<Link>(sim, "acc.cross", config.access, ms(1),
+                                      big_fifo(), frame.router_s, spacket);
+    cross_node->set_default_route(cross_link);
+    // 50% duty cycle: peak rate of twice the requested average.
+    frame.cross_traffic = sim.make<OnOffSource>(
+        sim, 2.0 * config.cross_traffic_rate, ms(500), ms(500), spacket,
+        cross_id, router_r_id, cross_node);
+  }
+
+  if (attack) {
+    const auto sub_trains = split_train(*attack, config.num_attackers);
+    for (int a = 0; a < config.num_attackers; ++a) {
+      const NodeId node_id = attacker_id + 10 + a;
+      auto* attacker_node =
+          sim.make<Node>(node_id, "attacker" + std::to_string(a));
+      BitRate attacker_access = config.attacker_access;
+      if (attacker_access <= 0.0) {
+        attacker_access =
+            std::max(config.access, 2.0 * sub_trains[a].rattack);
+      }
+      auto* attack_link = sim.make<Link>(
+          sim, "acc.attacker" + std::to_string(a), attacker_access, ms(1),
+          big_fifo(), frame.router_s, attack->packet_bytes);
+      attacker_node->set_default_route(attack_link);
+      // Attack packets are addressed to routerR, which has no agent for
+      // their flow id and therefore sinks them — after they have crossed
+      // the bottleneck queue, which is all the attack needs.
+      frame.attackers.push_back(
+          sim.make<PulseAttacker>(sim, sub_trains[a], node_id, router_r_id,
+                                  attacker_node, FlowId{-1000 - a}));
+    }
+  }
+}
+
+}  // namespace
+
+RunResult run_scenario(const ScenarioConfig& config,
+                       const std::optional<PulseTrain>& attack,
+                       const RunControl& control) {
+  config.validate();
+  if (attack) attack->validate();
+  PDOS_REQUIRE(control.warmup >= 0.0 && control.measure > 0.0,
+               "RunControl: need warmup >= 0 and measure > 0");
+
+  Testframe frame(config.seed);
+  build(frame, config, attack);
+
+  // Instrument the bottleneck's arrivals (the paper's "incoming traffic").
+  BinnedSeries incoming(control.bin_width);
+  BinnedSeries attack_arrivals(control.bin_width);
+  frame.bottleneck->add_arrival_tap([&](const Packet& pkt) {
+    incoming.add(frame.sim.now(), static_cast<double>(pkt.size_bytes));
+    if (pkt.is_attack()) {
+      attack_arrivals.add(frame.sim.now(),
+                          static_cast<double>(pkt.size_bytes));
+    }
+  });
+
+  RunResult result;
+
+  // Sample bottleneck occupancy (and RED's lagging average) once per bin.
+  const auto* red_queue =
+      dynamic_cast<const RedQueue*>(&frame.bottleneck->queue());
+  std::function<void()> sample_queue = [&] {
+    result.queue_occupancy.push_back(
+        static_cast<double>(frame.bottleneck->queue().length()));
+    result.red_avg_samples.push_back(red_queue != nullptr ? red_queue->avg()
+                                                          : 0.0);
+    if (frame.sim.now() + control.bin_width <= control.horizon()) {
+      frame.sim.schedule(control.bin_width, sample_queue);
+    }
+  };
+  frame.sim.schedule(0.0, sample_queue);
+
+  // Per-flow delivery jitter (§2.3's "increase in jitter").
+  std::vector<JitterMeter> jitter(frame.connections.size());
+  for (std::size_t i = 0; i < frame.connections.size(); ++i) {
+    frame.connections[i].receiver->set_delivery_tracer(
+        [&jitter, i](Time t, std::int64_t) { jitter[i].observe(t); });
+  }
+
+  if (control.traced_flow >= 0) {
+    PDOS_REQUIRE(control.traced_flow < config.num_flows,
+                 "RunControl: traced_flow out of range");
+    frame.connections[control.traced_flow].sender->set_cwnd_tracer(
+        [&result](Time t, double w) { result.cwnd_trace.emplace_back(t, w); });
+  }
+
+  // Stagger flow starts to avoid artificial lockstep at t = 0.
+  for (auto& conn : frame.connections) {
+    conn.sender->start(frame.sim.rng().uniform(0.0, config.flow_start_spread));
+  }
+  if (!frame.attackers.empty()) {
+    auto phases = spread_phases(static_cast<int>(frame.attackers.size()),
+                                config.attacker_phase_spread,
+                                frame.sim.rng());
+    for (std::size_t a = 0; a < frame.attackers.size(); ++a) {
+      frame.attackers[a]->start(phases[a]);
+    }
+  }
+  if (frame.cross_traffic) frame.cross_traffic->start(0.0);
+
+  frame.sim.run_until(control.warmup);
+  std::vector<Bytes> goodput_marks;
+  goodput_marks.reserve(frame.connections.size());
+  for (const auto& conn : frame.connections) {
+    goodput_marks.push_back(conn.receiver->goodput_bytes());
+  }
+
+  frame.sim.run_until(control.horizon());
+
+  for (std::size_t i = 0; i < frame.connections.size(); ++i) {
+    const Bytes flow_bytes =
+        frame.connections[i].receiver->goodput_bytes() - goodput_marks[i];
+    result.per_flow_goodput.push_back(flow_bytes);
+    result.goodput_bytes += flow_bytes;
+    const auto& stats = frame.connections[i].sender->stats();
+    result.total_timeouts += stats.timeouts;
+    result.total_fast_recoveries += stats.fast_recoveries;
+    result.total_retransmits += stats.retransmits;
+  }
+  {
+    std::vector<double> shares(result.per_flow_goodput.begin(),
+                               result.per_flow_goodput.end());
+    result.fairness_index = jain_fairness_index(shares);
+  }
+  for (const auto& meter : jitter) {
+    result.mean_delivery_jitter += meter.smoothed_jitter();
+  }
+  result.mean_delivery_jitter /= static_cast<double>(jitter.size());
+  result.goodput_rate =
+      static_cast<double>(result.goodput_bytes) * 8.0 / control.measure;
+  result.utilization = result.goodput_rate / config.bottleneck;
+  result.incoming_bins = incoming.bins_until(control.horizon());
+  result.attack_bins = attack_arrivals.bins_until(control.horizon());
+  result.bin_width = control.bin_width;
+  result.bottleneck_queue = frame.bottleneck->queue().stats();
+  if (const auto* red =
+          dynamic_cast<const RedQueue*>(&frame.bottleneck->queue())) {
+    result.red_early_drops = red->early_drops();
+    result.red_forced_drops = red->forced_drops();
+  }
+  for (const auto* attacker : frame.attackers) {
+    result.attack_packets_sent +=
+        static_cast<std::uint64_t>(attacker->stats().packets_sent);
+  }
+  result.events_executed = frame.sim.scheduler().events_executed();
+  return result;
+}
+
+GainMeasurement measure_gain(const ScenarioConfig& config,
+                             const PulseTrain& train, double kappa,
+                             const RunControl& control,
+                             BitRate baseline_goodput) {
+  PDOS_REQUIRE(baseline_goodput > 0.0,
+               "measure_gain: baseline goodput must be > 0");
+  GainMeasurement point;
+  point.run = run_scenario(config, train, control);
+  point.gamma = train.gamma(config.bottleneck);
+  point.degradation =
+      std::max(0.0, 1.0 - point.run.goodput_rate / baseline_goodput);
+  point.gain = point.degradation * risk_term(std::min(point.gamma, 1.0),
+                                             kappa);
+  return point;
+}
+
+BitRate measure_baseline(const ScenarioConfig& config,
+                         const RunControl& control) {
+  return run_scenario(config, std::nullopt, control).goodput_rate;
+}
+
+}  // namespace pdos

@@ -1,0 +1,146 @@
+// Scenario builder and experiment runner.
+//
+// Encodes the paper's two evaluation environments:
+//   - `ScenarioConfig::ns2_dumbbell(M)`  — §4.1: M TCP NewReno flows over a
+//     dumbbell with a 15 Mbps RED bottleneck, 50 Mbps access links, RTTs
+//     evenly spread over 20-460 ms, ns-2 minRTO = 1 s.
+//   - `ScenarioConfig::testbed(M)`       — §4.2: Dummynet-style single
+//     10 Mbps bottleneck with 150 ms RTT, Linux minRTO = 200 ms, delayed
+//     ACKs (d = 2), RED(0.2B, 0.8B, w_q = 0.002, max_p = 0.1, gentle) with
+//     B = RTT × R_bottle.
+//
+// `run_scenario` builds the topology, runs warmup + measurement under an
+// optional pulse train, and reports aggregate goodput, the bottleneck's
+// incoming-traffic series (Figs. 2-3), queue/loss statistics and TCP state
+// counters. `measure_gain` composes two runs into the paper's Γ and G.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "attack/pulse.hpp"
+#include "core/params.hpp"
+#include "net/queue.hpp"
+#include "net/red.hpp"
+#include "tcp/tcp_sender.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+enum class QueueKind { kDropTail, kRed };
+
+struct ScenarioConfig {
+  int num_flows = 15;
+  BitRate bottleneck = mbps(15);
+  BitRate access = mbps(50);
+  Time bottleneck_delay = ms(1);  // one-way propagation of the shared link
+  std::vector<Time> rtts;         // per-flow two-way propagation targets
+  QueueKind queue = QueueKind::kRed;
+  std::size_t buffer_packets = 60;  // bottleneck buffer B
+  TcpSenderConfig tcp;
+  Bytes attack_packet_bytes = 1040;
+  BitRate attacker_access = 0.0;  // 0 = auto: max(access, 2 x R_attack)
+  /// Distributed attack: the pulse train is split evenly over this many
+  /// sources (each with its own access link). 1 = the paper's single
+  /// attacker.
+  int num_attackers = 1;
+  /// Random per-source start offset in [0, spread]; softens the aggregate
+  /// pulse edge at a small damage cost.
+  Time attacker_phase_spread = 0.0;
+  Time flow_start_spread = sec(1.0);  // flows start uniformly in [0, spread]
+  /// Unresponsive cross traffic sharing the bottleneck: an exponential
+  /// ON/OFF source (50% duty cycle) with this long-run average rate.
+  /// 0 disables it (the paper's scenarios).
+  BitRate cross_traffic_rate = 0.0;
+  std::uint64_t seed = 1;
+
+  /// §4.1 ns-2 scenario. The paper reuses Kuzmanovic & Knightly's scripts;
+  /// parameters it does not restate (buffer size, RED thresholds) follow
+  /// the same 20%/80% rule as the test-bed on a 60-packet buffer —
+  /// documented in EXPERIMENTS.md.
+  static ScenarioConfig ns2_dumbbell(int num_flows);
+
+  /// §4.2 test-bed scenario.
+  static ScenarioConfig testbed(int num_flows = 10);
+
+  void validate() const;
+
+  /// The analytical victim profile implied by this scenario.
+  VictimProfile victim_profile() const;
+};
+
+struct RunControl {
+  Time warmup = sec(8.0);     // attack starts at t=0; stats from `warmup`
+  Time measure = sec(30.0);   // measurement window length
+  Time bin_width = ms(100);   // incoming-traffic series resolution
+  int traced_flow = -1;       // >= 0: record that flow's cwnd trace
+  Time horizon() const { return warmup + measure; }
+};
+
+struct RunResult {
+  // Aggregate application goodput over the measurement window only.
+  Bytes goodput_bytes = 0;
+  BitRate goodput_rate = 0.0;
+  double utilization = 0.0;  // goodput_rate / bottleneck
+  // Per-flow goodput over the measurement window, and Jain's fairness
+  // index over it (the attack starves large-RTT flows first).
+  std::vector<Bytes> per_flow_goodput;
+  double fairness_index = 0.0;
+
+  // Incoming traffic at the bottleneck (TCP + attack), bytes per bin, over
+  // the whole run starting at t = 0.
+  std::vector<double> incoming_bins;
+  // Attack-only arrivals at the bottleneck, same binning.
+  std::vector<double> attack_bins;
+  Time bin_width = 0.0;
+
+  QueueStats bottleneck_queue;
+  std::uint64_t red_early_drops = 0;
+  std::uint64_t red_forced_drops = 0;
+  // Bottleneck queue occupancy sampled every `bin_width` (packets), and
+  // RED's EWMA estimate at the same instants (0 for drop-tail). The gap
+  // between the two during pulses is the AQM transient RoQ-style attacks
+  // exploit.
+  std::vector<double> queue_occupancy;
+  std::vector<double> red_avg_samples;
+
+  std::uint64_t total_timeouts = 0;
+  std::uint64_t total_fast_recoveries = 0;
+  std::uint64_t total_retransmits = 0;
+  // Mean over flows of the RFC 3550 smoothed interarrival jitter of
+  // in-order deliveries (§2.3: attacks increase jitter).
+  Time mean_delivery_jitter = 0.0;
+  std::uint64_t attack_packets_sent = 0;
+  std::uint64_t events_executed = 0;
+
+  std::vector<std::pair<Time, double>> cwnd_trace;  // if traced_flow >= 0
+};
+
+/// Build and run one scenario. If `attack` is set, the pulse train starts
+/// at t = 0 and runs for the whole horizon.
+RunResult run_scenario(const ScenarioConfig& config,
+                       const std::optional<PulseTrain>& attack,
+                       const RunControl& control);
+
+/// One point of the paper's gain plots: Γ = 1 − goodput/baseline (clamped
+/// at 0) and G = Γ(1−γ)^κ, with γ taken from the train and the scenario's
+/// bottleneck.
+struct GainMeasurement {
+  double gamma = 0.0;
+  double degradation = 0.0;  // measured Γ
+  double gain = 0.0;         // measured G
+  RunResult run;
+};
+
+GainMeasurement measure_gain(const ScenarioConfig& config,
+                             const PulseTrain& train, double kappa,
+                             const RunControl& control,
+                             BitRate baseline_goodput);
+
+/// Baseline goodput rate (no attack) for the scenario under `control`.
+BitRate measure_baseline(const ScenarioConfig& config,
+                         const RunControl& control);
+
+}  // namespace pdos

@@ -1,0 +1,98 @@
+#include "core/optimizer.hpp"
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+
+namespace {
+void check_cpsi(double cpsi) {
+  PDOS_REQUIRE(cpsi > 0.0 && cpsi < 1.0,
+               "optimizer: C_Psi must be in (0, 1) for a feasible attack");
+}
+}  // namespace
+
+double optimal_gamma(double cpsi, double kappa) {
+  check_cpsi(cpsi);
+  PDOS_REQUIRE(kappa >= 0.0, "optimizer: kappa must be >= 0");
+  if (kappa == 0.0) return 1.0;  // Corollary 2 limit: risk ignored entirely
+  const double one_minus_k = 1.0 - kappa;
+  const double disc =
+      std::sqrt(cpsi * cpsi * one_minus_k * one_minus_k + 4.0 * kappa * cpsi);
+  // Rationalized Eq. (13); equals (CΨ(1−κ) − disc)/(−2κ) without the 0/0.
+  return 2.0 * cpsi / (disc + cpsi * one_minus_k);
+}
+
+double optimal_gamma_risk_neutral(double cpsi) {
+  check_cpsi(cpsi);
+  return std::sqrt(cpsi);
+}
+
+double golden_section_max(const std::function<double(double)>& f, double lo,
+                          double hi, double tolerance) {
+  PDOS_REQUIRE(lo < hi, "golden_section_max: need lo < hi");
+  PDOS_REQUIRE(tolerance > 0.0, "golden_section_max: tolerance must be > 0");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/φ
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  while (b - a > tolerance) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+double optimal_gamma_numeric(double cpsi, double kappa, double tolerance) {
+  check_cpsi(cpsi);
+  PDOS_REQUIRE(kappa >= 0.0, "optimizer: kappa must be >= 0");
+  if (kappa == 0.0) return 1.0;
+  return golden_section_max(
+      [cpsi, kappa](double g) { return attack_gain(g, cpsi, kappa); }, cpsi,
+      1.0, tolerance);
+}
+
+double optimal_mu_exact(double c_attack, double cpsi, double kappa) {
+  PDOS_REQUIRE(c_attack > 0.0, "optimizer: C_attack must be > 0");
+  const double gstar = optimal_gamma(cpsi, kappa);
+  const double mu = c_attack / gstar - 1.0;
+  PDOS_REQUIRE(mu >= 0.0,
+               "optimizer: optimal gamma exceeds C_attack "
+               "(pulse rate below bottleneck demand; raise R_attack)");
+  return mu;
+}
+
+double optimal_mu_paper(double c_attack, double cpsi, double kappa) {
+  PDOS_REQUIRE(c_attack > 0.0, "optimizer: C_attack must be > 0");
+  return c_attack / optimal_gamma(cpsi, kappa);  // Eq. (16) as printed
+}
+
+double optimal_mu_risk_neutral_paper(double c_attack, Time textent,
+                                     double cvictim) {
+  PDOS_REQUIRE(c_attack > 0.0, "optimizer: C_attack must be > 0");
+  PDOS_REQUIRE(textent > 0.0, "optimizer: T_extent must be > 0");
+  PDOS_REQUIRE(cvictim > 0.0, "optimizer: C_victim must be > 0");
+  return std::sqrt(c_attack / (textent * cvictim));  // Eq. (17)
+}
+
+double optimal_gain(double cpsi, double kappa) {
+  return attack_gain(optimal_gamma(cpsi, kappa), cpsi, kappa);
+}
+
+}  // namespace pdos

@@ -1,0 +1,53 @@
+// Closed-form and numerical solutions of the PDoS attack optimization
+// problem (paper §3.1-§3.2):
+//
+//     maximize  G(γ) = (1 − C_Ψ/γ)(1 − γ)^κ   subject to  C_Ψ < γ < 1.
+//
+// Proposition 3 gives γ* in closed form; Corollaries 1-3 cover the three
+// risk classes; Proposition 4 / Corollary 4 translate γ* into the pulse
+// spacing via μ = T_space/T_extent. A golden-section maximizer is provided
+// to cross-validate the closed form and to optimize variants the paper
+// leaves analytical (e.g. adding measured shrew boosts).
+#pragma once
+
+#include <functional>
+
+#include "core/params.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+/// Eq. (13), Proposition 3 — evaluated in the algebraically equivalent form
+///   γ* = 2 C_Ψ / ( sqrt(C_Ψ²(1−κ)² + 4κC_Ψ) + C_Ψ(1−κ) ),
+/// which is numerically stable for κ → 0 (where the printed form is 0/0)
+/// and reproduces Corollaries 1-3 in the limits. κ = 0 returns 1, the
+/// risk-ignoring flooding limit.
+double optimal_gamma(double cpsi, double kappa);
+
+/// Corollary 3 special case, γ* = sqrt(C_Ψ) for the risk-neutral attacker.
+double optimal_gamma_risk_neutral(double cpsi);
+
+/// Golden-section maximization of G over (C_Ψ, 1); used to cross-check the
+/// closed form and exposed for custom objectives.
+double optimal_gamma_numeric(double cpsi, double kappa,
+                             double tolerance = 1e-9);
+
+/// Maximize an arbitrary unimodal objective on (lo, hi) by golden section.
+double golden_section_max(const std::function<double(double)>& f, double lo,
+                          double hi, double tolerance = 1e-9);
+
+/// Proposition 4: optimal duty-cycle reciprocal. The paper prints
+/// μ = C_attack/γ* (Eq. 16); since 1 + μ = C_attack/γ (Eq. 7) the exact
+/// value is C_attack/γ* − 1. Both are provided; they agree as μ → ∞.
+double optimal_mu_exact(double c_attack, double cpsi, double kappa);
+double optimal_mu_paper(double c_attack, double cpsi, double kappa);
+
+/// Corollary 4: risk-neutral μ via C_victim, μ = sqrt(C_attack /
+/// (T_extent·C_victim)) (paper's approximation, no −1).
+double optimal_mu_risk_neutral_paper(double c_attack, Time textent,
+                                     double cvictim);
+
+/// Gain achieved at the optimum, G(γ*).
+double optimal_gain(double cpsi, double kappa);
+
+}  // namespace pdos

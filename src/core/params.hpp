@@ -1,0 +1,74 @@
+// Parameter structs shared by the analytical model, optimizer and planner.
+#pragma once
+
+#include <vector>
+
+#include "tcp/aimd.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+/// Everything the analytical model needs to know about the victims and the
+/// bottleneck: the AIMD parameters of the transport, the packet size, the
+/// bottleneck capacity, and the RTT of every victim flow.
+struct VictimProfile {
+  AimdParams aimd = AimdParams::new_reno();
+  Bytes spacket = 1040;          // full packet size in bytes (MSS + headers)
+  BitRate rbottle = mbps(15);    // bottleneck capacity, bps
+  std::vector<Time> rtts;        // per-flow round-trip times, seconds
+
+  void validate() const {
+    aimd.validate();
+    PDOS_REQUIRE(spacket > 0, "VictimProfile: spacket must be > 0");
+    PDOS_REQUIRE(rbottle > 0.0, "VictimProfile: rbottle must be > 0");
+    PDOS_REQUIRE(!rtts.empty(), "VictimProfile: need at least one flow");
+    for (Time rtt : rtts)
+      PDOS_REQUIRE(rtt > 0.0, "VictimProfile: RTTs must be > 0");
+  }
+
+  int num_flows() const { return static_cast<int>(rtts.size()); }
+
+  /// Sum of 1/RTT_i^2 over all victim flows (appears in Eqs. 9, 11, 18).
+  double inverse_rtt_sq_sum() const {
+    double sum = 0.0;
+    for (Time rtt : rtts) sum += 1.0 / (rtt * rtt);
+    return sum;
+  }
+
+  /// Evenly spaced RTTs in [lo, hi], the distribution of the paper's ns-2
+  /// scenario ("RTTs range from 20 ms to 460 ms").
+  static std::vector<Time> even_rtts(int n, Time lo, Time hi) {
+    PDOS_REQUIRE(n >= 1, "even_rtts: n must be >= 1");
+    PDOS_REQUIRE(lo > 0.0 && lo <= hi, "even_rtts: need 0 < lo <= hi");
+    std::vector<Time> rtts(n);
+    for (int i = 0; i < n; ++i) {
+      rtts[i] = n == 1 ? lo : lo + (hi - lo) * i / (n - 1);
+    }
+    return rtts;
+  }
+};
+
+/// Attacker risk preference: the exponent κ of the (1 − γ)^κ risk term.
+enum class RiskClass { kRiskLoving, kRiskNeutral, kRiskAverse };
+
+inline RiskClass classify_risk(double kappa) {
+  PDOS_REQUIRE(kappa > 0.0, "classify_risk: kappa must be > 0");
+  if (kappa < 1.0) return RiskClass::kRiskLoving;
+  if (kappa > 1.0) return RiskClass::kRiskAverse;
+  return RiskClass::kRiskNeutral;
+}
+
+inline const char* risk_class_name(RiskClass c) {
+  switch (c) {
+    case RiskClass::kRiskLoving:
+      return "risk-loving";
+    case RiskClass::kRiskNeutral:
+      return "risk-neutral";
+    case RiskClass::kRiskAverse:
+      return "risk-averse";
+  }
+  return "?";
+}
+
+}  // namespace pdos

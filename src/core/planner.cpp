@@ -1,0 +1,110 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "attack/shrew.hpp"
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+
+void AttackPlanRequest::validate() const {
+  victim.validate();
+  PDOS_REQUIRE(textent > 0.0, "AttackPlanRequest: textent must be > 0");
+  PDOS_REQUIRE(rattack > 0.0, "AttackPlanRequest: rattack must be > 0");
+  PDOS_REQUIRE(kappa >= 0.0, "AttackPlanRequest: kappa must be >= 0");
+  PDOS_REQUIRE(attack_packet_bytes > 0,
+               "AttackPlanRequest: attack_packet_bytes must be > 0");
+  if (victim_min_rto)
+    PDOS_REQUIRE(*victim_min_rto > 0.0,
+                 "AttackPlanRequest: min_rto must be > 0");
+}
+
+namespace {
+
+AttackPlan build_plan(const AttackPlanRequest& request, double gamma,
+                      double gamma_unclamped, bool clamped) {
+  const double c_attack = request.rattack / request.victim.rbottle;
+  const double cpsi =
+      c_psi(request.victim, request.textent, c_attack);
+
+  AttackPlan plan;
+  plan.c_attack = c_attack;
+  plan.c_psi = cpsi;
+  plan.gamma = gamma;
+  plan.gamma_unclamped = gamma_unclamped;
+  plan.gamma_clamped = clamped;
+  plan.risk_class = request.kappa == 0.0 ? RiskClass::kRiskLoving
+                                         : classify_risk(request.kappa);
+  plan.train =
+      PulseTrain::from_gamma(request.textent, request.rattack, gamma,
+                             request.victim.rbottle,
+                             request.attack_packet_bytes);
+  plan.mu = plan.train.mu();
+  plan.predicted_degradation =
+      throughput_degradation(request.victim, plan.train.period());
+  plan.predicted_gain = attack_gain(gamma, cpsi, request.kappa);
+
+  for (Time rtt : request.victim.rtts) {
+    plan.converged_cwnds.push_back(
+        converged_cwnd(request.victim.aimd, plan.train.period(), rtt));
+  }
+  if (request.victim_min_rto) {
+    // Only low harmonics matter: after a timeout the RTO doubles, so pulse
+    // trains faster than ~minRTO/3 stop re-hitting retransmissions — these
+    // are also the only points Fig. 10 marks.
+    plan.shrew_harmonic =
+        matching_shrew_harmonic(plan.train.period(), *request.victim_min_rto,
+                                /*max_harmonic=*/3, /*tolerance=*/0.06);
+  }
+  return plan;
+}
+
+}  // namespace
+
+AttackPlan plan_attack(const AttackPlanRequest& request) {
+  request.validate();
+  const double c_attack = request.rattack / request.victim.rbottle;
+  const double cpsi = c_psi(request.victim, request.textent, c_attack);
+  PDOS_REQUIRE(cpsi < 1.0,
+               "plan_attack: C_Psi >= 1 — this pulse shape cannot trade "
+               "damage for stealth (try a shorter T_extent)");
+
+  const double gstar = optimal_gamma(cpsi, request.kappa);
+  // γ cannot exceed C_attack (Eq. 7 with μ >= 0) or reach 1 (flooding);
+  // clamp and report when the unconstrained optimum is infeasible.
+  const double hi = std::min(c_attack, 1.0 - 1e-9);
+  const double gamma = std::min(gstar, hi);
+  return build_plan(request, gamma, gstar, gamma < gstar);
+}
+
+AttackPlan plan_attack_at_gamma(const AttackPlanRequest& request,
+                                double gamma) {
+  request.validate();
+  const double c_attack = request.rattack / request.victim.rbottle;
+  PDOS_REQUIRE(gamma > 0.0 && gamma <= std::min(1.0, c_attack),
+               "plan_attack_at_gamma: gamma outside (0, min(1, C_attack)]");
+  return build_plan(request, gamma, gamma, false);
+}
+
+std::string AttackPlan::summary() const {
+  std::ostringstream os;
+  os << risk_class_name(risk_class) << " plan: gamma=" << gamma
+     << (gamma_clamped ? " (clamped)" : "") << " C_psi=" << c_psi
+     << " T_extent=" << to_ms(train.textent) << "ms"
+     << " T_space=" << to_ms(train.tspace) << "ms"
+     << " period=" << to_ms(train.period()) << "ms"
+     << " R_attack=" << to_mbps(train.rattack) << "Mbps"
+     << " predicted_Gamma=" << predicted_degradation
+     << " predicted_gain=" << predicted_gain;
+  if (shrew_harmonic) {
+    os << " [WARNING: period ~ minRTO/" << *shrew_harmonic
+       << ", shrew regime: model will under-estimate damage]";
+  }
+  return os.str();
+}
+
+}  // namespace pdos

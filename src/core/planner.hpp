@@ -1,0 +1,61 @@
+// Attack planner: the user-facing entry point of the library.
+//
+// Given a victim profile (what the attacker knows or estimates about the
+// bottleneck and its flows), a pulse shape (T_extent, R_attack) and a risk
+// preference κ, the planner solves the paper's optimization problem and
+// emits a concrete, schedulable `PulseTrain`, together with the analytical
+// predictions (Γ, G, W∞ per flow) and warnings — e.g. when the optimal
+// period collides with a shrew harmonic and the model will under-predict
+// the damage.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/pulse.hpp"
+#include "core/params.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+struct AttackPlanRequest {
+  VictimProfile victim;
+  Time textent = ms(50);       // chosen pulse width
+  BitRate rattack = mbps(25);  // chosen in-pulse rate
+  double kappa = 1.0;          // risk preference
+  Bytes attack_packet_bytes = 1040;
+  /// If set, flags plans whose period is within 10% of minRTO/n.
+  std::optional<Time> victim_min_rto;
+
+  void validate() const;
+};
+
+struct AttackPlan {
+  PulseTrain train;             // ready to hand to PulseAttacker
+  double c_attack = 0.0;        // R_attack / R_bottle
+  double c_psi = 0.0;           // Eq. (11)
+  double gamma = 0.0;           // planned γ (γ*, possibly clamped)
+  double gamma_unclamped = 0.0; // raw γ* from Eq. (13)
+  double mu = 0.0;              // T_space / T_extent actually planned
+  double predicted_degradation = 0.0;  // Γ at the planned γ
+  double predicted_gain = 0.0;         // G at the planned γ
+  RiskClass risk_class = RiskClass::kRiskNeutral;
+  std::optional<int> shrew_harmonic;  // set if period ≈ minRTO/n
+  bool gamma_clamped = false;   // γ* exceeded C_attack and was clamped
+  std::vector<double> converged_cwnds;  // W∞ per victim flow, segments
+
+  std::string summary() const;
+};
+
+/// Solve the optimization problem and build the pulse train.
+/// Throws ParameterError if C_Ψ >= 1 (no feasible degradation-of-service
+/// attack exists for this pulse shape: every feasible γ predicts Γ <= 0).
+AttackPlan plan_attack(const AttackPlanRequest& request);
+
+/// Evaluate a *given* γ for the same request (used to sweep γ as in
+/// Figs. 6-9). γ must lie in (0, min(1, C_attack)].
+AttackPlan plan_attack_at_gamma(const AttackPlanRequest& request,
+                                double gamma);
+
+}  // namespace pdos

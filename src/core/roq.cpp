@@ -1,0 +1,45 @@
+#include "core/roq.hpp"
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+
+double roq_potency(double damage_bps, double cost_bps, double omega) {
+  PDOS_REQUIRE(damage_bps >= 0.0, "roq_potency: damage must be >= 0");
+  PDOS_REQUIRE(cost_bps > 0.0, "roq_potency: cost must be > 0");
+  PDOS_REQUIRE(omega > 0.0, "roq_potency: omega must be > 0");
+  return damage_bps / std::pow(cost_bps, omega);
+}
+
+double pdos_model_potency(const VictimProfile& victim, Time textent,
+                          double c_attack, double gamma, double omega) {
+  PDOS_REQUIRE(gamma > 0.0 && gamma < 1.0,
+               "pdos_model_potency: gamma must be in (0, 1)");
+  const double cpsi = c_psi(victim, textent, c_attack);
+  if (gamma <= cpsi) return 0.0;  // the model predicts no damage here
+  const double damage = (1.0 - cpsi / gamma) * victim.rbottle;
+  const double cost = gamma * victim.rbottle;
+  return roq_potency(damage, cost, omega);
+}
+
+double roq_optimal_gamma(const VictimProfile& victim, Time textent,
+                         double c_attack, double omega) {
+  const double cpsi = c_psi(victim, textent, c_attack);
+  PDOS_REQUIRE(cpsi < 1.0,
+               "roq_optimal_gamma: C_Psi >= 1, no feasible damage");
+  // For omega = 1 the maximizer has the closed form gamma = 2*C_Psi
+  // (d/dγ[(γ−CΨ)/γ²] = 0); keep the numeric search so any omega works and
+  // the boundary clamp is automatic.
+  const double gstar = golden_section_max(
+      [&](double gamma) {
+        return pdos_model_potency(victim, textent, c_attack, gamma, omega);
+      },
+      cpsi + 1e-9, 1.0 - 1e-9);
+  return gstar;
+}
+
+}  // namespace pdos

@@ -1,0 +1,34 @@
+// Reduction-of-Quality (RoQ) potency metrics, after Guirguis, Bestavros &
+// Matta (ICNP 2004) — the related-work attack the paper contrasts with
+// (§1.1).
+//
+// Where the PDoS gain G = Γ(1−γ)^κ prices risk multiplicatively, the RoQ
+// literature evaluates attacks by *potency*: damage per unit of attack
+// cost, Π = damage / cost^Ω. Both objectives act on the same pulse trains,
+// so this header lets the two be compared directly: the RoQ-optimal
+// operating point sits at lower γ (cheap, low-damage needling of the AQM
+// transient) than the gain-optimal γ*.
+#pragma once
+
+#include "core/params.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+/// Π = damage / cost^Ω. `damage` is the victim throughput destroyed (bps),
+/// `cost` the attacker's average rate (bps); Ω > 0 weighs the attacker's
+/// aversion to spending traffic (Ω = 1 in the RoQ paper's definition).
+double roq_potency(double damage_bps, double cost_bps, double omega = 1.0);
+
+/// Potency of a PDoS operating point under the paper's model: damage =
+/// Γ(γ)·R_bottle (Eq. 10), cost = γ·R_bottle.
+double pdos_model_potency(const VictimProfile& victim, Time textent,
+                          double c_attack, double gamma, double omega = 1.0);
+
+/// The γ maximizing model potency on (C_Ψ, 1), found numerically (for
+/// Ω = 1 it has the closed form γ = 2·C_Ψ, clamped into the interval) —
+/// typically far below the gain-optimal γ* = √C_Ψ.
+double roq_optimal_gamma(const VictimProfile& victim, Time textent,
+                         double c_attack, double omega = 1.0);
+
+}  // namespace pdos

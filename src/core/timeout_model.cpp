@@ -1,0 +1,172 @@
+#include "core/timeout_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attack/shrew.hpp"
+#include "core/model.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+
+void TimeoutModelParams::validate() const {
+  PDOS_REQUIRE(dupack_threshold >= 1,
+               "TimeoutModel: dupack_threshold must be >= 1");
+  PDOS_REQUIRE(min_rto > 0.0, "TimeoutModel: min_rto must be > 0");
+  PDOS_REQUIRE(survival_probability >= 0.0 && survival_probability <= 1.0,
+               "TimeoutModel: survival_probability must be in [0, 1]");
+  PDOS_REQUIRE(shrew_tolerance > 0.0 && shrew_tolerance < 1.0,
+               "TimeoutModel: shrew_tolerance must be in (0, 1)");
+  PDOS_REQUIRE(max_harmonic >= 1, "TimeoutModel: max_harmonic must be >= 1");
+}
+
+bool flow_is_timeout_bound(const AimdParams& aimd, Time t_aimd, Time rtt,
+                           int dupack_threshold) {
+  PDOS_REQUIRE(dupack_threshold >= 1,
+               "flow_is_timeout_bound: dupack_threshold must be >= 1");
+  // Fast retransmit needs the window at loss time to cover the lost
+  // segment plus `dupack_threshold` later segments whose ACKs duplicate.
+  return converged_cwnd(aimd, t_aimd, rtt) <
+         static_cast<double>(dupack_threshold + 1);
+}
+
+bool pulses_cause_burst_loss(const PulseContext& ctx, BitRate rbottle) {
+  if (ctx.buffer_bytes <= 0) return false;
+  PDOS_REQUIRE(ctx.textent > 0.0 && ctx.rattack > 0.0,
+               "pulses_cause_burst_loss: pulse shape must be positive");
+  PDOS_REQUIRE(rbottle > 0.0, "pulses_cause_burst_loss: rbottle must be > 0");
+  // Bytes the pulse injects vs what the buffer can absorb plus what the
+  // link drains while the pulse lasts: beyond that the queue is in outage
+  // and arrivals (whole windows) are lost in bursts.
+  const double injected = ctx.rattack * ctx.textent / 8.0;
+  const double absorbed = static_cast<double>(ctx.buffer_bytes) +
+                          rbottle * ctx.textent / 8.0;
+  return injected >= absorbed;
+}
+
+FlowRegime classify_flow(const VictimProfile& victim, Time t_aimd, Time rtt,
+                         const TimeoutModelParams& params,
+                         const std::optional<PulseContext>& ctx) {
+  if (ctx && pulses_cause_burst_loss(*ctx, victim.rbottle)) {
+    return FlowRegime::kBurstLoss;
+  }
+  if (matching_shrew_harmonic(t_aimd, params.min_rto, params.max_harmonic,
+                              params.shrew_tolerance)) {
+    return FlowRegime::kShrewPinned;
+  }
+  if (flow_is_timeout_bound(victim.aimd, t_aimd, rtt,
+                            params.dupack_threshold)) {
+    return FlowRegime::kSmallWindow;
+  }
+  return FlowRegime::kFastRecovery;
+}
+
+double timeout_bound_flow_packets(const AimdParams& aimd, Time t_aimd,
+                                  Time rtt,
+                                  const TimeoutModelParams& params,
+                                  double share_cap_packets) {
+  aimd.validate();
+  params.validate();
+  PDOS_REQUIRE(t_aimd > 0.0 && rtt > 0.0,
+               "timeout_bound_flow_packets: need positive times");
+  PDOS_REQUIRE(share_cap_packets >= 0.0,
+               "timeout_bound_flow_packets: cap must be >= 0");
+  const Time available = t_aimd - params.min_rto;
+  if (available <= 0.0) return 0.0;  // pinned: retransmission meets a pulse
+  // Slow start from one segment: after k RTTs, 2^k - 1 segments are out.
+  const double rtts = available / rtt;
+  const double raw = std::pow(2.0, std::min(rtts, 40.0)) - 1.0;
+  return std::min(raw, share_cap_packets);
+}
+
+namespace {
+
+/// Fair share of the bottleneck for one flow over one period, in packets.
+double share_cap(const VictimProfile& victim, Time t_aimd) {
+  return victim.rbottle * t_aimd /
+         (8.0 * static_cast<double>(victim.spacket) *
+          static_cast<double>(victim.num_flows()));
+}
+
+}  // namespace
+
+double flow_packets_ext(const VictimProfile& victim, Time t_aimd, Time rtt,
+                        const TimeoutModelParams& params,
+                        const std::optional<PulseContext>& ctx) {
+  victim.validate();
+  params.validate();
+  const FlowRegime regime = classify_flow(victim, t_aimd, rtt, params, ctx);
+  if (regime == FlowRegime::kFastRecovery) {
+    // Healthy flows follow the base sawtooth exactly (Eq. 9), so the
+    // extension degenerates to the paper's model when no flow times out.
+    return flow_packets_steady(victim.aimd, t_aimd, rtt);
+  }
+
+  // Timeout-affected: mixture of escaping the pulse (base behaviour) and
+  // being hit (RTO idle + slow-start ramp). A flow restarting from one
+  // segment cannot exceed its fair share of the link within a period, so
+  // cap both branches — unlike healthy flows, which may legitimately hold
+  // more than 1/N of the bottleneck.
+  const double cap = share_cap(victim, t_aimd);
+  const double steady =
+      std::min(flow_packets_steady(victim.aimd, t_aimd, rtt), cap);
+  const double ramp_cap =
+      std::max(0.0, cap * (t_aimd - params.min_rto) / t_aimd);
+  const double ramp = timeout_bound_flow_packets(victim.aimd, t_aimd, rtt,
+                                                 params, ramp_cap);
+  const double s = params.survival_probability;
+  return s * steady + (1.0 - s) * ramp;
+}
+
+double attack_throughput_bytes_ext(const VictimProfile& victim, Time t_aimd,
+                                   int n_pulses,
+                                   const TimeoutModelParams& params,
+                                   const std::optional<PulseContext>& ctx) {
+  PDOS_REQUIRE(n_pulses >= 2, "attack_throughput_ext: need >= 2 pulses");
+  double packets = 0.0;
+  for (Time rtt : victim.rtts) {
+    packets += flow_packets_ext(victim, t_aimd, rtt, params, ctx);
+  }
+  return packets * static_cast<double>(n_pulses - 1) *
+         static_cast<double>(victim.spacket);
+}
+
+double throughput_degradation_ext(const VictimProfile& victim, Time t_aimd,
+                                  const TimeoutModelParams& params,
+                                  const std::optional<PulseContext>& ctx) {
+  const double psi_attack =
+      attack_throughput_bytes_ext(victim, t_aimd, 2, params, ctx);
+  const double psi_normal =
+      normal_throughput_bytes(victim.rbottle, t_aimd, 2);
+  return std::clamp(1.0 - psi_attack / psi_normal, 0.0, 1.0);
+}
+
+double attack_gain_ext(const VictimProfile& victim, const PulseContext& ctx,
+                       double gamma, double kappa,
+                       const TimeoutModelParams& params) {
+  PDOS_REQUIRE(gamma > 0.0 && gamma < 1.0,
+               "attack_gain_ext: gamma must be in (0, 1)");
+  PDOS_REQUIRE(ctx.textent > 0.0 && ctx.rattack > 0.0,
+               "attack_gain_ext: pulse shape must be positive");
+  const double c_attack = ctx.rattack / victim.rbottle;
+  const Time t_aimd = ctx.textent * c_attack / gamma;  // Eq. (4) inverted
+  return throughput_degradation_ext(victim, t_aimd, params, ctx) *
+         risk_term(gamma, kappa);
+}
+
+int timeout_bound_flow_count(const VictimProfile& victim, Time t_aimd,
+                             const TimeoutModelParams& params,
+                             const std::optional<PulseContext>& ctx) {
+  victim.validate();
+  params.validate();
+  int count = 0;
+  for (Time rtt : victim.rtts) {
+    if (classify_flow(victim, t_aimd, rtt, params, ctx) !=
+        FlowRegime::kFastRecovery) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace pdos

@@ -1,0 +1,113 @@
+// Timeout-aware extension of the throughput model (the paper's §5 future
+// work: "extend the analytical models to incorporate the timeout effects").
+//
+// The base model (Eqs. 2/9) assumes every pulse sends every victim through
+// fast recovery. Simulation (and the paper's own experiments) show three
+// regimes where timeouts take over and the base model under-predicts the
+// damage:
+//
+//   1. burst loss — when a pulse carries more bytes than the bottleneck
+//      buffer plus what the link drains during the pulse, the queue is in
+//      outage for part of the pulse and whole windows are lost at once;
+//      without ACK flow there are no duplicate ACKs, so the victim times
+//      out no matter how large its window was;
+//   2. shrew alignment — when T_AIMD ≈ minRTO/n (n small), retransmissions
+//      fired after a timeout meet the next pulse and the victim is pinned
+//      near the TO state (Kuzmanovic & Knightly's attack; Fig. 10);
+//   3. small windows — when the converged window W∞ < dupack_threshold + 1,
+//      the victim cannot gather enough duplicate ACKs and every loss
+//      becomes a timeout.
+//
+// A timeout-affected flow is modelled as a mixture: with probability
+// `survival_probability` a given pulse misses it (drops are stochastic at
+// the queue) and it behaves per the base sawtooth; otherwise it idles for
+// RTO ≈ minRTO and then slow-starts in whatever time remains before the
+// next pulse. Per-flow throughput is capped by the flow's share of the
+// bottleneck so the base model's unbounded (T/RTT)² growth cannot exceed
+// capacity.
+#pragma once
+
+#include <optional>
+
+#include "core/params.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+struct TimeoutModelParams {
+  int dupack_threshold = 3;  // duplicate ACKs needed for fast retransmit
+  Time min_rto = sec(1.0);   // victim's minimum RTO (ns-2: 1 s, Linux: 200 ms)
+  /// Probability that a timeout-prone flow escapes a given pulse unharmed.
+  double survival_probability = 0.5;
+  /// Shrew-alignment detection: |T_AIMD - minRTO/n| within this relative
+  /// tolerance for n = 1..max_harmonic.
+  double shrew_tolerance = 0.08;
+  int max_harmonic = 3;
+
+  void validate() const;
+};
+
+/// What the extension needs to know about the pulses themselves (the plain
+/// period is not enough to detect burst loss). `buffer_bytes` = 0 means the
+/// attacker does not know the buffer size and burst-loss detection is
+/// skipped.
+struct PulseContext {
+  Time textent = 0.0;
+  BitRate rattack = 0.0;
+  Bytes buffer_bytes = 0;
+};
+
+/// Regime the extension assigns to a flow (for reporting).
+enum class FlowRegime { kFastRecovery, kSmallWindow, kShrewPinned,
+                        kBurstLoss };
+
+/// True when W∞ (Eq. 1) is too small to generate dupack_threshold duplicate
+/// ACKs — the flow times out on every pulse instead of fast-recovering.
+bool flow_is_timeout_bound(const AimdParams& aimd, Time t_aimd, Time rtt,
+                           int dupack_threshold);
+
+/// True when a pulse overwhelms buffer + drain and causes whole-window
+/// (burst) losses. Requires ctx.buffer_bytes > 0.
+bool pulses_cause_burst_loss(const PulseContext& ctx, BitRate rbottle);
+
+/// Regime classification for one flow.
+FlowRegime classify_flow(const VictimProfile& victim, Time t_aimd, Time rtt,
+                         const TimeoutModelParams& params,
+                         const std::optional<PulseContext>& ctx);
+
+/// Packets a timed-out flow sends per attack period: zero while
+/// T_AIMD <= RTO (pinned), then a slow-start ramp over T_AIMD − RTO,
+/// capped at `share_cap_packets`.
+double timeout_bound_flow_packets(const AimdParams& aimd, Time t_aimd,
+                                  Time rtt, const TimeoutModelParams& params,
+                                  double share_cap_packets);
+
+/// Per-flow packets per period under the extended model.
+double flow_packets_ext(const VictimProfile& victim, Time t_aimd, Time rtt,
+                        const TimeoutModelParams& params,
+                        const std::optional<PulseContext>& ctx = {});
+
+/// Aggregate under-attack throughput in bytes over (N−1) periods.
+double attack_throughput_bytes_ext(
+    const VictimProfile& victim, Time t_aimd, int n_pulses,
+    const TimeoutModelParams& params,
+    const std::optional<PulseContext>& ctx = {});
+
+/// Γ under the extended model, clamped to [0, 1].
+double throughput_degradation_ext(
+    const VictimProfile& victim, Time t_aimd,
+    const TimeoutModelParams& params,
+    const std::optional<PulseContext>& ctx = {});
+
+/// G = Γ_ext · (1 − γ)^κ at a given γ; the extended counterpart of the
+/// objective in Eq. (12). Derives T_AIMD from γ via Eq. (4).
+double attack_gain_ext(const VictimProfile& victim, const PulseContext& ctx,
+                       double gamma, double kappa,
+                       const TimeoutModelParams& params);
+
+/// Count of victim flows classified as anything but kFastRecovery.
+int timeout_bound_flow_count(const VictimProfile& victim, Time t_aimd,
+                             const TimeoutModelParams& params,
+                             const std::optional<PulseContext>& ctx = {});
+
+}  // namespace pdos

@@ -1,0 +1,91 @@
+#include "detect/dtw_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/timeseries.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+
+double dtw_distance(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Rolling two-row DP over the (n+1) x (m+1) cost matrix.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    curr[0] = kInf;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double cost = std::abs(a[i - 1] - b[j - 1]);
+      curr[j] = cost + std::min({prev[j], curr[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m] / static_cast<double>(n + m);
+}
+
+void DtwDetectorConfig::validate() const {
+  PDOS_REQUIRE(sampling_period > 0.0, "DtwDetector: sampling_period > 0");
+  PDOS_REQUIRE(threshold > 0.0, "DtwDetector: threshold > 0");
+  PDOS_REQUIRE(min_samples >= 4, "DtwDetector: min_samples >= 4");
+  PDOS_REQUIRE(max_period_bins >= 2, "DtwDetector: max_period_bins >= 2");
+}
+
+DtwPulseDetector::DtwPulseDetector(DtwDetectorConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+DtwDetectionResult DtwPulseDetector::analyze(
+    const std::vector<double>& samples) const {
+  DtwDetectionResult result;
+  if (samples.size() < config_.min_samples) return result;
+
+  const std::vector<double> z = normalize_zscore(samples);
+  if (stddev(samples) <= 0.0) return result;  // flat traffic: nothing pulsed
+
+  // Estimate the candidate pulse period from the autocorrelation.
+  const std::size_t max_lag =
+      std::min(config_.max_period_bins, samples.size() / 2);
+  if (max_lag < 2) return result;
+  const Time period_s =
+      estimate_period(z, config_.sampling_period, 2, max_lag);
+  if (period_s <= 0.0) return result;
+  const auto period_bins =
+      static_cast<std::size_t>(std::round(period_s / config_.sampling_period));
+  if (period_bins < 2) return result;
+
+  // Duty cycle from the fraction of above-mean samples (mean of z is 0).
+  std::size_t above = 0;
+  for (double x : z) {
+    if (x > 0.0) ++above;
+  }
+  const double duty =
+      std::clamp(static_cast<double>(above) / static_cast<double>(z.size()),
+                 1.0 / static_cast<double>(period_bins), 1.0);
+
+  // Ideal rectangular train with that period and duty cycle, z-scored so the
+  // DTW distance compares shapes, not magnitudes.
+  std::vector<double> tmpl(z.size(), 0.0);
+  const auto high_bins = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(duty *
+                                             static_cast<double>(period_bins))));
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    tmpl[i] = (i % period_bins) < high_bins ? 1.0 : 0.0;
+  }
+  const std::vector<double> ztmpl = normalize_zscore(tmpl);
+
+  result.score = dtw_distance(z, ztmpl);
+  result.estimated_period = period_s;
+  result.duty_cycle = duty;
+  result.detected = result.score < config_.threshold;
+  return result;
+}
+
+}  // namespace pdos

@@ -1,0 +1,54 @@
+// Dynamic-time-warping pulse detector (after Sun, Lui & Yau, ICNP 2004).
+//
+// The defense samples the aggregate traffic with period Ts, normalizes it,
+// and measures the DTW distance to an ideal rectangular pulse train; a small
+// distance means the traffic contains shrew/PDoS-style square pulses. The
+// paper notes its blind spot: when T_extent is shorter than the sampling
+// period the pulse is averaged away and the detector misses — our tests
+// reproduce exactly that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pdos {
+
+/// Classic O(n*m) dynamic-time-warping distance with unit steps and absolute
+/// difference cost, normalized by the warping-path length (n + m).
+double dtw_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+struct DtwDetectorConfig {
+  Time sampling_period = ms(100);  // Ts
+  double threshold = 0.3;          // alarm when normalized distance is below
+  std::size_t min_samples = 20;    // below this, no decision
+  std::size_t max_period_bins = 100;  // autocorrelation search bound
+
+  void validate() const;
+};
+
+struct DtwDetectionResult {
+  bool detected = false;
+  // Normalized DTW distance to the pulse template; 1.0 when the series has
+  // no periodic structure at all (nothing to match against).
+  double score = 1.0;
+  Time estimated_period = 0.0;
+  double duty_cycle = 0.0;  // fraction of above-mean samples
+};
+
+class DtwPulseDetector {
+ public:
+  explicit DtwPulseDetector(DtwDetectorConfig config);
+
+  /// Analyze a traffic series sampled at `config.sampling_period` (byte
+  /// counts or rates per bin — scale-invariant after normalization).
+  DtwDetectionResult analyze(const std::vector<double>& samples) const;
+
+  const DtwDetectorConfig& config() const { return config_; }
+
+ private:
+  DtwDetectorConfig config_;
+};
+
+}  // namespace pdos

@@ -1,0 +1,50 @@
+#include "detect/rate_detector.hpp"
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+void RateDetectorConfig::validate() const {
+  PDOS_REQUIRE(window > 0.0, "RateDetector: window must be > 0");
+  PDOS_REQUIRE(threshold_fraction > 0.0,
+               "RateDetector: threshold_fraction must be > 0");
+  PDOS_REQUIRE(capacity > 0.0, "RateDetector: capacity must be > 0");
+}
+
+RateAnomalyDetector::RateAnomalyDetector(RateDetectorConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+void RateAnomalyDetector::observe(Time t, Bytes bytes) {
+  PDOS_REQUIRE(t >= last_time_, "RateDetector: time went backwards");
+  last_time_ = t;
+  const auto idx = static_cast<std::int64_t>(t / config_.window);
+  while (idx > current_window_) {
+    evaluate_window(current_window_, current_bytes_);
+    current_bytes_ = 0.0;
+    ++current_window_;
+  }
+  current_bytes_ += static_cast<double>(bytes);
+}
+
+void RateAnomalyDetector::finish(Time horizon) {
+  const auto idx = static_cast<std::int64_t>(horizon / config_.window);
+  while (current_window_ < idx) {
+    evaluate_window(current_window_, current_bytes_);
+    current_bytes_ = 0.0;
+    ++current_window_;
+  }
+}
+
+void RateAnomalyDetector::evaluate_window(std::int64_t index, double bytes) {
+  ++windows_evaluated_;
+  const BitRate rate = bytes * 8.0 / config_.window;
+  if (rate > peak_window_rate_) peak_window_rate_ = rate;
+  if (rate > config_.threshold_fraction * config_.capacity) {
+    ++alarm_count_;
+    alarm_times_.push_back(static_cast<double>(index) * config_.window);
+  }
+}
+
+}  // namespace pdos

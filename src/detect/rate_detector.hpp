@@ -1,0 +1,60 @@
+// Windowed traffic-rate anomaly detector.
+//
+// Stands in for the flooding-oriented defenses the paper's attacker evades
+// (e.g. Wang et al. [9], Mahajan et al. [19]): it averages arrivals over a
+// measurement window and raises an alarm when the window's rate exceeds a
+// fraction of the link capacity. A PDoS train with average rate
+// γ·R_bottle < threshold·R_bottle slips under it whenever the window spans
+// at least one full attack period — this is the quantitative content of the
+// paper's risk term (1 − γ)^κ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+struct RateDetectorConfig {
+  Time window = sec(1.0);          // measurement window length
+  double threshold_fraction = 0.9;  // alarm when rate > fraction * capacity
+  BitRate capacity = mbps(15);      // monitored link capacity
+
+  void validate() const;
+};
+
+class RateAnomalyDetector {
+ public:
+  explicit RateAnomalyDetector(RateDetectorConfig config);
+
+  /// Record `bytes` arriving at time `t`. Times must be non-decreasing.
+  void observe(Time t, Bytes bytes);
+
+  /// Close the window containing `horizon` (exclusive) so trailing traffic
+  /// is evaluated; idempotent.
+  void finish(Time horizon);
+
+  std::uint64_t alarm_count() const { return alarm_count_; }
+  bool triggered() const { return alarm_count_ > 0; }
+  const std::vector<Time>& alarm_times() const { return alarm_times_; }
+  std::uint64_t windows_evaluated() const { return windows_evaluated_; }
+
+  /// Highest windowed rate seen so far, bps.
+  BitRate peak_window_rate() const { return peak_window_rate_; }
+
+ private:
+  void evaluate_window(std::int64_t index, double bytes);
+
+  RateDetectorConfig config_;
+  std::int64_t current_window_ = 0;
+  double current_bytes_ = 0.0;
+  Time last_time_ = 0.0;
+  std::uint64_t alarm_count_ = 0;
+  std::uint64_t windows_evaluated_ = 0;
+  std::vector<Time> alarm_times_;
+  BitRate peak_window_rate_ = 0.0;
+};
+
+}  // namespace pdos

@@ -1,0 +1,55 @@
+#include "io/csv.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+    : out_(out), columns_(columns.size()) {
+  PDOS_REQUIRE(!columns.empty(), "CsvWriter: need at least one column");
+  write_row(columns);
+  rows_ = 0;  // the header does not count
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  PDOS_REQUIRE(cells.size() == columns_,
+               "CsvWriter: row width does not match header");
+  write_row(cells);
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<double> cells) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double x : cells) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", x);
+    out.emplace_back(buf);
+  }
+  row(out);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace pdos

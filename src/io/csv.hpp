@@ -1,0 +1,39 @@
+// Minimal CSV writing (RFC 4180 quoting).
+//
+// The bench harnesses print human-readable tables to stdout; CsvWriter is
+// the machine-readable sibling for piping figures into plotting tools.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pdos {
+
+class CsvWriter {
+ public:
+  /// Writes the header immediately. The stream must outlive the writer.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  /// Append one row; must match the column count.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: numeric row (formatted with %.6g).
+  void row(std::initializer_list<double> cells);
+
+  std::size_t rows_written() const { return rows_; }
+  std::size_t columns() const { return columns_; }
+
+  /// RFC 4180 escaping: quote fields containing comma, quote or newline.
+  static std::string escape(const std::string& field);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace pdos

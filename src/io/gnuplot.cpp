@@ -1,0 +1,87 @@
+#include "io/gnuplot.hpp"
+
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  PDOS_REQUIRE(out.good(), "gnuplot: cannot open " + path + " for writing");
+  return out;
+}
+
+}  // namespace
+
+std::string write_gain_figure(const std::string& directory,
+                              const std::string& stem,
+                              const std::string& title,
+                              const std::vector<GainCurveData>& curves) {
+  PDOS_REQUIRE(!curves.empty(), "write_gain_figure: no curves");
+  for (const auto& curve : curves) {
+    PDOS_REQUIRE(curve.gamma.size() == curve.analytic.size() &&
+                     curve.gamma.size() == curve.simulated.size(),
+                 "write_gain_figure: ragged curve " + curve.label);
+    PDOS_REQUIRE(!curve.gamma.empty(),
+                 "write_gain_figure: empty curve " + curve.label);
+  }
+  const std::string dat_path = directory + "/" + stem + ".dat";
+  const std::string gp_path = directory + "/" + stem + ".gp";
+
+  // Data file: one block per curve (gnuplot `index`).
+  auto dat = open_or_throw(dat_path);
+  for (const auto& curve : curves) {
+    dat << "# " << curve.label << "\n# gamma analytic simulated\n";
+    for (std::size_t i = 0; i < curve.gamma.size(); ++i) {
+      dat << curve.gamma[i] << ' ' << curve.analytic[i] << ' '
+          << curve.simulated[i] << '\n';
+    }
+    dat << "\n\n";
+  }
+
+  auto gp = open_or_throw(gp_path);
+  gp << "set title '" << title << "'\n"
+     << "set xlabel 'gamma'\nset ylabel 'G_{attack}'\n"
+     << "set xrange [0:1]\nset key top right\nset grid\n"
+     << "plot ";
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    if (i > 0) gp << ", \\\n     ";
+    gp << "'" << stem << ".dat' index " << i
+       << " using 1:2 with lines title '" << curves[i].label
+       << " (analytic)', \\\n     '" << stem << ".dat' index " << i
+       << " using 1:3 with points pt " << (i + 4) << " title '"
+       << curves[i].label << " (sim)'";
+  }
+  gp << '\n';
+  return gp_path;
+}
+
+std::string write_timeseries_figure(const std::string& directory,
+                                    const std::string& stem,
+                                    const std::string& title,
+                                    const std::vector<double>& values,
+                                    Time bin_width) {
+  PDOS_REQUIRE(!values.empty(), "write_timeseries_figure: empty series");
+  PDOS_REQUIRE(bin_width > 0.0, "write_timeseries_figure: bin_width > 0");
+  const std::string dat_path = directory + "/" + stem + ".dat";
+  const std::string gp_path = directory + "/" + stem + ".gp";
+
+  auto dat = open_or_throw(dat_path);
+  dat << "# time value\n";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    dat << (static_cast<double>(i) + 0.5) * bin_width << ' ' << values[i]
+        << '\n';
+  }
+
+  auto gp = open_or_throw(gp_path);
+  gp << "set title '" << title << "'\n"
+     << "set xlabel 'time (s)'\nset ylabel 'normalized incoming traffic'\n"
+     << "set grid\n"
+     << "plot '" << stem << ".dat' using 1:2 with impulses notitle\n";
+  return gp_path;
+}
+
+}  // namespace pdos

@@ -1,0 +1,39 @@
+// Gnuplot artifact emission for the figure harnesses.
+//
+// Each reproduced figure can be exported as a data file plus a ready-to-run
+// gnuplot script, so `gnuplot figNN.gp` regenerates a plot with the same
+// layout as the paper: analytical curves as lines, simulated points as
+// symbols (Figs. 6-10, 12), or a single normalized time series (Fig. 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pdos {
+
+/// One (gamma, analytic, simulated) curve of a gain figure.
+struct GainCurveData {
+  std::string label;  // e.g. "T_extent = 50 ms"
+  std::vector<double> gamma;
+  std::vector<double> analytic;
+  std::vector<double> simulated;
+};
+
+/// Writes `<stem>.dat` and `<stem>.gp` into `directory`. Returns the script
+/// path. Throws ParameterError on empty input or unwritable paths.
+std::string write_gain_figure(const std::string& directory,
+                              const std::string& stem,
+                              const std::string& title,
+                              const std::vector<GainCurveData>& curves);
+
+/// Writes a normalized time-series figure (Fig. 3 style): one value per
+/// bin of width `bin_width` seconds.
+std::string write_timeseries_figure(const std::string& directory,
+                                    const std::string& stem,
+                                    const std::string& title,
+                                    const std::vector<double>& values,
+                                    Time bin_width);
+
+}  // namespace pdos

@@ -1,0 +1,43 @@
+#include "io/trace.hpp"
+
+#include <iomanip>
+
+namespace pdos {
+
+TraceLogger::TraceLogger(Simulator& sim, std::ostream& out,
+                         TraceFilter filter)
+    : sim_(sim), out_(out), filter_(filter) {}
+
+void TraceLogger::attach(Link& link) {
+  const std::string name = link.name();
+  link.add_arrival_tap([this, name](const Packet& pkt) {
+    if (filter_.accepts(pkt)) write('+', name, pkt);
+  });
+  link.add_departure_tap([this, name](const Packet& pkt) {
+    if (filter_.accepts(pkt)) write('-', name, pkt);
+  });
+}
+
+const char* TraceLogger::type_name(PacketType type) {
+  switch (type) {
+    case PacketType::kTcpData:
+      return "tcp";
+    case PacketType::kTcpAck:
+      return "ack";
+    case PacketType::kAttack:
+      return "atk";
+    case PacketType::kUdp:
+      return "udp";
+  }
+  return "?";
+}
+
+void TraceLogger::write(char event, const std::string& link_name,
+                        const Packet& pkt) {
+  out_ << std::fixed << std::setprecision(6) << sim_.now() << ' ' << event
+       << ' ' << link_name << ' ' << type_name(pkt.type) << ' ' << pkt.flow
+       << ' ' << pkt.seq << ' ' << pkt.size_bytes << '\n';
+  ++lines_;
+}
+
+}  // namespace pdos

@@ -1,0 +1,65 @@
+// Per-packet event tracing (ns-2 style trace lines).
+//
+// A `TraceLogger` subscribes to link taps and records one line per event:
+//
+//     <time> <event> <link> <type> <flow> <seq> <size>
+//
+// with event '+' (arrival at the queue) or '-' (departure after
+// serialization), mirroring ns-2's trace format closely enough that
+// existing trace-analysis habits carry over. Tracing is opt-in and filters
+// by traffic class to keep files manageable.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace pdos {
+
+struct TraceFilter {
+  bool tcp_data = true;
+  bool tcp_ack = false;
+  bool attack = true;
+  bool udp = true;
+
+  bool accepts(const Packet& pkt) const {
+    switch (pkt.type) {
+      case PacketType::kTcpData:
+        return tcp_data;
+      case PacketType::kTcpAck:
+        return tcp_ack;
+      case PacketType::kAttack:
+        return attack;
+      case PacketType::kUdp:
+        return udp;
+    }
+    return false;
+  }
+};
+
+class TraceLogger {
+ public:
+  /// The stream must outlive the logger; events stream as they happen.
+  TraceLogger(Simulator& sim, std::ostream& out, TraceFilter filter = {});
+
+  /// Subscribe to a link's arrival ('+') and departure ('-') events.
+  /// The link must outlive the simulation run.
+  void attach(Link& link);
+
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  void write(char event, const std::string& link_name, const Packet& pkt);
+  static const char* type_name(PacketType type);
+
+  Simulator& sim_;
+  std::ostream& out_;
+  TraceFilter filter_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace pdos

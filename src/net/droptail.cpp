@@ -1,0 +1,30 @@
+#include "net/droptail.hpp"
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+DropTailQueue::DropTailQueue(std::size_t capacity_packets)
+    : capacity_(capacity_packets) {
+  PDOS_REQUIRE(capacity_packets > 0, "DropTailQueue: capacity must be > 0");
+}
+
+bool DropTailQueue::enqueue(Packet pkt) {
+  if (buffer_.size() >= capacity_) {
+    stats_.note_drop(pkt);
+    return false;
+  }
+  buffer_.push_back(std::move(pkt));
+  ++stats_.enqueued;
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (buffer_.empty()) return std::nullopt;
+  Packet pkt = std::move(buffer_.front());
+  buffer_.pop_front();
+  ++stats_.dequeued;
+  return pkt;
+}
+
+}  // namespace pdos

@@ -1,0 +1,25 @@
+// Tail-drop FIFO queue.
+#pragma once
+
+#include <deque>
+
+#include "net/queue.hpp"
+
+namespace pdos {
+
+class DropTailQueue : public QueueDiscipline {
+ public:
+  /// `capacity_packets` is the buffer size in packets (> 0).
+  explicit DropTailQueue(std::size_t capacity_packets);
+
+  bool enqueue(Packet pkt) override;
+  std::optional<Packet> dequeue() override;
+  std::size_t length() const override { return buffer_.size(); }
+  std::size_t capacity() const override { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> buffer_;
+};
+
+}  // namespace pdos

@@ -1,0 +1,64 @@
+#include "net/link.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+Link::Link(Simulator& sim, std::string name, BitRate rate, Time delay,
+           std::unique_ptr<QueueDiscipline> queue, PacketHandler* downstream,
+           Bytes mean_packet_bytes)
+    : sim_(sim),
+      name_(std::move(name)),
+      rate_(rate),
+      delay_(delay),
+      queue_(std::move(queue)),
+      downstream_(downstream) {
+  PDOS_REQUIRE(rate_ > 0.0, "Link: rate must be positive");
+  PDOS_REQUIRE(delay_ >= 0.0, "Link: delay must be non-negative");
+  PDOS_REQUIRE(queue_ != nullptr, "Link: queue must be non-null");
+  PDOS_REQUIRE(downstream_ != nullptr, "Link: downstream must be non-null");
+  queue_->bind(&sim_.scheduler(), rate_, mean_packet_bytes);
+}
+
+void Link::add_arrival_tap(std::function<void(const Packet&)> tap) {
+  arrival_taps_.push_back(std::move(tap));
+}
+
+void Link::add_departure_tap(std::function<void(const Packet&)> tap) {
+  departure_taps_.push_back(std::move(tap));
+}
+
+void Link::handle(Packet pkt) {
+  for (const auto& tap : arrival_taps_) tap(pkt);
+  pkt.enqueue_time = sim_.now();
+  if (!queue_->enqueue(std::move(pkt))) return;  // dropped; stats in queue
+  if (!busy_) start_service();
+}
+
+void Link::start_service() {
+  auto next = queue_->dequeue();
+  if (!next) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  const Time tx = transmission_time(next->size_bytes, rate_);
+  // Move the packet into the completion closure; the queue no longer owns it.
+  sim_.schedule(tx, [this, pkt = std::move(*next)]() mutable {
+    finish_service(std::move(pkt));
+  });
+}
+
+void Link::finish_service(Packet pkt) {
+  for (const auto& tap : departure_taps_) tap(pkt);
+  // Propagation is pipelined: hand off after `delay_`, then immediately
+  // serialize the next buffered packet.
+  sim_.schedule(delay_, [this, pkt = std::move(pkt)]() mutable {
+    downstream_->handle(std::move(pkt));
+  });
+  start_service();
+}
+
+}  // namespace pdos

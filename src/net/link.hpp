@@ -1,0 +1,59 @@
+// Point-to-point unidirectional link: queue + serialization + propagation.
+//
+// Arriving packets pass the arrival taps (instrumentation, e.g. the
+// "incoming traffic" series of Figs. 2-3), then the queue discipline decides
+// admission. The link serializes one packet at a time at `rate`; each
+// serialized packet is delivered to the downstream handler after `delay`.
+// Propagation is pipelined: several packets can be in flight concurrently.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+class Link : public PacketHandler {
+ public:
+  /// `queue` must be non-null; `downstream` must outlive the link.
+  Link(Simulator& sim, std::string name, BitRate rate, Time delay,
+       std::unique_ptr<QueueDiscipline> queue, PacketHandler* downstream,
+       Bytes mean_packet_bytes = 1040);
+
+  /// Packet arrival from the upstream node.
+  void handle(Packet pkt) override;
+
+  /// Observe every arrival (before the queue's drop decision).
+  void add_arrival_tap(std::function<void(const Packet&)> tap);
+  /// Observe every departure (after serialization completes).
+  void add_departure_tap(std::function<void(const Packet&)> tap);
+
+  const QueueDiscipline& queue() const { return *queue_; }
+  QueueDiscipline& queue() { return *queue_; }
+  BitRate rate() const { return rate_; }
+  Time delay() const { return delay_; }
+  const std::string& name() const { return name_; }
+  bool busy() const { return busy_; }
+
+ private:
+  void start_service();
+  void finish_service(Packet pkt);
+
+  Simulator& sim_;
+  std::string name_;
+  BitRate rate_;
+  Time delay_;
+  std::unique_ptr<QueueDiscipline> queue_;
+  PacketHandler* downstream_;
+  bool busy_ = false;
+  std::vector<std::function<void(const Packet&)>> arrival_taps_;
+  std::vector<std::function<void(const Packet&)>> departure_taps_;
+};
+
+}  // namespace pdos

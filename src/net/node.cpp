@@ -1,0 +1,39 @@
+#include "net/node.hpp"
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+void Node::add_route(NodeId dst, PacketHandler* via) {
+  PDOS_REQUIRE(via != nullptr, "Node::add_route: next hop must be non-null");
+  routes_[dst] = via;
+}
+
+void Node::attach(FlowId flow, PacketHandler* agent) {
+  PDOS_REQUIRE(agent != nullptr, "Node::attach: agent must be non-null");
+  PDOS_CHECK_MSG(agents_.find(flow) == agents_.end(),
+                 "flow already attached to node " + name_);
+  agents_[flow] = agent;
+}
+
+void Node::detach(FlowId flow) { agents_.erase(flow); }
+
+void Node::handle(Packet pkt) {
+  if (pkt.dst == id_) {
+    auto it = agents_.find(pkt.flow);
+    if (it != agents_.end()) {
+      it->second->handle(std::move(pkt));
+    } else {
+      sink_bytes_ += pkt.size_bytes;
+      ++sink_packets_;
+    }
+    return;
+  }
+  auto it = routes_.find(pkt.dst);
+  PacketHandler* via = it != routes_.end() ? it->second : default_route_;
+  PDOS_CHECK_MSG(via != nullptr,
+                 "node " + name_ + " has no route for destination");
+  via->handle(std::move(pkt));
+}
+
+}  // namespace pdos

@@ -1,0 +1,52 @@
+// Network node with static routing and local agent demux.
+//
+// Topologies in this library are small and fixed (dumbbell, single
+// bottleneck), so routing is a static next-hop table keyed by destination
+// node, with an optional default route. Packets addressed to the node itself
+// are demultiplexed to an attached agent by flow id; deliveries with no
+// matching agent (e.g. attack packets aimed at a raw sink) are counted, not
+// errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+class Node : public PacketHandler {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Install `via` as the next hop toward `dst`.
+  void add_route(NodeId dst, PacketHandler* via);
+  /// Fallback next hop for destinations with no explicit route.
+  void set_default_route(PacketHandler* via) { default_route_ = via; }
+
+  /// Attach a local agent for packets addressed to this node on `flow`.
+  void attach(FlowId flow, PacketHandler* agent);
+  void detach(FlowId flow);
+
+  void handle(Packet pkt) override;
+
+  /// Bytes/packets delivered to this node with no attached agent.
+  Bytes sink_bytes() const { return sink_bytes_; }
+  std::uint64_t sink_packets() const { return sink_packets_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+  std::unordered_map<NodeId, PacketHandler*> routes_;
+  PacketHandler* default_route_ = nullptr;
+  std::unordered_map<FlowId, PacketHandler*> agents_;
+  Bytes sink_bytes_ = 0;
+  std::uint64_t sink_packets_ = 0;
+};
+
+}  // namespace pdos

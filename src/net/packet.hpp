@@ -1,0 +1,59 @@
+// Packet representation.
+//
+// Like ns-2, TCP is packet-counting: sequence and ACK numbers count MSS-sized
+// segments, not bytes. Wire size still carries real byte counts so link
+// serialization and rate accounting are exact.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace pdos {
+
+enum class PacketType : std::uint8_t {
+  kTcpData,  // TCP segment carrying payload
+  kTcpAck,   // pure acknowledgment
+  kAttack,   // PDoS / flooding attack packet (UDP-like, no feedback)
+  kUdp,      // generic background datagram
+};
+
+/// Node address within a topology. Assigned densely from 0 by the topology
+/// builder.
+using NodeId = std::int32_t;
+
+/// Connection/flow identifier; doubles as the demux "port" at end hosts.
+using FlowId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+struct Packet {
+  PacketType type = PacketType::kTcpData;
+  FlowId flow = -1;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bytes size_bytes = 0;  // wire size including headers
+
+  // --- TCP fields (segment-counting, as in ns-2) ---
+  std::int64_t seq = 0;   // data: segment index; ack: echoed highest seq
+  std::int64_t ack = 0;   // cumulative: all segments < ack received
+  Time ts_echo = 0.0;     // sender timestamp echoed by the receiver (RTTM)
+  bool retransmit = false;  // marks retransmitted segments (Karn's rule)
+
+  // --- instrumentation ---
+  Time enqueue_time = 0.0;  // set by queues for delay accounting
+
+  bool is_attack() const { return type == PacketType::kAttack; }
+  bool is_tcp() const {
+    return type == PacketType::kTcpData || type == PacketType::kTcpAck;
+  }
+};
+
+/// Anything that can accept a packet: links, nodes, agents, sinks, taps.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void handle(Packet pkt) = 0;
+};
+
+}  // namespace pdos

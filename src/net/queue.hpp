@@ -1,0 +1,68 @@
+// Queue discipline interface.
+//
+// A `QueueDiscipline` decides admission (and hence loss) for a link's buffer.
+// Queues count in packets, matching ns-2's default and the paper's RED
+// configuration. Drop statistics are kept per traffic class so experiments
+// can separate legitimate losses from attack-packet losses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t dropped_tcp = 0;
+  std::uint64_t dropped_attack = 0;
+  std::uint64_t bytes_dropped = 0;
+
+  void note_drop(const Packet& pkt) {
+    ++dropped;
+    bytes_dropped += pkt.size_bytes;
+    if (pkt.is_attack()) {
+      ++dropped_attack;
+    } else {
+      ++dropped_tcp;
+    }
+  }
+};
+
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  /// Offer a packet. Returns true if accepted; on false the packet is
+  /// dropped (stats updated internally).
+  virtual bool enqueue(Packet pkt) = 0;
+
+  /// Remove and return the head-of-line packet, or nullopt when empty.
+  virtual std::optional<Packet> dequeue() = 0;
+
+  /// Packets currently buffered.
+  virtual std::size_t length() const = 0;
+
+  /// Buffer capacity in packets.
+  virtual std::size_t capacity() const = 0;
+
+  const QueueStats& stats() const { return stats_; }
+
+  /// Supplies the wall-clock and service-rate context some disciplines need
+  /// (RED's idle-decay uses both). Called once by the owning Link.
+  virtual void bind(const class Scheduler* clock, BitRate service_rate,
+                    Bytes mean_packet_bytes) {
+    (void)clock;
+    (void)service_rate;
+    (void)mean_packet_bytes;
+  }
+
+ protected:
+  QueueStats stats_;
+};
+
+}  // namespace pdos

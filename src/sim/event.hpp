@@ -1,0 +1,21 @@
+// Event primitives for the discrete-event scheduler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/units.hpp"
+
+namespace pdos {
+
+/// Action executed when an event fires. Events run to completion; they may
+/// schedule further events but must not block.
+using EventFn = std::function<void()>;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+/// Value 0 is reserved and never issued.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+}  // namespace pdos

@@ -1,0 +1,99 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+EventId Scheduler::schedule(Time delay, EventFn fn) {
+  PDOS_REQUIRE(delay >= 0.0, "Scheduler::schedule: delay must be >= 0");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Scheduler::schedule_at(Time when, EventFn fn) {
+  PDOS_REQUIRE(when >= now_, "Scheduler::schedule_at: time is in the past");
+  PDOS_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  live_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Scheduler::pending(EventId id) const { return live_.count(id) > 0; }
+
+bool Scheduler::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the Entry must be moved out before
+    // pop, so copy the POD fields and move the closure via const_cast — the
+    // entry is popped immediately after, so the moved-from state never
+    // re-enters the heap ordering.
+    Entry& top = const_cast<Entry&>(queue_.top());
+    const bool was_cancelled = cancelled_.erase(top.id) > 0;
+    if (was_cancelled) {
+      queue_.pop();
+      continue;
+    }
+    out.when = top.when;
+    out.seq = top.seq;
+    out.id = top.id;
+    out.fn = std::move(top.fn);
+    queue_.pop();
+    live_.erase(out.id);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run_until(Time horizon) {
+  std::uint64_t count = 0;
+  Entry entry;
+  while (!queue_.empty()) {
+    // Peek for the horizon check without popping live entries early.
+    if (queue_.top().when > horizon) break;
+    if (!pop_next(entry)) break;
+    if (entry.when > horizon) {
+      // Raced with cancellations: re-queue and stop.
+      queue_.push(Entry{entry.when, entry.seq, entry.id, std::move(entry.fn)});
+      live_.insert(entry.id);
+      break;
+    }
+    now_ = entry.when;
+    entry.fn();
+    ++count;
+  }
+  if (now_ < horizon) now_ = horizon;
+  executed_ += count;
+  return count;
+}
+
+std::uint64_t Scheduler::run() {
+  std::uint64_t count = 0;
+  Entry entry;
+  while (pop_next(entry)) {
+    now_ = entry.when;
+    entry.fn();
+    ++count;
+  }
+  executed_ += count;
+  return count;
+}
+
+bool Scheduler::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  now_ = entry.when;
+  entry.fn();
+  ++executed_;
+  return true;
+}
+
+}  // namespace pdos

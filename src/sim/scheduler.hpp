@@ -1,0 +1,85 @@
+// Discrete-event scheduler.
+//
+// A binary-heap event queue over virtual time. Ties are broken by insertion
+// order so runs are deterministic regardless of heap internals. Cancellation
+// is lazy: cancelled ids go into a set and are skipped on pop, which keeps
+// schedule/cancel O(log n) without an indexed heap — TCP retransmission
+// timers cancel constantly, so this path matters.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+
+  // Non-copyable: events capture component pointers tied to one run.
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current virtual time. Starts at 0 and only moves forward.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule(Time delay, EventFn fn);
+
+  /// Schedule `fn` at absolute virtual time `when` (when >= now()).
+  EventId schedule_at(Time when, EventFn fn);
+
+  /// Cancel a pending event. Returns true if the event was still pending.
+  /// Cancelling an already-fired or unknown id is a harmless no-op.
+  bool cancel(EventId id);
+
+  /// True if `id` is scheduled and not cancelled.
+  bool pending(EventId id) const;
+
+  /// Run events until the queue empties or `horizon` is passed. Events at
+  /// exactly `horizon` still run; `now()` ends at `horizon` if events remain.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(Time horizon);
+
+  /// Run until the queue is empty. Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Execute only the next pending event (if any). Returns true if one ran.
+  bool step();
+
+  std::size_t queue_size() const { return live_.size(); }
+  bool empty() const { return queue_size() == 0; }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;  // tie-breaker: FIFO among simultaneous events
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop the next live (non-cancelled) entry; false if none remain.
+  bool pop_next(Entry& out);
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> live_;       // scheduled, not yet fired/cancelled
+  std::unordered_set<EventId> cancelled_;  // lazily removed on pop
+};
+
+}  // namespace pdos

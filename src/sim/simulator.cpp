@@ -1,0 +1,4 @@
+#include "sim/simulator.hpp"
+
+// Simulator is header-only today; this translation unit anchors the library
+// and keeps a stable home for future out-of-line members.

@@ -1,0 +1,64 @@
+// Simulation context: scheduler + seeded RNG + lifetime anchor.
+//
+// A `Simulator` owns the virtual clock and the root random stream. Network
+// components (nodes, links, agents) are created through `make<T>()` so their
+// lifetime is tied to the run — events capture raw pointers into this arena,
+// which is safe because nothing is destroyed until the Simulator is.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+  Rng& rng() { return rng_; }
+
+  Time now() const { return scheduler_.now(); }
+
+  EventId schedule(Time delay, EventFn fn) {
+    return scheduler_.schedule(delay, std::move(fn));
+  }
+  EventId schedule_at(Time when, EventFn fn) {
+    return scheduler_.schedule_at(when, std::move(fn));
+  }
+  bool cancel(EventId id) { return scheduler_.cancel(id); }
+
+  /// Run the simulation until `horizon` seconds of virtual time.
+  std::uint64_t run_until(Time horizon) { return scheduler_.run_until(horizon); }
+  /// Drain every pending event.
+  std::uint64_t run() { return scheduler_.run(); }
+
+  /// Construct a component whose lifetime matches the simulation.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owned.get();
+    components_.push_back(
+        std::unique_ptr<void, void (*)(void*)>(owned.release(), [](void* p) {
+          delete static_cast<T*>(p);
+        }));
+    return raw;
+  }
+
+ private:
+  Scheduler scheduler_;
+  Rng rng_;
+  std::vector<std::unique_ptr<void, void (*)(void*)>> components_;
+};
+
+}  // namespace pdos

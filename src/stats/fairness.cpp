@@ -1,0 +1,37 @@
+#include "stats/fairness.hpp"
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+double jain_fairness_index(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    PDOS_REQUIRE(x >= 0.0, "jain_fairness_index: allocations must be >= 0");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+double starved_fraction(const std::vector<double>& allocations,
+                        double fraction) {
+  PDOS_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+               "starved_fraction: fraction must be in [0, 1]");
+  if (allocations.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : allocations) sum += x;
+  const double mean = sum / static_cast<double>(allocations.size());
+  if (mean <= 0.0) return 1.0;
+  int starved = 0;
+  for (double x : allocations) {
+    if (x < fraction * mean) ++starved;
+  }
+  return static_cast<double>(starved) /
+         static_cast<double>(allocations.size());
+}
+
+}  // namespace pdos

@@ -1,0 +1,22 @@
+// Fairness metrics over per-flow allocations.
+//
+// A PDoS attack does not degrade flows evenly: converged windows scale as
+// 1/RTT (Eq. 1), so large-RTT victims starve first and the bandwidth share
+// skews. Jain's fairness index J = (Σx)² / (n·Σx²) quantifies that: 1 for
+// equal shares, 1/n when a single flow holds everything.
+#pragma once
+
+#include <vector>
+
+namespace pdos {
+
+/// Jain's fairness index over non-negative allocations; 0 for an empty or
+/// all-zero vector.
+double jain_fairness_index(const std::vector<double>& allocations);
+
+/// Fraction of flows whose allocation is below `fraction` of the mean —
+/// the "starved" flows an operator would field complaints about.
+double starved_fraction(const std::vector<double>& allocations,
+                        double fraction = 0.1);
+
+}  // namespace pdos

@@ -1,0 +1,37 @@
+#include "stats/jitter.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+void JitterMeter::observe(Time t) {
+  PDOS_REQUIRE(last_arrival_ < 0.0 || t >= last_arrival_,
+               "JitterMeter: arrivals must be non-decreasing");
+  if (last_arrival_ >= 0.0) {
+    const Time gap = t - last_arrival_;
+    if (last_gap_ >= 0.0) {
+      const Time d = std::abs(gap - last_gap_);
+      smoothed_ += (d - smoothed_) / 16.0;
+    }
+    last_gap_ = gap;
+    sum_ += gap;
+    sum_sq_ += gap * gap;
+    ++count_;
+  }
+  last_arrival_ = t;
+}
+
+Time JitterMeter::mean_gap() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+Time JitterMeter::gap_stddev() const {
+  if (count_ < 2) return 0.0;
+  const double m = mean_gap();
+  const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace pdos

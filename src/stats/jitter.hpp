@@ -1,0 +1,39 @@
+// Interarrival jitter estimation.
+//
+// §2.3 notes that the quasi-global synchronization "has a severe impact on
+// the TCP performance, e.g. decrease in throughput and increase in
+// jitter". This meter quantifies the second effect with the RFC 3550
+// smoothed estimator J += (|D| − J)/16 over interarrival deltas, plus the
+// raw standard deviation for tests.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace pdos {
+
+class JitterMeter {
+ public:
+  /// Record an arrival at absolute time `t` (non-decreasing).
+  void observe(Time t);
+
+  /// RFC 3550-style smoothed jitter of interarrival gaps, seconds.
+  Time smoothed_jitter() const { return smoothed_; }
+
+  /// Mean and population stddev of the interarrival gaps, seconds.
+  Time mean_gap() const;
+  Time gap_stddev() const;
+
+  std::uint64_t samples() const { return count_; }
+
+ private:
+  Time last_arrival_ = -1.0;
+  Time last_gap_ = -1.0;
+  Time smoothed_ = 0.0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  std::uint64_t count_ = 0;  // number of gaps observed
+};
+
+}  // namespace pdos

@@ -1,0 +1,137 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+BinnedSeries::BinnedSeries(Time bin_width) : bin_width_(bin_width) {
+  PDOS_REQUIRE(bin_width > 0.0, "BinnedSeries: bin_width must be > 0");
+}
+
+void BinnedSeries::add(Time t, double value) {
+  PDOS_REQUIRE(t >= 0.0, "BinnedSeries: time must be >= 0");
+  const auto idx = static_cast<std::size_t>(t / bin_width_);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0.0);
+  bins_[idx] += value;
+}
+
+std::vector<double> BinnedSeries::bins_until(Time until) const {
+  std::vector<double> out = bins_;
+  const auto needed = static_cast<std::size_t>(std::ceil(until / bin_width_));
+  if (needed > out.size()) out.resize(needed, 0.0);
+  return out;
+}
+
+std::vector<double> BinnedSeries::rates() const {
+  std::vector<double> out(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) out[i] = bins_[i] / bin_width_;
+  return out;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+std::vector<double> normalize_zero_mean(const std::vector<double>& v) {
+  const double m = mean(v);
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] - m;
+  return out;
+}
+
+std::vector<double> normalize_zscore(const std::vector<double>& v) {
+  const double m = mean(v);
+  const double s = stddev(v);
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = s > 0.0 ? (v[i] - m) / s : v[i] - m;
+  }
+  return out;
+}
+
+std::vector<double> paa(const std::vector<double>& v, std::size_t segments) {
+  PDOS_REQUIRE(segments >= 1, "paa: segments must be >= 1");
+  PDOS_REQUIRE(segments <= v.size(), "paa: more segments than points");
+  std::vector<double> out(segments, 0.0);
+  const std::size_t frame = v.size() / segments;
+  for (std::size_t s = 0; s < segments; ++s) {
+    const std::size_t begin = s * frame;
+    const std::size_t end = (s + 1 == segments) ? v.size() : begin + frame;
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += v[i];
+    out[s] = sum / static_cast<double>(end - begin);
+  }
+  return out;
+}
+
+std::size_t count_peaks(const std::vector<double>& v, double threshold,
+                        std::size_t min_separation) {
+  std::size_t peaks = 0;
+  bool above = false;
+  std::size_t last_end = 0;
+  bool have_last = false;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] > threshold) {
+      if (!above) {
+        const bool merged =
+            have_last && (i - last_end) < std::max<std::size_t>(1,
+                                                                min_separation);
+        if (!merged) ++peaks;
+        above = true;
+      }
+    } else if (above) {
+      above = false;
+      last_end = i;
+      have_last = true;
+    }
+  }
+  return peaks;
+}
+
+double autocorrelation(const std::vector<double>& v, std::size_t lag) {
+  if (lag >= v.size()) return 0.0;
+  const double m = mean(v);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double c = v[i] - m;
+    den += c * c;
+    if (i + lag < v.size()) num += c * (v[i + lag] - m);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+Time estimate_period(const std::vector<double>& v, Time bin_width,
+                     std::size_t min_lag, std::size_t max_lag) {
+  PDOS_REQUIRE(min_lag >= 1 && min_lag <= max_lag,
+               "estimate_period: need 1 <= min_lag <= max_lag");
+  if (v.size() < min_lag + 2) return 0.0;
+  const std::size_t hi = std::min(max_lag, v.size() - 1);
+  double best = -2.0;
+  std::size_t best_lag = 0;
+  for (std::size_t lag = min_lag; lag <= hi; ++lag) {
+    const double r = autocorrelation(v, lag);
+    if (r > best) {
+      best = r;
+      best_lag = lag;
+    }
+  }
+  if (best_lag == 0 || best <= 0.0) return 0.0;
+  return static_cast<double>(best_lag) * bin_width;
+}
+
+}  // namespace pdos

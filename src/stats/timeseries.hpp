@@ -1,0 +1,74 @@
+// Time-series tooling for traffic analysis.
+//
+// The paper visualizes the quasi-global synchronization (Fig. 3) by binning
+// the bottleneck's incoming traffic, normalizing it to zero mean, and
+// applying a piecewise aggregate approximation (PAA, Keogh et al.). The
+// period of the oscillation is then read off the evenly spaced peaks. This
+// module provides exactly those primitives, plus an autocorrelation-based
+// period estimator used by the tests and benches to verify period == T_AIMD.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pdos {
+
+/// Accumulates a value (e.g. bytes) into fixed-width time bins.
+class BinnedSeries {
+ public:
+  explicit BinnedSeries(Time bin_width);
+
+  /// Add `value` to the bin containing time `t` (t >= 0).
+  void add(Time t, double value);
+
+  /// Bin values from t=0 up to the last recorded bin (or `until` if given a
+  /// later horizon — trailing empty bins are materialized as zeros).
+  const std::vector<double>& bins() const { return bins_; }
+  std::vector<double> bins_until(Time until) const;
+
+  Time bin_width() const { return bin_width_; }
+
+  /// Per-bin average rate in value-units per second.
+  std::vector<double> rates() const;
+
+ private:
+  Time bin_width_;
+  std::vector<double> bins_;
+};
+
+/// Arithmetic mean; 0 for an empty series.
+double mean(const std::vector<double>& v);
+
+/// Population standard deviation; 0 for fewer than 2 points.
+double stddev(const std::vector<double>& v);
+
+/// Subtract the mean (the paper's "normalized so that the mean value is
+/// zero").
+std::vector<double> normalize_zero_mean(const std::vector<double>& v);
+
+/// Zero mean and unit variance (no-op scaling when stddev is 0).
+std::vector<double> normalize_zscore(const std::vector<double>& v);
+
+/// Piecewise aggregate approximation: average `v` over `segments` equal
+/// frames (the final frame absorbs the remainder). Requires
+/// 1 <= segments <= v.size().
+std::vector<double> paa(const std::vector<double>& v, std::size_t segments);
+
+/// Count peaks: bins strictly above `threshold` count once per excursion
+/// (consecutive above-threshold bins merge), and excursions closer than
+/// `min_separation` bins apart merge into one peak.
+std::size_t count_peaks(const std::vector<double>& v, double threshold,
+                        std::size_t min_separation = 1);
+
+/// Normalized autocorrelation of `v` at integer `lag` (biased estimator).
+double autocorrelation(const std::vector<double>& v, std::size_t lag);
+
+/// Dominant period: lag in [min_lag, max_lag] maximizing autocorrelation,
+/// converted to seconds via `bin_width`. Returns 0 if the series is too
+/// short or flat.
+Time estimate_period(const std::vector<double>& v, Time bin_width,
+                     std::size_t min_lag, std::size_t max_lag);
+
+}  // namespace pdos

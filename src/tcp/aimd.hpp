@@ -1,0 +1,28 @@
+// General AIMD(a, b) congestion-control parameters.
+//
+// The paper analyses the generalized additive-increase/multiplicative-
+// decrease family: on a congestion signal the window drops from W to b*W;
+// afterwards it grows by `a` MSS per RTT (a/d with delayed ACKs that cover
+// d segments). TCP Tahoe/Reno/NewReno are AIMD(1, 0.5).
+#pragma once
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+struct AimdParams {
+  double a = 1.0;  // additive increase, MSS per RTT (> 0)
+  double b = 0.5;  // multiplicative decrease factor (0 < b < 1)
+  int d = 1;       // delayed-ACK factor: ACK every d full segments (>= 1)
+
+  void validate() const {
+    PDOS_REQUIRE(a > 0.0, "AIMD: a must be > 0");
+    PDOS_REQUIRE(b > 0.0 && b < 1.0, "AIMD: b must be in (0, 1)");
+    PDOS_REQUIRE(d >= 1, "AIMD: d must be >= 1");
+  }
+
+  static AimdParams new_reno() { return AimdParams{1.0, 0.5, 1}; }
+  static AimdParams new_reno_delack() { return AimdParams{1.0, 0.5, 2}; }
+};
+
+}  // namespace pdos

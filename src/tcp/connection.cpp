@@ -1,0 +1,22 @@
+#include "tcp/connection.hpp"
+
+namespace pdos {
+
+TcpConnection make_tcp_connection(Simulator& sim, Node& src, Node& dst,
+                                  FlowId flow,
+                                  TcpSenderConfig sender_config) {
+  TcpReceiverConfig receiver_config;
+  receiver_config.delack_factor = sender_config.aimd.d;
+  receiver_config.mss = sender_config.mss;
+  receiver_config.ack_bytes = sender_config.header_bytes;
+
+  auto* sender = sim.make<TcpSender>(sim, flow, src.id(), dst.id(), &src,
+                                     sender_config);
+  auto* receiver = sim.make<TcpReceiver>(sim, flow, dst.id(), src.id(), &dst,
+                                         receiver_config);
+  src.attach(flow, sender);
+  dst.attach(flow, receiver);
+  return TcpConnection{flow, sender, receiver};
+}
+
+}  // namespace pdos

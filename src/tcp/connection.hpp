@@ -1,0 +1,27 @@
+// Convenience wiring of a TCP sender/receiver pair onto two nodes.
+#pragma once
+
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace pdos {
+
+/// A fully wired one-way bulk TCP connection. Pointers are owned by the
+/// Simulator's component arena.
+struct TcpConnection {
+  FlowId flow = -1;
+  TcpSender* sender = nullptr;
+  TcpReceiver* receiver = nullptr;
+};
+
+/// Create a bulk TCP connection from `src` to `dst`. The sender/receiver are
+/// attached to their nodes under `flow` and route packets via the nodes'
+/// forwarding tables. The receiver's delayed-ACK factor is taken from the
+/// sender's AIMD `d` so that model and simulation agree.
+TcpConnection make_tcp_connection(Simulator& sim, Node& src, Node& dst,
+                                  FlowId flow,
+                                  TcpSenderConfig sender_config = {});
+
+}  // namespace pdos

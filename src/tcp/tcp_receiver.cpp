@@ -1,0 +1,100 @@
+#include "tcp/tcp_receiver.hpp"
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+void TcpReceiverConfig::validate() const {
+  PDOS_REQUIRE(delack_factor >= 1, "TcpReceiver: delack_factor must be >= 1");
+  PDOS_REQUIRE(delack_timeout > 0.0,
+               "TcpReceiver: delack_timeout must be > 0");
+  PDOS_REQUIRE(mss > 0, "TcpReceiver: mss must be > 0");
+}
+
+TcpReceiver::TcpReceiver(Simulator& sim, FlowId flow, NodeId self, NodeId peer,
+                         PacketHandler* out, TcpReceiverConfig config)
+    : sim_(sim),
+      flow_(flow),
+      self_(self),
+      peer_(peer),
+      out_(out),
+      config_(config) {
+  PDOS_REQUIRE(out != nullptr, "TcpReceiver: out handler must be non-null");
+  config_.validate();
+}
+
+void TcpReceiver::handle(Packet pkt) {
+  PDOS_CHECK(pkt.type == PacketType::kTcpData);
+  ++stats_.segments_received;
+
+  if (pkt.seq == next_expected_) {
+    // In-order: deliver it plus any contiguous buffered segments.
+    std::int64_t advanced = 1;
+    ++next_expected_;
+    while (!reorder_buffer_.empty() &&
+           *reorder_buffer_.begin() == next_expected_) {
+      reorder_buffer_.erase(reorder_buffer_.begin());
+      ++next_expected_;
+      ++advanced;
+    }
+    goodput_bytes_ += advanced * config_.mss;
+    if (delivery_tracer_) delivery_tracer_(sim_.now(), advanced);
+
+    pending_ts_echo_ = pkt.ts_echo;
+    unacked_segments_ += static_cast<int>(advanced);
+    const bool filled_gap = !reorder_buffer_.empty() || advanced > 1;
+    if (filled_gap || unacked_segments_ >= config_.delack_factor) {
+      // RFC 5681: ACK immediately when filling a hole or every d segments.
+      send_ack(pkt.ts_echo);
+    } else {
+      arm_delack();
+    }
+    return;
+  }
+
+  if (pkt.seq > next_expected_) {
+    // Gap: buffer and emit an immediate duplicate ACK.
+    ++stats_.out_of_order;
+    reorder_buffer_.insert(pkt.seq);
+    send_ack(pkt.ts_echo);
+    return;
+  }
+
+  // Segment below the cumulative point: a spurious retransmission. ACK
+  // immediately so the sender can make progress.
+  ++stats_.duplicate_segments;
+  send_ack(pkt.ts_echo);
+}
+
+void TcpReceiver::send_ack(Time ts_echo) {
+  disarm_delack();
+  unacked_segments_ = 0;
+  Packet ack;
+  ack.type = PacketType::kTcpAck;
+  ack.flow = flow_;
+  ack.src = self_;
+  ack.dst = peer_;
+  ack.size_bytes = config_.ack_bytes;
+  ack.ack = next_expected_;
+  ack.seq = next_expected_;
+  ack.ts_echo = ts_echo;
+  ++stats_.acks_sent;
+  out_->handle(std::move(ack));
+}
+
+void TcpReceiver::arm_delack() {
+  if (delack_event_ != kInvalidEventId) return;  // timer already running
+  delack_event_ = sim_.schedule(config_.delack_timeout, [this] {
+    delack_event_ = kInvalidEventId;
+    if (unacked_segments_ > 0) send_ack(pending_ts_echo_);
+  });
+}
+
+void TcpReceiver::disarm_delack() {
+  if (delack_event_ != kInvalidEventId) {
+    sim_.cancel(delack_event_);
+    delack_event_ = kInvalidEventId;
+  }
+}
+
+}  // namespace pdos

@@ -1,0 +1,78 @@
+// TCP receiver: cumulative ACKs with delayed-ACK support.
+//
+// Mirrors ns-2's TCPSink/DelAck: in-order data is acknowledged every `d`
+// segments or when the delayed-ACK timer fires; out-of-order or duplicate
+// segments trigger an immediate ACK (which the sender counts as a duplicate
+// when it does not advance). Goodput is counted in unique delivered payload
+// bytes, which is what the paper's throughput Ψ measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+struct TcpReceiverConfig {
+  int delack_factor = 1;          // ACK every d full segments (d >= 1)
+  Time delack_timeout = ms(100);  // max ACK delay (RFC 1122 ceiling 500 ms)
+  Bytes mss = 1000;               // payload bytes per segment
+  Bytes ack_bytes = 40;           // wire size of a pure ACK
+
+  void validate() const;
+};
+
+struct TcpReceiverStats {
+  std::uint64_t segments_received = 0;   // all data arrivals
+  std::uint64_t duplicate_segments = 0;  // already-delivered seq numbers
+  std::uint64_t out_of_order = 0;
+  std::uint64_t acks_sent = 0;
+};
+
+class TcpReceiver : public PacketHandler {
+ public:
+  TcpReceiver(Simulator& sim, FlowId flow, NodeId self, NodeId peer,
+              PacketHandler* out, TcpReceiverConfig config = {});
+
+  void handle(Packet pkt) override;
+
+  /// Unique payload bytes delivered in order to the application.
+  Bytes goodput_bytes() const { return goodput_bytes_; }
+  /// Next expected segment index (== count of in-order segments delivered).
+  std::int64_t next_expected() const { return next_expected_; }
+  const TcpReceiverStats& stats() const { return stats_; }
+
+  /// Invoked as (time, new_in_order_segments) on each in-order advance.
+  void set_delivery_tracer(std::function<void(Time, std::int64_t)> tracer) {
+    delivery_tracer_ = std::move(tracer);
+  }
+
+ private:
+  void send_ack(Time ts_echo);
+  void arm_delack();
+  void disarm_delack();
+
+  Simulator& sim_;
+  FlowId flow_;
+  NodeId self_;
+  NodeId peer_;
+  PacketHandler* out_;
+  TcpReceiverConfig config_;
+
+  std::int64_t next_expected_ = 0;
+  std::set<std::int64_t> reorder_buffer_;
+  Bytes goodput_bytes_ = 0;
+
+  int unacked_segments_ = 0;   // in-order segments since the last ACK
+  Time pending_ts_echo_ = 0.0;  // timestamp to echo on the next ACK
+  EventId delack_event_ = kInvalidEventId;
+
+  TcpReceiverStats stats_;
+  std::function<void(Time, std::int64_t)> delivery_tracer_;
+};
+
+}  // namespace pdos

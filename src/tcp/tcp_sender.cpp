@@ -1,0 +1,261 @@
+#include "tcp/tcp_sender.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace pdos {
+
+namespace {
+constexpr double kMinCwnd = 1.0;
+constexpr double kMinSsthresh = 2.0;
+}  // namespace
+
+const char* tcp_variant_name(TcpVariant variant) {
+  switch (variant) {
+    case TcpVariant::kTahoe:
+      return "Tahoe";
+    case TcpVariant::kReno:
+      return "Reno";
+    case TcpVariant::kNewReno:
+      return "NewReno";
+  }
+  return "?";
+}
+
+void TcpSenderConfig::validate() const {
+  aimd.validate();
+  PDOS_REQUIRE(rto_jitter >= 0.0, "TcpSender: rto_jitter must be >= 0");
+  PDOS_REQUIRE(mss > 0, "TcpSender: mss must be > 0");
+  PDOS_REQUIRE(header_bytes >= 0, "TcpSender: header_bytes must be >= 0");
+  PDOS_REQUIRE(initial_cwnd >= 1.0, "TcpSender: initial_cwnd must be >= 1");
+  PDOS_REQUIRE(max_cwnd >= initial_cwnd,
+               "TcpSender: max_cwnd must be >= initial_cwnd");
+  PDOS_REQUIRE(rto_min > 0.0 && rto_min <= rto_max,
+               "TcpSender: need 0 < rto_min <= rto_max");
+  PDOS_REQUIRE(dupack_threshold >= 1,
+               "TcpSender: dupack_threshold must be >= 1");
+}
+
+TcpSender::TcpSender(Simulator& sim, FlowId flow, NodeId self, NodeId peer,
+                     PacketHandler* out, TcpSenderConfig config)
+    : sim_(sim),
+      flow_(flow),
+      self_(self),
+      peer_(peer),
+      out_(out),
+      config_(config),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(config.initial_ssthresh),
+      rto_(config.initial_rto) {
+  PDOS_REQUIRE(out != nullptr, "TcpSender: out handler must be non-null");
+  config_.validate();
+}
+
+void TcpSender::start(Time when) {
+  PDOS_CHECK_MSG(!started_, "TcpSender started twice");
+  started_ = true;
+  sim_.schedule_at(when, [this] { send_available(); });
+}
+
+std::int64_t TcpSender::window() const {
+  const double w = std::min(cwnd_, config_.max_cwnd);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::floor(w)));
+}
+
+void TcpSender::handle(Packet pkt) {
+  PDOS_CHECK(pkt.type == PacketType::kTcpAck);
+  if (pkt.ack > snd_una_) {
+    ++stats_.acks_received;
+    on_new_ack(pkt);
+  } else if (in_flight() > 0) {
+    ++stats_.acks_received;
+    ++stats_.dupacks_received;
+    on_dup_ack();
+  }
+  send_available();
+}
+
+void TcpSender::on_new_ack(const Packet& pkt) {
+  const std::int64_t newly_acked = pkt.ack - snd_una_;
+  snd_una_ = pkt.ack;
+  sample_rtt(pkt);
+  backoff_ = 1;  // forward progress clears exponential backoff
+
+  if (in_fast_recovery_) {
+    // Reno deflates on the first new ACK regardless; NewReno stays in
+    // recovery until the loss-time window is fully acknowledged (RFC 3782).
+    if (config_.variant == TcpVariant::kReno || snd_una_ > recover_) {
+      exit_fast_recovery();
+    } else {
+      on_partial_ack(newly_acked);
+      arm_rto();
+      return;
+    }
+  } else {
+    dupack_count_ = 0;
+  }
+
+  // Window growth: one increase step per new ACK. Delayed ACKs (one ACK per
+  // d segments) then yield the paper's a/d MSS-per-RTT growth automatically.
+  open_window_per_ack();
+
+  if (in_flight() > 0) {
+    arm_rto();
+  } else {
+    disarm_rto();
+  }
+}
+
+void TcpSender::open_window_per_ack() {
+  if (cwnd_ < ssthresh_) {
+    cwnd_ = std::min(cwnd_ + 1.0, config_.max_cwnd);  // slow start
+  } else {
+    cwnd_ = std::min(cwnd_ + config_.aimd.a / cwnd_, config_.max_cwnd);
+  }
+  trace_cwnd();
+}
+
+void TcpSender::on_dup_ack() {
+  ++dupack_count_;
+  if (in_fast_recovery_) {
+    // Window inflation: each dupack signals a departed segment.
+    cwnd_ = std::min(cwnd_ + 1.0, config_.max_cwnd);
+    trace_cwnd();
+    return;
+  }
+  if (dupack_count_ == config_.dupack_threshold) {
+    enter_fast_recovery();
+  }
+}
+
+void TcpSender::enter_fast_recovery() {
+  ++stats_.fast_recoveries;
+  // Multiplicative decrease of the general AIMD(a, b): W -> b * W.
+  ssthresh_ = std::max(kMinSsthresh, config_.aimd.b * cwnd_);
+  if (config_.variant == TcpVariant::kTahoe) {
+    // Tahoe has no fast recovery: retransmit and slow-start from one
+    // segment.
+    cwnd_ = kMinCwnd;
+    dupack_count_ = 0;
+    trace_cwnd();
+    emit_segment(snd_una_, /*retransmit=*/true);
+    arm_rto();
+    return;
+  }
+  in_fast_recovery_ = true;
+  recover_ = next_seq_ - 1;
+  cwnd_ = ssthresh_ + static_cast<double>(config_.dupack_threshold);
+  trace_cwnd();
+  emit_segment(snd_una_, /*retransmit=*/true);
+  arm_rto();
+}
+
+void TcpSender::on_partial_ack(std::int64_t newly_acked) {
+  // RFC 3782: retransmit the next hole, deflate the window by the amount of
+  // new data acknowledged, then add back one segment.
+  emit_segment(snd_una_, /*retransmit=*/true);
+  cwnd_ = std::max(kMinCwnd,
+                   cwnd_ - static_cast<double>(newly_acked) + 1.0);
+  trace_cwnd();
+}
+
+void TcpSender::exit_fast_recovery() {
+  in_fast_recovery_ = false;
+  dupack_count_ = 0;
+  cwnd_ = std::max(kMinCwnd, ssthresh_);  // deflate to ssthresh
+  trace_cwnd();
+}
+
+void TcpSender::on_timeout() {
+  rto_event_ = kInvalidEventId;
+  if (in_flight() <= 0) return;  // stale timer
+  ++stats_.timeouts;
+  // Loss of the whole window is assumed: shrink, slow-start from snd_una,
+  // and resume go-back-N, as ns-2's TcpAgent does after a timeout.
+  ssthresh_ = std::max(kMinSsthresh, config_.aimd.b * cwnd_);
+  cwnd_ = kMinCwnd;
+  trace_cwnd();
+  in_fast_recovery_ = false;
+  dupack_count_ = 0;
+  next_seq_ = snd_una_;
+  backoff_ = std::min(backoff_ * 2, 64);
+  emit_segment(snd_una_, /*retransmit=*/true);
+  next_seq_ = snd_una_ + 1;
+  arm_rto();
+}
+
+void TcpSender::send_available() {
+  if (!started_) return;
+  std::int64_t limit = snd_una_ + window();
+  if (config_.total_segments >= 0) {
+    limit = std::min(limit, config_.total_segments);
+  }
+  while (next_seq_ < limit) {
+    emit_segment(next_seq_, /*retransmit=*/false);
+    ++next_seq_;
+  }
+  if (in_flight() > 0 && rto_event_ == kInvalidEventId) arm_rto();
+}
+
+void TcpSender::emit_segment(std::int64_t seq, bool retransmit) {
+  Packet pkt;
+  pkt.type = PacketType::kTcpData;
+  pkt.flow = flow_;
+  pkt.src = self_;
+  pkt.dst = peer_;
+  pkt.size_bytes = config_.mss + config_.header_bytes;
+  pkt.seq = seq;
+  pkt.ts_echo = sim_.now();
+  pkt.retransmit = retransmit;
+  ++stats_.segments_sent;
+  if (retransmit) ++stats_.retransmits;
+  out_->handle(std::move(pkt));
+}
+
+void TcpSender::arm_rto() {
+  disarm_rto();
+  Time timeout = std::min(rto_ * static_cast<double>(backoff_),
+                          config_.rto_max);
+  if (config_.rto_jitter > 0.0) {
+    // Randomized-RTO defense [7]: the effective minimum moves per timer,
+    // so a shrew attacker cannot phase-lock pulses to retransmissions.
+    const Time jittered_min =
+        config_.rto_min + sim_.rng().uniform(0.0, config_.rto_jitter);
+    timeout = std::max(timeout, jittered_min);
+  }
+  rto_event_ = sim_.schedule(timeout, [this] { on_timeout(); });
+}
+
+void TcpSender::disarm_rto() {
+  if (rto_event_ != kInvalidEventId) {
+    sim_.cancel(rto_event_);
+    rto_event_ = kInvalidEventId;
+  }
+}
+
+void TcpSender::sample_rtt(const Packet& pkt) {
+  // Timestamp echo makes the sample valid even across retransmissions
+  // (the receiver echoes the timestamp of the segment that drove the ACK).
+  if (pkt.ts_echo <= 0.0) return;
+  const Time r = sim_.now() - pkt.ts_echo;
+  if (r < 0.0) return;
+  if (!have_rtt_sample_) {
+    srtt_ = r;
+    rttvar_ = r / 2.0;
+    have_rtt_sample_ = true;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - r);
+    srtt_ = 0.875 * srtt_ + 0.125 * r;
+  }
+  rto_ = std::clamp(srtt_ + std::max(4.0 * rttvar_, ms(10)), config_.rto_min,
+                    config_.rto_max);
+}
+
+void TcpSender::trace_cwnd() {
+  if (cwnd_tracer_) cwnd_tracer_(sim_.now(), cwnd_);
+}
+
+}  // namespace pdos

@@ -1,0 +1,148 @@
+// TCP NewReno sender with generalized AIMD(a, b) congestion control.
+//
+// Packet-counting semantics as in ns-2: seq/ack numbers index MSS-sized
+// segments. The sender models a bulk application with unlimited data (the
+// paper's Iperf/FTP victims). Implemented behaviours:
+//   - slow start / congestion avoidance with AIMD(a, b) increase/decrease
+//   - fast retransmit on 3 duplicate ACKs, NewReno fast recovery with
+//     partial-ACK retransmission and window deflation (RFC 3782)
+//   - retransmission timeout per RFC 6298 (Karn's rule via timestamp echo,
+//     exponential backoff, configurable RTO_min — 1 s for the ns-2 scenario,
+//     200 ms for the Linux test-bed scenario)
+//   - go-back-N resumption after a timeout, as ns-2's TcpAgent does
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/aimd.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+/// Loss-recovery flavour. All three share the AIMD core; they differ in
+/// what happens at and after the third duplicate ACK:
+///   Tahoe   — retransmit, then slow-start from cwnd = 1 (no fast recovery)
+///   Reno    — fast recovery, exits on the FIRST new ACK (multiple losses
+///             in one window usually force a timeout)
+///   NewReno — fast recovery with partial-ACK retransmission (RFC 3782)
+enum class TcpVariant { kTahoe, kReno, kNewReno };
+
+const char* tcp_variant_name(TcpVariant variant);
+
+struct TcpSenderConfig {
+  TcpVariant variant = TcpVariant::kNewReno;
+  AimdParams aimd = AimdParams::new_reno();
+  Bytes mss = 1000;          // payload bytes per segment
+  Bytes header_bytes = 40;   // TCP/IP header overhead on every packet
+  double initial_cwnd = 1.0;   // segments
+  double initial_ssthresh = 64.0;  // segments
+  double max_cwnd = 10000.0;   // receiver-window stand-in, segments
+  Time rto_min = sec(1.0);     // ns-2 default; Linux test-bed uses 200 ms
+  Time rto_max = sec(64.0);
+  Time initial_rto = sec(3.0);  // RFC 6298 before the first RTT sample
+  int dupack_threshold = 3;
+  /// Randomized-RTO defense (Yang, Gerla & Sanadidi [7]): each timeout's
+  /// minimum is drawn uniformly from [rto_min, rto_min + rto_jitter]. The
+  /// paper notes this breaks the shrew attack's timing but not the
+  /// AIMD-based attack, whose damage does not depend on RTO values.
+  Time rto_jitter = 0.0;
+  /// Amount of application data in segments; -1 models an unbounded bulk
+  /// transfer (the paper's Iperf/FTP victims). Finite values model short
+  /// flows; the sender stops once everything is acknowledged.
+  std::int64_t total_segments = -1;
+
+  void validate() const;
+};
+
+struct TcpSenderStats {
+  std::uint64_t segments_sent = 0;        // includes retransmissions
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_recoveries = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t dupacks_received = 0;
+};
+
+class TcpSender : public PacketHandler {
+ public:
+  /// Data segments leave via `out` (typically the sender's access link or
+  /// node); ACKs arrive via handle(). `flow` tags every packet.
+  TcpSender(Simulator& sim, FlowId flow, NodeId self, NodeId peer,
+            PacketHandler* out, TcpSenderConfig config = {});
+
+  /// Begin transmitting at absolute virtual time `when`.
+  void start(Time when);
+
+  /// ACK arrival.
+  void handle(Packet pkt) override;
+
+  // --- observability ---
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  bool in_fast_recovery() const { return in_fast_recovery_; }
+  Time srtt() const { return srtt_; }
+  Time rto() const { return rto_; }
+  std::int64_t snd_una() const { return snd_una_; }
+  std::int64_t next_seq() const { return next_seq_; }
+  const TcpSenderStats& stats() const { return stats_; }
+  FlowId flow() const { return flow_; }
+  /// True once a finite transfer is fully acknowledged.
+  bool complete() const {
+    return config_.total_segments >= 0 && snd_una_ >= config_.total_segments;
+  }
+  const TcpSenderConfig& config() const { return config_; }
+
+  /// Invoked as (time, cwnd) whenever cwnd changes; used for Fig. 1 traces.
+  void set_cwnd_tracer(std::function<void(Time, double)> tracer) {
+    cwnd_tracer_ = std::move(tracer);
+  }
+
+ private:
+  void on_new_ack(const Packet& pkt);
+  void on_dup_ack();
+  void enter_fast_recovery();
+  void on_partial_ack(std::int64_t newly_acked);
+  void exit_fast_recovery();
+  void on_timeout();
+  void open_window_per_ack();
+  void send_available();
+  void emit_segment(std::int64_t seq, bool retransmit);
+  void arm_rto();
+  void disarm_rto();
+  void sample_rtt(const Packet& pkt);
+  void trace_cwnd();
+  std::int64_t window() const;
+  std::int64_t in_flight() const { return next_seq_ - snd_una_; }
+
+  Simulator& sim_;
+  FlowId flow_;
+  NodeId self_;
+  NodeId peer_;
+  PacketHandler* out_;
+  TcpSenderConfig config_;
+
+  bool started_ = false;
+  double cwnd_;
+  double ssthresh_;
+  std::int64_t snd_una_ = 0;   // lowest unacknowledged segment
+  std::int64_t next_seq_ = 0;  // next new segment to transmit
+  int dupack_count_ = 0;
+  bool in_fast_recovery_ = false;
+  std::int64_t recover_ = -1;  // highest segment sent when loss was detected
+
+  Time srtt_ = 0.0;
+  Time rttvar_ = 0.0;
+  bool have_rtt_sample_ = false;
+  Time rto_;
+  int backoff_ = 1;
+  EventId rto_event_ = kInvalidEventId;
+
+  TcpSenderStats stats_;
+  std::function<void(Time, double)> cwnd_tracer_;
+};
+
+}  // namespace pdos

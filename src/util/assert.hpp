@@ -1,0 +1,55 @@
+// Always-on invariant checks for the PDoS library.
+//
+// Simulation bugs silently corrupt results, so internal invariants stay
+// enabled in release builds. Violations throw `pdos::InvariantError` rather
+// than abort, so tests can assert on them and long experiment sweeps can
+// report which scenario failed.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pdos {
+
+/// Thrown when an internal invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a user-supplied parameter is out of its documented domain.
+class ParameterError : public std::invalid_argument {
+ public:
+  explicit ParameterError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void invariant_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace pdos
+
+#define PDOS_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::pdos::detail::invariant_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define PDOS_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::pdos::detail::invariant_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define PDOS_REQUIRE(expr, msg)                  \
+  do {                                           \
+    if (!(expr)) throw ::pdos::ParameterError(msg); \
+  } while (false)

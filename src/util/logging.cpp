@@ -1,0 +1,38 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace pdos {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::cerr << "[pdos:" << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace pdos

@@ -1,0 +1,46 @@
+// Minimal leveled logging.
+//
+// The simulator is hot-path sensitive, so logging is a free function behind
+// a global level check; disabled levels cost one branch. Output goes to
+// stderr so bench harnesses can emit clean CSV on stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pdos {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_line(level, os.str());
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+
+}  // namespace pdos

@@ -1,0 +1,39 @@
+#include "util/rng.hpp"
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  PDOS_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  PDOS_REQUIRE(lo <= hi, "uniform_int: lo must be <= hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  PDOS_REQUIRE(mean > 0.0, "exponential: mean must be positive");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Rng Rng::fork() {
+  // Mix the parent stream into a fresh seed; consuming from the parent keeps
+  // successive forks independent.
+  const std::uint64_t seed = engine_() ^ 0x9e3779b97f4a7c15ULL;
+  return Rng(seed);
+}
+
+}  // namespace pdos

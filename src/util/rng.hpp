@@ -1,0 +1,43 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (RED drop decisions, RTT jitter, flow start
+// staggering) draws from an `Rng` owned by the `Simulator`, so a scenario
+// replays bit-identically from its seed. Components that need independent
+// streams fork a child generator with `fork()`.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace pdos {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Derive an independent child generator. Children created in the same
+  /// order from the same parent are identical across runs.
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pdos

@@ -1,0 +1,46 @@
+// Unit helpers for the PDoS library.
+//
+// The simulator works internally in SI base units: seconds for time, bits
+// per second for rates, bytes for sizes. These helpers exist so that call
+// sites can say `ms(50)` or `mbps(15)` instead of sprinkling conversion
+// factors, and so that intent survives code review.
+#pragma once
+
+#include <cstdint>
+
+namespace pdos {
+
+/// Simulated time, in seconds. Virtual time is a double: at nanosecond
+/// granularity a double keeps exact integer semantics far beyond any
+/// simulation horizon we use.
+using Time = double;
+
+/// Link or sending rate, in bits per second.
+using BitRate = double;
+
+/// Payload or wire size, in bytes.
+using Bytes = std::int64_t;
+
+constexpr Time sec(double s) { return s; }
+constexpr Time ms(double v) { return v * 1e-3; }
+constexpr Time us(double v) { return v * 1e-6; }
+
+constexpr BitRate bps(double v) { return v; }
+constexpr BitRate kbps(double v) { return v * 1e3; }
+constexpr BitRate mbps(double v) { return v * 1e6; }
+constexpr BitRate gbps(double v) { return v * 1e9; }
+
+constexpr double to_ms(Time t) { return t * 1e3; }
+constexpr double to_mbps(BitRate r) { return r * 1e-6; }
+
+/// Time to serialize `size` bytes onto a link of rate `rate`.
+constexpr Time transmission_time(Bytes size, BitRate rate) {
+  return static_cast<double>(size) * 8.0 / rate;
+}
+
+/// Bytes deliverable in `duration` at `rate` (floor).
+constexpr Bytes bytes_at_rate(BitRate rate, Time duration) {
+  return static_cast<Bytes>(rate * duration / 8.0);
+}
+
+}  // namespace pdos

@@ -1,0 +1,123 @@
+#include "attack/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+PulseTrain base_train() {
+  PulseTrain train;
+  train.textent = ms(50);
+  train.rattack = mbps(25);
+  train.tspace = ms(150);
+  train.packet_bytes = 1000;
+  return train;
+}
+
+TEST(SplitTrainTest, RatesSumToAggregate) {
+  const PulseTrain train = base_train();
+  for (int k : {1, 2, 5, 10}) {
+    const auto subs = split_train(train, k);
+    ASSERT_EQ(subs.size(), static_cast<std::size_t>(k));
+    double total = 0.0;
+    for (const auto& sub : subs) {
+      total += sub.rattack;
+      EXPECT_DOUBLE_EQ(sub.textent, train.textent);
+      EXPECT_DOUBLE_EQ(sub.tspace, train.tspace);
+    }
+    EXPECT_NEAR(total, train.rattack, 1e-6);
+  }
+}
+
+TEST(SplitTrainTest, TooManySourcesRejected) {
+  // 25 Mbps / 50 ms pulse with 1000-byte packets carries ~156 packets;
+  // far more sources than that cannot each fit one packet per pulse.
+  EXPECT_THROW(split_train(base_train(), 1000), ParameterError);
+  EXPECT_THROW(split_train(base_train(), 0), ParameterError);
+}
+
+TEST(SpreadPhasesTest, ZeroSpreadIsSynchronized) {
+  Rng rng(1);
+  const auto phases = spread_phases(5, 0.0, rng);
+  for (Time phase : phases) EXPECT_DOUBLE_EQ(phase, 0.0);
+}
+
+TEST(SpreadPhasesTest, PhasesWithinBound) {
+  Rng rng(2);
+  const auto phases = spread_phases(50, ms(25), rng);
+  ASSERT_EQ(phases.size(), 50u);
+  bool varied = false;
+  for (Time phase : phases) {
+    EXPECT_GE(phase, 0.0);
+    EXPECT_LT(phase, ms(25));
+    if (phase > 0.0) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(PerSourceGammaTest, ShrinksAsOneOverK) {
+  const PulseTrain train = base_train();
+  const double aggregate = train.gamma(mbps(15));
+  EXPECT_DOUBLE_EQ(per_source_gamma(train, 1, mbps(15)), aggregate);
+  EXPECT_DOUBLE_EQ(per_source_gamma(train, 4, mbps(15)), aggregate / 4.0);
+}
+
+TEST(DistributedScenarioTest, AggregateAttackRateIndependentOfK) {
+  // Same seed, same aggregate train, different source counts: the packets
+  // reaching the bottleneck must match (within pulse-quantization noise).
+  RunControl control;
+  control.warmup = sec(1);
+  control.measure = sec(5);
+  PulseTrain train = base_train();
+
+  std::uint64_t single_packets = 0;
+  double single_degradation = 0.0;
+  {
+    ScenarioConfig config = ScenarioConfig::ns2_dumbbell(8);
+    const BitRate baseline = measure_baseline(config, control);
+    const GainMeasurement point =
+        measure_gain(config, train, 1.0, control, baseline);
+    single_packets = point.run.attack_packets_sent;
+    single_degradation = point.degradation;
+  }
+  {
+    ScenarioConfig config = ScenarioConfig::ns2_dumbbell(8);
+    config.num_attackers = 5;
+    const BitRate baseline = measure_baseline(config, control);
+    const GainMeasurement point =
+        measure_gain(config, train, 1.0, control, baseline);
+    EXPECT_NEAR(static_cast<double>(point.run.attack_packets_sent),
+                static_cast<double>(single_packets),
+                0.05 * static_cast<double>(single_packets));
+    EXPECT_NEAR(point.degradation, single_degradation, 0.2);
+  }
+}
+
+TEST(DistributedScenarioTest, PhaseSpreadStillDamages) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(8);
+  config.num_attackers = 4;
+  config.attacker_phase_spread = ms(25);
+  RunControl control;
+  control.warmup = sec(2);
+  control.measure = sec(8);
+  const BitRate baseline = measure_baseline(config, control);
+  const GainMeasurement point = measure_gain(
+      config, PulseTrain::from_gamma(ms(50), mbps(30), 0.6, mbps(15)), 1.0,
+      control, baseline);
+  EXPECT_GT(point.degradation, 0.3);
+}
+
+TEST(DistributedScenarioTest, ConfigValidation) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(5);
+  config.num_attackers = 0;
+  EXPECT_THROW(config.validate(), ParameterError);
+  config = ScenarioConfig::ns2_dumbbell(5);
+  config.attacker_phase_spread = -1.0;
+  EXPECT_THROW(config.validate(), ParameterError);
+}
+
+}  // namespace
+}  // namespace pdos

@@ -1,0 +1,143 @@
+// Broad property sweeps over the analytical model, complementing the
+// pinned-value tests in model_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "attack/pulse.hpp"
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+
+namespace pdos {
+namespace {
+
+VictimProfile victim_of(int flows, Time rtt_lo, Time rtt_hi,
+                        BitRate rbottle) {
+  VictimProfile victim;
+  victim.aimd = AimdParams::new_reno();
+  victim.spacket = 1040;
+  victim.rbottle = rbottle;
+  victim.rtts = VictimProfile::even_rtts(flows, rtt_lo, rtt_hi);
+  return victim;
+}
+
+// ---------- Γ(γ) monotonicity and bounds across victim profiles ----------
+
+class DegradationSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(DegradationSweep, GammaDegradationIsMonotoneIncreasingInGamma) {
+  const auto [flows, rattack_mbps] = GetParam();
+  const VictimProfile victim = victim_of(flows, ms(20), ms(460), mbps(15));
+  const double c_attack = mbps(rattack_mbps) / victim.rbottle;
+  const Time textent = ms(50);
+  double prev = -1.0;
+  for (double gamma = 0.05; gamma < 1.0; gamma += 0.05) {
+    const Time period = textent * c_attack / gamma;
+    const double deg = throughput_degradation(victim, period);
+    EXPECT_GE(deg, prev - 1e-12) << "gamma=" << gamma;
+    EXPECT_GE(deg, 0.0);
+    EXPECT_LE(deg, 1.0);
+    prev = deg;
+  }
+}
+
+TEST_P(DegradationSweep, MoreFlowsNeverReduceCpsi) {
+  const auto [flows, rattack_mbps] = GetParam();
+  const VictimProfile fewer = victim_of(flows, ms(20), ms(460), mbps(15));
+  const VictimProfile more =
+      victim_of(flows + 10, ms(20), ms(460), mbps(15));
+  const double c_attack = mbps(rattack_mbps) / mbps(15);
+  EXPECT_GT(c_psi(more, ms(50), c_attack), c_psi(fewer, ms(50), c_attack));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DegradationSweep,
+    ::testing::Combine(::testing::Values(5, 15, 45),
+                       ::testing::Values(25.0, 40.0)));
+
+// ---------- scaling laws ----------
+
+TEST(ModelScalingTest, FasterBottleneckIsHarderToDegrade) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (double rb : {5.0, 10.0, 15.0, 30.0}) {
+    const VictimProfile victim = victim_of(15, ms(20), ms(460), mbps(rb));
+    const double cpsi = c_psi(victim, ms(50), 25.0 / rb);
+    EXPECT_LT(cpsi, prev) << "rbottle=" << rb;
+    prev = cpsi;
+  }
+}
+
+TEST(ModelScalingTest, ShorterRttsAreMoreResilient) {
+  // Small-RTT flows recover faster: Σ1/RTT² grows, C_Ψ grows, attainable
+  // gain falls.
+  const VictimProfile slow = victim_of(15, ms(200), ms(460), mbps(15));
+  const VictimProfile fast = victim_of(15, ms(20), ms(100), mbps(15));
+  const double cp_slow = c_psi(slow, ms(50), 25.0 / 15.0);
+  const double cp_fast = c_psi(fast, ms(50), 25.0 / 15.0);
+  EXPECT_GT(cp_fast, cp_slow);
+  if (cp_fast < 1.0 && cp_slow < 1.0) {
+    EXPECT_LT(optimal_gain(cp_fast, 1.0), optimal_gain(cp_slow, 1.0));
+  }
+}
+
+TEST(ModelScalingTest, DelayedAcksHalveCpsi) {
+  // d sits in Eq. (11)'s denominator: delayed ACKs (d = 2) slow the
+  // victims' recovery, halving C_Ψ — the attacker's job gets easier.
+  VictimProfile d1 = victim_of(15, ms(20), ms(460), mbps(15));
+  VictimProfile d2 = d1;
+  d2.aimd = AimdParams::new_reno_delack();
+  EXPECT_NEAR(c_psi(d2, ms(50), 1.0), c_psi(d1, ms(50), 1.0) / 2.0, 1e-12);
+}
+
+TEST(ModelScalingTest, GentlerDecreaseRaisesResilience) {
+  // Larger b (shallower multiplicative decrease) means the flow retains
+  // more window per pulse: the b-dependent factor (1+b)/(1-b) grows, so
+  // C_Ψ grows and the attacker's attainable gain falls.
+  VictimProfile victim = victim_of(15, ms(20), ms(460), mbps(15));
+  double prev = 0.0;
+  for (double b : {0.3, 0.5, 0.7, 0.9}) {
+    victim.aimd.b = b;
+    const double cpsi = c_psi(victim, ms(50), 1.0);
+    EXPECT_GT(cpsi, prev) << "b=" << b;
+    prev = cpsi;
+  }
+}
+
+// ---------- consistency across the γ / T_AIMD parameterizations ----------
+
+TEST(ModelConsistencyTest, GammaAndPeriodParameterizationsAgree) {
+  const VictimProfile victim = victim_of(15, ms(20), ms(460), mbps(15));
+  const Time textent = ms(75);
+  const double c_attack = 2.0;
+  const double cpsi = c_psi(victim, textent, c_attack);
+  for (double gamma = std::max(0.1, cpsi + 0.01); gamma < 1.0;
+       gamma += 0.1) {
+    const PulseTrain train =
+        PulseTrain::from_gamma(textent, c_attack * victim.rbottle, gamma,
+                               victim.rbottle);
+    EXPECT_NEAR(throughput_degradation(victim, train.period()),
+                1.0 - cpsi / gamma, 1e-9)
+        << "gamma=" << gamma;
+    EXPECT_NEAR(train.mu(), c_attack / gamma - 1.0, 1e-9);
+  }
+}
+
+TEST(ModelConsistencyTest, OptimalPlanMaximizesOverDenseGrid) {
+  const VictimProfile victim = victim_of(25, ms(20), ms(460), mbps(15));
+  const double cpsi = c_psi(victim, ms(50), 30.0 / 15.0);
+  ASSERT_LT(cpsi, 1.0);
+  for (double kappa : {0.4, 1.0, 2.7}) {
+    const double gstar = optimal_gamma(cpsi, kappa);
+    const double best = attack_gain(gstar, cpsi, kappa);
+    for (double gamma = cpsi + 1e-3; gamma < 1.0; gamma += 1e-3) {
+      ASSERT_LE(attack_gain(gamma, cpsi, kappa), best + 1e-12)
+          << "kappa=" << kappa << " gamma=" << gamma;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdos

@@ -1,0 +1,197 @@
+#include "core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+// Proposition 3's printed form, evaluated directly (valid for kappa not too
+// close to 0); used to verify the stable rationalized form we ship.
+double eq13_printed(double cpsi, double kappa) {
+  const double omk = 1.0 - kappa;
+  return (cpsi * omk - std::sqrt(cpsi * cpsi * omk * omk +
+                                 4.0 * kappa * cpsi)) /
+         (-2.0 * kappa);
+}
+
+TEST(Eq13Test, MatchesPrintedFormula) {
+  for (double cpsi : {0.05, 0.2, 0.5, 0.9}) {
+    for (double kappa : {0.3, 0.7, 1.0, 1.5, 3.0, 10.0}) {
+      EXPECT_NEAR(optimal_gamma(cpsi, kappa), eq13_printed(cpsi, kappa),
+                  1e-12)
+          << "cpsi=" << cpsi << " kappa=" << kappa;
+    }
+  }
+}
+
+TEST(Corollary3Test, RiskNeutralOptimumIsSqrtCpsi) {
+  for (double cpsi : {0.01, 0.1, 0.25, 0.5, 0.81}) {
+    EXPECT_NEAR(optimal_gamma(cpsi, 1.0), std::sqrt(cpsi), 1e-12);
+    EXPECT_NEAR(optimal_gamma_risk_neutral(cpsi), std::sqrt(cpsi), 1e-12);
+  }
+}
+
+TEST(Corollary1Test, RiskAverseLimitIsCpsi) {
+  // lim_{kappa -> inf} gamma* = C_Psi.
+  const double cpsi = 0.3;
+  double prev = optimal_gamma(cpsi, 1.0);
+  for (double kappa : {10.0, 100.0, 1000.0, 1e6}) {
+    const double g = optimal_gamma(cpsi, kappa);
+    EXPECT_LT(g, prev);  // monotonically approaching from above
+    prev = g;
+  }
+  EXPECT_NEAR(optimal_gamma(cpsi, 1e9), cpsi, 1e-6);
+}
+
+TEST(Corollary2Test, RiskLovingLimitIsOne) {
+  const double cpsi = 0.3;
+  double prev = optimal_gamma(cpsi, 1.0);
+  for (double kappa : {0.5, 0.1, 0.01, 1e-6}) {
+    const double g = optimal_gamma(cpsi, kappa);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+  EXPECT_NEAR(optimal_gamma(cpsi, 1e-12), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(optimal_gamma(cpsi, 0.0), 1.0);
+}
+
+TEST(Prop3Test, OptimumLiesInFeasibleInterval) {
+  for (double cpsi = 0.02; cpsi < 1.0; cpsi += 0.07) {
+    for (double kappa : {0.1, 0.5, 1.0, 2.0, 8.0}) {
+      const double g = optimal_gamma(cpsi, kappa);
+      EXPECT_GT(g, cpsi) << "cpsi=" << cpsi << " kappa=" << kappa;
+      EXPECT_LT(g, 1.0) << "cpsi=" << cpsi << " kappa=" << kappa;
+    }
+  }
+}
+
+TEST(Prop3Test, StationaryPointOfGain) {
+  // dG/dgamma = 0 at gamma* (central difference).
+  for (double cpsi : {0.1, 0.4}) {
+    for (double kappa : {0.5, 1.0, 2.5}) {
+      const double g = optimal_gamma(cpsi, kappa);
+      const double h = 1e-6;
+      const double deriv = (attack_gain(g + h, cpsi, kappa) -
+                            attack_gain(g - h, cpsi, kappa)) /
+                           (2.0 * h);
+      EXPECT_NEAR(deriv, 0.0, 1e-4) << "cpsi=" << cpsi << " kappa=" << kappa;
+    }
+  }
+}
+
+TEST(Prop3Test, GlobalMaximumOnGrid) {
+  for (double cpsi : {0.15, 0.35}) {
+    for (double kappa : {0.6, 1.0, 3.0}) {
+      const double gstar = optimal_gamma(cpsi, kappa);
+      const double best = attack_gain(gstar, cpsi, kappa);
+      for (double g = cpsi + 0.001; g < 1.0; g += 0.001) {
+        EXPECT_LE(attack_gain(g, cpsi, kappa), best + 1e-12)
+            << "cpsi=" << cpsi << " kappa=" << kappa << " gamma=" << g;
+      }
+    }
+  }
+}
+
+TEST(NumericTest, GoldenSectionAgreesWithClosedForm) {
+  for (double cpsi : {0.05, 0.25, 0.6}) {
+    for (double kappa : {0.2, 1.0, 4.0}) {
+      EXPECT_NEAR(optimal_gamma_numeric(cpsi, kappa),
+                  optimal_gamma(cpsi, kappa), 1e-6)
+          << "cpsi=" << cpsi << " kappa=" << kappa;
+    }
+  }
+}
+
+TEST(NumericTest, GoldenSectionFindsParabolaPeak) {
+  const double peak = golden_section_max(
+      [](double x) { return -(x - 0.37) * (x - 0.37); }, 0.0, 1.0);
+  EXPECT_NEAR(peak, 0.37, 1e-7);
+}
+
+TEST(Prop4Test, ExactMuReconstructsGammaStar) {
+  const double cpsi = 0.2;
+  const double kappa = 1.0;
+  const double c_attack = 25.0 / 15.0;
+  const double mu = optimal_mu_exact(c_attack, cpsi, kappa);
+  // gamma = C_attack / (1 + mu)  (Eq. 7).
+  EXPECT_NEAR(c_attack / (1.0 + mu), optimal_gamma(cpsi, kappa), 1e-12);
+}
+
+TEST(Prop4Test, PaperMuIsExactPlusOne) {
+  const double c_attack = 2.0;
+  for (double cpsi : {0.1, 0.3}) {
+    for (double kappa : {0.5, 1.0, 2.0}) {
+      EXPECT_NEAR(optimal_mu_paper(c_attack, cpsi, kappa),
+                  optimal_mu_exact(c_attack, cpsi, kappa) + 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Corollary4Test, RiskNeutralMuViaCvictim) {
+  // mu = sqrt(C_attack / (T_extent * C_victim)) must equal
+  // C_attack / sqrt(C_Psi) with C_Psi = T_extent * C_attack * C_victim.
+  const double c_attack = 25.0 / 15.0;
+  const Time textent = ms(50);
+  const double cvictim = 2.7;
+  const double cpsi = textent * c_attack * cvictim;
+  ASSERT_LT(cpsi, 1.0);
+  EXPECT_NEAR(optimal_mu_risk_neutral_paper(c_attack, textent, cvictim),
+              optimal_mu_paper(c_attack, cpsi, 1.0), 1e-9);
+}
+
+TEST(OptimalGainTest, DecreasesWithRiskAversion) {
+  const double cpsi = 0.2;
+  double prev = 2.0;
+  for (double kappa : {0.2, 0.5, 1.0, 2.0, 5.0}) {
+    const double g = optimal_gain(cpsi, kappa);
+    EXPECT_LT(g, prev) << "kappa=" << kappa;
+    EXPECT_GT(g, 0.0);
+    prev = g;
+  }
+}
+
+TEST(OptimalGainTest, DecreasesWithCpsi) {
+  // A harder-to-degrade victim (larger C_Psi) yields less attainable gain.
+  double prev = 2.0;
+  for (double cpsi : {0.05, 0.15, 0.35, 0.7}) {
+    const double g = optimal_gain(cpsi, 1.0);
+    EXPECT_LT(g, prev) << "cpsi=" << cpsi;
+    prev = g;
+  }
+}
+
+TEST(OptimizerValidationTest, DomainErrors) {
+  EXPECT_THROW(optimal_gamma(0.0, 1.0), ParameterError);
+  EXPECT_THROW(optimal_gamma(1.0, 1.0), ParameterError);
+  EXPECT_THROW(optimal_gamma(0.5, -1.0), ParameterError);
+  EXPECT_THROW(optimal_mu_exact(0.0, 0.5, 1.0), ParameterError);
+  EXPECT_THROW(golden_section_max([](double x) { return x; }, 1.0, 0.0),
+               ParameterError);
+  // Risk-neutral gamma* = sqrt(0.04) = 0.2 > C_attack = 0.1: infeasible mu.
+  EXPECT_THROW(optimal_mu_exact(0.1, 0.04, 1.0), ParameterError);
+}
+
+/// Property sweep: closed form vs numeric across the (C_Psi, kappa) grid.
+class OptimalGammaSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(OptimalGammaSweep, ClosedFormIsTheArgmax) {
+  const auto [cpsi, kappa] = GetParam();
+  const double gstar = optimal_gamma(cpsi, kappa);
+  EXPECT_NEAR(optimal_gamma_numeric(cpsi, kappa), gstar, 1e-6);
+  EXPECT_GT(gstar, cpsi);
+  EXPECT_LT(gstar, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptimalGammaSweep,
+    ::testing::Combine(::testing::Values(0.02, 0.1, 0.3, 0.5, 0.8, 0.95),
+                       ::testing::Values(0.05, 0.3, 1.0, 2.0, 10.0, 50.0)));
+
+}  // namespace
+}  // namespace pdos

@@ -1,0 +1,162 @@
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+AttackPlanRequest paper_request() {
+  AttackPlanRequest request;
+  request.victim.aimd = AimdParams::new_reno();
+  request.victim.spacket = 1040;
+  request.victim.rbottle = mbps(15);
+  request.victim.rtts = VictimProfile::even_rtts(15, ms(20), ms(460));
+  request.textent = ms(50);
+  request.rattack = mbps(25);
+  request.kappa = 1.0;
+  return request;
+}
+
+TEST(PlannerTest, PlansAtTheClosedFormOptimum) {
+  const AttackPlanRequest request = paper_request();
+  const AttackPlan plan = plan_attack(request);
+  const double c_attack = 25.0 / 15.0;
+  const double cpsi = c_psi(request.victim, request.textent, c_attack);
+  EXPECT_NEAR(plan.gamma, optimal_gamma(cpsi, 1.0), 1e-12);
+  EXPECT_NEAR(plan.c_psi, cpsi, 1e-12);
+  EXPECT_FALSE(plan.gamma_clamped);
+}
+
+TEST(PlannerTest, TrainRealizesPlannedGamma) {
+  const AttackPlan plan = plan_attack(paper_request());
+  EXPECT_NEAR(plan.train.gamma(mbps(15)), plan.gamma, 1e-9);
+  EXPECT_DOUBLE_EQ(plan.train.textent, ms(50));
+  EXPECT_DOUBLE_EQ(plan.train.rattack, mbps(25));
+  EXPECT_NEAR(plan.mu, plan.train.tspace / plan.train.textent, 1e-12);
+}
+
+TEST(PlannerTest, PredictionsAreConsistentWithModel) {
+  const AttackPlanRequest request = paper_request();
+  const AttackPlan plan = plan_attack(request);
+  EXPECT_NEAR(plan.predicted_degradation, 1.0 - plan.c_psi / plan.gamma,
+              1e-9);
+  EXPECT_NEAR(plan.predicted_gain,
+              attack_gain(plan.gamma, plan.c_psi, request.kappa), 1e-12);
+  ASSERT_EQ(plan.converged_cwnds.size(), request.victim.rtts.size());
+  for (std::size_t i = 0; i < plan.converged_cwnds.size(); ++i) {
+    EXPECT_NEAR(plan.converged_cwnds[i],
+                converged_cwnd(request.victim.aimd, plan.train.period(),
+                               request.victim.rtts[i]),
+                1e-9);
+  }
+}
+
+TEST(PlannerTest, RiskAversePlansLowerGamma) {
+  AttackPlanRequest request = paper_request();
+  request.kappa = 5.0;
+  const AttackPlan averse = plan_attack(request);
+  request.kappa = 0.3;
+  const AttackPlan loving = plan_attack(request);
+  EXPECT_LT(averse.gamma, loving.gamma);
+  EXPECT_LT(averse.train.average_rate(), loving.train.average_rate());
+  EXPECT_EQ(averse.risk_class, RiskClass::kRiskAverse);
+  EXPECT_EQ(loving.risk_class, RiskClass::kRiskLoving);
+}
+
+TEST(PlannerTest, ClampsGammaWhenPulseRateTooLow) {
+  AttackPlanRequest request = paper_request();
+  // C_attack = 6/15 = 0.4, but the unconstrained optimum for a risk-loving
+  // attacker approaches 1: must clamp to C_attack.
+  request.rattack = mbps(6);
+  request.kappa = 0.01;
+  const AttackPlan plan = plan_attack(request);
+  EXPECT_TRUE(plan.gamma_clamped);
+  EXPECT_NEAR(plan.gamma, 0.4, 1e-9);
+  EXPECT_GT(plan.gamma_unclamped, plan.gamma);
+  EXPECT_NEAR(plan.train.tspace, 0.0, 1e-9);  // degenerated to flooding
+}
+
+TEST(PlannerTest, FlagsShrewCollision) {
+  AttackPlanRequest request = paper_request();
+  request.victim_min_rto = sec(1.0);
+  // Force a period of exactly minRTO/2 = 500 ms (a Fig. 10 marked point).
+  const double c_attack = 25.0 / 15.0;
+  const double gamma = ms(50) * c_attack / 0.5;
+  const AttackPlan plan = plan_attack_at_gamma(request, gamma);
+  ASSERT_TRUE(plan.shrew_harmonic.has_value());
+  EXPECT_EQ(*plan.shrew_harmonic, 2);
+  EXPECT_NE(plan.summary().find("shrew"), std::string::npos);
+}
+
+TEST(PlannerTest, HigherHarmonicsNotFlagged) {
+  // minRTO/6 is too fast to realign with backed-off RTOs; no flag.
+  AttackPlanRequest request = paper_request();
+  request.victim_min_rto = sec(1.0);
+  const double c_attack = 25.0 / 15.0;
+  const double gamma = ms(50) * c_attack / (1.0 / 6.0);
+  const AttackPlan plan = plan_attack_at_gamma(request, gamma);
+  EXPECT_FALSE(plan.shrew_harmonic.has_value());
+}
+
+TEST(PlannerTest, NoShrewFlagWithoutMinRto) {
+  const AttackPlan plan = plan_attack(paper_request());
+  EXPECT_FALSE(plan.shrew_harmonic.has_value());
+}
+
+TEST(PlannerTest, AtGammaRespectsDomain) {
+  const AttackPlanRequest request = paper_request();
+  EXPECT_THROW(plan_attack_at_gamma(request, 0.0), ParameterError);
+  EXPECT_THROW(plan_attack_at_gamma(request, 1.7), ParameterError);
+  const AttackPlan plan = plan_attack_at_gamma(request, 0.5);
+  EXPECT_NEAR(plan.train.gamma(mbps(15)), 0.5, 1e-9);
+}
+
+TEST(PlannerTest, InfeasibleCpsiThrows) {
+  AttackPlanRequest request = paper_request();
+  request.textent = sec(2.0);  // gigantic pulses: C_Psi > 1
+  request.rattack = mbps(45);
+  EXPECT_THROW(plan_attack(request), ParameterError);
+}
+
+TEST(PlannerTest, RequestValidation) {
+  AttackPlanRequest request = paper_request();
+  request.textent = 0.0;
+  EXPECT_THROW(plan_attack(request), ParameterError);
+  request = paper_request();
+  request.victim.rtts.clear();
+  EXPECT_THROW(plan_attack(request), ParameterError);
+  request = paper_request();
+  request.victim_min_rto = 0.0;
+  EXPECT_THROW(plan_attack(request), ParameterError);
+}
+
+TEST(PlannerTest, SummaryMentionsKeyNumbers) {
+  const AttackPlan plan = plan_attack(paper_request());
+  const std::string s = plan.summary();
+  EXPECT_NE(s.find("risk-neutral"), std::string::npos);
+  EXPECT_NE(s.find("gamma="), std::string::npos);
+  EXPECT_NE(s.find("T_space="), std::string::npos);
+}
+
+TEST(PlannerTest, HigherKappaNeverIncreasesPlannedAverageRate) {
+  // Property: planned average attack rate is monotone non-increasing in
+  // kappa (more risk aversion -> stealthier attack).
+  const AttackPlanRequest base = paper_request();
+  double prev_rate = 1e18;
+  for (double kappa : {0.1, 0.3, 1.0, 2.0, 5.0, 20.0}) {
+    AttackPlanRequest request = base;
+    request.kappa = kappa;
+    const AttackPlan plan = plan_attack(request);
+    EXPECT_LE(plan.train.average_rate(), prev_rate + 1.0);
+    prev_rate = plan.train.average_rate();
+  }
+}
+
+}  // namespace
+}  // namespace pdos

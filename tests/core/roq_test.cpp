@@ -1,0 +1,82 @@
+#include "core/roq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+VictimProfile victim() {
+  VictimProfile v;
+  v.aimd = AimdParams::new_reno();
+  v.spacket = 1040;
+  v.rbottle = mbps(15);
+  v.rtts = VictimProfile::even_rtts(15, ms(20), ms(460));
+  return v;
+}
+
+TEST(RoqTest, PotencyIsDamageOverCost) {
+  EXPECT_DOUBLE_EQ(roq_potency(5e6, 2e6, 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(roq_potency(0.0, 2e6, 1.0), 0.0);
+  EXPECT_NEAR(roq_potency(4e6, 4e6, 0.5), 4e6 / 2000.0, 1e-6);
+}
+
+TEST(RoqTest, ModelPotencyZeroBelowCpsi) {
+  const VictimProfile v = victim();
+  const double cpsi = c_psi(v, ms(50), 25.0 / 15.0);
+  EXPECT_DOUBLE_EQ(pdos_model_potency(v, ms(50), 25.0 / 15.0, cpsi * 0.9),
+                   0.0);
+  EXPECT_GT(pdos_model_potency(v, ms(50), 25.0 / 15.0, cpsi + 0.1), 0.0);
+}
+
+TEST(RoqTest, OmegaOneOptimumIsTwiceCpsi) {
+  const VictimProfile v = victim();
+  const double cpsi = c_psi(v, ms(50), 25.0 / 15.0);
+  ASSERT_LT(2.0 * cpsi, 1.0);
+  EXPECT_NEAR(roq_optimal_gamma(v, ms(50), 25.0 / 15.0, 1.0), 2.0 * cpsi,
+              1e-5);
+}
+
+TEST(RoqTest, RoqOptimumIsCheaperThanGainOptimum) {
+  // The potency-maximizing operating point spends less traffic than the
+  // gain-maximizing one whenever C_Psi < 1/4 (2C < sqrt(C) there).
+  const VictimProfile v = victim();
+  const double cpsi = c_psi(v, ms(50), 25.0 / 15.0);
+  ASSERT_LT(cpsi, 0.25);
+  const double roq_gamma = roq_optimal_gamma(v, ms(50), 25.0 / 15.0);
+  const double gain_gamma = optimal_gamma(cpsi, 1.0);
+  EXPECT_LT(roq_gamma, gain_gamma);
+}
+
+TEST(RoqTest, PotencyUnimodalOnGrid) {
+  const VictimProfile v = victim();
+  const double c_attack = 25.0 / 15.0;
+  const double gstar = roq_optimal_gamma(v, ms(50), c_attack);
+  const double best = pdos_model_potency(v, ms(50), c_attack, gstar);
+  for (double gamma = 0.05; gamma < 1.0; gamma += 0.01) {
+    EXPECT_LE(pdos_model_potency(v, ms(50), c_attack, gamma), best + 1e-9)
+        << "gamma=" << gamma;
+  }
+}
+
+TEST(RoqTest, HigherOmegaFavorsCheaperAttacks) {
+  const VictimProfile v = victim();
+  const double c_attack = 25.0 / 15.0;
+  const double g1 = roq_optimal_gamma(v, ms(50), c_attack, 1.0);
+  const double g2 = roq_optimal_gamma(v, ms(50), c_attack, 2.0);
+  EXPECT_LT(g2, g1);
+}
+
+TEST(RoqTest, Validation) {
+  const VictimProfile v = victim();
+  EXPECT_THROW(roq_potency(1.0, 0.0), ParameterError);
+  EXPECT_THROW(roq_potency(-1.0, 1.0), ParameterError);
+  EXPECT_THROW(roq_potency(1.0, 1.0, 0.0), ParameterError);
+  EXPECT_THROW(pdos_model_potency(v, ms(50), 1.0, 1.5), ParameterError);
+}
+
+}  // namespace
+}  // namespace pdos

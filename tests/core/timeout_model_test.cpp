@@ -1,0 +1,191 @@
+#include "core/timeout_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+VictimProfile ns2_victim(int flows = 15) {
+  VictimProfile victim;
+  victim.aimd = AimdParams::new_reno();
+  victim.spacket = 1040;
+  victim.rbottle = mbps(15);
+  victim.rtts = VictimProfile::even_rtts(flows, ms(20), ms(460));
+  return victim;
+}
+
+TimeoutModelParams ns2_params() {
+  TimeoutModelParams params;
+  params.min_rto = sec(1.0);
+  return params;
+}
+
+TEST(TimeoutBoundTest, SmallWindowMeansTimeoutBound) {
+  const AimdParams aimd = AimdParams::new_reno();
+  // W∞ = 2 * T / RTT; threshold is dupack_threshold + 1 = 4.
+  // T = 100 ms, RTT = 20 ms -> W∞ = 10: fine.
+  EXPECT_FALSE(flow_is_timeout_bound(aimd, ms(100), ms(20), 3));
+  // T = 100 ms, RTT = 100 ms -> W∞ = 2: timeout-bound.
+  EXPECT_TRUE(flow_is_timeout_bound(aimd, ms(100), ms(100), 3));
+  // Boundary: W∞ = 4 exactly -> not bound (needs strict <).
+  EXPECT_FALSE(flow_is_timeout_bound(aimd, ms(200), ms(100), 3));
+}
+
+TEST(BurstLossTest, ThresholdIsBufferPlusDrain) {
+  PulseContext ctx;
+  ctx.textent = ms(100);
+  ctx.buffer_bytes = 250000;
+  // Drain at 15 Mbps over 100 ms = 187.5 kB; threshold = 437.5 kB.
+  ctx.rattack = mbps(34);  // 425 kB injected: below
+  EXPECT_FALSE(pulses_cause_burst_loss(ctx, mbps(15)));
+  ctx.rattack = mbps(36);  // 450 kB injected: above
+  EXPECT_TRUE(pulses_cause_burst_loss(ctx, mbps(15)));
+}
+
+TEST(BurstLossTest, UnknownBufferDisablesDetection) {
+  PulseContext ctx;
+  ctx.textent = ms(100);
+  ctx.rattack = mbps(500);
+  ctx.buffer_bytes = 0;
+  EXPECT_FALSE(pulses_cause_burst_loss(ctx, mbps(15)));
+}
+
+TEST(ClassifyTest, RegimePriority) {
+  const VictimProfile victim = ns2_victim();
+  const TimeoutModelParams params = ns2_params();
+  // Burst loss dominates everything.
+  PulseContext burst{ms(100), mbps(100), 100000};
+  EXPECT_EQ(classify_flow(victim, ms(700), ms(20), params, burst),
+            FlowRegime::kBurstLoss);
+  // Shrew alignment at T = 1 s (no burst context).
+  EXPECT_EQ(classify_flow(victim, sec(1.0), ms(20), params, std::nullopt),
+            FlowRegime::kShrewPinned);
+  // Small window: T = 150 ms, RTT = 460 ms.
+  EXPECT_EQ(classify_flow(victim, ms(150), ms(460), params, std::nullopt),
+            FlowRegime::kSmallWindow);
+  // Healthy: T = 700 ms (not a harmonic), RTT = 20 ms.
+  EXPECT_EQ(classify_flow(victim, ms(700), ms(20), params, std::nullopt),
+            FlowRegime::kFastRecovery);
+}
+
+TEST(RampTest, PinnedWhilePeriodBelowRto) {
+  const TimeoutModelParams params = ns2_params();
+  EXPECT_DOUBLE_EQ(timeout_bound_flow_packets(AimdParams::new_reno(),
+                                              ms(900), ms(50), params, 1e9),
+                   0.0);
+  EXPECT_DOUBLE_EQ(timeout_bound_flow_packets(AimdParams::new_reno(),
+                                              sec(1.0), ms(50), params, 1e9),
+                   0.0);
+}
+
+TEST(RampTest, SlowStartGrowthAfterRto) {
+  const TimeoutModelParams params = ns2_params();
+  // available = 0.5 s, RTT = 100 ms -> 5 RTTs -> 2^5 - 1 = 31 packets.
+  EXPECT_NEAR(timeout_bound_flow_packets(AimdParams::new_reno(), sec(1.5),
+                                         ms(100), params, 1e9),
+              31.0, 1e-6);
+}
+
+TEST(RampTest, ShareCapBounds) {
+  const TimeoutModelParams params = ns2_params();
+  EXPECT_DOUBLE_EQ(timeout_bound_flow_packets(AimdParams::new_reno(),
+                                              sec(3.0), ms(10), params, 50.0),
+                   50.0);
+}
+
+TEST(ExtModelTest, DegeneratesToBaseWhenNoTimeouts) {
+  // A period where every flow's W∞ >= 4 and nothing aligns with minRTO:
+  // the extension must reproduce Eq. (10) exactly.
+  VictimProfile victim = ns2_victim();
+  victim.rtts = VictimProfile::even_rtts(15, ms(20), ms(120));
+  const Time period = ms(700);  // W∞ range: 11.7 .. 70; not a harmonic
+  const TimeoutModelParams params = ns2_params();
+  EXPECT_EQ(timeout_bound_flow_count(victim, period, params), 0);
+  EXPECT_NEAR(throughput_degradation_ext(victim, period, params),
+              throughput_degradation(victim, period), 1e-12);
+}
+
+TEST(ExtModelTest, ShrewPeriodPredictsMoreDamageThanBase) {
+  const VictimProfile victim = ns2_victim();
+  const TimeoutModelParams params = ns2_params();
+  // At T = minRTO the base model predicts ~no damage; the extension must
+  // predict substantial damage.
+  const double base = throughput_degradation(victim, sec(1.0));
+  const double ext = throughput_degradation_ext(victim, sec(1.0), params);
+  EXPECT_LT(base, 0.1);
+  EXPECT_GT(ext, base + 0.3);
+}
+
+TEST(ExtModelTest, BurstLossPredictsNearTotalDenial) {
+  const VictimProfile victim = ns2_victim();
+  TimeoutModelParams params = ns2_params();
+  params.survival_probability = 0.0;  // every pulse hits every flow
+  const PulseContext ctx{ms(100), mbps(100), 100000};
+  // Period below RTO: all flows pinned, zero throughput -> Gamma = 1.
+  EXPECT_NEAR(throughput_degradation_ext(victim, ms(800), params, ctx), 1.0,
+              1e-9);
+}
+
+TEST(ExtModelTest, SurvivalProbabilityInterpolates) {
+  const VictimProfile victim = ns2_victim();
+  const PulseContext ctx{ms(100), mbps(100), 100000};
+  TimeoutModelParams params = ns2_params();
+  double prev = 2.0;
+  for (double s : {0.0, 0.3, 0.6, 1.0}) {
+    params.survival_probability = s;
+    const double gamma_deg =
+        throughput_degradation_ext(victim, ms(800), params, ctx);
+    EXPECT_LE(gamma_deg, prev + 1e-12) << "s=" << s;
+    prev = gamma_deg;
+  }
+}
+
+TEST(ExtModelTest, GainExtComposesRiskTerm) {
+  const VictimProfile victim = ns2_victim();
+  const TimeoutModelParams params = ns2_params();
+  const PulseContext ctx{ms(100), mbps(30), 0};
+  const double gamma = 0.4;
+  const Time period = ms(100) * 2.0 / gamma;
+  const double expected =
+      throughput_degradation_ext(victim, period, params, ctx) *
+      risk_term(gamma, 2.0);
+  EXPECT_NEAR(attack_gain_ext(victim, ctx, gamma, 2.0, params), expected,
+              1e-12);
+}
+
+TEST(ExtModelTest, TimeoutBoundCountMonotoneInPeriod) {
+  // Shorter periods shrink W∞, so the timeout-bound count can only grow.
+  const VictimProfile victim = ns2_victim(25);
+  const TimeoutModelParams params = ns2_params();
+  int prev = -1;
+  for (Time period : {ms(700), ms(450), ms(260), ms(130), ms(35)}) {
+    const int count = timeout_bound_flow_count(victim, period, params);
+    EXPECT_GE(count, prev) << "period=" << period;
+    prev = count;
+  }
+  // At T = 35 ms even the 20 ms-RTT flow has W∞ = 3.5 < 4: all bound.
+  EXPECT_EQ(prev, 25);
+}
+
+TEST(ExtModelTest, ParamValidation) {
+  TimeoutModelParams params;
+  params.survival_probability = 1.5;
+  EXPECT_THROW(params.validate(), ParameterError);
+  params = TimeoutModelParams{};
+  params.min_rto = 0.0;
+  EXPECT_THROW(params.validate(), ParameterError);
+  params = TimeoutModelParams{};
+  params.shrew_tolerance = 0.0;
+  EXPECT_THROW(params.validate(), ParameterError);
+  const VictimProfile victim = ns2_victim();
+  const PulseContext ctx{ms(50), mbps(25), 0};
+  EXPECT_THROW(
+      attack_gain_ext(victim, ctx, 1.5, 1.0, TimeoutModelParams{}),
+      ParameterError);
+}
+
+}  // namespace
+}  // namespace pdos

@@ -1,0 +1,75 @@
+// The umbrella header must expose the entire public API: this test
+// compiles one representative use of every layer through pdos/pdos.hpp
+// alone.
+#include "pdos/pdos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pdos {
+namespace {
+
+TEST(UmbrellaTest, EveryLayerReachable) {
+  // util
+  static_assert(mbps(15) == 15e6);
+  Rng rng(1);
+  (void)rng.uniform();
+
+  // sim
+  Simulator sim(1);
+  int fired = 0;
+  sim.schedule(ms(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+
+  // net
+  DropTailQueue droptail(4);
+  RedQueue red(RedParams::paper_testbed(100), Rng(2));
+  Packet pkt;
+  pkt.size_bytes = 100;
+  EXPECT_TRUE(droptail.enqueue(pkt));
+
+  // tcp
+  const AimdParams aimd = AimdParams::new_reno();
+  EXPECT_DOUBLE_EQ(aimd.b, 0.5);
+  EXPECT_STREQ(tcp_variant_name(TcpVariant::kNewReno), "NewReno");
+
+  // attack
+  const PulseTrain train =
+      PulseTrain::from_gamma(ms(50), mbps(25), 0.5, mbps(15));
+  EXPECT_NEAR(train.gamma(mbps(15)), 0.5, 1e-12);
+  EXPECT_EQ(split_train(train, 2).size(), 2u);
+  EXPECT_DOUBLE_EQ(shrew_period(sec(1), 2), 0.5);
+
+  // traffic
+  struct Sink : PacketHandler {
+    void handle(Packet) override {}
+  } sink;
+  CbrSource cbr(sim, mbps(1), 1000, 1, 2, &sink);
+
+  // stats
+  EXPECT_EQ(paa({1.0, 1.0, 3.0, 3.0}, 2), (std::vector<double>{1.0, 3.0}));
+  JitterMeter jitter;
+  jitter.observe(0.0);
+
+  // detect
+  RateAnomalyDetector rate_detector(RateDetectorConfig{});
+  DtwPulseDetector dtw(DtwDetectorConfig{});
+
+  // io
+  std::ostringstream os;
+  CsvWriter csv(os, {"a"});
+  csv.row({1.0});
+
+  // core
+  const ScenarioConfig scenario = ScenarioConfig::ns2_dumbbell(5);
+  const VictimProfile victim = scenario.victim_profile();
+  EXPECT_GT(c_victim(victim), 0.0);
+  EXPECT_GT(optimal_gamma(0.2, 1.0), 0.0);
+  const TimeoutModelParams ext;
+  EXPECT_GE(throughput_degradation_ext(victim, sec(1.0), ext), 0.0);
+}
+
+}  // namespace
+}  // namespace pdos

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "detect/dtw_detector.hpp"
+#include "detect/rate_detector.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+// ---------- rate-anomaly detector ----------
+
+RateDetectorConfig rate_config() {
+  RateDetectorConfig config;
+  config.window = sec(1.0);
+  config.threshold_fraction = 0.9;
+  config.capacity = mbps(10);
+  return config;
+}
+
+TEST(RateDetectorTest, FloodingTriggersEveryWindow) {
+  RateAnomalyDetector detector(rate_config());
+  // 12 Mbps sustained: 1.5e6 bytes per second, spread over 10 ms packets.
+  for (int t = 0; t < 1000; ++t) {
+    detector.observe(t * 0.01, 15000);
+  }
+  detector.finish(sec(10.0));
+  EXPECT_TRUE(detector.triggered());
+  EXPECT_EQ(detector.alarm_count(), 10u);
+}
+
+TEST(RateDetectorTest, QuietTrafficNeverTriggers) {
+  RateAnomalyDetector detector(rate_config());
+  for (int t = 0; t < 1000; ++t) {
+    detector.observe(t * 0.01, 2000);  // 1.6 Mbps
+  }
+  detector.finish(sec(10.0));
+  EXPECT_FALSE(detector.triggered());
+  EXPECT_EQ(detector.windows_evaluated(), 10u);
+}
+
+TEST(RateDetectorTest, PulsedTrafficBelowAverageThresholdEvades) {
+  // PDoS train: 50 ms bursts at 40 Mbps once per second -> gamma = 0.2.
+  // Per 1 s window: 0.05 * 40e6 / 8 = 250 kB -> 2 Mbps average. Evades.
+  RateAnomalyDetector detector(rate_config());
+  for (int pulse = 0; pulse < 10; ++pulse) {
+    const Time start = pulse * 1.0;
+    for (int i = 0; i < 50; ++i) {
+      detector.observe(start + i * 0.001, 5000);  // 40 Mbps for 50 ms
+    }
+  }
+  detector.finish(sec(10.0));
+  EXPECT_FALSE(detector.triggered());
+  EXPECT_NEAR(detector.peak_window_rate(), mbps(2), mbps(0.1));
+}
+
+TEST(RateDetectorTest, ShortWindowCatchesThePulse) {
+  // Same pulse train, but a 50 ms detection window sees the full 40 Mbps.
+  RateDetectorConfig config = rate_config();
+  config.window = ms(50);
+  RateAnomalyDetector detector(config);
+  for (int pulse = 0; pulse < 10; ++pulse) {
+    const Time start = pulse * 1.0;
+    for (int i = 0; i < 50; ++i) {
+      detector.observe(start + i * 0.001, 5000);
+    }
+  }
+  detector.finish(sec(10.0));
+  EXPECT_TRUE(detector.triggered());
+}
+
+TEST(RateDetectorTest, AlarmTimesAreWindowStarts) {
+  RateAnomalyDetector detector(rate_config());
+  for (int t = 0; t < 300; ++t) {
+    // Hot only during the second window [1, 2).
+    const Bytes bytes = (t >= 100 && t < 200) ? 15000 : 100;
+    detector.observe(t * 0.01, bytes);
+  }
+  detector.finish(sec(3.0));
+  ASSERT_EQ(detector.alarm_count(), 1u);
+  EXPECT_DOUBLE_EQ(detector.alarm_times()[0], 1.0);
+}
+
+TEST(RateDetectorTest, TimeMustNotGoBackwards) {
+  RateAnomalyDetector detector(rate_config());
+  detector.observe(1.0, 100);
+  EXPECT_THROW(detector.observe(0.5, 100), ParameterError);
+}
+
+TEST(RateDetectorTest, ConfigValidation) {
+  RateDetectorConfig config = rate_config();
+  config.window = 0.0;
+  EXPECT_THROW(RateAnomalyDetector{config}, ParameterError);
+  config = rate_config();
+  config.capacity = 0.0;
+  EXPECT_THROW(RateAnomalyDetector{config}, ParameterError);
+}
+
+// ---------- DTW pulse detector ----------
+
+std::vector<double> pulse_series(std::size_t len, std::size_t period,
+                                 std::size_t high, double amplitude,
+                                 double base = 1.0) {
+  std::vector<double> v(len, base);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i % period < high) v[i] += amplitude;
+  }
+  return v;
+}
+
+TEST(DtwDistanceTest, IdenticalSeriesHaveZeroDistance) {
+  const std::vector<double> a{1, 2, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(dtw_distance(a, a), 0.0);
+}
+
+TEST(DtwDistanceTest, TimeShiftedSeriesAreClose) {
+  std::vector<double> a(40, 0.0);
+  std::vector<double> b(40, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    a[10 + i] = 1.0;
+    b[13 + i] = 1.0;  // same pulse, shifted 3 samples
+  }
+  // DTW warps over the shift: far smaller than Euclidean per-sample error.
+  EXPECT_LT(dtw_distance(a, b), 0.05);
+}
+
+TEST(DtwDistanceTest, DifferentShapesAreFar) {
+  const std::vector<double> flat(40, 0.5);
+  auto pulsed = pulse_series(40, 10, 2, 5.0, 0.0);
+  EXPECT_GT(dtw_distance(flat, pulsed), 0.3);
+}
+
+TEST(DtwDistanceTest, EmptyInputIsInfinite) {
+  EXPECT_TRUE(std::isinf(dtw_distance({}, {1.0})));
+}
+
+TEST(DtwDetectorTest, DetectsCleanPulseTrain) {
+  DtwPulseDetector detector(DtwDetectorConfig{});
+  const auto series = pulse_series(200, 20, 2, 50.0);
+  const auto result = detector.analyze(series);
+  EXPECT_TRUE(result.detected);
+  EXPECT_NEAR(result.estimated_period, 20 * 0.1, 0.05);
+}
+
+TEST(DtwDetectorTest, IgnoresFlatTraffic) {
+  DtwPulseDetector detector(DtwDetectorConfig{});
+  const std::vector<double> series(200, 7.0);
+  const auto result = detector.analyze(series);
+  EXPECT_FALSE(result.detected);
+  EXPECT_DOUBLE_EQ(result.score, 1.0);  // no structure to match
+}
+
+TEST(DtwDetectorTest, IgnoresWhiteNoiseTraffic) {
+  DtwPulseDetector detector(DtwDetectorConfig{});
+  std::vector<double> series;
+  unsigned state = 12345;
+  for (int i = 0; i < 300; ++i) {
+    state = state * 1664525u + 1013904223u;
+    series.push_back(static_cast<double>(state % 1000));
+  }
+  const auto result = detector.analyze(series);
+  EXPECT_GT(result.score, 0.3);  // structureless: poor template match
+}
+
+TEST(DtwDetectorTest, TooFewSamplesNoDecision) {
+  DtwPulseDetector detector(DtwDetectorConfig{});
+  const auto series = pulse_series(10, 5, 1, 10.0);
+  EXPECT_FALSE(detector.analyze(series).detected);
+}
+
+TEST(DtwDetectorTest, BlindWhenPulseShorterThanSamplingPeriod) {
+  // The paper's critique of [8]: with T_extent < Ts the pulse is averaged
+  // into its bin and the sampled series carries (almost) no pulse shape.
+  // Model that by a series where each "pulse" bin barely differs from the
+  // smoothed background it is averaged into.
+  DtwDetectorConfig config;
+  config.sampling_period = ms(500);  // Ts = 500 ms
+  DtwPulseDetector detector(config);
+  // Background TCP fluctuation with std ~3.5 in both series.
+  auto jitter = [](unsigned& state) {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<double>(state % 300) / 25.0;
+  };
+  // Visible: T_extent = 1 s >= Ts, the pulse fills whole bins (amplitude
+  // well above the noise). Diluted: T_extent = 50 ms averaged over a
+  // 500 ms bin leaves a residue of amplitude/10, buried in the noise.
+  std::vector<double> visible(200), diluted(200);
+  unsigned s1 = 99, s2 = 7;
+  for (std::size_t i = 0; i < 200; ++i) {
+    visible[i] = 10.0 + jitter(s1) + (i % 4 < 2 ? 30.0 : 0.0);
+    diluted[i] = 10.0 + jitter(s2) + (i % 4 == 0 ? 1.0 : 0.0);
+  }
+  const auto caught = detector.analyze(visible);
+  const auto missed = detector.analyze(diluted);
+  EXPECT_TRUE(caught.detected);
+  EXPECT_FALSE(missed.detected);
+  EXPECT_GT(missed.score, caught.score);
+}
+
+TEST(DtwDetectorTest, ConfigValidation) {
+  DtwDetectorConfig config;
+  config.sampling_period = 0.0;
+  EXPECT_THROW(DtwPulseDetector{config}, ParameterError);
+  config = DtwDetectorConfig{};
+  config.min_samples = 1;
+  EXPECT_THROW(DtwPulseDetector{config}, ParameterError);
+}
+
+}  // namespace
+}  // namespace pdos

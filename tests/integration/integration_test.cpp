@@ -1,0 +1,214 @@
+// Integration tests: the paper's headline phenomena, end to end.
+//
+// Each test runs full packet-level simulations, so configurations are kept
+// small (short horizons, few flows) while still exercising the claims:
+// quasi-global synchronization at exactly T_AIMD, analytical-vs-simulated
+// gain agreement in the normal-gain regime, shrew over-gain, and detection
+// evasion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/shrew.hpp"
+#include "core/experiment.hpp"
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+#include "core/planner.hpp"
+#include "detect/rate_detector.hpp"
+#include "stats/timeseries.hpp"
+
+namespace pdos {
+namespace {
+
+RunControl control_of(Time warmup, Time measure) {
+  RunControl control;
+  control.warmup = warmup;
+  control.measure = measure;
+  return control;
+}
+
+TEST(SynchronizationTest, IncomingTrafficOscillatesAtAttackPeriod) {
+  // Scaled-down Fig. 3(a): T_AIMD = 1 s instead of 2 s to shorten the run.
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(12);
+  PulseTrain train;
+  train.textent = ms(50);
+  train.tspace = ms(950);
+  train.rattack = mbps(100);
+  RunControl control = control_of(0.0, sec(30));
+  const RunResult result = run_scenario(config, train, control);
+  const auto z = normalize_zscore(result.incoming_bins);
+  const Time period = estimate_period(z, control.bin_width, 5, 30);
+  EXPECT_NEAR(period, train.period(), control.bin_width + 1e-9);
+  // ~30 pinnacles in 30 s.
+  const std::size_t peaks = count_peaks(z, 1.0, 3);
+  EXPECT_GE(peaks, 26u);
+  EXPECT_LE(peaks, 34u);
+}
+
+TEST(SynchronizationTest, NoAttackPeriodicityWithoutAttack) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(12);
+  RunControl control = control_of(0.0, sec(30));
+  const RunResult result = run_scenario(config, std::nullopt, control);
+  // Without the attack the z-scored series has no strong 1 s component.
+  const auto z = normalize_zscore(result.incoming_bins);
+  EXPECT_LT(autocorrelation(z, 10), 0.5);
+}
+
+TEST(GainCurveTest, NormalGainPointMatchesAnalysis) {
+  // The calibrated normal-gain operating point (T_extent = 50 ms,
+  // R_attack = 25 Mbps, gamma near the optimum): simulated Γ within
+  // ±0.15 of Eq. (10).
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  const RunControl control = control_of(sec(6), sec(20));
+  const BitRate baseline = measure_baseline(config, control);
+  AttackPlanRequest request;
+  request.victim = config.victim_profile();
+  request.textent = ms(50);
+  request.rattack = mbps(25);
+  const AttackPlan plan = plan_attack_at_gamma(request, 0.6);
+  const GainMeasurement point =
+      measure_gain(config, plan.train, 1.0, control, baseline);
+  EXPECT_NEAR(point.degradation, plan.predicted_degradation, 0.15);
+  EXPECT_NEAR(point.gain, plan.predicted_gain, 0.15);
+}
+
+TEST(GainCurveTest, DegradationIncreasesWithGamma) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(10);
+  const RunControl control = control_of(sec(5), sec(12));
+  const BitRate baseline = measure_baseline(config, control);
+  AttackPlanRequest request;
+  request.victim = config.victim_profile();
+  request.textent = ms(75);
+  request.rattack = mbps(30);
+  double prev = -1.0;
+  for (double gamma : {0.2, 0.5, 0.8}) {
+    const AttackPlan plan = plan_attack_at_gamma(request, gamma);
+    const GainMeasurement point =
+        measure_gain(config, plan.train, 1.0, control, baseline);
+    EXPECT_GT(point.degradation, prev - 0.05) << "gamma=" << gamma;
+    prev = point.degradation;
+  }
+  EXPECT_GT(prev, 0.6);  // gamma = 0.8 devastates the bottleneck
+}
+
+TEST(GainCurveTest, MeasuredGainIsUnimodalIshOverGamma) {
+  // G(γ) should rise from near zero, peak, and fall towards γ -> 1.
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(10);
+  const RunControl control = control_of(sec(5), sec(12));
+  const BitRate baseline = measure_baseline(config, control);
+  AttackPlanRequest request;
+  request.victim = config.victim_profile();
+  request.textent = ms(50);
+  request.rattack = mbps(25);
+  std::vector<double> gains;
+  for (double gamma : {0.15, 0.5, 0.95}) {
+    const AttackPlan plan = plan_attack_at_gamma(request, gamma);
+    gains.push_back(
+        measure_gain(config, plan.train, 1.0, control, baseline).gain);
+  }
+  const double peak = *std::max_element(gains.begin(), gains.end());
+  EXPECT_EQ(peak, gains[1]);  // middle point beats both extremes
+}
+
+TEST(ShrewTest, ShrewPeriodOutperformsAnalyticalPrediction) {
+  // Fig. 10: when T_AIMD = minRTO (1 s in ns-2), flows are pinned in
+  // timeout and the simulated gain exceeds the analytical prediction.
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(10);
+  const RunControl control = control_of(sec(5), sec(15));
+  const BitRate baseline = measure_baseline(config, control);
+  AttackPlanRequest request;
+  request.victim = config.victim_profile();
+  request.textent = ms(100);
+  request.rattack = mbps(30);
+  request.victim_min_rto = config.tcp.rto_min;
+  // gamma placing the period exactly at minRTO = 1 s.
+  const double c_attack = 2.0;
+  const double gamma_shrew = request.textent * c_attack / 1.0;
+  const AttackPlan plan = plan_attack_at_gamma(request, gamma_shrew);
+  ASSERT_TRUE(plan.shrew_harmonic.has_value());
+  EXPECT_EQ(*plan.shrew_harmonic, 1);
+  const GainMeasurement point =
+      measure_gain(config, plan.train, 1.0, control, baseline);
+  EXPECT_GT(point.run.total_timeouts, 10u);
+  EXPECT_GT(point.degradation, plan.predicted_degradation + 0.1);
+}
+
+TEST(TestbedTest, ReproducesFig12GainOrdering) {
+  // Fig. 12's qualitative result at gamma ~ 0.3: the analysis over-
+  // estimates at R_attack = 15 Mbps and under-estimates at 30 Mbps.
+  ScenarioConfig config = ScenarioConfig::testbed(10);
+  const RunControl control = control_of(sec(6), sec(15));
+  const BitRate baseline = measure_baseline(config, control);
+  AttackPlanRequest request;
+  request.victim = config.victim_profile();
+  request.textent = ms(150);
+
+  request.rattack = mbps(15);
+  const AttackPlan weak = plan_attack_at_gamma(request, 0.3);
+  const GainMeasurement weak_point =
+      measure_gain(config, weak.train, 1.0, control, baseline);
+  EXPECT_LT(weak_point.gain, weak.predicted_gain + 0.03);
+
+  request.rattack = mbps(30);
+  const AttackPlan strong = plan_attack_at_gamma(request, 0.3);
+  const GainMeasurement strong_point =
+      measure_gain(config, strong.train, 1.0, control, baseline);
+  EXPECT_GT(strong_point.gain, strong.predicted_gain - 0.03);
+  // Higher pulse rate inflicts at least as much measured damage.
+  EXPECT_GE(strong_point.degradation, weak_point.degradation - 0.05);
+}
+
+TEST(DetectionTest, PdosEvadesWhatFloodingCannot) {
+  // The motivation for the risk term: a flooding attack saturates every
+  // detector window; an optimized PDoS train with the same per-pulse rate
+  // stays under the radar of a 1 s rate detector.
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(10);
+  RunControl control = control_of(0.0, sec(15));
+  control.bin_width = ms(100);
+
+  RateDetectorConfig detector_config;
+  detector_config.window = sec(1.0);
+  detector_config.threshold_fraction = 0.95;
+  detector_config.capacity = config.bottleneck;
+
+  auto run_detector = [&](const std::optional<PulseTrain>& train) {
+    const RunResult result = run_scenario(config, train, control);
+    RateAnomalyDetector detector(detector_config);
+    // Feed only the attack traffic, as an ingress filter would see it
+    // before it merges with (already rate-limited) legitimate flows.
+    for (std::size_t i = 0; i < result.attack_bins.size(); ++i) {
+      detector.observe(static_cast<double>(i) * control.bin_width,
+                       static_cast<Bytes>(result.attack_bins[i]));
+    }
+    detector.finish(control.horizon());
+    return detector.triggered();
+  };
+
+  EXPECT_TRUE(run_detector(PulseTrain::flooding(mbps(25))));
+  const PulseTrain pdos = PulseTrain::from_gamma(ms(50), mbps(25), 0.5,
+                                                 mbps(15));
+  EXPECT_FALSE(run_detector(pdos));
+}
+
+TEST(QueueAblationTest, RedYieldsHigherGainThanDropTail) {
+  // §5's forward-looking observation: the PDoS attacker does better
+  // against RED than against drop-tail.
+  const RunControl control = control_of(sec(5), sec(15));
+  PulseTrain train = PulseTrain::from_gamma(ms(75), mbps(30), 0.5, mbps(15));
+
+  ScenarioConfig red = ScenarioConfig::ns2_dumbbell(15);
+  const BitRate red_base = measure_baseline(red, control);
+  const double red_gain =
+      measure_gain(red, train, 1.0, control, red_base).gain;
+
+  ScenarioConfig droptail = ScenarioConfig::ns2_dumbbell(15);
+  droptail.queue = QueueKind::kDropTail;
+  const BitRate dt_base = measure_baseline(droptail, control);
+  const double dt_gain =
+      measure_gain(droptail, train, 1.0, control, dt_base).gain;
+
+  EXPECT_GT(red_gain, dt_gain - 0.05);
+}
+
+}  // namespace
+}  // namespace pdos

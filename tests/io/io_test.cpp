@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/gnuplot.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+TEST(CsvTest, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"gamma", "gain"});
+  csv.row({"0.5", "0.27"});
+  csv.row({0.6, 0.25});
+  EXPECT_EQ(out.str(), "gamma,gain\n0.5,0.27\n0.6,0.25\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+  EXPECT_EQ(csv.columns(), 2u);
+}
+
+TEST(CsvTest, WidthMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), ParameterError);
+}
+
+TEST(CsvTest, EmptyHeaderThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(CsvWriter(out, {}), ParameterError);
+}
+
+TEST(CsvTest, EscapingPerRfc4180) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, EscapedCellsRoundTripThroughWriter) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"label"});
+  csv.row({std::vector<std::string>{"T_extent = 50 ms, R = 25"}[0]});
+  EXPECT_EQ(out.str(), "label\n\"T_extent = 50 ms, R = 25\"\n");
+}
+
+class GnuplotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test and per process: ctest runs test cases concurrently.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("pdos_gp_") + info->name() + "_" +
+            std::to_string(static_cast<long>(::getpid())));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(GnuplotTest, GainFigureEmitsDataAndScript) {
+  GainCurveData curve;
+  curve.label = "T_extent = 50 ms";
+  curve.gamma = {0.3, 0.5, 0.7};
+  curve.analytic = {0.1, 0.27, 0.2};
+  curve.simulated = {0.12, 0.23, 0.19};
+  const std::string gp =
+      write_gain_figure(dir_.string(), "fig06", "Fig. 6", {curve});
+  EXPECT_TRUE(std::filesystem::exists(gp));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "fig06.dat"));
+  const std::string script = slurp(gp);
+  EXPECT_NE(script.find("plot"), std::string::npos);
+  EXPECT_NE(script.find("fig06.dat"), std::string::npos);
+  EXPECT_NE(script.find("T_extent = 50 ms (analytic)"), std::string::npos);
+  const std::string data = slurp((dir_ / "fig06.dat").string());
+  EXPECT_NE(data.find("0.5 0.27 0.23"), std::string::npos);
+}
+
+TEST_F(GnuplotTest, MultipleCurvesUseIndexedBlocks) {
+  GainCurveData a;
+  a.label = "a";
+  a.gamma = {0.5};
+  a.analytic = {0.1};
+  a.simulated = {0.1};
+  GainCurveData b = a;
+  b.label = "b";
+  const std::string gp =
+      write_gain_figure(dir_.string(), "multi", "t", {a, b});
+  const std::string script = slurp(gp);
+  EXPECT_NE(script.find("index 0"), std::string::npos);
+  EXPECT_NE(script.find("index 1"), std::string::npos);
+}
+
+TEST_F(GnuplotTest, RaggedCurveRejected) {
+  GainCurveData bad;
+  bad.label = "bad";
+  bad.gamma = {0.5, 0.6};
+  bad.analytic = {0.1};
+  bad.simulated = {0.1, 0.2};
+  EXPECT_THROW(write_gain_figure(dir_.string(), "x", "t", {bad}),
+               ParameterError);
+  EXPECT_THROW(write_gain_figure(dir_.string(), "x", "t", {}),
+               ParameterError);
+}
+
+TEST_F(GnuplotTest, TimeseriesFigure) {
+  const std::string gp = write_timeseries_figure(
+      dir_.string(), "fig03", "Fig. 3(a)", {0.1, -0.2, 2.5}, ms(100));
+  const std::string data = slurp((dir_ / "fig03.dat").string());
+  // Bin centers at 0.05, 0.15, 0.25.
+  EXPECT_NE(data.find("0.05 0.1"), std::string::npos);
+  EXPECT_NE(data.find("0.25 2.5"), std::string::npos);
+  EXPECT_NE(slurp(gp).find("impulses"), std::string::npos);
+}
+
+TEST_F(GnuplotTest, TimeseriesValidation) {
+  EXPECT_THROW(
+      write_timeseries_figure(dir_.string(), "x", "t", {}, ms(100)),
+      ParameterError);
+  EXPECT_THROW(
+      write_timeseries_figure(dir_.string(), "x", "t", {1.0}, 0.0),
+      ParameterError);
+}
+
+}  // namespace
+}  // namespace pdos

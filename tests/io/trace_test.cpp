@@ -1,0 +1,111 @@
+#include "io/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "net/droptail.hpp"
+
+namespace pdos {
+namespace {
+
+class NullSink : public PacketHandler {
+ public:
+  void handle(Packet) override {}
+};
+
+Packet packet_of(PacketType type, FlowId flow, std::int64_t seq) {
+  Packet pkt;
+  pkt.type = type;
+  pkt.flow = flow;
+  pkt.seq = seq;
+  pkt.size_bytes = 1040;
+  return pkt;
+}
+
+TEST(TraceTest, ArrivalAndDepartureLines) {
+  Simulator sim;
+  NullSink sink;
+  Link link(sim, "bottleneck", mbps(8), 0.0,
+            std::make_unique<DropTailQueue>(10), &sink);
+  std::ostringstream out;
+  TraceLogger trace(sim, out);
+  trace.attach(link);
+
+  link.handle(packet_of(PacketType::kTcpData, 3, 17));
+  sim.run();
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("+ bottleneck tcp 3 17 1040"), std::string::npos);
+  EXPECT_NE(text.find("- bottleneck tcp 3 17 1040"), std::string::npos);
+  EXPECT_EQ(trace.lines_written(), 2u);
+}
+
+TEST(TraceTest, DepartureCarriesSerializationTime) {
+  Simulator sim;
+  NullSink sink;
+  Link link(sim, "l", kbps(8), 0.0, std::make_unique<DropTailQueue>(10),
+            &sink);
+  std::ostringstream out;
+  TraceLogger trace(sim, out);
+  trace.attach(link);
+  link.handle(packet_of(PacketType::kTcpData, 0, 0));
+  sim.run();
+  // 1040 bytes at 8 kbps = 1.04 s.
+  EXPECT_NE(out.str().find("1.040000 - l"), std::string::npos);
+}
+
+TEST(TraceTest, FilterSuppressesClasses) {
+  Simulator sim;
+  NullSink sink;
+  Link link(sim, "l", mbps(8), 0.0, std::make_unique<DropTailQueue>(10),
+            &sink);
+  std::ostringstream out;
+  TraceFilter filter;
+  filter.tcp_data = false;
+  filter.attack = true;
+  TraceLogger trace(sim, out, filter);
+  trace.attach(link);
+  link.handle(packet_of(PacketType::kTcpData, 0, 0));
+  link.handle(packet_of(PacketType::kAttack, -1, 0));
+  sim.run();
+  EXPECT_EQ(out.str().find("tcp"), std::string::npos);
+  EXPECT_NE(out.str().find("atk"), std::string::npos);
+}
+
+TEST(TraceTest, AcksOffByDefault) {
+  TraceFilter filter;
+  EXPECT_FALSE(filter.accepts(packet_of(PacketType::kTcpAck, 0, 0)));
+  EXPECT_TRUE(filter.accepts(packet_of(PacketType::kTcpData, 0, 0)));
+  EXPECT_TRUE(filter.accepts(packet_of(PacketType::kAttack, 0, 0)));
+  EXPECT_TRUE(filter.accepts(packet_of(PacketType::kUdp, 0, 0)));
+}
+
+TEST(TraceTest, DroppedPacketsAppearOnlyAsArrivals) {
+  Simulator sim;
+  NullSink sink;
+  Link link(sim, "l", kbps(8), 0.0, std::make_unique<DropTailQueue>(1),
+            &sink);
+  std::ostringstream out;
+  TraceLogger trace(sim, out);
+  trace.attach(link);
+  for (int i = 0; i < 5; ++i) {
+    link.handle(packet_of(PacketType::kTcpData, 0, i));
+  }
+  sim.run();
+  // 5 arrivals; only 2 departures (1 in service + 1 buffered).
+  std::size_t plus = 0;
+  std::size_t minus = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find(" + ") != std::string::npos) ++plus;
+    if (line.find(" - ") != std::string::npos) ++minus;
+  }
+  EXPECT_EQ(plus, 5u);
+  EXPECT_EQ(minus, 2u);
+}
+
+}  // namespace
+}  // namespace pdos

@@ -1,0 +1,161 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/droptail.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+/// Records every packet it receives together with the arrival time.
+class RecordingSink : public PacketHandler {
+ public:
+  explicit RecordingSink(Simulator& sim) : sim_(sim) {}
+  void handle(Packet pkt) override {
+    times.push_back(sim_.now());
+    packets.push_back(std::move(pkt));
+  }
+  std::vector<Time> times;
+  std::vector<Packet> packets;
+
+ private:
+  Simulator& sim_;
+};
+
+Packet make_packet(Bytes size, std::int64_t seq = 0) {
+  Packet pkt;
+  pkt.size_bytes = size;
+  pkt.seq = seq;
+  return pkt;
+}
+
+TEST(LinkTest, DeliversAfterSerializationPlusPropagation) {
+  Simulator sim;
+  RecordingSink sink(sim);
+  // 1000 bytes at 8 kbps -> 1 s serialization; +0.5 s propagation.
+  Link link(sim, "l", kbps(8), sec(0.5), std::make_unique<DropTailQueue>(10),
+            &sink);
+  link.handle(make_packet(1000));
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 1u);
+  EXPECT_NEAR(sink.times[0], 1.5, 1e-9);
+}
+
+TEST(LinkTest, BackToBackPacketsSerializeSequentially) {
+  Simulator sim;
+  RecordingSink sink(sim);
+  Link link(sim, "l", kbps(8), 0.0, std::make_unique<DropTailQueue>(10),
+            &sink);
+  link.handle(make_packet(1000, 0));
+  link.handle(make_packet(1000, 1));
+  link.handle(make_packet(1000, 2));
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 3u);
+  EXPECT_NEAR(sink.times[0], 1.0, 1e-9);
+  EXPECT_NEAR(sink.times[1], 2.0, 1e-9);
+  EXPECT_NEAR(sink.times[2], 3.0, 1e-9);
+  EXPECT_EQ(sink.packets[0].seq, 0);
+  EXPECT_EQ(sink.packets[2].seq, 2);
+}
+
+TEST(LinkTest, PropagationIsPipelined) {
+  // With a long propagation delay, the second packet must not wait for the
+  // first packet's propagation, only for its serialization.
+  Simulator sim;
+  RecordingSink sink(sim);
+  Link link(sim, "l", kbps(8), sec(10), std::make_unique<DropTailQueue>(10),
+            &sink);
+  link.handle(make_packet(1000, 0));
+  link.handle(make_packet(1000, 1));
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 2u);
+  EXPECT_NEAR(sink.times[0], 11.0, 1e-9);
+  EXPECT_NEAR(sink.times[1], 12.0, 1e-9);  // not 22.0
+}
+
+TEST(LinkTest, QueueOverflowDrops) {
+  Simulator sim;
+  RecordingSink sink(sim);
+  Link link(sim, "l", kbps(8), 0.0, std::make_unique<DropTailQueue>(2),
+            &sink);
+  // First packet goes into service immediately; two buffer slots remain.
+  for (int i = 0; i < 5; ++i) link.handle(make_packet(1000, i));
+  sim.run();
+  EXPECT_EQ(sink.packets.size(), 3u);
+  EXPECT_EQ(link.queue().stats().dropped, 2u);
+}
+
+TEST(LinkTest, ArrivalTapSeesDroppedPacketsToo) {
+  Simulator sim;
+  RecordingSink sink(sim);
+  Link link(sim, "l", kbps(8), 0.0, std::make_unique<DropTailQueue>(1),
+            &sink);
+  int arrivals = 0;
+  link.add_arrival_tap([&](const Packet&) { ++arrivals; });
+  for (int i = 0; i < 4; ++i) link.handle(make_packet(1000, i));
+  sim.run();
+  EXPECT_EQ(arrivals, 4);
+  EXPECT_EQ(sink.packets.size(), 2u);
+}
+
+TEST(LinkTest, DepartureTapCountsOnlyTransmitted) {
+  Simulator sim;
+  RecordingSink sink(sim);
+  Link link(sim, "l", kbps(8), 0.0, std::make_unique<DropTailQueue>(1),
+            &sink);
+  int departures = 0;
+  link.add_departure_tap([&](const Packet&) { ++departures; });
+  for (int i = 0; i < 4; ++i) link.handle(make_packet(1000, i));
+  sim.run();
+  EXPECT_EQ(departures, 2);
+}
+
+TEST(LinkTest, IdleLinkResumesAfterDrain) {
+  Simulator sim;
+  RecordingSink sink(sim);
+  Link link(sim, "l", kbps(8), 0.0, std::make_unique<DropTailQueue>(10),
+            &sink);
+  link.handle(make_packet(1000));
+  sim.run();
+  EXPECT_FALSE(link.busy());
+  link.handle(make_packet(1000));
+  sim.run();
+  EXPECT_EQ(sink.packets.size(), 2u);
+  EXPECT_NEAR(sink.times[1], sink.times[0] + 1.0, 1e-9);
+}
+
+TEST(LinkTest, ThroughputMatchesRate) {
+  // Saturate a 1 Mbps link for 1 second: ~125 kB should get through.
+  Simulator sim;
+  RecordingSink sink(sim);
+  Link link(sim, "l", mbps(1), 0.0, std::make_unique<DropTailQueue>(10000),
+            &sink);
+  const Bytes pkt_size = 1250;  // 10 ms each
+  for (int i = 0; i < 100; ++i) link.handle(make_packet(pkt_size, i));
+  // 100 packets * 10 ms = 1 s of service; allow fp accumulation slack.
+  sim.run_until(sec(1.0) + us(1));
+  EXPECT_EQ(sink.packets.size(), 100u);
+}
+
+TEST(LinkTest, InvalidConstructionThrows) {
+  Simulator sim;
+  RecordingSink sink(sim);
+  auto make_link = [&](BitRate rate, Time delay, bool with_queue,
+                       PacketHandler* down) {
+    Link link(sim, "l", rate, delay,
+              with_queue ? std::make_unique<DropTailQueue>(1) : nullptr,
+              down);
+  };
+  EXPECT_THROW(make_link(0.0, 0.0, true, &sink), ParameterError);
+  EXPECT_THROW(make_link(kbps(8), -1.0, true, &sink), ParameterError);
+  EXPECT_THROW(make_link(kbps(8), 0.0, false, &sink), ParameterError);
+  EXPECT_THROW(make_link(kbps(8), 0.0, true, nullptr), ParameterError);
+}
+
+}  // namespace
+}  // namespace pdos

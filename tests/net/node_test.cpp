@@ -1,0 +1,103 @@
+#include "net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+class CollectingHandler : public PacketHandler {
+ public:
+  void handle(Packet pkt) override { packets.push_back(std::move(pkt)); }
+  std::vector<Packet> packets;
+};
+
+Packet addressed(NodeId dst, FlowId flow = 0) {
+  Packet pkt;
+  pkt.dst = dst;
+  pkt.flow = flow;
+  pkt.size_bytes = 100;
+  return pkt;
+}
+
+TEST(NodeTest, ForwardsViaRouteTable) {
+  Node node(1, "n1");
+  CollectingHandler next_hop;
+  node.add_route(7, &next_hop);
+  node.handle(addressed(7));
+  EXPECT_EQ(next_hop.packets.size(), 1u);
+}
+
+TEST(NodeTest, DefaultRouteCatchesUnknownDestinations) {
+  Node node(1, "n1");
+  CollectingHandler explicit_hop;
+  CollectingHandler fallback;
+  node.add_route(7, &explicit_hop);
+  node.set_default_route(&fallback);
+  node.handle(addressed(7));
+  node.handle(addressed(99));
+  EXPECT_EQ(explicit_hop.packets.size(), 1u);
+  EXPECT_EQ(fallback.packets.size(), 1u);
+}
+
+TEST(NodeTest, NoRouteIsAnInvariantViolation) {
+  Node node(1, "n1");
+  EXPECT_THROW(node.handle(addressed(9)), InvariantError);
+}
+
+TEST(NodeTest, LocalDeliveryDemuxesByFlow) {
+  Node node(5, "n5");
+  CollectingHandler agent_a;
+  CollectingHandler agent_b;
+  node.attach(10, &agent_a);
+  node.attach(11, &agent_b);
+  node.handle(addressed(5, 10));
+  node.handle(addressed(5, 11));
+  node.handle(addressed(5, 10));
+  EXPECT_EQ(agent_a.packets.size(), 2u);
+  EXPECT_EQ(agent_b.packets.size(), 1u);
+}
+
+TEST(NodeTest, UnmatchedLocalDeliveryIsSunkAndCounted) {
+  Node node(5, "n5");
+  node.handle(addressed(5, 42));
+  node.handle(addressed(5, 42));
+  EXPECT_EQ(node.sink_packets(), 2u);
+  EXPECT_EQ(node.sink_bytes(), 200);
+}
+
+TEST(NodeTest, DetachStopsDelivery) {
+  Node node(5, "n5");
+  CollectingHandler agent;
+  node.attach(10, &agent);
+  node.handle(addressed(5, 10));
+  node.detach(10);
+  node.handle(addressed(5, 10));
+  EXPECT_EQ(agent.packets.size(), 1u);
+  EXPECT_EQ(node.sink_packets(), 1u);
+}
+
+TEST(NodeTest, DoubleAttachSameFlowThrows) {
+  Node node(5, "n5");
+  CollectingHandler agent;
+  node.attach(10, &agent);
+  EXPECT_THROW(node.attach(10, &agent), InvariantError);
+}
+
+TEST(NodeTest, NullRouteOrAgentRejected) {
+  Node node(1, "n1");
+  EXPECT_THROW(node.add_route(2, nullptr), ParameterError);
+  EXPECT_THROW(node.attach(3, nullptr), ParameterError);
+}
+
+TEST(NodeTest, IdentityAccessors) {
+  Node node(9, "router");
+  EXPECT_EQ(node.id(), 9);
+  EXPECT_EQ(node.name(), "router");
+}
+
+}  // namespace
+}  // namespace pdos

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "net/droptail.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+Packet make_packet(Bytes size = 1040, PacketType type = PacketType::kTcpData,
+                   std::int64_t seq = 0) {
+  Packet pkt;
+  pkt.type = type;
+  pkt.size_bytes = size;
+  pkt.seq = seq;
+  return pkt;
+}
+
+TEST(DropTailTest, FifoOrder) {
+  DropTailQueue q(10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.enqueue(make_packet(100, PacketType::kTcpData, i)));
+  for (int i = 0; i < 5; ++i) {
+    auto pkt = q.dequeue();
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->seq, i);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTailTest, DropsWhenFull) {
+  DropTailQueue q(3);
+  EXPECT_TRUE(q.enqueue(make_packet()));
+  EXPECT_TRUE(q.enqueue(make_packet()));
+  EXPECT_TRUE(q.enqueue(make_packet()));
+  EXPECT_FALSE(q.enqueue(make_packet()));
+  EXPECT_EQ(q.length(), 3u);
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.stats().enqueued, 3u);
+}
+
+TEST(DropTailTest, DequeueReopensSpace) {
+  DropTailQueue q(1);
+  EXPECT_TRUE(q.enqueue(make_packet()));
+  EXPECT_FALSE(q.enqueue(make_packet()));
+  EXPECT_TRUE(q.dequeue().has_value());
+  EXPECT_TRUE(q.enqueue(make_packet()));
+}
+
+TEST(DropTailTest, DropStatsSplitByTrafficClass) {
+  DropTailQueue q(1);
+  EXPECT_TRUE(q.enqueue(make_packet()));
+  EXPECT_FALSE(q.enqueue(make_packet(1040, PacketType::kTcpData)));
+  EXPECT_FALSE(q.enqueue(make_packet(500, PacketType::kAttack)));
+  EXPECT_EQ(q.stats().dropped_tcp, 1u);
+  EXPECT_EQ(q.stats().dropped_attack, 1u);
+  EXPECT_EQ(q.stats().bytes_dropped, 1540);
+}
+
+TEST(DropTailTest, CapacityAccessors) {
+  DropTailQueue q(17);
+  EXPECT_EQ(q.capacity(), 17u);
+  EXPECT_EQ(q.length(), 0u);
+}
+
+TEST(DropTailTest, ZeroCapacityRejected) {
+  EXPECT_THROW(DropTailQueue(0), ParameterError);
+}
+
+TEST(DropTailTest, DequeueCountsInStats) {
+  DropTailQueue q(4);
+  q.enqueue(make_packet());
+  q.enqueue(make_packet());
+  (void)q.dequeue();
+  EXPECT_EQ(q.stats().dequeued, 1u);
+  EXPECT_EQ(q.length(), 1u);
+}
+
+}  // namespace
+}  // namespace pdos

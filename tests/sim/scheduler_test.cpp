@@ -1,0 +1,181 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+TEST(SchedulerTest, StartsAtTimeZero) {
+  Scheduler sched;
+  EXPECT_DOUBLE_EQ(sched.now(), 0.0);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(3.0, [&] { order.push_back(3); });
+  sched.schedule(1.0, [&] { order.push_back(1); });
+  sched.schedule(2.0, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sched.now(), 3.0);
+}
+
+TEST(SchedulerTest, SimultaneousEventsRunFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, NowAdvancesToEventTime) {
+  Scheduler sched;
+  Time seen = -1.0;
+  sched.schedule(2.5, [&] { seen = sched.now(); });
+  sched.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule(1.0, [&] {
+    ++fired;
+    sched.schedule(1.0, [&] { ++fired; });
+  });
+  sched.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sched.now(), 2.0);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtHorizon) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule(1.0, [&] { ++fired; });
+  sched.schedule(5.0, [&] { ++fired; });
+  sched.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sched.now(), 2.0);
+  EXPECT_EQ(sched.queue_size(), 1u);
+  sched.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, RunUntilIncludesEventAtExactHorizon) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule(2.0, [&] { ++fired; });
+  sched.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId id = sched.schedule(1.0, [&] { ++fired; });
+  EXPECT_TRUE(sched.pending(id));
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.pending(id));
+  sched.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SchedulerTest, CancelTwiceIsANoOp) {
+  Scheduler sched;
+  const EventId id = sched.schedule(1.0, [] {});
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(SchedulerTest, CancelAfterFiringIsANoOp) {
+  Scheduler sched;
+  const EventId id = sched.schedule(1.0, [] {});
+  sched.run();
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(SchedulerTest, CancelledEventsDoNotBlockLaterOnes) {
+  Scheduler sched;
+  std::vector<int> order;
+  const EventId id = sched.schedule(1.0, [&] { order.push_back(1); });
+  sched.schedule(2.0, [&] { order.push_back(2); });
+  sched.cancel(id);
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(SchedulerTest, QueueSizeTracksCancellations) {
+  Scheduler sched;
+  const EventId a = sched.schedule(1.0, [] {});
+  sched.schedule(2.0, [] {});
+  EXPECT_EQ(sched.queue_size(), 2u);
+  sched.cancel(a);
+  EXPECT_EQ(sched.queue_size(), 1u);
+}
+
+TEST(SchedulerTest, NegativeDelayThrows) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule(-1.0, [] {}), ParameterError);
+}
+
+TEST(SchedulerTest, ScheduleAtPastThrows) {
+  Scheduler sched;
+  sched.schedule(1.0, [] {});
+  sched.run();
+  EXPECT_THROW(sched.schedule_at(0.5, [] {}), ParameterError);
+}
+
+TEST(SchedulerTest, StepExecutesSingleEvent) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule(1.0, [&] { ++fired; });
+  sched.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sched.step());
+}
+
+TEST(SchedulerTest, EventsExecutedCounter) {
+  Scheduler sched;
+  for (int i = 0; i < 5; ++i) sched.schedule(i, [] {});
+  sched.run();
+  EXPECT_EQ(sched.events_executed(), 5u);
+}
+
+TEST(SchedulerTest, ZeroDelayRunsAtCurrentTime) {
+  Scheduler sched;
+  Time seen = -1.0;
+  sched.schedule(1.0, [&] {
+    sched.schedule(0.0, [&] { seen = sched.now(); });
+  });
+  sched.run();
+  EXPECT_DOUBLE_EQ(seen, 1.0);
+}
+
+TEST(SchedulerTest, ManyEventsStressOrdering) {
+  Scheduler sched;
+  Time last = -1.0;
+  bool monotonic = true;
+  for (int i = 0; i < 5000; ++i) {
+    const Time when = static_cast<Time>((i * 7919) % 1000) / 10.0;
+    sched.schedule(when, [&, when] {
+      if (when < last) monotonic = false;
+      last = when;
+    });
+  }
+  sched.run();
+  EXPECT_TRUE(monotonic);
+}
+
+}  // namespace
+}  // namespace pdos

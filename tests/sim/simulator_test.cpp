@@ -1,0 +1,73 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdos {
+namespace {
+
+TEST(SimulatorTest, ScheduleAndCancelDelegates) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  const EventId id = sim.schedule(2.0, [&] { ++fired; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClock) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulatorTest, ArenaKeepsComponentsAlive) {
+  Simulator sim;
+  struct Probe {
+    explicit Probe(int* counter) : counter_(counter) { ++*counter_; }
+    ~Probe() { --*counter_; }
+    int* counter_;
+  };
+  int alive = 0;
+  {
+    auto* a = sim.make<Probe>(&alive);
+    auto* b = sim.make<Probe>(&alive);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(alive, 2);
+  }
+  // Scope exit does not destroy arena members...
+  EXPECT_EQ(alive, 2);
+  // ...only Simulator destruction does (checked via a nested scope).
+  {
+    int inner_alive = 0;
+    {
+      Simulator inner;
+      inner.make<Probe>(&inner_alive);
+      EXPECT_EQ(inner_alive, 1);
+    }
+    EXPECT_EQ(inner_alive, 0);
+  }
+}
+
+TEST(SimulatorTest, SeededRngIsReproducible) {
+  Simulator a(77);
+  Simulator b(77);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.rng().uniform(), b.rng().uniform());
+  }
+}
+
+TEST(SimulatorTest, EventsSeeAdvancedClock) {
+  Simulator sim;
+  Time inner = -1.0;
+  sim.schedule(2.5, [&] {
+    inner = sim.now();
+    sim.schedule(0.5, [&] { inner = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(inner, 3.0);
+}
+
+}  // namespace
+}  // namespace pdos

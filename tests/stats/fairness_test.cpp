@@ -1,0 +1,53 @@
+#include "stats/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+TEST(FairnessTest, EqualSharesScoreOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({5, 5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0.3}), 1.0);
+}
+
+TEST(FairnessTest, MonopolyScoresOneOverN) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({10, 0, 0, 0}), 0.25);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({7, 0}), 0.5);
+}
+
+TEST(FairnessTest, ScaleInvariant) {
+  const std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b;
+  for (double x : a) b.push_back(1000.0 * x);
+  EXPECT_NEAR(jain_fairness_index(a), jain_fairness_index(b), 1e-12);
+}
+
+TEST(FairnessTest, BoundedBetweenOneOverNAndOne) {
+  const std::vector<double> v{0.1, 3.0, 7.5, 0.0, 2.2};
+  const double j = jain_fairness_index(v);
+  EXPECT_GE(j, 1.0 / 5.0);
+  EXPECT_LE(j, 1.0);
+}
+
+TEST(FairnessTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0, 0, 0}), 0.0);
+  EXPECT_THROW(jain_fairness_index({1.0, -2.0}), ParameterError);
+}
+
+TEST(StarvedFractionTest, CountsBelowFractionOfMean) {
+  // mean = 25; 10% of mean = 2.5; one flow below.
+  EXPECT_DOUBLE_EQ(starved_fraction({1, 24, 25, 50}, 0.1), 0.25);
+  EXPECT_DOUBLE_EQ(starved_fraction({10, 10, 10}, 0.1), 0.0);
+}
+
+TEST(StarvedFractionTest, AllZeroMeansAllStarved) {
+  EXPECT_DOUBLE_EQ(starved_fraction({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(starved_fraction({}), 0.0);
+  EXPECT_THROW(starved_fraction({1.0}, 1.5), ParameterError);
+}
+
+}  // namespace
+}  // namespace pdos

@@ -1,0 +1,72 @@
+#include "stats/jitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+TEST(JitterTest, EmptyAndSingleArrivalAreZero) {
+  JitterMeter meter;
+  EXPECT_DOUBLE_EQ(meter.smoothed_jitter(), 0.0);
+  EXPECT_EQ(meter.samples(), 0u);
+  meter.observe(1.0);
+  EXPECT_DOUBLE_EQ(meter.smoothed_jitter(), 0.0);
+  EXPECT_EQ(meter.samples(), 0u);  // still no gap
+}
+
+TEST(JitterTest, PerfectlyPacedArrivalsHaveZeroJitter) {
+  JitterMeter meter;
+  for (int i = 0; i < 100; ++i) meter.observe(i * 0.01);
+  EXPECT_NEAR(meter.smoothed_jitter(), 0.0, 1e-12);
+  EXPECT_NEAR(meter.mean_gap(), 0.01, 1e-12);
+  EXPECT_NEAR(meter.gap_stddev(), 0.0, 1e-9);
+  EXPECT_EQ(meter.samples(), 99u);
+}
+
+TEST(JitterTest, AlternatingGapsProduceJitter) {
+  JitterMeter meter;
+  Time t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += (i % 2 == 0) ? 0.01 : 0.03;
+    meter.observe(t);
+  }
+  // |D| alternates at 0.02; the RFC 3550 filter converges toward 0.02.
+  EXPECT_NEAR(meter.smoothed_jitter(), 0.02, 0.005);
+  EXPECT_NEAR(meter.mean_gap(), 0.02, 1e-3);
+  EXPECT_NEAR(meter.gap_stddev(), 0.01, 1e-4);
+}
+
+TEST(JitterTest, BurstyArrivalsJitterMoreThanSmooth) {
+  JitterMeter smooth;
+  JitterMeter bursty;
+  for (int i = 0; i < 300; ++i) smooth.observe(i * 0.01);
+  Time t = 0.0;
+  for (int burst = 0; burst < 30; ++burst) {
+    for (int i = 0; i < 10; ++i) {
+      t += 0.001;  // back-to-back within the burst
+      bursty.observe(t);
+    }
+    t += 0.09;  // silence between bursts
+  }
+  EXPECT_GT(bursty.smoothed_jitter(), smooth.smoothed_jitter() + 0.001);
+}
+
+TEST(JitterTest, SimultaneousArrivalsAllowed) {
+  JitterMeter meter;
+  meter.observe(1.0);
+  meter.observe(1.0);
+  meter.observe(1.0);
+  EXPECT_EQ(meter.samples(), 2u);
+  EXPECT_DOUBLE_EQ(meter.mean_gap(), 0.0);
+}
+
+TEST(JitterTest, BackwardsTimeRejected) {
+  JitterMeter meter;
+  meter.observe(2.0);
+  EXPECT_THROW(meter.observe(1.0), ParameterError);
+}
+
+}  // namespace
+}  // namespace pdos

@@ -1,0 +1,197 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+std::vector<double> square_wave(std::size_t len, std::size_t period,
+                                std::size_t high, double amplitude = 10.0) {
+  std::vector<double> v(len, 0.0);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i % period < high) v[i] = amplitude;
+  }
+  return v;
+}
+
+TEST(BinnedSeriesTest, AccumulatesIntoCorrectBins) {
+  BinnedSeries series(ms(100));
+  series.add(0.05, 10.0);
+  series.add(0.09, 5.0);
+  series.add(0.15, 7.0);
+  series.add(0.95, 1.0);
+  const auto& bins = series.bins();
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_DOUBLE_EQ(bins[0], 15.0);
+  EXPECT_DOUBLE_EQ(bins[1], 7.0);
+  EXPECT_DOUBLE_EQ(bins[9], 1.0);
+}
+
+TEST(BinnedSeriesTest, BinsUntilPadsTrailingZeros) {
+  BinnedSeries series(ms(100));
+  series.add(0.05, 1.0);
+  const auto bins = series.bins_until(sec(1.0));
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_DOUBLE_EQ(bins[0], 1.0);
+  EXPECT_DOUBLE_EQ(bins[5], 0.0);
+}
+
+TEST(BinnedSeriesTest, RatesDivideByBinWidth) {
+  BinnedSeries series(ms(500));
+  series.add(0.1, 100.0);
+  EXPECT_DOUBLE_EQ(series.rates()[0], 200.0);
+}
+
+TEST(BinnedSeriesTest, InvalidInputsThrow) {
+  EXPECT_THROW(BinnedSeries(0.0), ParameterError);
+  BinnedSeries series(1.0);
+  EXPECT_THROW(series.add(-0.1, 1.0), ParameterError);
+}
+
+TEST(StatsTest, MeanAndStddev) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_NEAR(stddev(v), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({4.0}), 0.0);
+}
+
+TEST(StatsTest, NormalizeZeroMean) {
+  const auto out = normalize_zero_mean({1, 2, 3});
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+  EXPECT_NEAR(mean(out), 0.0, 1e-12);
+}
+
+TEST(StatsTest, NormalizeZscoreUnitVariance) {
+  const auto out = normalize_zscore({2, 4, 6, 8});
+  EXPECT_NEAR(mean(out), 0.0, 1e-12);
+  EXPECT_NEAR(stddev(out), 1.0, 1e-12);
+}
+
+TEST(StatsTest, ZscoreOfFlatSeriesIsZero) {
+  const auto out = normalize_zscore({5, 5, 5});
+  for (double x : out) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(PaaTest, AveragesEqualFrames) {
+  const std::vector<double> v{1, 1, 3, 3, 5, 5};
+  const auto out = paa(v, 3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_DOUBLE_EQ(out[2], 5.0);
+}
+
+TEST(PaaTest, LastFrameAbsorbsRemainder) {
+  const std::vector<double> v{0, 0, 0, 6, 6, 6, 6};
+  const auto out = paa(v, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);  // first 3 points
+  EXPECT_DOUBLE_EQ(out[1], 6.0 * 4 / 4);
+}
+
+TEST(PaaTest, IdentityWhenSegmentsEqualLength) {
+  const std::vector<double> v{3, 1, 4, 1, 5};
+  EXPECT_EQ(paa(v, 5), v);
+}
+
+TEST(PaaTest, PreservesMean) {
+  std::vector<double> v;
+  for (int i = 0; i < 60; ++i) v.push_back(i % 7);
+  const auto out = paa(v, 6);
+  EXPECT_NEAR(mean(out), mean(v), 0.2);
+}
+
+TEST(PaaTest, InvalidSegmentsThrow) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_THROW(paa(v, 0), ParameterError);
+  EXPECT_THROW(paa(v, 4), ParameterError);
+}
+
+TEST(PeakTest, CountsSquareWavePeaks) {
+  // 30 pulses: period 20 bins, 1 bin high — like Fig. 3(a)'s 30 pinnacles.
+  const auto v = square_wave(600, 20, 1);
+  EXPECT_EQ(count_peaks(v, 5.0), 30u);
+}
+
+TEST(PeakTest, ConsecutiveHighBinsCountOnce) {
+  const auto v = square_wave(100, 20, 4);
+  EXPECT_EQ(count_peaks(v, 5.0), 5u);
+}
+
+TEST(PeakTest, MinSeparationMergesNearbyExcursions) {
+  std::vector<double> v(30, 0.0);
+  v[5] = 10;
+  v[7] = 10;  // 1 bin below threshold between excursions
+  v[20] = 10;
+  EXPECT_EQ(count_peaks(v, 5.0, 1), 3u);
+  EXPECT_EQ(count_peaks(v, 5.0, 3), 2u);
+}
+
+TEST(PeakTest, NoPeaksBelowThreshold) {
+  const std::vector<double> v{1, 2, 3, 2, 1};
+  EXPECT_EQ(count_peaks(v, 5.0), 0u);
+}
+
+TEST(AutocorrTest, PeriodicSignalPeaksAtPeriod) {
+  const auto v = square_wave(400, 25, 3);
+  EXPECT_GT(autocorrelation(v, 25), 0.9);
+  EXPECT_LT(autocorrelation(v, 12), 0.3);
+}
+
+TEST(AutocorrTest, LagZeroIsOne) {
+  const auto v = square_wave(100, 10, 2);
+  EXPECT_NEAR(autocorrelation(v, 0), 1.0, 1e-12);
+}
+
+TEST(AutocorrTest, OutOfRangeLagIsZero) {
+  const std::vector<double> v{1, 2};
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 10), 0.0);
+}
+
+TEST(PeriodTest, RecoversSquareWavePeriod) {
+  const auto v = square_wave(600, 20, 1);
+  // bin width 100 ms -> period 2.0 s.
+  EXPECT_NEAR(estimate_period(v, ms(100), 5, 50), 2.0, 1e-9);
+}
+
+TEST(PeriodTest, FlatSeriesGivesZero) {
+  const std::vector<double> v(100, 3.0);
+  EXPECT_DOUBLE_EQ(estimate_period(v, ms(100), 2, 20), 0.0);
+}
+
+TEST(PeriodTest, ShortSeriesGivesZero) {
+  const std::vector<double> v{1, 2};
+  EXPECT_DOUBLE_EQ(estimate_period(v, ms(100), 2, 20), 0.0);
+}
+
+TEST(PeriodTest, InvalidLagsThrow) {
+  const std::vector<double> v(50, 1.0);
+  EXPECT_THROW(estimate_period(v, ms(100), 0, 10), ParameterError);
+  EXPECT_THROW(estimate_period(v, ms(100), 10, 5), ParameterError);
+}
+
+class PeriodSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PeriodSweepTest, RecoversPeriodAcrossDutyCycles) {
+  const std::size_t period = GetParam();
+  for (std::size_t high = 1; high < period / 2; high += 2) {
+    const auto v = square_wave(40 * period, period, high);
+    EXPECT_NEAR(estimate_period(v, 1.0, 2, 3 * period),
+                static_cast<double>(period), 1e-9)
+        << "period=" << period << " high=" << high;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodSweepTest,
+                         ::testing::Values(8, 13, 20, 33, 50));
+
+}  // namespace
+}  // namespace pdos

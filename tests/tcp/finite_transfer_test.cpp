@@ -1,0 +1,116 @@
+// Finite (short-flow) transfers: the sender must stop at total_segments,
+// report completion, and not spin timers afterwards.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/droptail.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace pdos {
+namespace {
+
+struct ShortFlowPair {
+  Simulator sim;
+  struct Redirect : PacketHandler {
+    PacketHandler* next = nullptr;
+    void handle(Packet pkt) override { next->handle(std::move(pkt)); }
+  } redirect;
+  std::unique_ptr<TcpReceiver> receiver;
+  std::unique_ptr<Link> data_link;
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<Link> ack_link;
+
+  explicit ShortFlowPair(std::int64_t segments) {
+    TcpSenderConfig config;
+    config.total_segments = segments;
+    TcpReceiverConfig rcfg;
+    rcfg.mss = config.mss;
+    receiver = std::make_unique<TcpReceiver>(sim, 0, 1, 0, &redirect, rcfg);
+    data_link = std::make_unique<Link>(
+        sim, "data", mbps(10), ms(5), std::make_unique<DropTailQueue>(100),
+        receiver.get());
+    sender = std::make_unique<TcpSender>(sim, 0, 0, 1, data_link.get(),
+                                         config);
+    ack_link = std::make_unique<Link>(
+        sim, "ack", mbps(10), ms(5), std::make_unique<DropTailQueue>(100),
+        sender.get());
+    redirect.next = ack_link.get();
+  }
+};
+
+TEST(FiniteTransferTest, DeliversExactlyTotalSegments) {
+  ShortFlowPair pair(25);
+  pair.sender->start(0.0);
+  pair.sim.run();
+  EXPECT_TRUE(pair.sender->complete());
+  EXPECT_EQ(pair.receiver->next_expected(), 25);
+  EXPECT_EQ(pair.receiver->goodput_bytes(), 25 * 1000);
+  EXPECT_EQ(pair.sender->stats().segments_sent, 25u);
+}
+
+TEST(FiniteTransferTest, EventQueueDrainsAfterCompletion) {
+  // No timers may linger once the transfer is acknowledged: run() returns
+  // and the queue is empty.
+  ShortFlowPair pair(10);
+  pair.sender->start(0.0);
+  pair.sim.run();
+  EXPECT_TRUE(pair.sim.scheduler().empty());
+  EXPECT_EQ(pair.sender->stats().timeouts, 0u);
+}
+
+TEST(FiniteTransferTest, SingleSegmentFlow) {
+  ShortFlowPair pair(1);
+  pair.sender->start(0.0);
+  pair.sim.run();
+  EXPECT_TRUE(pair.sender->complete());
+  EXPECT_EQ(pair.receiver->next_expected(), 1);
+}
+
+TEST(FiniteTransferTest, UnlimitedNeverCompletes) {
+  ShortFlowPair pair(-1);
+  pair.sender->start(0.0);
+  pair.sim.run_until(sec(1.0));
+  EXPECT_FALSE(pair.sender->complete());
+  EXPECT_GT(pair.receiver->next_expected(), 100);
+}
+
+TEST(FiniteTransferTest, CompletionSurvivesLoss) {
+  // Lose one mid-transfer segment: retransmission must still finish the
+  // flow with exactly the right byte count.
+  ShortFlowPair pair(40);
+  struct Gate : PacketHandler {
+    PacketHandler* next = nullptr;
+    bool armed = true;
+    void handle(Packet pkt) override {
+      if (armed && pkt.type == PacketType::kTcpData && pkt.seq == 12 &&
+          !pkt.retransmit) {
+        armed = false;
+        return;
+      }
+      next->handle(std::move(pkt));
+    }
+  };
+  Gate gate;
+  gate.next = pair.data_link.get();
+  // Rewire the sender through the gate.
+  TcpSenderConfig config;
+  config.total_segments = 40;
+  TcpSender sender(pair.sim, 0, 0, 1, &gate, config);
+  pair.redirect.next = nullptr;  // detach default pair sender
+  std::unique_ptr<Link> ack_link = std::make_unique<Link>(
+      pair.sim, "ack2", mbps(10), ms(5), std::make_unique<DropTailQueue>(100),
+      &sender);
+  pair.redirect.next = ack_link.get();
+  sender.start(0.0);
+  pair.sim.run_until(sec(30.0));
+  EXPECT_TRUE(sender.complete());
+  EXPECT_EQ(pair.receiver->goodput_bytes(), 40 * 1000);
+  EXPECT_FALSE(gate.armed);
+}
+
+}  // namespace
+}  // namespace pdos

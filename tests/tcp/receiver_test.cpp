@@ -1,0 +1,154 @@
+// Focused TcpReceiver edge cases: reordering, duplicates, delayed-ACK
+// timing and timestamp echo semantics.
+#include "tcp/tcp_receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+class AckCollector : public PacketHandler {
+ public:
+  explicit AckCollector(Simulator& sim) : sim_(sim) {}
+  void handle(Packet pkt) override {
+    EXPECT_EQ(pkt.type, PacketType::kTcpAck);
+    acks.push_back(pkt);
+    times.push_back(sim_.now());
+  }
+  std::vector<Packet> acks;
+  std::vector<Time> times;
+
+ private:
+  Simulator& sim_;
+};
+
+Packet data(std::int64_t seq, Time ts = 0.0) {
+  Packet pkt;
+  pkt.type = PacketType::kTcpData;
+  pkt.seq = seq;
+  pkt.size_bytes = 1040;
+  pkt.ts_echo = ts;
+  return pkt;
+}
+
+struct Harness {
+  Simulator sim;
+  AckCollector acks{sim};
+  TcpReceiver receiver;
+  explicit Harness(TcpReceiverConfig config = {})
+      : receiver(sim, 0, 1, 0, &acks, config) {}
+};
+
+TEST(ReceiverTest, InOrderCumulativeAcks) {
+  Harness h;
+  for (int i = 0; i < 5; ++i) h.receiver.handle(data(i));
+  ASSERT_EQ(h.acks.acks.size(), 5u);
+  EXPECT_EQ(h.acks.acks.back().ack, 5);
+  EXPECT_EQ(h.receiver.goodput_bytes(), 5 * 1000);
+}
+
+TEST(ReceiverTest, GapTriggersImmediateDuplicateAcks) {
+  Harness h;
+  h.receiver.handle(data(0));
+  h.receiver.handle(data(2));  // hole at 1
+  h.receiver.handle(data(3));
+  h.receiver.handle(data(4));
+  ASSERT_EQ(h.acks.acks.size(), 4u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(h.acks.acks[i].ack, 1);  // duplicates pointing at the hole
+  }
+  EXPECT_EQ(h.receiver.stats().out_of_order, 3u);
+}
+
+TEST(ReceiverTest, FillingHoleAcksEverythingBuffered) {
+  Harness h;
+  h.receiver.handle(data(0));
+  h.receiver.handle(data(2));
+  h.receiver.handle(data(3));
+  h.receiver.handle(data(1));  // plugs the hole
+  EXPECT_EQ(h.acks.acks.back().ack, 4);
+  EXPECT_EQ(h.receiver.next_expected(), 4);
+  EXPECT_EQ(h.receiver.goodput_bytes(), 4 * 1000);
+}
+
+TEST(ReceiverTest, MultipleInterleavedHoles) {
+  Harness h;
+  h.receiver.handle(data(0));
+  h.receiver.handle(data(2));
+  h.receiver.handle(data(4));
+  h.receiver.handle(data(1));  // advances to 3 (4 still buffered)
+  EXPECT_EQ(h.receiver.next_expected(), 3);
+  h.receiver.handle(data(3));  // advances through the buffered 4
+  EXPECT_EQ(h.receiver.next_expected(), 5);
+}
+
+TEST(ReceiverTest, SpuriousRetransmissionReAcked) {
+  Harness h;
+  for (int i = 0; i < 3; ++i) h.receiver.handle(data(i));
+  const std::size_t before = h.acks.acks.size();
+  h.receiver.handle(data(1));  // already delivered
+  ASSERT_EQ(h.acks.acks.size(), before + 1);
+  EXPECT_EQ(h.acks.acks.back().ack, 3);
+  EXPECT_EQ(h.receiver.stats().duplicate_segments, 1u);
+  // Goodput must not double-count.
+  EXPECT_EQ(h.receiver.goodput_bytes(), 3 * 1000);
+}
+
+TEST(ReceiverTest, DelayedAckCoalescesPairs) {
+  TcpReceiverConfig config;
+  config.delack_factor = 2;
+  Harness h(config);
+  for (int i = 0; i < 8; ++i) h.receiver.handle(data(i));
+  // One ACK per two segments.
+  EXPECT_EQ(h.acks.acks.size(), 4u);
+  EXPECT_EQ(h.acks.acks.back().ack, 8);
+}
+
+TEST(ReceiverTest, DelackTimerFlushesOddSegment) {
+  TcpReceiverConfig config;
+  config.delack_factor = 2;
+  config.delack_timeout = ms(100);
+  Harness h(config);
+  h.receiver.handle(data(0));
+  EXPECT_TRUE(h.acks.acks.empty());  // held back
+  h.sim.run_until(ms(200));
+  ASSERT_EQ(h.acks.acks.size(), 1u);
+  EXPECT_EQ(h.acks.acks[0].ack, 1);
+  EXPECT_NEAR(h.acks.times[0], 0.1, 1e-9);
+}
+
+TEST(ReceiverTest, TimestampEchoPropagates) {
+  Harness h;
+  h.receiver.handle(data(0, 1.25));
+  ASSERT_EQ(h.acks.acks.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.acks.acks[0].ts_echo, 1.25);
+}
+
+TEST(ReceiverTest, AckAddressingIsReversed) {
+  Harness h;
+  h.receiver.handle(data(0));
+  EXPECT_EQ(h.acks.acks[0].src, 1);
+  EXPECT_EQ(h.acks.acks[0].dst, 0);
+  EXPECT_EQ(h.acks.acks[0].flow, 0);
+}
+
+TEST(ReceiverTest, ConfigValidation) {
+  Simulator sim;
+  AckCollector acks(sim);
+  TcpReceiverConfig config;
+  config.delack_factor = 0;
+  EXPECT_THROW(TcpReceiver(sim, 0, 1, 0, &acks, config), ParameterError);
+  config = TcpReceiverConfig{};
+  config.delack_timeout = 0.0;
+  EXPECT_THROW(TcpReceiver(sim, 0, 1, 0, &acks, config), ParameterError);
+  config = TcpReceiverConfig{};
+  EXPECT_THROW(TcpReceiver(sim, 0, 1, 0, nullptr, config), ParameterError);
+}
+
+}  // namespace
+}  // namespace pdos

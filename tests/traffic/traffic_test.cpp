@@ -1,0 +1,125 @@
+#include "traffic/sources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+class Collector : public PacketHandler {
+ public:
+  explicit Collector(Simulator& sim) : sim_(sim) {}
+  void handle(Packet pkt) override {
+    EXPECT_EQ(pkt.type, PacketType::kUdp);
+    times.push_back(sim_.now());
+    bytes += pkt.size_bytes;
+  }
+  std::vector<Time> times;
+  Bytes bytes = 0;
+
+ private:
+  Simulator& sim_;
+};
+
+TEST(CbrTest, PacketsEvenlySpacedAtConfiguredRate) {
+  Simulator sim;
+  Collector sink(sim);
+  // 8 Mbps with 1000-byte packets: one per millisecond.
+  CbrSource source(sim, mbps(8), 1000, 1, 2, &sink);
+  source.start(0.0);
+  sim.run_until(ms(10.5));
+  ASSERT_GE(sink.times.size(), 10u);
+  for (std::size_t i = 1; i < 10; ++i) {
+    EXPECT_NEAR(sink.times[i] - sink.times[i - 1], 0.001, 1e-12);
+  }
+}
+
+TEST(CbrTest, LongRunRateMatches) {
+  Simulator sim;
+  Collector sink(sim);
+  CbrSource source(sim, mbps(4), 500, 1, 2, &sink);
+  source.start(0.0);
+  sim.run_until(sec(5.0));
+  const BitRate measured = static_cast<double>(sink.bytes) * 8.0 / 5.0;
+  EXPECT_NEAR(measured / mbps(4), 1.0, 0.01);
+}
+
+TEST(CbrTest, StopHaltsEmission) {
+  Simulator sim;
+  Collector sink(sim);
+  CbrSource source(sim, mbps(8), 1000, 1, 2, &sink);
+  source.start(0.0);
+  sim.schedule(ms(5), [&] { source.stop(); });
+  sim.run_until(sec(1.0));
+  EXPECT_LE(sink.times.size(), 7u);
+}
+
+TEST(CbrTest, Validation) {
+  Simulator sim;
+  Collector sink(sim);
+  EXPECT_THROW(CbrSource(sim, 0.0, 1000, 1, 2, &sink), ParameterError);
+  EXPECT_THROW(CbrSource(sim, mbps(1), 0, 1, 2, &sink), ParameterError);
+  EXPECT_THROW(CbrSource(sim, mbps(1), 1000, 1, 2, nullptr),
+               ParameterError);
+}
+
+TEST(OnOffTest, AverageRateFormula) {
+  Simulator sim;
+  Collector sink(sim);
+  OnOffSource source(sim, mbps(10), ms(300), ms(700), 1000, 1, 2, &sink);
+  EXPECT_NEAR(source.average_rate(), mbps(3), 1e-6);
+}
+
+TEST(OnOffTest, LongRunRateNearAverage) {
+  Simulator sim(42);
+  Collector sink(sim);
+  OnOffSource source(sim, mbps(10), ms(500), ms(500), 1000, 1, 2, &sink);
+  source.start(0.0);
+  sim.run_until(sec(120.0));
+  const BitRate measured = static_cast<double>(sink.bytes) * 8.0 / 120.0;
+  EXPECT_NEAR(measured / source.average_rate(), 1.0, 0.2);
+}
+
+TEST(OnOffTest, TrafficIsBursty) {
+  Simulator sim(7);
+  Collector sink(sim);
+  OnOffSource source(sim, mbps(10), ms(200), ms(800), 1000, 1, 2, &sink);
+  source.start(0.0);
+  sim.run_until(sec(30.0));
+  ASSERT_GT(sink.times.size(), 100u);
+  // There must be gaps far longer than the in-burst spacing (0.8 ms).
+  int long_gaps = 0;
+  for (std::size_t i = 1; i < sink.times.size(); ++i) {
+    if (sink.times[i] - sink.times[i - 1] > 0.1) ++long_gaps;
+  }
+  EXPECT_GT(long_gaps, 5);
+}
+
+TEST(OnOffTest, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    Collector sink(sim);
+    OnOffSource source(sim, mbps(10), ms(500), ms(500), 1000, 1, 2, &sink);
+    source.start(0.0);
+    sim.run_until(sec(10.0));
+    return sink.bytes;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(OnOffTest, Validation) {
+  Simulator sim;
+  Collector sink(sim);
+  EXPECT_THROW(OnOffSource(sim, mbps(1), 0.0, ms(1), 1000, 1, 2, &sink),
+               ParameterError);
+  EXPECT_THROW(OnOffSource(sim, mbps(1), ms(1), -1.0, 1000, 1, 2, &sink),
+               ParameterError);
+}
+
+}  // namespace
+}  // namespace pdos

@@ -1,0 +1,66 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+namespace {
+
+TEST(UnitsTest, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(sec(2.5), 2.5);
+  EXPECT_DOUBLE_EQ(ms(1500), 1.5);
+  EXPECT_DOUBLE_EQ(us(2000), 0.002);
+  EXPECT_DOUBLE_EQ(to_ms(0.05), 50.0);
+}
+
+TEST(UnitsTest, RateHelpers) {
+  EXPECT_DOUBLE_EQ(bps(100), 100.0);
+  EXPECT_DOUBLE_EQ(kbps(3), 3000.0);
+  EXPECT_DOUBLE_EQ(mbps(15), 15e6);
+  EXPECT_DOUBLE_EQ(gbps(1), 1e9);
+  EXPECT_DOUBLE_EQ(to_mbps(25e6), 25.0);
+}
+
+TEST(UnitsTest, TransmissionTime) {
+  // 1000 bytes at 8 kbps -> exactly 1 second.
+  EXPECT_DOUBLE_EQ(transmission_time(1000, kbps(8)), 1.0);
+  // 1040-byte packet on 15 Mbps.
+  EXPECT_NEAR(transmission_time(1040, mbps(15)), 1040.0 * 8 / 15e6, 1e-12);
+}
+
+TEST(UnitsTest, BytesAtRate) {
+  EXPECT_EQ(bytes_at_rate(mbps(8), sec(1.0)), 1000000);
+  EXPECT_EQ(bytes_at_rate(kbps(8), ms(500)), 500);
+}
+
+TEST(UnitsTest, RoundTripConsistency) {
+  const Bytes size = 1234;
+  const BitRate rate = mbps(42);
+  const Time tx = transmission_time(size, rate);
+  EXPECT_NEAR(static_cast<double>(bytes_at_rate(rate, tx)),
+              static_cast<double>(size), 1.0);
+}
+
+TEST(AssertTest, CheckMacroThrowsInvariantError) {
+  EXPECT_THROW(PDOS_CHECK(false), InvariantError);
+  EXPECT_NO_THROW(PDOS_CHECK(true));
+}
+
+TEST(AssertTest, CheckMsgCarriesMessage) {
+  try {
+    PDOS_CHECK_MSG(1 == 2, "the details");
+    FAIL() << "expected throw";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("the details"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(AssertTest, RequireThrowsParameterError) {
+  EXPECT_THROW(PDOS_REQUIRE(false, "bad arg"), ParameterError);
+  EXPECT_NO_THROW(PDOS_REQUIRE(true, "ok"));
+}
+
+}  // namespace
+}  // namespace pdos
