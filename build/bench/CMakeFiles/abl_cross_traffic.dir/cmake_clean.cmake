@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cross_traffic.dir/abl_cross_traffic.cpp.o"
+  "CMakeFiles/abl_cross_traffic.dir/abl_cross_traffic.cpp.o.d"
+  "abl_cross_traffic"
+  "abl_cross_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cross_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

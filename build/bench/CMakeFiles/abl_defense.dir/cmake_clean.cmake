@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_defense.dir/abl_defense.cpp.o"
+  "CMakeFiles/abl_defense.dir/abl_defense.cpp.o.d"
+  "abl_defense"
+  "abl_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_distributed.dir/abl_distributed.cpp.o"
+  "CMakeFiles/abl_distributed.dir/abl_distributed.cpp.o.d"
+  "abl_distributed"
+  "abl_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_queue_detect.dir/abl_queue_detect.cpp.o"
+  "CMakeFiles/abl_queue_detect.dir/abl_queue_detect.cpp.o.d"
+  "abl_queue_detect"
+  "abl_queue_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_queue_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_roq.dir/abl_roq.cpp.o"
+  "CMakeFiles/abl_roq.dir/abl_roq.cpp.o.d"
+  "abl_roq"
+  "abl_roq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_roq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

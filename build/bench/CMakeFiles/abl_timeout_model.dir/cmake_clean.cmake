@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_timeout_model.dir/abl_timeout_model.cpp.o"
+  "CMakeFiles/abl_timeout_model.dir/abl_timeout_model.cpp.o.d"
+  "abl_timeout_model"
+  "abl_timeout_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_timeout_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_timeout_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_variants.dir/abl_variants.cpp.o"
+  "CMakeFiles/abl_variants.dir/abl_variants.cpp.o.d"
+  "abl_variants"
+  "abl_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

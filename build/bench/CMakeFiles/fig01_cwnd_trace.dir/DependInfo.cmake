@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig01_cwnd_trace.cpp" "bench/CMakeFiles/fig01_cwnd_trace.dir/fig01_cwnd_trace.cpp.o" "gcc" "bench/CMakeFiles/fig01_cwnd_trace.dir/fig01_cwnd_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pdos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/pdos_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/pdos_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/pdos_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pdos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pdos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pdos_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/pdos_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_sync.dir/fig03_sync.cpp.o"
+  "CMakeFiles/fig03_sync.dir/fig03_sync.cpp.o.d"
+  "fig03_sync"
+  "fig03_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

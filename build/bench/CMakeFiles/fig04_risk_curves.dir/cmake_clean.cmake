@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_risk_curves.dir/fig04_risk_curves.cpp.o"
+  "CMakeFiles/fig04_risk_curves.dir/fig04_risk_curves.cpp.o.d"
+  "fig04_risk_curves"
+  "fig04_risk_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_risk_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

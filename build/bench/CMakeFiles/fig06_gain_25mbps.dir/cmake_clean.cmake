@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_gain_25mbps.dir/fig06_gain_25mbps.cpp.o"
+  "CMakeFiles/fig06_gain_25mbps.dir/fig06_gain_25mbps.cpp.o.d"
+  "fig06_gain_25mbps"
+  "fig06_gain_25mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_gain_25mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

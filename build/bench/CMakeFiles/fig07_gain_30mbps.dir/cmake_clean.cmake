@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_gain_30mbps.dir/fig07_gain_30mbps.cpp.o"
+  "CMakeFiles/fig07_gain_30mbps.dir/fig07_gain_30mbps.cpp.o.d"
+  "fig07_gain_30mbps"
+  "fig07_gain_30mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_gain_30mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

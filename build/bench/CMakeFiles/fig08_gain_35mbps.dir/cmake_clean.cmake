@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_gain_35mbps.dir/fig08_gain_35mbps.cpp.o"
+  "CMakeFiles/fig08_gain_35mbps.dir/fig08_gain_35mbps.cpp.o.d"
+  "fig08_gain_35mbps"
+  "fig08_gain_35mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_gain_35mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

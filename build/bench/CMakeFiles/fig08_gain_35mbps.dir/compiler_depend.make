@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_gain_35mbps.
+# This may be replaced when dependencies are built.

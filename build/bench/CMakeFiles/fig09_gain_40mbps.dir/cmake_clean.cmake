@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_gain_40mbps.dir/fig09_gain_40mbps.cpp.o"
+  "CMakeFiles/fig09_gain_40mbps.dir/fig09_gain_40mbps.cpp.o.d"
+  "fig09_gain_40mbps"
+  "fig09_gain_40mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_gain_40mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_gain_40mbps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_shrew.dir/fig10_shrew.cpp.o"
+  "CMakeFiles/fig10_shrew.dir/fig10_shrew.cpp.o.d"
+  "fig10_shrew"
+  "fig10_shrew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_shrew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

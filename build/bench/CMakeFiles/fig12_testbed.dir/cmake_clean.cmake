@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_testbed.dir/fig12_testbed.cpp.o"
+  "CMakeFiles/fig12_testbed.dir/fig12_testbed.cpp.o.d"
+  "fig12_testbed"
+  "fig12_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_surface.dir/opt_surface.cpp.o"
+  "CMakeFiles/opt_surface.dir/opt_surface.cpp.o.d"
+  "opt_surface"
+  "opt_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_planner.dir/attack_planner.cpp.o"
+  "CMakeFiles/attack_planner.dir/attack_planner.cpp.o.d"
+  "attack_planner"
+  "attack_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrew_vs_aimd.dir/shrew_vs_aimd.cpp.o"
+  "CMakeFiles/shrew_vs_aimd.dir/shrew_vs_aimd.cpp.o.d"
+  "shrew_vs_aimd"
+  "shrew_vs_aimd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrew_vs_aimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shrew_vs_aimd.
+# This may be replaced when dependencies are built.

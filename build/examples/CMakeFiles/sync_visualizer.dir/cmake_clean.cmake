@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_visualizer.dir/sync_visualizer.cpp.o"
+  "CMakeFiles/sync_visualizer.dir/sync_visualizer.cpp.o.d"
+  "sync_visualizer"
+  "sync_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/distributed.cpp" "src/attack/CMakeFiles/pdos_attack.dir/distributed.cpp.o" "gcc" "src/attack/CMakeFiles/pdos_attack.dir/distributed.cpp.o.d"
+  "/root/repo/src/attack/pulse.cpp" "src/attack/CMakeFiles/pdos_attack.dir/pulse.cpp.o" "gcc" "src/attack/CMakeFiles/pdos_attack.dir/pulse.cpp.o.d"
+  "/root/repo/src/attack/shrew.cpp" "src/attack/CMakeFiles/pdos_attack.dir/shrew.cpp.o" "gcc" "src/attack/CMakeFiles/pdos_attack.dir/shrew.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pdos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

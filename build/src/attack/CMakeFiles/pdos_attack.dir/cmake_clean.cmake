@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdos_attack.dir/distributed.cpp.o"
+  "CMakeFiles/pdos_attack.dir/distributed.cpp.o.d"
+  "CMakeFiles/pdos_attack.dir/pulse.cpp.o"
+  "CMakeFiles/pdos_attack.dir/pulse.cpp.o.d"
+  "CMakeFiles/pdos_attack.dir/shrew.cpp.o"
+  "CMakeFiles/pdos_attack.dir/shrew.cpp.o.d"
+  "libpdos_attack.a"
+  "libpdos_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdos_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

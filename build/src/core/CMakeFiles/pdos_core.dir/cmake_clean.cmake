@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdos_core.dir/experiment.cpp.o"
+  "CMakeFiles/pdos_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/pdos_core.dir/model.cpp.o"
+  "CMakeFiles/pdos_core.dir/model.cpp.o.d"
+  "CMakeFiles/pdos_core.dir/optimizer.cpp.o"
+  "CMakeFiles/pdos_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/pdos_core.dir/planner.cpp.o"
+  "CMakeFiles/pdos_core.dir/planner.cpp.o.d"
+  "CMakeFiles/pdos_core.dir/roq.cpp.o"
+  "CMakeFiles/pdos_core.dir/roq.cpp.o.d"
+  "CMakeFiles/pdos_core.dir/timeout_model.cpp.o"
+  "CMakeFiles/pdos_core.dir/timeout_model.cpp.o.d"
+  "libpdos_core.a"
+  "libpdos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdos_detect.dir/dtw_detector.cpp.o"
+  "CMakeFiles/pdos_detect.dir/dtw_detector.cpp.o.d"
+  "CMakeFiles/pdos_detect.dir/rate_detector.cpp.o"
+  "CMakeFiles/pdos_detect.dir/rate_detector.cpp.o.d"
+  "libpdos_detect.a"
+  "libpdos_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdos_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdos_io.dir/csv.cpp.o"
+  "CMakeFiles/pdos_io.dir/csv.cpp.o.d"
+  "CMakeFiles/pdos_io.dir/gnuplot.cpp.o"
+  "CMakeFiles/pdos_io.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/pdos_io.dir/trace.cpp.o"
+  "CMakeFiles/pdos_io.dir/trace.cpp.o.d"
+  "libpdos_io.a"
+  "libpdos_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdos_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

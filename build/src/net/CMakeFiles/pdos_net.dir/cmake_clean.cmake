@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdos_net.dir/droptail.cpp.o"
+  "CMakeFiles/pdos_net.dir/droptail.cpp.o.d"
+  "CMakeFiles/pdos_net.dir/link.cpp.o"
+  "CMakeFiles/pdos_net.dir/link.cpp.o.d"
+  "CMakeFiles/pdos_net.dir/node.cpp.o"
+  "CMakeFiles/pdos_net.dir/node.cpp.o.d"
+  "CMakeFiles/pdos_net.dir/red.cpp.o"
+  "CMakeFiles/pdos_net.dir/red.cpp.o.d"
+  "libpdos_net.a"
+  "libpdos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

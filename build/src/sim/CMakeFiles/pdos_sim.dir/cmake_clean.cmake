@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdos_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/pdos_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pdos_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pdos_sim.dir/simulator.cpp.o.d"
+  "libpdos_sim.a"
+  "libpdos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

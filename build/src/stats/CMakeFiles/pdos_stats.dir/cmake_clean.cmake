@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdos_stats.dir/fairness.cpp.o"
+  "CMakeFiles/pdos_stats.dir/fairness.cpp.o.d"
+  "CMakeFiles/pdos_stats.dir/jitter.cpp.o"
+  "CMakeFiles/pdos_stats.dir/jitter.cpp.o.d"
+  "CMakeFiles/pdos_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/pdos_stats.dir/timeseries.cpp.o.d"
+  "libpdos_stats.a"
+  "libpdos_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdos_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

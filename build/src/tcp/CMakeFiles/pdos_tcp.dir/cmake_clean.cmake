@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdos_tcp.dir/connection.cpp.o"
+  "CMakeFiles/pdos_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/pdos_tcp.dir/tcp_receiver.cpp.o"
+  "CMakeFiles/pdos_tcp.dir/tcp_receiver.cpp.o.d"
+  "CMakeFiles/pdos_tcp.dir/tcp_sender.cpp.o"
+  "CMakeFiles/pdos_tcp.dir/tcp_sender.cpp.o.d"
+  "libpdos_tcp.a"
+  "libpdos_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdos_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

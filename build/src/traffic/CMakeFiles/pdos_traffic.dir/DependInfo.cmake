@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/sources.cpp" "src/traffic/CMakeFiles/pdos_traffic.dir/sources.cpp.o" "gcc" "src/traffic/CMakeFiles/pdos_traffic.dir/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pdos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

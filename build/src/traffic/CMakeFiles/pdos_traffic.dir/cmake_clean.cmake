@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdos_traffic.dir/sources.cpp.o"
+  "CMakeFiles/pdos_traffic.dir/sources.cpp.o.d"
+  "libpdos_traffic.a"
+  "libpdos_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdos_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdos_util.dir/logging.cpp.o"
+  "CMakeFiles/pdos_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pdos_util.dir/rng.cpp.o"
+  "CMakeFiles/pdos_util.dir/rng.cpp.o.d"
+  "libpdos_util.a"
+  "libpdos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

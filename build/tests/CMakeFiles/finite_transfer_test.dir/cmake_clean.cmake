@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_transfer_test.dir/tcp/finite_transfer_test.cpp.o"
+  "CMakeFiles/finite_transfer_test.dir/tcp/finite_transfer_test.cpp.o.d"
+  "finite_transfer_test"
+  "finite_transfer_test.pdb"
+  "finite_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

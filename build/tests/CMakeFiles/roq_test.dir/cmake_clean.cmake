@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roq_test.dir/core/roq_test.cpp.o"
+  "CMakeFiles/roq_test.dir/core/roq_test.cpp.o.d"
+  "roq_test"
+  "roq_test.pdb"
+  "roq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

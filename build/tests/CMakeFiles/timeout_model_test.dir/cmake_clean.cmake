@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeout_model_test.dir/core/timeout_model_test.cpp.o"
+  "CMakeFiles/timeout_model_test.dir/core/timeout_model_test.cpp.o.d"
+  "timeout_model_test"
+  "timeout_model_test.pdb"
+  "timeout_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeout_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
