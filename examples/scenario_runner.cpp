@@ -7,12 +7,18 @@
 //                   [--rtomin MS] [--textent MS] [--rattack MBPS]
 //                   [--gamma G | --no-attack] [--kappa K]
 //                   [--warmup S] [--measure S] [--seed N]
+//   scenario_runner --sweep SPECFILE [--threads N]
 //
-// Prints baseline and attacked goodput, measured vs predicted degradation,
-// queue drop counters and TCP state statistics.
+// The first form prints baseline and attacked goodput, measured vs
+// predicted degradation, queue drop counters and TCP state statistics for
+// a single run. The second hands a key=value campaign spec (see
+// src/sweep/spec.hpp) to the parallel sweep engine and prints its CSV
+// table to stdout (or the spec's `csv =` path).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "pdos/pdos.hpp"
@@ -45,7 +51,42 @@ bool has_flag(int argc, char** argv, const char* flag) {
 
 }  // namespace
 
+namespace {
+
+int run_sweep_mode(const std::string& spec_path, int argc, char** argv) {
+  sweep::SpecFile file = sweep::load_spec_file(spec_path);
+  const double threads = arg_of(argc, argv, "--threads", 0.0);
+  if (threads > 0.0) file.options.threads = static_cast<int>(threads);
+  file.options.on_progress = [](const sweep::SweepProgress& progress) {
+    std::fprintf(stderr, "\r%zu/%zu done, eta %.1fs  ", progress.done,
+                 progress.total, progress.eta_seconds);
+    if (progress.done == progress.total) std::fprintf(stderr, "\n");
+  };
+  const sweep::SweepResult result = sweep::run_sweep(file.spec, file.options);
+  std::fprintf(stderr, "sweep: %zu ok, %zu failed on %d threads in %.2fs\n",
+               result.completed(), result.failures(), result.threads,
+               result.wall_seconds);
+  if (file.csv_path.empty()) {
+    result.write_csv(std::cout);
+  } else {
+    std::ofstream out(file.csv_path);
+    PDOS_REQUIRE(out.good(), "cannot open output: " + file.csv_path);
+    result.write_csv(out);
+  }
+  if (!file.json_path.empty()) {
+    std::ofstream out(file.json_path);
+    PDOS_REQUIRE(out.good(), "cannot open output: " + file.json_path);
+    result.write_json(out);
+  }
+  return result.failures() == 0 && !result.cancelled ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  const std::string spec_path = arg_of(argc, argv, "--sweep", std::string());
+  if (!spec_path.empty()) return run_sweep_mode(spec_path, argc, argv);
+
   ScenarioConfig scenario = ScenarioConfig::ns2_dumbbell(
       static_cast<int>(arg_of(argc, argv, "--flows", 15)));
   scenario.bottleneck = mbps(arg_of(argc, argv, "--bottleneck", 15.0));

@@ -26,6 +26,23 @@ std::vector<Time> spread_phases(int k, Time spread, Rng& rng) {
   return phases;
 }
 
+std::vector<Time> spread_phases_seeded(int k, Time spread,
+                                       std::uint64_t base_seed) {
+  PDOS_REQUIRE(k >= 1, "spread_phases: need at least one source");
+  PDOS_REQUIRE(spread >= 0.0, "spread_phases: spread must be >= 0");
+  // Stream tag for attacker phase draws; per-source streams keep source a's
+  // phase independent of every other draw in the run.
+  constexpr std::uint64_t kPhaseStream = 0x70686173'65000000ULL;  // "phase"
+  std::vector<Time> phases(static_cast<std::size_t>(k), 0.0);
+  if (spread > 0.0) {
+    for (int a = 0; a < k; ++a) {
+      Rng rng(derive_seed(base_seed, kPhaseStream + static_cast<std::uint64_t>(a)));
+      phases[static_cast<std::size_t>(a)] = rng.uniform(0.0, spread);
+    }
+  }
+  return phases;
+}
+
 double per_source_gamma(const PulseTrain& train, int k, BitRate rbottle) {
   PDOS_REQUIRE(k >= 1, "per_source_gamma: need at least one source");
   return train.gamma(rbottle) / static_cast<double>(k);

@@ -26,6 +26,13 @@ std::vector<PulseTrain> split_train(const PulseTrain& train, int k);
 /// spread = 0 (fully synchronized) reproduces the sharp pulse edge.
 std::vector<Time> spread_phases(int k, Time spread, Rng& rng);
 
+/// Same, but each source's offset comes from its own stream derived from
+/// `base_seed` and the source index — source `a`'s phase is identical
+/// across runs regardless of how many other components drew randomness
+/// first (see `derive_seed`).
+std::vector<Time> spread_phases_seeded(int k, Time spread,
+                                       std::uint64_t base_seed);
+
 /// Per-source normalized average rate after an even k-way split:
 /// gamma_source = gamma_aggregate / k.
 double per_source_gamma(const PulseTrain& train, int k, BitRate rbottle);

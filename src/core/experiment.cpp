@@ -87,6 +87,14 @@ VictimProfile ScenarioConfig::victim_profile() const {
 
 namespace {
 
+// Stream tags for seed-derived randomness (see Simulator::stream). Every
+// stochastic component gets its own stream keyed off the run seed, so
+// changing one component (e.g. adding attackers) never shifts the
+// randomness another component sees — two runs with the same config and
+// seed are bit-identical even when num_attackers > 1.
+constexpr std::uint64_t kQueueStream = 0x71756575'65000000ULL;      // "queue"
+constexpr std::uint64_t kFlowStartStream = 0x666c6f77'73000000ULL;  // "flows"
+
 /// All the wiring for one dumbbell run, kept alive for the run's duration.
 struct Testframe {
   Simulator sim;
@@ -128,7 +136,7 @@ void build(Testframe& frame, const ScenarioConfig& config,
   const Bytes spacket = config.tcp.mss + config.tcp.header_bytes;
   frame.bottleneck = sim.make<Link>(
       sim, "bottleneck", config.bottleneck, config.bottleneck_delay,
-      make_queue(config, sim.rng().fork()), frame.router_r, spacket);
+      make_queue(config, sim.stream(kQueueStream)), frame.router_r, spacket);
   auto* bottleneck_rev = sim.make<Link>(sim, "bottleneck.rev",
                                         config.bottleneck,
                                         config.bottleneck_delay, big_fifo(),
@@ -261,14 +269,18 @@ RunResult run_scenario(const ScenarioConfig& config,
         [&result](Time t, double w) { result.cwnd_trace.emplace_back(t, w); });
   }
 
-  // Stagger flow starts to avoid artificial lockstep at t = 0.
-  for (auto& conn : frame.connections) {
-    conn.sender->start(frame.sim.rng().uniform(0.0, config.flow_start_spread));
+  // Stagger flow starts to avoid artificial lockstep at t = 0. Each flow
+  // draws from its own seed-derived stream so the offsets do not depend on
+  // what else the scenario instantiates (attackers, cross traffic).
+  for (std::size_t i = 0; i < frame.connections.size(); ++i) {
+    Rng start_rng = frame.sim.stream(kFlowStartStream + i);
+    frame.connections[i].sender->start(
+        start_rng.uniform(0.0, config.flow_start_spread));
   }
   if (!frame.attackers.empty()) {
-    auto phases = spread_phases(static_cast<int>(frame.attackers.size()),
-                                config.attacker_phase_spread,
-                                frame.sim.rng());
+    auto phases =
+        spread_phases_seeded(static_cast<int>(frame.attackers.size()),
+                             config.attacker_phase_spread, config.seed);
     for (std::size_t a = 0; a < frame.attackers.size(); ++a) {
       frame.attackers[a]->start(phases[a]);
     }

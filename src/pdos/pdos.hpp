@@ -19,6 +19,7 @@
 //   stats/  — traffic time series, PAA, peaks, periods, jitter
 //   detect/ — rate-anomaly and DTW pulse detectors
 //   core/   — the paper's model, optimizer, planner, experiment runner
+//   sweep/  — multi-threaded parameter campaigns over the grid
 #pragma once
 
 #include "attack/distributed.hpp"
@@ -47,6 +48,9 @@
 #include "stats/fairness.hpp"
 #include "stats/jitter.hpp"
 #include "stats/timeseries.hpp"
+#include "sweep/spec.hpp"
+#include "sweep/sweep.hpp"
+#include "sweep/thread_pool.hpp"
 #include "tcp/aimd.hpp"
 #include "traffic/sources.hpp"
 #include "tcp/connection.hpp"

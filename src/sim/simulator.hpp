@@ -19,7 +19,7 @@ namespace pdos {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -27,6 +27,15 @@ class Simulator {
   Scheduler& scheduler() { return scheduler_; }
   const Scheduler& scheduler() const { return scheduler_; }
   Rng& rng() { return rng_; }
+
+  /// The seed this run was constructed with.
+  std::uint64_t seed() const { return seed_; }
+
+  /// An independent random stream derived from the run seed and `tag`.
+  /// Unlike `rng().fork()`, the stream does not depend on construction
+  /// order or on how many draws other components have made — two runs with
+  /// the same seed give every tagged component bit-identical randomness.
+  Rng stream(std::uint64_t tag) const { return Rng(derive_seed(seed_, tag)); }
 
   Time now() const { return scheduler_.now(); }
 
@@ -56,6 +65,7 @@ class Simulator {
   }
 
  private:
+  std::uint64_t seed_;
   Scheduler scheduler_;
   Rng rng_;
   std::vector<std::unique_ptr<void, void (*)(void*)>> components_;

@@ -1,0 +1,47 @@
+// key=value spec files for sweep campaigns.
+//
+// The format is one `key = value` pair per line, `#` comments, commas for
+// lists — small enough to write by hand, rich enough to express the paper
+// grid:
+//
+//   # full Figs. 6-9 grid
+//   scenario     = ns2          # ns2 | testbed
+//   queue        = red          # red | droptail
+//   flows        = 15,25,35,45
+//   textent_ms   = 50,75,100
+//   rattack_mbps = 25,30,35,40
+//   gamma        = auto         # or a comma list, e.g. 0.2,0.4,0.6
+//   gamma_points = 7            # auto-grid resolution
+//   kappa        = 1.0
+//   replicates   = 1
+//   base_seed    = 1
+//   warmup_s     = 5
+//   measure_s    = 15
+//   threads      = 0            # 0 = all hardware threads
+//   csv          = sweep.csv    # optional output paths
+//   json         = sweep.json
+//
+// Unknown keys are an error (they are always typos).
+#pragma once
+
+#include <string>
+
+#include "sweep/sweep.hpp"
+
+namespace pdos::sweep {
+
+struct SpecFile {
+  SweepSpec spec;
+  SweepOptions options;
+  std::string csv_path;   // empty: write CSV to stdout
+  std::string json_path;  // empty: no JSON output
+};
+
+/// Parse spec text (the file contents). Throws ParameterError with a
+/// line-numbered message on malformed input.
+SpecFile parse_spec(const std::string& text);
+
+/// Read and parse a spec file from disk.
+SpecFile load_spec_file(const std::string& path);
+
+}  // namespace pdos::sweep

@@ -1,0 +1,388 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/model.hpp"
+#include "core/planner.hpp"
+#include "io/csv.hpp"
+#include "sweep/thread_pool.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pdos::sweep {
+
+const char* scenario_kind_name(ScenarioKind kind) {
+  return kind == ScenarioKind::kNs2Dumbbell ? "ns2" : "testbed";
+}
+
+std::uint64_t replicate_seed(std::uint64_t base_seed, int replicate) {
+  // Stream tag keeps sweep seeds disjoint from the in-run component
+  // streams derived from the same base (see experiment.cpp).
+  constexpr std::uint64_t kReplicateStream = 0x73776565'70000000ULL;  // "sweep"
+  return derive_seed(base_seed,
+                     kReplicateStream + static_cast<std::uint64_t>(replicate));
+}
+
+ScenarioConfig SweepSpec::make_scenario(const PointSpec& point) const {
+  ScenarioConfig config = scenario == ScenarioKind::kNs2Dumbbell
+                              ? ScenarioConfig::ns2_dumbbell(point.flows)
+                              : ScenarioConfig::testbed(point.flows);
+  config.queue = queue;
+  config.seed = replicate_seed(base_seed, point.replicate);
+  return config;
+}
+
+void SweepSpec::validate() const {
+  PDOS_REQUIRE(replicates >= 1, "SweepSpec: need at least one replicate");
+  PDOS_REQUIRE(gamma_points >= 2, "SweepSpec: need gamma_points >= 2");
+  if (explicit_points.empty()) {
+    PDOS_REQUIRE(!flow_counts.empty(), "SweepSpec: flow_counts is empty");
+    PDOS_REQUIRE(!textents.empty(), "SweepSpec: textents is empty");
+    PDOS_REQUIRE(!rattacks.empty(), "SweepSpec: rattacks is empty");
+    for (int flows : flow_counts) {
+      PDOS_REQUIRE(flows >= 1, "SweepSpec: flow counts must be >= 1");
+    }
+  }
+  PDOS_REQUIRE(control.measure > 0.0, "SweepSpec: measure window must be > 0");
+}
+
+std::vector<PointSpec> SweepSpec::enumerate() const {
+  validate();
+  std::vector<PointSpec> points;
+  if (!explicit_points.empty()) {
+    for (const PointSpec& point : explicit_points) {
+      for (int rep = 0; rep < replicates; ++rep) {
+        PointSpec copy = point;
+        copy.replicate = rep;
+        points.push_back(copy);
+      }
+    }
+    return points;
+  }
+  for (int flows : flow_counts) {
+    // C_Ψ depends only on the victim profile and pulse shape; reuse the
+    // scenario across the inner axes.
+    PointSpec probe;
+    probe.flows = flows;
+    const ScenarioConfig scenario_config = make_scenario(probe);
+    const VictimProfile victim = scenario_config.victim_profile();
+    for (Time textent : textents) {
+      for (BitRate rattack : rattacks) {
+        const double c_attack = rattack / scenario_config.bottleneck;
+        std::vector<double> grid = gammas;
+        if (grid.empty()) {
+          const double cpsi = c_psi(victim, textent, c_attack);
+          const double lo = std::max(0.1, cpsi + 0.02);
+          const double hi = 0.95;
+          for (int i = 0; i < gamma_points; ++i) {
+            grid.push_back(lo + (hi - lo) * i / (gamma_points - 1));
+          }
+        }
+        for (double gamma : grid) {
+          if (gamma <= 0.0 || gamma >= 1.0) continue;
+          if (gamma > c_attack) continue;  // needs T_space >= 0
+          for (int rep = 0; rep < replicates; ++rep) {
+            PointSpec point;
+            point.flows = flows;
+            point.textent = textent;
+            point.rattack = rattack;
+            point.gamma = gamma;
+            point.kappa = kappa;
+            point.replicate = rep;
+            points.push_back(point);
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+std::size_t SweepResult::failures() const {
+  std::size_t n = 0;
+  for (const auto& point : points) {
+    if (point.status == PointStatus::kFailed) ++n;
+  }
+  return n;
+}
+
+std::size_t SweepResult::completed() const {
+  std::size_t n = 0;
+  for (const auto& point : points) {
+    if (point.status == PointStatus::kOk) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+std::string fmt(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string fmt(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+const char* status_name(PointStatus status) {
+  switch (status) {
+    case PointStatus::kOk: return "ok";
+    case PointStatus::kFailed: return "failed";
+    case PointStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SweepResult::write_csv(std::ostream& out) const {
+  CsvWriter csv(out, {"index", "scenario_flows", "textent_ms", "rattack_mbps",
+                      "gamma", "kappa", "replicate", "seed", "status",
+                      "c_psi", "analytic_degradation", "analytic_gain",
+                      "shrew", "baseline_mbps", "goodput_mbps",
+                      "measured_degradation", "measured_gain", "utilization",
+                      "fairness", "timeouts", "fast_recoveries",
+                      "attack_packets", "events", "error"});
+  for (const auto& r : points) {
+    csv.row({fmt(static_cast<std::uint64_t>(r.index)),
+             std::to_string(r.point.flows), fmt(to_ms(r.point.textent)),
+             fmt(to_mbps(r.point.rattack)), fmt(r.point.gamma),
+             fmt(r.point.kappa), std::to_string(r.point.replicate),
+             fmt(r.seed), status_name(r.status), fmt(r.c_psi),
+             fmt(r.analytic_degradation), fmt(r.analytic_gain),
+             r.shrew ? "1" : "0", fmt(to_mbps(r.baseline_goodput)),
+             fmt(to_mbps(r.goodput)), fmt(r.measured_degradation),
+             fmt(r.measured_gain), fmt(r.utilization), fmt(r.fairness),
+             fmt(r.timeouts), fmt(r.fast_recoveries), fmt(r.attack_packets),
+             fmt(r.events), r.error});
+  }
+}
+
+void SweepResult::write_json(std::ostream& out) const {
+  out << "[\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = points[i];
+    out << "  {\"index\": " << r.index << ", \"flows\": " << r.point.flows
+        << ", \"textent_ms\": " << fmt(to_ms(r.point.textent))
+        << ", \"rattack_mbps\": " << fmt(to_mbps(r.point.rattack))
+        << ", \"gamma\": " << fmt(r.point.gamma)
+        << ", \"kappa\": " << fmt(r.point.kappa)
+        << ", \"replicate\": " << r.point.replicate
+        << ", \"seed\": " << r.seed
+        << ", \"status\": \"" << status_name(r.status) << "\""
+        << ", \"c_psi\": " << fmt(r.c_psi)
+        << ", \"analytic_degradation\": " << fmt(r.analytic_degradation)
+        << ", \"analytic_gain\": " << fmt(r.analytic_gain)
+        << ", \"shrew\": " << (r.shrew ? "true" : "false")
+        << ", \"baseline_mbps\": " << fmt(to_mbps(r.baseline_goodput))
+        << ", \"goodput_mbps\": " << fmt(to_mbps(r.goodput))
+        << ", \"measured_degradation\": " << fmt(r.measured_degradation)
+        << ", \"measured_gain\": " << fmt(r.measured_gain)
+        << ", \"utilization\": " << fmt(r.utilization)
+        << ", \"fairness\": " << fmt(r.fairness)
+        << ", \"timeouts\": " << r.timeouts
+        << ", \"fast_recoveries\": " << r.fast_recoveries
+        << ", \"attack_packets\": " << r.attack_packets
+        << ", \"events\": " << r.events
+        << ", \"error\": \"" << json_escape(r.error) << "\"}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+namespace {
+
+/// Baseline goodput for one (flows, replicate) pair.
+struct BaselineSlot {
+  PointSpec probe;  // flows + replicate; attack axes unused
+  BitRate goodput = 0.0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Serialized progress bookkeeping shared by all workers.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::size_t total,
+                const std::function<void(const SweepProgress&)>& callback)
+      : total_(total),
+        callback_(callback),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void tick() {
+    if (!callback_) {
+      done_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    SweepProgress progress;
+    progress.done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    progress.total = total_;
+    progress.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    if (progress.done > 0) {
+      progress.eta_seconds = progress.elapsed_seconds /
+                             static_cast<double>(progress.done) *
+                             static_cast<double>(total_ - progress.done);
+    }
+    callback_(progress);
+  }
+
+ private:
+  std::size_t total_;
+  const std::function<void(const SweepProgress&)>& callback_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::size_t> done_{0};
+  std::mutex mutex_;
+};
+
+}  // namespace
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
+  const std::vector<PointSpec> points = spec.enumerate();
+
+  // Unique (flows, replicate) pairs, in stable order of first appearance.
+  std::map<std::pair<int, int>, std::size_t> baseline_index;
+  std::vector<BaselineSlot> baselines;
+  for (const PointSpec& point : points) {
+    const auto key = std::make_pair(point.flows, point.replicate);
+    if (baseline_index.emplace(key, baselines.size()).second) {
+      BaselineSlot slot;
+      slot.probe = point;
+      baselines.push_back(slot);
+    }
+  }
+
+  SweepResult result;
+  result.points.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    PointResult& slot = result.points[i];
+    slot.index = i;
+    slot.point = points[i];
+    slot.seed = replicate_seed(spec.base_seed, points[i].replicate);
+  }
+
+  ThreadPool pool(options.threads);
+  result.threads = pool.size();
+  ProgressMeter meter(baselines.size() + points.size(), options.on_progress);
+  std::atomic<bool> cancel{false};
+  const auto start = std::chrono::steady_clock::now();
+
+  // Phase 1: baselines. Each runs the no-attack scenario with the same
+  // seed as the attack points it will normalize.
+  parallel_for(pool, baselines.size(), [&](std::size_t i) {
+    BaselineSlot& slot = baselines[i];
+    if (cancel.load(std::memory_order_relaxed)) {
+      slot.error = "skipped: sweep cancelled";
+      meter.tick();
+      return;
+    }
+    try {
+      const ScenarioConfig scenario = spec.make_scenario(slot.probe);
+      slot.goodput = measure_baseline(scenario, spec.control);
+      PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
+      slot.ok = true;
+    } catch (const std::exception& e) {
+      slot.error = e.what();
+      if (options.cancel_on_failure) {
+        cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+    meter.tick();
+  });
+
+  // Phase 2: the points themselves.
+  parallel_for(pool, points.size(), [&](std::size_t i) {
+    PointResult& slot = result.points[i];
+    if (cancel.load(std::memory_order_relaxed)) {
+      meter.tick();
+      return;  // stays kSkipped
+    }
+    const auto key = std::make_pair(slot.point.flows, slot.point.replicate);
+    const BaselineSlot& baseline = baselines[baseline_index.at(key)];
+    try {
+      if (!baseline.ok) {
+        throw std::runtime_error("baseline failed: " + baseline.error);
+      }
+      const ScenarioConfig scenario = spec.make_scenario(slot.point);
+
+      AttackPlanRequest request;
+      request.victim = scenario.victim_profile();
+      request.textent = slot.point.textent;
+      request.rattack = slot.point.rattack;
+      request.kappa = slot.point.kappa;
+      request.attack_packet_bytes = scenario.attack_packet_bytes;
+      request.victim_min_rto = scenario.tcp.rto_min;
+      const AttackPlan plan =
+          plan_attack_at_gamma(request, slot.point.gamma);
+      slot.c_psi = plan.c_psi;
+      slot.analytic_degradation = plan.predicted_degradation;
+      slot.analytic_gain = plan.predicted_gain;
+      slot.shrew = plan.shrew_harmonic.has_value();
+
+      const GainMeasurement measured =
+          measure_gain(scenario, plan.train, slot.point.kappa, spec.control,
+                       baseline.goodput);
+      slot.baseline_goodput = baseline.goodput;
+      slot.goodput = measured.run.goodput_rate;
+      slot.measured_degradation = measured.degradation;
+      slot.measured_gain = measured.gain;
+      slot.utilization = measured.run.utilization;
+      slot.fairness = measured.run.fairness_index;
+      slot.timeouts = measured.run.total_timeouts;
+      slot.fast_recoveries = measured.run.total_fast_recoveries;
+      slot.attack_packets = measured.run.attack_packets_sent;
+      slot.events = measured.run.events_executed;
+      slot.status = PointStatus::kOk;
+    } catch (const std::exception& e) {
+      slot.status = PointStatus::kFailed;
+      slot.error = e.what();
+      if (options.cancel_on_failure) {
+        cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+    meter.tick();
+  });
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.cancelled = cancel.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace pdos::sweep

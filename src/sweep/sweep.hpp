@@ -1,0 +1,149 @@
+// Parallel parameter-sweep engine.
+//
+// Every figure reproduction is a loop over the paper's grid — R_attack,
+// T_extent, flow counts, γ, seeds — and each grid point is an independent
+// `Simulator`. `SweepSpec` describes the grid (Cartesian axes or an
+// explicit point list), `run_sweep` executes it across a work-stealing
+// thread pool, and `SweepResult` collects per-point Γ/G plus run
+// statistics into a stable-ordered table with CSV and JSON writers.
+//
+// Determinism contract: point `i` of the enumeration runs with seed
+// `derive_seed(base_seed, replicate)` and writes into slot `i` of the
+// result table, so the output is byte-identical regardless of thread
+// count or execution order. Baselines are measured once per unique
+// (flows, replicate) pair with the same seed as the attack runs they
+// normalize.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/units.hpp"
+
+namespace pdos::sweep {
+
+/// Which paper scenario family the sweep instantiates.
+enum class ScenarioKind { kNs2Dumbbell, kTestbed };
+
+const char* scenario_kind_name(ScenarioKind kind);
+
+/// One grid point: the attack/scenario parameters a single simulation
+/// runs with. `replicate` selects the seed stream.
+struct PointSpec {
+  int flows = 15;
+  Time textent = ms(50);
+  BitRate rattack = mbps(25);
+  double gamma = 0.5;
+  double kappa = 1.0;
+  int replicate = 0;
+};
+
+struct SweepSpec {
+  ScenarioKind scenario = ScenarioKind::kNs2Dumbbell;
+  QueueKind queue = QueueKind::kRed;
+
+  // Cartesian axes (ignored when `explicit_points` is non-empty).
+  std::vector<int> flow_counts = {15};
+  std::vector<Time> textents = {ms(50)};
+  std::vector<BitRate> rattacks = {mbps(25)};
+  /// Explicit γ values. Empty means "auto": an evenly spaced grid of
+  /// `gamma_points` values on (max(0.1, C_Ψ + 0.02), 0.95), per
+  /// (flows, textent, rattack) combination — the grid Figs. 6-9 sweep.
+  std::vector<double> gammas;
+  int gamma_points = 7;
+
+  double kappa = 1.0;
+  int replicates = 1;
+  std::uint64_t base_seed = 1;
+  RunControl control;
+
+  /// When non-empty, run exactly these points instead of the grid.
+  std::vector<PointSpec> explicit_points;
+
+  /// The scenario config a point runs with (attack parameters excluded).
+  ScenarioConfig make_scenario(const PointSpec& point) const;
+
+  /// Expand to the ordered point list. Stable: same spec, same list.
+  /// Infeasible γ (outside (0,1) or above C_attack) are skipped, matching
+  /// the figure harnesses.
+  std::vector<PointSpec> enumerate() const;
+
+  void validate() const;
+};
+
+/// Seed for replicate `i`: a SplitMix64 mix of the campaign base seed, so
+/// replicate streams are independent and thread-count invariant.
+std::uint64_t replicate_seed(std::uint64_t base_seed, int replicate);
+
+enum class PointStatus { kOk, kFailed, kSkipped };
+
+/// One row of the result table.
+struct PointResult {
+  std::size_t index = 0;  // position in SweepSpec::enumerate()
+  PointSpec point;
+  std::uint64_t seed = 0;
+  PointStatus status = PointStatus::kSkipped;
+  std::string error;  // set when status == kFailed
+
+  // Analytic predictions (Eq. 12/13) and the C_Ψ of the pulse shape.
+  double c_psi = 0.0;
+  double analytic_degradation = 0.0;
+  double analytic_gain = 0.0;
+  bool shrew = false;  // plan period collides with a shrew harmonic
+
+  // Measured quantities.
+  double baseline_goodput = 0.0;  // bps, no-attack run with the same seed
+  double goodput = 0.0;           // bps under attack
+  double measured_degradation = 0.0;  // Γ
+  double measured_gain = 0.0;         // G
+  double utilization = 0.0;
+  double fairness = 0.0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_recoveries = 0;
+  std::uint64_t attack_packets = 0;
+  std::uint64_t events = 0;
+};
+
+struct SweepResult {
+  std::vector<PointResult> points;  // enumeration order, always full-size
+  int threads = 1;
+  double wall_seconds = 0.0;
+  bool cancelled = false;
+
+  std::size_t failures() const;
+  std::size_t completed() const;
+
+  /// Stable machine-readable table (RFC 4180 via io/csv). Byte-identical
+  /// across thread counts for the same spec.
+  void write_csv(std::ostream& out) const;
+  /// Same table as a JSON array of objects.
+  void write_json(std::ostream& out) const;
+};
+
+/// Progress snapshot handed to the callback after every finished task.
+struct SweepProgress {
+  std::size_t done = 0;   // finished tasks (baselines + points)
+  std::size_t total = 0;  // total tasks
+  double elapsed_seconds = 0.0;
+  double eta_seconds = 0.0;  // elapsed/done extrapolation; 0 until done > 0
+};
+
+struct SweepOptions {
+  int threads = 0;  // <= 0: ThreadPool::default_threads()
+  /// Stop dispatching new points after the first failure; undispatched
+  /// points are reported as kSkipped and the result as cancelled.
+  bool cancel_on_failure = true;
+  /// Called with the pool's progress after each task; invocations are
+  /// serialized, but may come from any worker thread.
+  std::function<void(const SweepProgress&)> on_progress;
+};
+
+/// Execute the sweep: baselines first (one per unique (flows, replicate)),
+/// then every point, all across the pool.
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
+
+}  // namespace pdos::sweep

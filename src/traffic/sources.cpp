@@ -58,7 +58,11 @@ OnOffSource::OnOffSource(Simulator& sim, BitRate peak_rate, Time mean_on,
       sink_(sink),
       out_(out),
       flow_(flow),
-      rng_(sim.rng().fork()) {
+      // Seed-derived stream keyed by the source's node id: the burst
+      // pattern is a function of (run seed, self) only, not of how many
+      // components forked the root stream before this one.
+      rng_(sim.stream(0x6f6e6f66'66000000ULL +
+                      static_cast<std::uint64_t>(self))) {
   PDOS_REQUIRE(peak_rate > 0.0, "OnOffSource: peak_rate must be > 0");
   PDOS_REQUIRE(mean_on > 0.0 && mean_off > 0.0,
                "OnOffSource: mean_on/mean_off must be > 0");

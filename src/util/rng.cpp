@@ -36,4 +36,21 @@ Rng Rng::fork() {
   return Rng(seed);
 }
 
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // Finalize both words so nearby (base, stream) pairs land far apart, and
+  // combine asymmetrically so derive_seed(a, b) != derive_seed(b, a).
+  return splitmix64(splitmix64(base) + 0x632be59bd9b4e019ULL * stream);
+}
+
 }  // namespace pdos

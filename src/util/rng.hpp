@@ -40,4 +40,12 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Stateless seed derivation: mix `base` and `stream` into an independent
+/// seed (SplitMix64 finalizer over both words). Unlike `Rng::fork()` this
+/// does not consume generator state, so a component seeded with
+/// `derive_seed(run_seed, tag)` gets the same stream no matter how many
+/// other components were built before it — the determinism contract the
+/// sweep engine and multi-attacker scenarios rely on.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 }  // namespace pdos

@@ -1,0 +1,267 @@
+#include "sweep/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "sweep/spec.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pdos::sweep {
+namespace {
+
+/// A spec small enough for unit tests: 3 flows, short windows, 2 gammas.
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.flow_counts = {3};
+  spec.textents = {ms(50)};
+  spec.rattacks = {mbps(25)};
+  spec.gammas = {0.3, 0.6};
+  spec.replicates = 2;
+  spec.control.warmup = sec(0.5);
+  spec.control.measure = sec(1.5);
+  return spec;
+}
+
+TEST(SeedDerivation, StableAndDistinct) {
+  const std::uint64_t a = replicate_seed(1, 0);
+  EXPECT_EQ(a, replicate_seed(1, 0));  // deterministic
+  std::set<std::uint64_t> seeds;
+  for (int rep = 0; rep < 100; ++rep) seeds.insert(replicate_seed(1, rep));
+  EXPECT_EQ(seeds.size(), 100u);  // no collisions across replicates
+  EXPECT_NE(replicate_seed(1, 0), replicate_seed(2, 0));  // base matters
+}
+
+TEST(DeriveSeed, AsymmetricAndMixing) {
+  EXPECT_NE(derive_seed(1, 2), derive_seed(2, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(0, 0), 0u);
+}
+
+TEST(SweepSpec, EnumerationIsStable) {
+  const SweepSpec spec = tiny_spec();
+  const auto a = spec.enumerate();
+  const auto b = spec.enumerate();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 4u);  // 2 gammas x 2 replicates
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].gamma, b[i].gamma);
+    EXPECT_EQ(a[i].replicate, b[i].replicate);
+  }
+}
+
+TEST(SweepSpec, AutoGammaGridRespectsFeasibility) {
+  SweepSpec spec = tiny_spec();
+  spec.gammas.clear();  // auto grid
+  spec.gamma_points = 9;
+  spec.replicates = 1;
+  const auto points = spec.enumerate();
+  ASSERT_FALSE(points.empty());
+  const double c_attack = mbps(25) / mbps(15);
+  for (const auto& point : points) {
+    EXPECT_GT(point.gamma, 0.0);
+    EXPECT_LT(point.gamma, 1.0);
+    EXPECT_LE(point.gamma, c_attack);
+  }
+}
+
+TEST(SweepSpec, ExplicitPointsPassThrough) {
+  SweepSpec spec;
+  PointSpec point;
+  point.flows = 5;
+  point.gamma = 0.42;
+  spec.explicit_points = {point};
+  spec.replicates = 3;
+  const auto points = spec.enumerate();
+  ASSERT_EQ(points.size(), 3u);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(points[static_cast<std::size_t>(rep)].replicate, rep);
+    EXPECT_EQ(points[static_cast<std::size_t>(rep)].gamma, 0.42);
+  }
+}
+
+// The acceptance-criterion test: the same spec at 1 thread and at 8
+// threads must produce byte-identical CSV (and JSON) output.
+TEST(RunSweep, OutputIsByteIdenticalAcrossThreadCounts) {
+  const SweepSpec spec = tiny_spec();
+
+  SweepOptions serial;
+  serial.threads = 1;
+  const SweepResult a = run_sweep(spec, serial);
+
+  SweepOptions parallel;
+  parallel.threads = 8;
+  const SweepResult b = run_sweep(spec, parallel);
+
+  EXPECT_EQ(a.threads, 1);
+  EXPECT_EQ(b.threads, 8);
+  EXPECT_EQ(a.failures(), 0u);
+  EXPECT_EQ(b.failures(), 0u);
+
+  std::ostringstream csv_a, csv_b, json_a, json_b;
+  a.write_csv(csv_a);
+  b.write_csv(csv_b);
+  a.write_json(json_a);
+  b.write_json(json_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_EQ(json_a.str(), json_b.str());
+}
+
+TEST(RunSweep, ReplicatesDiffer) {
+  SweepSpec spec = tiny_spec();
+  spec.gammas = {0.6};
+  const SweepResult result = run_sweep(spec, {});
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_NE(result.points[0].seed, result.points[1].seed);
+  // Different seeds, different stochastic environment, different goodput.
+  EXPECT_NE(result.points[0].goodput, result.points[1].goodput);
+}
+
+TEST(RunSweep, CancellationPropagates) {
+  SweepSpec spec;
+  spec.control.warmup = sec(0.5);
+  spec.control.measure = sec(1.0);
+  // Point 0 is infeasible (gamma > C_attack forces T_space < 0, the planner
+  // throws); the rest are fine. With one thread the failure lands before
+  // any later point is dispatched, so everything after it must be skipped.
+  PointSpec bad;
+  bad.flows = 3;
+  bad.gamma = 5.0;
+  PointSpec good;
+  good.flows = 3;
+  good.gamma = 0.5;
+  spec.explicit_points = {bad, good, good, good};
+
+  SweepOptions options;
+  options.threads = 1;
+  const SweepResult result = run_sweep(spec, options);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.failures(), 1u);
+  EXPECT_EQ(result.points[0].status, PointStatus::kFailed);
+  EXPECT_FALSE(result.points[0].error.empty());
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    EXPECT_EQ(result.points[i].status, PointStatus::kSkipped);
+  }
+}
+
+TEST(RunSweep, KeepGoingRunsPastFailures) {
+  SweepSpec spec;
+  spec.control.warmup = sec(0.5);
+  spec.control.measure = sec(1.0);
+  PointSpec bad;
+  bad.flows = 3;
+  bad.gamma = 5.0;
+  PointSpec good;
+  good.flows = 3;
+  good.gamma = 0.5;
+  spec.explicit_points = {bad, good};
+
+  SweepOptions options;
+  options.threads = 2;
+  options.cancel_on_failure = false;
+  const SweepResult result = run_sweep(spec, options);
+  EXPECT_FALSE(result.cancelled);
+  EXPECT_EQ(result.failures(), 1u);
+  EXPECT_EQ(result.completed(), 1u);
+  EXPECT_EQ(result.points[1].status, PointStatus::kOk);
+}
+
+TEST(RunSweep, ProgressReachesTotal) {
+  SweepSpec spec = tiny_spec();
+  spec.gammas = {0.5};
+  spec.replicates = 1;
+  std::atomic<std::size_t> last_done{0};
+  std::atomic<std::size_t> total{0};
+  SweepOptions options;
+  options.threads = 2;
+  options.on_progress = [&](const SweepProgress& progress) {
+    EXPECT_GT(progress.done, last_done.load());  // serialized + monotonic
+    last_done.store(progress.done);
+    total.store(progress.total);
+  };
+  const SweepResult result = run_sweep(spec, options);
+  EXPECT_EQ(result.failures(), 0u);
+  EXPECT_EQ(last_done.load(), total.load());
+  EXPECT_EQ(total.load(), 2u);  // 1 baseline + 1 point
+}
+
+TEST(RunSweep, MeasurementsAreSane) {
+  SweepSpec spec = tiny_spec();
+  spec.gammas = {0.6};
+  spec.replicates = 1;
+  const SweepResult result = run_sweep(spec, {});
+  ASSERT_EQ(result.points.size(), 1u);
+  const PointResult& point = result.points[0];
+  ASSERT_EQ(point.status, PointStatus::kOk);
+  EXPECT_GT(point.baseline_goodput, 0.0);
+  EXPECT_GT(point.goodput, 0.0);
+  EXPECT_LT(point.goodput, point.baseline_goodput);  // the attack hurts
+  EXPECT_GE(point.measured_degradation, 0.0);
+  EXPECT_GT(point.attack_packets, 0u);
+  EXPECT_GT(point.c_psi, 0.0);
+}
+
+TEST(SpecParser, ParsesTheFullGrammar) {
+  const SpecFile file = parse_spec(R"(
+# a comment
+scenario     = ns2
+queue        = droptail
+flows        = 3, 5
+textent_ms   = 50, 75
+rattack_mbps = 25
+gamma        = 0.3, 0.6
+kappa        = 2.0
+replicates   = 2
+base_seed    = 7
+warmup_s     = 1
+measure_s    = 2
+threads      = 4
+csv          = out.csv
+json         = out.json
+)");
+  EXPECT_EQ(file.spec.scenario, ScenarioKind::kNs2Dumbbell);
+  EXPECT_EQ(file.spec.queue, QueueKind::kDropTail);
+  EXPECT_EQ(file.spec.flow_counts, (std::vector<int>{3, 5}));
+  ASSERT_EQ(file.spec.textents.size(), 2u);
+  EXPECT_DOUBLE_EQ(file.spec.textents[1], ms(75));
+  EXPECT_DOUBLE_EQ(file.spec.kappa, 2.0);
+  EXPECT_EQ(file.spec.replicates, 2);
+  EXPECT_EQ(file.spec.base_seed, 7u);
+  EXPECT_DOUBLE_EQ(file.spec.control.measure, sec(2));
+  EXPECT_EQ(file.options.threads, 4);
+  EXPECT_EQ(file.csv_path, "out.csv");
+  EXPECT_EQ(file.json_path, "out.json");
+}
+
+TEST(SpecParser, AutoGammaAndDefaults) {
+  const SpecFile file = parse_spec("gamma = auto\n");
+  EXPECT_TRUE(file.spec.gammas.empty());
+  EXPECT_EQ(file.options.threads, 0);
+}
+
+TEST(SpecParser, RejectsUnknownKeysAndGarbage) {
+  EXPECT_THROW(parse_spec("no_such_key = 1\n"), ParameterError);
+  EXPECT_THROW(parse_spec("flows\n"), ParameterError);
+  EXPECT_THROW(parse_spec("flows = abc\n"), ParameterError);
+  EXPECT_THROW(parse_spec("scenario = ns3\n"), ParameterError);
+}
+
+TEST(SweepResult, CsvHasHeaderAndOneRowPerPoint) {
+  SweepSpec spec = tiny_spec();
+  spec.gammas = {0.5};
+  spec.replicates = 1;
+  const SweepResult result = run_sweep(spec, {});
+  std::ostringstream out;
+  result.write_csv(out);
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 1u + result.points.size());
+  EXPECT_EQ(csv.find("index,scenario_flows,"), 0u);
+}
+
+}  // namespace
+}  // namespace pdos::sweep

@@ -1,0 +1,131 @@
+#include "sweep/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pdos::sweep {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, SingleThreadStillDrains) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(), ThreadPool::default_threads());
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPool, StressManySmallTasks) {
+  ThreadPool pool(8);
+  std::atomic<std::int64_t> sum{0};
+  constexpr int kTasks = 20000;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, NestedSubmitsAreWaitedFor) {
+  ThreadPool pool(4);
+  std::atomic<int> leaves{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&pool, &leaves] {
+      for (int j = 0; j < 8; ++j) {
+        pool.submit([&leaves] { leaves.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(leaves.load(), 16 * 8);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, WorkIsActuallyDistributed) {
+  // With long-enough tasks and as many as 4x threads, at least two distinct
+  // worker threads must participate (one worker would be twice as slow).
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&mutex, &seen] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPool, RejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), ParameterError);
+}
+
+TEST(ParallelFor, CoversTheFullRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(500, 0);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) { hits[i] = 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i << " never ran";
+  }
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_for(pool, 64,
+                   [&ran](std::size_t i) {
+                     ran.fetch_add(1);
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 64);  // remaining iterations still execute
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace pdos::sweep

@@ -1,0 +1,111 @@
+// pdos_sweep — run a parameter campaign described by a key=value spec file
+// and emit the result table.
+//
+// Usage:
+//   pdos_sweep SPECFILE [--threads N] [--csv PATH] [--json PATH]
+//              [--quiet] [--keep-going]
+//
+// The spec format is documented in src/sweep/spec.hpp (and README.md,
+// "Running parameter sweeps"). Command-line flags override the file.
+// Progress goes to stderr, the CSV table to --csv/`csv =` or stdout.
+// Exit status: 0 on success, 1 when any point failed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "sweep/spec.hpp"
+#include "util/assert.hpp"
+
+using namespace pdos;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pdos_sweep SPECFILE [--threads N] [--csv PATH] "
+               "[--json PATH] [--quiet] [--keep-going]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') return usage();
+
+  sweep::SpecFile file;
+  try {
+    file = sweep::load_spec_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pdos_sweep: %s\n", e.what());
+    return 2;
+  }
+
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      file.options.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      file.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      file.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--keep-going") == 0) {
+      file.options.cancel_on_failure = false;
+    } else {
+      return usage();
+    }
+  }
+
+  const auto points = file.spec.enumerate();
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "pdos_sweep: %zu points (%s scenario, base seed %llu)\n",
+                 points.size(), sweep::scenario_kind_name(file.spec.scenario),
+                 static_cast<unsigned long long>(file.spec.base_seed));
+    file.options.on_progress = [](const sweep::SweepProgress& progress) {
+      std::fprintf(stderr, "\r%zu/%zu done, %.1fs elapsed, eta %.1fs   ",
+                   progress.done, progress.total, progress.elapsed_seconds,
+                   progress.eta_seconds);
+      if (progress.done == progress.total) std::fprintf(stderr, "\n");
+    };
+  }
+
+  const sweep::SweepResult result = sweep::run_sweep(file.spec, file.options);
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "pdos_sweep: %zu ok, %zu failed%s on %d threads in %.2fs\n",
+                 result.completed(), result.failures(),
+                 result.cancelled ? " (cancelled)" : "", result.threads,
+                 result.wall_seconds);
+  }
+
+  if (file.csv_path.empty()) {
+    result.write_csv(std::cout);
+  } else {
+    std::ofstream out(file.csv_path);
+    PDOS_REQUIRE(out.good(), "cannot open output: " + file.csv_path);
+    result.write_csv(out);
+    if (!quiet) {
+      std::fprintf(stderr, "pdos_sweep: wrote %s\n", file.csv_path.c_str());
+    }
+  }
+  if (!file.json_path.empty()) {
+    std::ofstream out(file.json_path);
+    PDOS_REQUIRE(out.good(), "cannot open output: " + file.json_path);
+    result.write_json(out);
+    if (!quiet) {
+      std::fprintf(stderr, "pdos_sweep: wrote %s\n", file.json_path.c_str());
+    }
+  }
+
+  for (const auto& point : result.points) {
+    if (point.status == sweep::PointStatus::kFailed) {
+      std::fprintf(stderr, "point %zu failed: %s\n", point.index,
+                   point.error.c_str());
+    }
+  }
+  return result.failures() == 0 && !result.cancelled ? 0 : 1;
+}
