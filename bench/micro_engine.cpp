@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <optional>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/model.hpp"
@@ -13,6 +14,7 @@
 #include "net/droptail.hpp"
 #include "net/red.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
 
 namespace pdos {
 namespace {
@@ -48,6 +50,43 @@ void BM_SchedulerCancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_SchedulerCancelHeavy);
+
+void BM_SchedulerCancelAmongCrowd(benchmark::State& state) {
+  // Cancels hitting the middle of a large pending population: exercises
+  // the indexed heap's O(log n) detach instead of the tail-pop fast case.
+  const int crowd = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    std::vector<EventId> ids;
+    ids.reserve(static_cast<std::size_t>(crowd));
+    for (int i = 0; i < crowd; ++i) {
+      ids.push_back(
+          sched.schedule(static_cast<Time>((i * 2654435761u) % 1000), [] {}));
+    }
+    for (int i = 0; i < crowd; i += 2) sched.cancel(ids[static_cast<std::size_t>(i)]);
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * crowd);
+}
+BENCHMARK(BM_SchedulerCancelAmongCrowd)->Arg(10000);
+
+void BM_TimerRestart(benchmark::State& state) {
+  // RTO shape: a pending timer repeatedly pushed back before it can fire.
+  // Restart goes through reschedule_at, moving the heap node in place.
+  for (auto _ : state) {
+    Scheduler sched;
+    int fired = 0;
+    Timer timer(sched, [&fired] { ++fired; });
+    timer.schedule_at(1.0);
+    for (int i = 0; i < 10000; ++i) {
+      timer.schedule_at(1.0 + 0.001 * i);
+    }
+    sched.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_TimerRestart);
 
 void BM_DropTailEnqueueDequeue(benchmark::State& state) {
   DropTailQueue queue(256);

@@ -48,7 +48,8 @@ PulseAttacker::PulseAttacker(Simulator& sim, PulseTrain train, NodeId self,
       self_(self),
       sink_(sink),
       out_(out),
-      flow_(flow) {
+      flow_(flow),
+      pulse_timer_(sim.scheduler(), [this] { fire_pulse(); }) {
   PDOS_REQUIRE(out != nullptr, "PulseAttacker: out must be non-null");
   train_.validate();
   packet_spacing_ = transmission_time(train_.packet_bytes, train_.rattack);
@@ -59,19 +60,19 @@ PulseAttacker::PulseAttacker(Simulator& sim, PulseTrain train, NodeId self,
                                               packet_spacing_)));
 }
 
-void PulseAttacker::start(Time when) {
-  sim_.schedule_at(when, [this] { fire_pulse(); });
-}
+void PulseAttacker::start(Time when) { pulse_timer_.schedule_at(when); }
 
 void PulseAttacker::fire_pulse() {
   if (stopped_ || stats_.pulses_started >= train_.n) return;
   ++stats_.pulses_started;
+  // Packets within the pulse are one-shot events; several are pending at
+  // once, so they stay plain schedules (the closure is just `this`).
   for (std::int64_t i = 0; i < packets_per_pulse_; ++i) {
     sim_.schedule(static_cast<double>(i) * packet_spacing_,
                   [this] { emit_packet(); });
   }
   if (stats_.pulses_started < train_.n) {
-    sim_.schedule(train_.period(), [this] { fire_pulse(); });
+    pulse_timer_.schedule_in(train_.period());
   }
 }
 

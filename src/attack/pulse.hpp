@@ -82,6 +82,7 @@ class PulseAttacker {
   Time packet_spacing_;
   std::int64_t packets_per_pulse_;
   bool stopped_ = false;
+  Timer pulse_timer_;  // drives the periodic pulse cycle
   AttackerStats stats_;
 };
 

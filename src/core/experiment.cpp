@@ -242,18 +242,28 @@ RunResult run_scenario(const ScenarioConfig& config,
   RunResult result;
 
   // Sample bottleneck occupancy (and RED's lagging average) once per bin.
-  const auto* red_queue =
-      dynamic_cast<const RedQueue*>(&frame.bottleneck->queue());
-  std::function<void()> sample_queue = [&] {
-    result.queue_occupancy.push_back(
-        static_cast<double>(frame.bottleneck->queue().length()));
-    result.red_avg_samples.push_back(red_queue != nullptr ? red_queue->avg()
-                                                          : 0.0);
-    if (frame.sim.now() + control.bin_width <= control.horizon()) {
-      frame.sim.schedule(control.bin_width, sample_queue);
+  // The state is bundled so the closure captures one pointer and stays
+  // within InlineFn's inline budget.
+  struct SamplerCtx {
+    Testframe& frame;
+    RunResult& result;
+    const RunControl& control;
+    const RedQueue* red_queue;
+    Timer* timer = nullptr;
+  } sampler_ctx{frame, result, control,
+                dynamic_cast<const RedQueue*>(&frame.bottleneck->queue())};
+  Timer sampler(frame.sim.scheduler(), [ctx = &sampler_ctx] {
+    ctx->result.queue_occupancy.push_back(
+        static_cast<double>(ctx->frame.bottleneck->queue().length()));
+    ctx->result.red_avg_samples.push_back(
+        ctx->red_queue != nullptr ? ctx->red_queue->avg() : 0.0);
+    if (ctx->frame.sim.now() + ctx->control.bin_width <=
+        ctx->control.horizon()) {
+      ctx->timer->schedule_in(ctx->control.bin_width);
     }
-  };
-  frame.sim.schedule(0.0, sample_queue);
+  });
+  sampler_ctx.timer = &sampler;
+  sampler.schedule_in(0.0);
 
   // Per-flow delivery jitter (§2.3's "increase in jitter").
   std::vector<JitterMeter> jitter(frame.connections.size());

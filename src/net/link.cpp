@@ -6,6 +6,31 @@
 
 namespace pdos {
 
+void Link::PacketRing::push_back(Packet&& pkt) {
+  if (size_ == buf_.size()) grow();
+  buf_[(head_ + size_) & mask_] = std::move(pkt);
+  ++size_;
+}
+
+Packet Link::PacketRing::pop_front() {
+  PDOS_CHECK(size_ > 0);
+  Packet pkt = std::move(buf_[head_]);
+  head_ = (head_ + 1) & mask_;
+  --size_;
+  return pkt;
+}
+
+void Link::PacketRing::grow() {
+  const std::size_t capacity = buf_.empty() ? 4 : buf_.size() * 2;
+  std::vector<Packet> next(capacity);
+  for (std::size_t i = 0; i < size_; ++i) {
+    next[i] = std::move(buf_[(head_ + i) & mask_]);
+  }
+  buf_ = std::move(next);
+  mask_ = capacity - 1;
+  head_ = 0;
+}
+
 Link::Link(Simulator& sim, std::string name, BitRate rate, Time delay,
            std::unique_ptr<QueueDiscipline> queue, PacketHandler* downstream,
            Bytes mean_packet_bytes)
@@ -14,7 +39,8 @@ Link::Link(Simulator& sim, std::string name, BitRate rate, Time delay,
       rate_(rate),
       delay_(delay),
       queue_(std::move(queue)),
-      downstream_(downstream) {
+      downstream_(downstream),
+      service_timer_(sim.scheduler(), [this] { finish_service(); }) {
   PDOS_REQUIRE(rate_ > 0.0, "Link: rate must be positive");
   PDOS_REQUIRE(delay_ >= 0.0, "Link: delay must be non-negative");
   PDOS_REQUIRE(queue_ != nullptr, "Link: queue must be non-null");
@@ -31,8 +57,11 @@ void Link::add_departure_tap(std::function<void(const Packet&)> tap) {
 }
 
 void Link::handle(Packet pkt) {
-  for (const auto& tap : arrival_taps_) tap(pkt);
-  pkt.enqueue_time = sim_.now();
+  // Tapless fast path: no observer can see the enqueue stamp, so skip it.
+  if (!arrival_taps_.empty() || !departure_taps_.empty()) {
+    for (const auto& tap : arrival_taps_) tap(pkt);
+    pkt.enqueue_time = sim_.now();
+  }
   if (!queue_->enqueue(std::move(pkt))) return;  // dropped; stats in queue
   if (!busy_) start_service();
 }
@@ -44,21 +73,22 @@ void Link::start_service() {
     return;
   }
   busy_ = true;
-  const Time tx = transmission_time(next->size_bytes, rate_);
-  // Move the packet into the completion closure; the queue no longer owns it.
-  sim_.schedule(tx, [this, pkt = std::move(*next)]() mutable {
-    finish_service(std::move(pkt));
-  });
+  // The queue no longer owns the packet; it rides in `in_service_` until the
+  // service timer expires, so the event itself captures nothing.
+  in_service_ = std::move(*next);
+  service_timer_.schedule_in(transmission_time(in_service_.size_bytes, rate_));
 }
 
-void Link::finish_service(Packet pkt) {
-  for (const auto& tap : departure_taps_) tap(pkt);
+void Link::finish_service() {
+  for (const auto& tap : departure_taps_) tap(in_service_);
   // Propagation is pipelined: hand off after `delay_`, then immediately
-  // serialize the next buffered packet.
-  sim_.schedule(delay_, [this, pkt = std::move(pkt)]() mutable {
-    downstream_->handle(std::move(pkt));
-  });
+  // serialize the next buffered packet. Same delay for every packet means
+  // deliveries happen in departure order, so a FIFO ring carries them.
+  in_flight_.push_back(std::move(in_service_));
+  sim_.schedule(delay_, [this] { deliver(); });
   start_service();
 }
+
+void Link::deliver() { downstream_->handle(in_flight_.pop_front()); }
 
 }  // namespace pdos

@@ -5,6 +5,15 @@
 // admission. The link serializes one packet at a time at `rate`; each
 // serialized packet is delivered to the downstream handler after `delay`.
 // Propagation is pipelined: several packets can be in flight concurrently.
+//
+// Hot-path layout: the packet being serialized sits in `in_service_` and
+// packets in propagation sit in a FIFO ring, so the per-packet events — the
+// service timer and the delivery events — capture only `this` and stay
+// within InlineFn's inline storage. Because the propagation delay is the
+// same for every packet, deliveries complete in departure order and the
+// ring needs no per-packet bookkeeping. Taps are only consulted when
+// registered; the untapped fast path skips the loops and the
+// `enqueue_time` stamp entirely.
 #pragma once
 
 #include <functional>
@@ -42,8 +51,27 @@ class Link : public PacketHandler {
   bool busy() const { return busy_; }
 
  private:
+  /// Power-of-two circular FIFO for packets in propagation. Grows on demand
+  /// and then never reallocates: the in-flight population is bounded by
+  /// delay/serialization-time, so steady state is allocation-free.
+  class PacketRing {
+   public:
+    bool empty() const { return size_ == 0; }
+    void push_back(Packet&& pkt);
+    Packet pop_front();
+
+   private:
+    void grow();
+
+    std::vector<Packet> buf_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+  };
+
   void start_service();
-  void finish_service(Packet pkt);
+  void finish_service();
+  void deliver();
 
   Simulator& sim_;
   std::string name_;
@@ -52,6 +80,9 @@ class Link : public PacketHandler {
   std::unique_ptr<QueueDiscipline> queue_;
   PacketHandler* downstream_;
   bool busy_ = false;
+  Packet in_service_;       // owned by the pending service_timer_ expiry
+  PacketRing in_flight_;    // departed, still propagating (FIFO)
+  Timer service_timer_;     // fires when in_service_ finishes serializing
   std::vector<std::function<void(const Packet&)>> arrival_taps_;
   std::vector<std::function<void(const Packet&)>> departure_taps_;
 };

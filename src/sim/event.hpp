@@ -1,19 +1,164 @@
 // Event primitives for the discrete-event scheduler.
+//
+// `InlineFn` replaces the previous `std::function<void()>` event closure.
+// Every closure in the simulation tree is a handful of pointers, so paying a
+// heap allocation per event (hundreds of millions per sweep campaign) bought
+// nothing. `InlineFn` stores the closure in a fixed inline buffer — a
+// too-large closure is a compile error, never a silent heap fallback — so
+// scheduling an event touches only the scheduler's own arrays.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 
 #include "util/units.hpp"
 
 namespace pdos {
 
+/// Inline storage for event closures. Sized for the largest closure in the
+/// tree (tests capture up to four references; 32 bytes keeps a scheduler
+/// slot at exactly 64 bytes). Growing it is cheap — each heap slot just
+/// gets bigger — so bump it if the static_assert below fires.
+inline constexpr std::size_t kInlineFnCapacity = 32;
+
 /// Action executed when an event fires. Events run to completion; they may
 /// schedule further events but must not block.
-using EventFn = std::function<void()>;
+///
+/// Move-only: moving relocates the closure into the destination buffer and
+/// empties the source. Copy is deliberately unsupported — events fire once,
+/// and copyability is what forced std::function's allocation semantics.
+class InlineFn {
+ public:
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn>>>
+  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor): callable wrapper
+    construct(std::forward<F>(fn));
+  }
+
+  /// Destroy any stored closure and construct `fn` directly in the inline
+  /// buffer — the allocation-free analogue of assignment, used by the
+  /// scheduler to build closures straight into their heap slot with no
+  /// intermediate moves.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn>>>
+  void emplace(F&& fn) {
+    reset();
+    construct(std::forward<F>(fn));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Invoke the stored closure. Precondition: non-empty.
+  void operator()() { invoke_(storage_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Destroy the stored closure (if any) and become empty.
+  void reset() {
+    if (invoke_ != nullptr) {
+      if (manage_ != nullptr) manage_(Op::kDestroy, storage_, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+ private:
+  enum class Op { kRelocate, kDestroy };
+  using Invoke = void (*)(void*);
+  using Manage = void (*)(Op, void* self, void* other);
+
+  template <typename F>
+  void construct(F&& fn) {
+    using Closure = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Closure&>,
+                  "InlineFn requires a void() callable");
+    static_assert(sizeof(Closure) <= kInlineFnCapacity,
+                  "closure too large for InlineFn inline storage — capture "
+                  "less, or grow kInlineFnCapacity in sim/event.hpp");
+    static_assert(alignof(Closure) <= alignof(std::max_align_t),
+                  "closure over-aligned for InlineFn inline storage");
+    static_assert(std::is_nothrow_move_constructible_v<Closure>,
+                  "InlineFn closures must be nothrow-move-constructible");
+    ::new (static_cast<void*>(storage_)) Closure(std::forward<F>(fn));
+    invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Closure*>(s)))(); };
+    if constexpr (std::is_trivially_copyable_v<Closure> &&
+                  std::is_trivially_destructible_v<Closure>) {
+      // Trivially relocatable closures (the overwhelmingly common case:
+      // captures are pointers and scalars) move by memcpy and need no
+      // destruction — a null manager marks the fast path.
+      manage_ = nullptr;
+    } else {
+      manage_ = [](Op op, void* self, void* other) {
+        auto* closure = std::launder(reinterpret_cast<Closure*>(self));
+        if (op == Op::kRelocate) {
+          ::new (other) Closure(std::move(*closure));
+        }
+        closure->~Closure();
+      };
+    }
+  }
+
+  void move_from(InlineFn& other) noexcept {
+    if (other.invoke_ != nullptr) {
+      if (other.manage_ == nullptr) {
+        // Whole-buffer copy: the closure's true size is unknown here, and
+        // copying indeterminate tail bytes of an unsigned-char buffer that
+        // are never interpreted is harmless — tell GCC so.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+        std::memcpy(storage_, other.storage_, kInlineFnCapacity);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+      } else {
+        other.manage_(Op::kRelocate, other.storage_, storage_);
+      }
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineFnCapacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+/// Event closures are InlineFn; the alias survives from the std::function
+/// era so call sites read the same.
+using EventFn = InlineFn;
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
-/// Value 0 is reserved and never issued.
+/// Packs a heap-slot index with a generation counter: the slot is reused
+/// after the event fires or is cancelled, and the bumped generation makes
+/// every stale handle detectably dead (`pending`/`cancel` on it are exact
+/// no-ops, never aliases of the slot's new occupant). Value 0 is reserved
+/// and never issued.
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;

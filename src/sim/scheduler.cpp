@@ -1,73 +1,120 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.hpp"
 
 namespace pdos {
 
-EventId Scheduler::schedule(Time delay, EventFn fn) {
-  PDOS_REQUIRE(delay >= 0.0, "Scheduler::schedule: delay must be >= 0");
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-EventId Scheduler::schedule_at(Time when, EventFn fn) {
-  PDOS_REQUIRE(when >= now_, "Scheduler::schedule_at: time is in the past");
-  PDOS_CHECK(fn != nullptr);
-  const EventId id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id, std::move(fn)});
-  live_.insert(id);
-  return id;
-}
-
 bool Scheduler::cancel(EventId id) {
-  auto it = live_.find(id);
-  if (it == live_.end()) return false;
-  live_.erase(it);
-  cancelled_.insert(id);
+  Slot* s = live_slot(id);
+  if (s == nullptr) return false;
+  detach(static_cast<std::size_t>(s->heap_pos));
+  s->fn.reset();
+  release_slot(static_cast<std::uint32_t>(id) - 1);
   return true;
 }
 
-bool Scheduler::pending(EventId id) const { return live_.count(id) > 0; }
+bool Scheduler::reschedule_at(EventId id, Time when) {
+  PDOS_REQUIRE(when >= now_, "Scheduler::reschedule_at: time is in the past");
+  Slot* s = live_slot(id);
+  if (s == nullptr) return false;
+  const std::size_t pos = static_cast<std::size_t>(s->heap_pos);
+  heap_[pos].when = when;
+  heap_[pos].seq = next_seq_++;  // re-sequence: ties fire as if re-scheduled
+  sift_down(pos);
+  sift_up(pos);
+  return true;
+}
 
-bool Scheduler::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; the Entry must be moved out before
-    // pop, so copy the POD fields and move the closure via const_cast — the
-    // entry is popped immediately after, so the moved-from state never
-    // re-enters the heap ordering.
-    Entry& top = const_cast<Entry&>(queue_.top());
-    const bool was_cancelled = cancelled_.erase(top.id) > 0;
-    if (was_cancelled) {
-      queue_.pop();
-      continue;
-    }
-    out.when = top.when;
-    out.seq = top.seq;
-    out.id = top.id;
-    out.fn = std::move(top.fn);
-    queue_.pop();
-    live_.erase(out.id);
-    return true;
+bool Scheduler::reschedule(EventId id, Time delay) {
+  PDOS_REQUIRE(delay >= 0.0, "Scheduler::reschedule: delay must be >= 0");
+  return reschedule_at(id, now_ + delay);
+}
+
+void Scheduler::reserve(std::size_t n) {
+  heap_.reserve(n);
+  while (slabs_.size() * kSlabSize < n) {
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
   }
-  return false;
+}
+
+void Scheduler::sift_down(std::size_t pos) {
+  const HeapNode node = heap_[pos];
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first_child = pos * 4 + 1;
+    if (first_child >= size) break;
+    const std::size_t best = min_child(first_child, size);
+    if (!before(heap_[best], node)) break;
+    heap_[pos] = heap_[best];
+    slot_ptr(heap_[pos].slot)->heap_pos = static_cast<std::int32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = node;
+  slot_ptr(node.slot)->heap_pos = static_cast<std::int32_t>(pos);
+}
+
+void Scheduler::detach(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slot_ptr(heap_[pos].slot)->heap_pos = static_cast<std::int32_t>(pos);
+    heap_.pop_back();
+    sift_down(pos);
+    sift_up(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  Slot* s = slot_ptr(slot);
+  ++s->gen;  // outstanding ids to this slot are now detectably stale
+  s->heap_pos = -1;
+  s->next_free = free_head_;
+  free_head_ = slot;
+}
+
+std::uint32_t Scheduler::pop_min() {
+  const HeapNode top = heap_[0];
+  Slot* s = slot_ptr(top.slot);
+  ++s->gen;  // outstanding ids are now stale; recycled after the invoke
+  s->heap_pos = -1;
+  const std::size_t size = heap_.size() - 1;
+  if (size > 0) {
+    const HeapNode moved = heap_[size];
+    heap_.pop_back();
+    // Floyd's hole descent: walk the root hole down the min-child path
+    // without comparing against `moved` (it came from the bottom, so it
+    // almost always belongs near a leaf), then drop it in and sift up the
+    // usually-zero distance back.
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t first_child = pos * 4 + 1;
+      if (first_child >= size) break;
+      const std::size_t best = min_child(first_child, size);
+      heap_[pos] = heap_[best];
+      slot_ptr(heap_[pos].slot)->heap_pos = static_cast<std::int32_t>(pos);
+      pos = best;
+    }
+    heap_[pos] = moved;
+    slot_ptr(moved.slot)->heap_pos = static_cast<std::int32_t>(pos);
+    sift_up(pos);
+  } else {
+    heap_.pop_back();
+  }
+  now_ = top.when;
+  return top.slot;
 }
 
 std::uint64_t Scheduler::run_until(Time horizon) {
   std::uint64_t count = 0;
-  Entry entry;
-  while (!queue_.empty()) {
-    // Peek for the horizon check without popping live entries early.
-    if (queue_.top().when > horizon) break;
-    if (!pop_next(entry)) break;
-    if (entry.when > horizon) {
-      // Raced with cancellations: re-queue and stop.
-      queue_.push(Entry{entry.when, entry.seq, entry.id, std::move(entry.fn)});
-      live_.insert(entry.id);
-      break;
-    }
-    now_ = entry.when;
-    entry.fn();
+  while (!heap_.empty() && heap_[0].when <= horizon) {
+    const std::uint32_t slot = pop_min();
+    slot_ptr(slot)->fn();  // in place: the slot cannot be re-acquired yet
+    recycle_slot(slot);
     ++count;
   }
   if (now_ < horizon) now_ = horizon;
@@ -77,10 +124,10 @@ std::uint64_t Scheduler::run_until(Time horizon) {
 
 std::uint64_t Scheduler::run() {
   std::uint64_t count = 0;
-  Entry entry;
-  while (pop_next(entry)) {
-    now_ = entry.when;
-    entry.fn();
+  while (!heap_.empty()) {
+    const std::uint32_t slot = pop_min();
+    slot_ptr(slot)->fn();  // in place: the slot cannot be re-acquired yet
+    recycle_slot(slot);
     ++count;
   }
   executed_ += count;
@@ -88,10 +135,10 @@ std::uint64_t Scheduler::run() {
 }
 
 bool Scheduler::step() {
-  Entry entry;
-  if (!pop_next(entry)) return false;
-  now_ = entry.when;
-  entry.fn();
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = pop_min();
+  slot_ptr(slot)->fn();
+  recycle_slot(slot);
   ++executed_;
   return true;
 }

@@ -1,18 +1,29 @@
 // Discrete-event scheduler.
 //
-// A binary-heap event queue over virtual time. Ties are broken by insertion
-// order so runs are deterministic regardless of heap internals. Cancellation
-// is lazy: cancelled ids go into a set and are skipped on pop, which keeps
-// schedule/cancel O(log n) without an indexed heap — TCP retransmission
-// timers cancel constantly, so this path matters.
+// An indexed 4-ary min-heap over virtual time. Ties are broken by insertion
+// order so runs are deterministic regardless of heap internals. Each event
+// lives in a reusable slot; its `EventId` packs the slot index with a
+// generation counter, so `pending` is an O(1) array lookup and `cancel`
+// removes the entry from the heap eagerly — no dead entries are retained,
+// which matters because TCP retransmission timers cancel constantly.
+// `reschedule_at` moves a pending event in place (fresh tie-break sequence,
+// same slot), the primitive behind `Timer`'s restart-without-realloc path.
+//
+// Layout: the heap array holds only 24-byte (when, seq, slot) keys, so
+// sifting never touches a closure buffer. Slots live in fixed-size slabs
+// with stable addresses — growing the slot population never relocates a
+// pending closure — and freed slots recycle through a LIFO free list, so
+// the steady-state event loop performs no allocations at all.
 #pragma once
 
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/event.hpp"
+#include "util/assert.hpp"
 #include "util/units.hpp"
 
 namespace pdos {
@@ -28,18 +39,52 @@ class Scheduler {
   /// Current virtual time. Starts at 0 and only moves forward.
   Time now() const { return now_; }
 
-  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
-  EventId schedule(Time delay, EventFn fn);
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0). Accepts
+  /// any void() callable; the closure is constructed directly into its
+  /// heap slot (no intermediate EventFn moves on the hot path).
+  template <typename F>
+  EventId schedule(Time delay, F&& fn) {
+    PDOS_REQUIRE(delay >= 0.0, "Scheduler::schedule: delay must be >= 0");
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedule `fn` at absolute virtual time `when` (when >= now()).
-  EventId schedule_at(Time when, EventFn fn);
+  template <typename F>
+  EventId schedule_at(Time when, F&& fn) {
+    PDOS_REQUIRE(when >= now_, "Scheduler::schedule_at: time is in the past");
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = *slot_ptr(slot);
+    if constexpr (std::is_same_v<std::decay_t<F>, EventFn>) {
+      PDOS_CHECK(static_cast<bool>(fn));
+      s.fn = std::forward<F>(fn);
+    } else {
+      s.fn.emplace(std::forward<F>(fn));
+    }
+    s.heap_pos = static_cast<std::int32_t>(heap_.size());
+    heap_.push_back(HeapNode{when, next_seq_++, slot});
+    sift_up(heap_.size() - 1);
+    return (static_cast<EventId>(s.gen) << 32) | (slot + 1);
+  }
 
   /// Cancel a pending event. Returns true if the event was still pending.
   /// Cancelling an already-fired or unknown id is a harmless no-op.
   bool cancel(EventId id);
 
+  /// Move a pending event to absolute time `when` (>= now()), keeping its
+  /// heap slot and id. The event is re-sequenced as if freshly scheduled, so
+  /// FIFO tie-breaking matches a cancel-plus-schedule exactly. Returns false
+  /// (and does nothing) if `id` already fired or was cancelled.
+  bool reschedule_at(EventId id, Time when);
+
+  /// `reschedule_at(id, now() + delay)` with delay >= 0.
+  bool reschedule(EventId id, Time delay);
+
   /// True if `id` is scheduled and not cancelled.
-  bool pending(EventId id) const;
+  bool pending(EventId id) const { return live_slot(id) != nullptr; }
+
+  /// Pre-size the slot slabs and heap array for `n` simultaneous events so
+  /// even the warm-up phase of the event loop performs no allocations.
+  void reserve(std::size_t n);
 
   /// Run events until the queue empties or `horizon` is passed. Events at
   /// exactly `horizon` still run; `now()` ends at `horizon` if events remain.
@@ -52,34 +97,127 @@ class Scheduler {
   /// Execute only the next pending event (if any). Returns true if one ran.
   bool step();
 
-  std::size_t queue_size() const { return live_.size(); }
-  bool empty() const { return queue_size() == 0; }
+  std::size_t queue_size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
   std::uint64_t events_executed() const { return executed_; }
 
  private:
-  struct Entry {
+  /// Heap node: ordering key plus the slot holding the closure. Kept apart
+  /// from the slots so sifting moves 24 bytes, never a closure buffer.
+  struct HeapNode {
     Time when;
     std::uint64_t seq;  // tie-breaker: FIFO among simultaneous events
-    EventId id;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
   };
 
-  /// Pop the next live (non-cancelled) entry; false if none remain.
-  bool pop_next(Entry& out);
+  struct Slot {
+    std::uint32_t gen = 0;       // bumped on release; stale ids never match
+    std::int32_t heap_pos = -1;  // index into heap_, -1 when free
+    std::uint32_t next_free = 0;
+    InlineFn fn;
+  };
+
+  // 1024 slots per slab: large enough that slab allocation is rare, small
+  // enough that a mostly-idle scheduler stays compact.
+  static constexpr std::uint32_t kSlabBits = 10;
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  static bool before(const HeapNode& a, const HeapNode& b) {
+    // Bitwise, not short-circuit: both compares are register-only, and the
+    // branchless form lets child-selection in the sift loops compile to
+    // conditional moves — event keys are effectively random, so a branch
+    // here is a coin-flip misprediction per comparison.
+    return (a.when < b.when) |
+           ((a.when == b.when) & (a.seq < b.seq));
+  }
+
+  /// Index of the smallest of the up-to-four children of `pos`; `first`
+  /// is `pos * 4 + 1` (< size). Tournament order keeps the comparisons
+  /// independent so they pipeline instead of chaining.
+  std::size_t min_child(std::size_t first, std::size_t size) const {
+    if (first + 4 <= size) {
+      const std::size_t a =
+          before(heap_[first + 1], heap_[first]) ? first + 1 : first;
+      const std::size_t b =
+          before(heap_[first + 3], heap_[first + 2]) ? first + 3 : first + 2;
+      return before(heap_[b], heap_[a]) ? b : a;
+    }
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < size; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    return best;
+  }
+
+  Slot* slot_ptr(std::uint32_t slot) const {
+    return &slabs_[slot >> kSlabBits][slot & (kSlabSize - 1)];
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoFreeSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slot_ptr(slot)->next_free;
+      return slot;
+    }
+    if (slot_count_ == slabs_.size() * kSlabSize) {
+      PDOS_CHECK_MSG(slot_count_ < 0xfffffc00u, "event slot space exhausted");
+      slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+    }
+    return slot_count_++;
+  }
+
+  /// Decode `id`; returns the slot if it names a live event, else null.
+  Slot* live_slot(EventId id) const {
+    const std::uint32_t low = static_cast<std::uint32_t>(id);
+    if (low == 0 || low > slot_count_) return nullptr;
+    Slot* s = slot_ptr(low - 1);
+    if (s->gen != static_cast<std::uint32_t>(id >> 32)) return nullptr;
+    if (s->heap_pos < 0) return nullptr;
+    return s;
+  }
+
+  void sift_up(std::size_t pos) {
+    const HeapNode node = heap_[pos];
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 4;
+      if (!before(node, heap_[parent])) break;
+      heap_[pos] = heap_[parent];
+      slot_ptr(heap_[pos].slot)->heap_pos = static_cast<std::int32_t>(pos);
+      pos = parent;
+    }
+    heap_[pos] = node;
+    slot_ptr(node.slot)->heap_pos = static_cast<std::int32_t>(pos);
+  }
+
+  void sift_down(std::size_t pos);
+  /// Detach the heap node at `pos`, restoring the heap property. The node's
+  /// slot is left untouched.
+  void detach(std::size_t pos);
+  /// Return a slot to the free list and invalidate outstanding ids to it.
+  void release_slot(std::uint32_t slot);
+  /// Pop the minimum event and advance the clock. The slot is made stale
+  /// (ids to it are dead) but NOT yet recycled, so the caller can invoke
+  /// the closure in place — even a callback that schedules new events
+  /// cannot be handed this slot. The caller must run `recycle_slot` on the
+  /// returned slot afterwards. Precondition: heap non-empty.
+  std::uint32_t pop_min();
+  /// Destroy an invoked closure and return its (already stale) slot to the
+  /// free list. Second half of the pop_min contract.
+  void recycle_slot(std::uint32_t slot) {
+    Slot* s = slot_ptr(slot);
+    s->fn.reset();
+    s->next_free = free_head_;
+    free_head_ = slot;
+  }
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> live_;       // scheduled, not yet fired/cancelled
-  std::unordered_set<EventId> cancelled_;  // lazily removed on pop
+  std::vector<HeapNode> heap_;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::uint32_t slot_count_ = 0;  // slots ever created (all tail slabs full)
+  std::uint32_t free_head_ = kNoFreeSlot;
 };
 
 }  // namespace pdos

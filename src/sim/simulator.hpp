@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -39,13 +40,18 @@ class Simulator {
 
   Time now() const { return scheduler_.now(); }
 
-  EventId schedule(Time delay, EventFn fn) {
-    return scheduler_.schedule(delay, std::move(fn));
+  template <typename F>
+  EventId schedule(Time delay, F&& fn) {
+    return scheduler_.schedule(delay, std::forward<F>(fn));
   }
-  EventId schedule_at(Time when, EventFn fn) {
-    return scheduler_.schedule_at(when, std::move(fn));
+  template <typename F>
+  EventId schedule_at(Time when, F&& fn) {
+    return scheduler_.schedule_at(when, std::forward<F>(fn));
   }
   bool cancel(EventId id) { return scheduler_.cancel(id); }
+
+  /// Pre-size the event queue; see Scheduler::reserve.
+  void reserve_events(std::size_t n) { scheduler_.reserve(n); }
 
   /// Run the simulation until `horizon` seconds of virtual time.
   std::uint64_t run_until(Time horizon) { return scheduler_.run_until(horizon); }

@@ -1,0 +1,71 @@
+// Restartable one-shot timer over the scheduler.
+//
+// The classic timer pattern — TCP's RTO, delayed-ACK timers, periodic pulse
+// generators — repeatedly cancels and re-arms one logical event. A `Timer`
+// owns the closure once (stored at construction, never re-captured) and
+// restarts in place via `Scheduler::reschedule_at`, so re-arming a pending
+// timer moves a 24-byte heap node instead of freeing and refilling a slot.
+// The generation-tagged `EventId` makes staleness exact: after the timer
+// fires, the retained id is detectably dead, and the next `schedule_*` call
+// falls through to a fresh slot.
+#pragma once
+
+#include <utility>
+
+#include "sim/scheduler.hpp"
+
+namespace pdos {
+
+class Timer {
+ public:
+  /// `callback` is invoked each time the timer expires. It runs after the
+  /// timer is marked idle, so it may re-arm (periodic patterns) or leave the
+  /// timer stopped.
+  template <typename F>
+  Timer(Scheduler& sched, F&& callback)
+      : sched_(&sched), fn_(std::forward<F>(callback)) {}
+
+  // Non-movable: the scheduled trampoline captures `this`.
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { stop(); }
+
+  /// Arm (or restart) the timer to expire at absolute virtual time `when`.
+  /// A pending timer is moved in place; tie-breaking matches a fresh
+  /// schedule, so restart-vs-cancel-and-schedule is behaviourally identical.
+  void schedule_at(Time when) {
+    if (id_ != kInvalidEventId && sched_->reschedule_at(id_, when)) return;
+    id_ = sched_->schedule_at(when, [this] { fire(); });
+  }
+
+  /// Arm (or restart) the timer to expire `delay` seconds from now.
+  void schedule_in(Time delay) { schedule_at(sched_->now() + delay); }
+
+  /// Disarm. Returns true if the timer was pending. Safe on an idle timer.
+  bool stop() {
+    if (id_ == kInvalidEventId) return false;
+    const bool was_pending = sched_->cancel(id_);
+    id_ = kInvalidEventId;
+    return was_pending;
+  }
+
+  /// True while armed and not yet fired.
+  bool pending() const {
+    return id_ != kInvalidEventId && sched_->pending(id_);
+  }
+
+  Scheduler& scheduler() { return *sched_; }
+
+ private:
+  void fire() {
+    id_ = kInvalidEventId;  // idle before the callback so it can re-arm
+    fn_();
+  }
+
+  Scheduler* sched_;
+  InlineFn fn_;
+  EventId id_ = kInvalidEventId;
+};
+
+}  // namespace pdos

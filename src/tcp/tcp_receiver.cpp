@@ -18,7 +18,10 @@ TcpReceiver::TcpReceiver(Simulator& sim, FlowId flow, NodeId self, NodeId peer,
       self_(self),
       peer_(peer),
       out_(out),
-      config_(config) {
+      config_(config),
+      delack_timer_(sim.scheduler(), [this] {
+        if (unacked_segments_ > 0) send_ack(pending_ts_echo_);
+      }) {
   PDOS_REQUIRE(out != nullptr, "TcpReceiver: out handler must be non-null");
   config_.validate();
 }
@@ -83,18 +86,10 @@ void TcpReceiver::send_ack(Time ts_echo) {
 }
 
 void TcpReceiver::arm_delack() {
-  if (delack_event_ != kInvalidEventId) return;  // timer already running
-  delack_event_ = sim_.schedule(config_.delack_timeout, [this] {
-    delack_event_ = kInvalidEventId;
-    if (unacked_segments_ > 0) send_ack(pending_ts_echo_);
-  });
+  if (delack_timer_.pending()) return;  // timer already running
+  delack_timer_.schedule_in(config_.delack_timeout);
 }
 
-void TcpReceiver::disarm_delack() {
-  if (delack_event_ != kInvalidEventId) {
-    sim_.cancel(delack_event_);
-    delack_event_ = kInvalidEventId;
-  }
-}
+void TcpReceiver::disarm_delack() { delack_timer_.stop(); }
 
 }  // namespace pdos

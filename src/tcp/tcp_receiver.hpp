@@ -69,7 +69,7 @@ class TcpReceiver : public PacketHandler {
 
   int unacked_segments_ = 0;   // in-order segments since the last ACK
   Time pending_ts_echo_ = 0.0;  // timestamp to echo on the next ACK
-  EventId delack_event_ = kInvalidEventId;
+  Timer delack_timer_;
 
   TcpReceiverStats stats_;
   std::function<void(Time, std::int64_t)> delivery_tracer_;

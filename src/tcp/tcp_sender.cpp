@@ -49,7 +49,8 @@ TcpSender::TcpSender(Simulator& sim, FlowId flow, NodeId self, NodeId peer,
       config_(config),
       cwnd_(config.initial_cwnd),
       ssthresh_(config.initial_ssthresh),
-      rto_(config.initial_rto) {
+      rto_(config.initial_rto),
+      rto_timer_(sim.scheduler(), [this] { on_timeout(); }) {
   PDOS_REQUIRE(out != nullptr, "TcpSender: out handler must be non-null");
   config_.validate();
 }
@@ -170,7 +171,6 @@ void TcpSender::exit_fast_recovery() {
 }
 
 void TcpSender::on_timeout() {
-  rto_event_ = kInvalidEventId;
   if (in_flight() <= 0) return;  // stale timer
   ++stats_.timeouts;
   // Loss of the whole window is assumed: shrink, slow-start from snd_una,
@@ -197,7 +197,7 @@ void TcpSender::send_available() {
     emit_segment(next_seq_, /*retransmit=*/false);
     ++next_seq_;
   }
-  if (in_flight() > 0 && rto_event_ == kInvalidEventId) arm_rto();
+  if (in_flight() > 0 && !rto_timer_.pending()) arm_rto();
 }
 
 void TcpSender::emit_segment(std::int64_t seq, bool retransmit) {
@@ -216,7 +216,6 @@ void TcpSender::emit_segment(std::int64_t seq, bool retransmit) {
 }
 
 void TcpSender::arm_rto() {
-  disarm_rto();
   Time timeout = std::min(rto_ * static_cast<double>(backoff_),
                           config_.rto_max);
   if (config_.rto_jitter > 0.0) {
@@ -226,15 +225,12 @@ void TcpSender::arm_rto() {
         config_.rto_min + sim_.rng().uniform(0.0, config_.rto_jitter);
     timeout = std::max(timeout, jittered_min);
   }
-  rto_event_ = sim_.schedule(timeout, [this] { on_timeout(); });
+  // Restart in place: every data segment re-arms this timer, so reusing the
+  // heap slot (not cancel + fresh insert) is the engine's hottest win.
+  rto_timer_.schedule_in(timeout);
 }
 
-void TcpSender::disarm_rto() {
-  if (rto_event_ != kInvalidEventId) {
-    sim_.cancel(rto_event_);
-    rto_event_ = kInvalidEventId;
-  }
-}
+void TcpSender::disarm_rto() { rto_timer_.stop(); }
 
 void TcpSender::sample_rtt(const Packet& pkt) {
   // Timestamp echo makes the sample valid even across retransmissions

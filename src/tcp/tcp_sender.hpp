@@ -139,7 +139,7 @@ class TcpSender : public PacketHandler {
   bool have_rtt_sample_ = false;
   Time rto_;
   int backoff_ = 1;
-  EventId rto_event_ = kInvalidEventId;
+  Timer rto_timer_;  // restarted in place on every arm_rto()
 
   TcpSenderStats stats_;
   std::function<void(Time, double)> cwnd_tracer_;

@@ -27,22 +27,21 @@ CbrSource::CbrSource(Simulator& sim, BitRate rate, Bytes packet_bytes,
       self_(self),
       sink_(sink),
       out_(out),
-      flow_(flow) {
+      flow_(flow),
+      emit_timer_(sim.scheduler(), [this] { emit(); }) {
   PDOS_REQUIRE(rate > 0.0, "CbrSource: rate must be > 0");
   PDOS_REQUIRE(packet_bytes > 0, "CbrSource: packet_bytes must be > 0");
   PDOS_REQUIRE(out != nullptr, "CbrSource: out must be non-null");
 }
 
-void CbrSource::start(Time when) {
-  sim_.schedule_at(when, [this] { emit(); });
-}
+void CbrSource::start(Time when) { emit_timer_.schedule_at(when); }
 
 void CbrSource::emit() {
   if (stopped_) return;
   ++stats_.packets_sent;
   stats_.bytes_sent += packet_bytes_;
   out_->handle(make_udp(flow_, self_, sink_, packet_bytes_));
-  sim_.schedule(spacing_, [this] { emit(); });
+  emit_timer_.schedule_in(spacing_);
 }
 
 OnOffSource::OnOffSource(Simulator& sim, BitRate peak_rate, Time mean_on,
@@ -62,7 +61,8 @@ OnOffSource::OnOffSource(Simulator& sim, BitRate peak_rate, Time mean_on,
       // pattern is a function of (run seed, self) only, not of how many
       // components forked the root stream before this one.
       rng_(sim.stream(0x6f6e6f66'66000000ULL +
-                      static_cast<std::uint64_t>(self))) {
+                      static_cast<std::uint64_t>(self))),
+      burst_timer_(sim.scheduler(), [this] { begin_on(); }) {
   PDOS_REQUIRE(peak_rate > 0.0, "OnOffSource: peak_rate must be > 0");
   PDOS_REQUIRE(mean_on > 0.0 && mean_off > 0.0,
                "OnOffSource: mean_on/mean_off must be > 0");
@@ -74,9 +74,7 @@ BitRate OnOffSource::average_rate() const {
   return peak_rate_ * mean_on_ / (mean_on_ + mean_off_);
 }
 
-void OnOffSource::start(Time when) {
-  sim_.schedule_at(when, [this] { begin_on(); });
-}
+void OnOffSource::start(Time when) { burst_timer_.schedule_at(when); }
 
 void OnOffSource::begin_on() {
   if (stopped_) return;
@@ -84,9 +82,13 @@ void OnOffSource::begin_on() {
   const Time on_end = sim_.now() + on_duration;
   emit(on_end);
   const Time off_duration = rng_.exponential(mean_off_);
-  sim_.schedule(on_duration + off_duration, [this] { begin_on(); });
+  burst_timer_.schedule_in(on_duration + off_duration);
 }
 
+// The emission chain stays on plain per-event schedules: a burst's trailing
+// event can still be pending when the next burst begins (short OFF period),
+// and the captured `on_end` is what makes that stale event die instead of
+// adopting the new burst's deadline.
 void OnOffSource::emit(Time on_end) {
   if (stopped_ || sim_.now() >= on_end) return;
   ++stats_.packets_sent;

@@ -47,6 +47,7 @@ class CbrSource {
   PacketHandler* out_;
   FlowId flow_;
   bool stopped_ = false;
+  Timer emit_timer_;  // drives the fixed-spacing emission cycle
   SourceStats stats_;
 };
 
@@ -79,6 +80,7 @@ class OnOffSource {
   FlowId flow_;
   Rng rng_;
   bool stopped_ = false;
+  Timer burst_timer_;  // drives the ON/OFF cycle
   SourceStats stats_;
 };
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -160,6 +164,215 @@ TEST(SchedulerTest, ZeroDelayRunsAtCurrentTime) {
   });
   sched.run();
   EXPECT_DOUBLE_EQ(seen, 1.0);
+}
+
+TEST(SchedulerTest, PopUnderInterleavedCancels) {
+  // Regression for the old priority_queue implementation, which lazily
+  // retained cancelled entries and fished live ones out with a
+  // const_cast-and-move at pop time. Interleaving cancels between pops —
+  // including cancelling the current minimum right before it would fire —
+  // must leave execution order and the pending set exact.
+  Scheduler sched;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(sched.schedule(static_cast<Time>(i % 8),
+                                 [&fired, i] { fired.push_back(i); }));
+  }
+  std::vector<int> expect;
+  for (int round = 0; round < 8; ++round) {
+    // Cancel the first still-pending event by insertion order plus an
+    // arbitrary later one, then pop a few.
+    for (int i = 0; i < 64; ++i) {
+      if (sched.pending(ids[i])) {
+        EXPECT_TRUE(sched.cancel(ids[i]));
+        EXPECT_FALSE(sched.pending(ids[i]));
+        break;
+      }
+    }
+    const int victim = (round * 23 + 40) % 64;
+    sched.cancel(ids[victim]);
+    for (int p = 0; p < 6 && sched.step(); ++p) {
+    }
+  }
+  sched.run();
+  // Rebuild the expected order: time bins ascending, FIFO (ascending i)
+  // within each bin, restricted to the events that actually fired.
+  std::vector<int> expected;
+  for (int bin = 0; bin < 8; ++bin) {
+    for (int i = bin; i < 64; i += 8) {
+      if (std::find(fired.begin(), fired.end(), i) != fired.end()) {
+        expected.push_back(i);
+      }
+    }
+  }
+  EXPECT_EQ(fired, expected) << "events must fire in (time, insertion) order";
+}
+
+TEST(SchedulerTest, StaleIdsStayDeadAfterSlotReuse) {
+  Scheduler sched;
+  const EventId first = sched.schedule(1.0, [] {});
+  ASSERT_TRUE(sched.cancel(first));
+  // The freed slot is recycled by the next schedule; the generation tag
+  // must keep the old handle dead rather than aliasing the new event.
+  int fired = 0;
+  const EventId second = sched.schedule(2.0, [&] { ++fired; });
+  EXPECT_FALSE(sched.pending(first));
+  EXPECT_FALSE(sched.cancel(first));
+  EXPECT_TRUE(sched.pending(second));
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sched.pending(second));
+  EXPECT_FALSE(sched.cancel(second));
+}
+
+TEST(SchedulerTest, RescheduleAtMovesEventInPlace) {
+  Scheduler sched;
+  std::vector<int> order;
+  const EventId id = sched.schedule(5.0, [&] { order.push_back(0); });
+  sched.schedule(2.0, [&] { order.push_back(1); });
+  EXPECT_TRUE(sched.reschedule_at(id, 1.0));  // ahead of the other event
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_FALSE(sched.reschedule_at(id, 9.0)) << "fired ids cannot move";
+}
+
+TEST(SchedulerTest, RescheduleMatchesCancelPlusScheduleTieBreaking) {
+  // A rescheduled event must fire in FIFO position as if it had been
+  // cancelled and freshly scheduled — i.e. after events already waiting at
+  // the destination time.
+  Scheduler sched;
+  std::vector<int> order;
+  const EventId moved = sched.schedule(1.0, [&] { order.push_back(0); });
+  sched.schedule(3.0, [&] { order.push_back(1); });
+  sched.schedule(3.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(sched.reschedule(moved, 3.0));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(SchedulerTest, ReschedulePastThrows) {
+  Scheduler sched;
+  sched.schedule(1.0, [] {});
+  const EventId id = sched.schedule(5.0, [] {});
+  sched.run_until(2.0);
+  EXPECT_THROW(sched.reschedule_at(id, 1.0), ParameterError);
+}
+
+// Reference model for the property test: a sorted-vector event queue with
+// the same (time, insertion-order) contract as the real scheduler.
+class ReferenceScheduler {
+ public:
+  std::uint64_t schedule(double when, int payload) {
+    const std::uint64_t id = next_id_++;
+    entries_.push_back(Entry{when, id, payload});
+    return id;
+  }
+
+  bool cancel(std::uint64_t id) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->id == id) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool pending(std::uint64_t id) const {
+    for (const Entry& e : entries_) {
+      if (e.id == id) return true;
+    }
+    return false;
+  }
+
+  /// Pop every event with when <= horizon, in (when, id) order.
+  std::vector<int> run_until(double horizon) {
+    std::stable_sort(entries_.begin(), entries_.end(),
+                     [](const Entry& a, const Entry& b) {
+                       if (a.when != b.when) return a.when < b.when;
+                       return a.id < b.id;
+                     });
+    std::vector<int> fired;
+    std::size_t n = 0;
+    while (n < entries_.size() && entries_[n].when <= horizon) {
+      fired.push_back(entries_[n].payload);
+      ++n;
+    }
+    entries_.erase(entries_.begin(), entries_.begin() + n);
+    now_ = horizon;
+    return fired;
+  }
+
+  double now() const { return now_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t id;
+    int payload;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 0;
+  double now_ = 0.0;
+};
+
+TEST(SchedulerPropertyTest, MatchesReferenceModelUnderRandomWorkloads) {
+  // Randomized schedule / cancel / reschedule / run interleavings checked
+  // against the naive model: identical firing order (including FIFO ties —
+  // delays are drawn from a tiny set to force collisions) and identical
+  // pending() on every outstanding handle after every batch.
+  std::mt19937 rng(20260806);
+  for (int trial = 0; trial < 40; ++trial) {
+    Scheduler sched;
+    ReferenceScheduler ref;
+    std::vector<int> real_fired;
+    struct Handle {
+      EventId real;
+      std::uint64_t ref;
+      int tag;
+    };
+    std::vector<Handle> handles;
+    int payload = 0;
+
+    for (int batch = 0; batch < 30; ++batch) {
+      const int ops = static_cast<int>(rng() % 12) + 1;
+      for (int op = 0; op < ops; ++op) {
+        const std::uint32_t kind = rng() % 8;
+        if (kind < 4) {  // schedule, delays collide on purpose
+          const double delay = static_cast<double>(rng() % 5);
+          const int tag = payload++;
+          const EventId real = sched.schedule(
+              delay, [&real_fired, tag] { real_fired.push_back(tag); });
+          handles.push_back(
+              Handle{real, ref.schedule(sched.now() + delay, tag), tag});
+        } else if (kind < 6 && !handles.empty()) {  // cancel a random handle
+          const Handle& h = handles[rng() % handles.size()];
+          EXPECT_EQ(sched.cancel(h.real), ref.cancel(h.ref));
+        } else if (!handles.empty()) {  // reschedule a random handle
+          Handle& h = handles[rng() % handles.size()];
+          const double when = sched.now() + static_cast<double>(rng() % 5);
+          const bool moved = sched.reschedule_at(h.real, when);
+          EXPECT_EQ(moved, ref.cancel(h.ref));
+          if (moved) {
+            // Model contract: a reschedule is a cancel plus a fresh
+            // schedule of the same payload (new insertion order).
+            h.ref = ref.schedule(when, h.tag);
+          }
+        }
+      }
+      const double horizon = sched.now() + static_cast<double>(rng() % 4);
+      const std::vector<int> ref_fired = ref.run_until(horizon);
+      real_fired.clear();
+      sched.run_until(horizon);
+      EXPECT_EQ(real_fired, ref_fired) << "trial " << trial;
+      EXPECT_EQ(sched.queue_size(), ref.size());
+      for (const Handle& h : handles) {
+        EXPECT_EQ(sched.pending(h.real), ref.pending(h.ref));
+      }
+    }
+  }
 }
 
 TEST(SchedulerTest, ManyEventsStressOrdering) {

@@ -1,0 +1,117 @@
+#include "sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace pdos {
+namespace {
+
+TEST(TimerTest, FiresAtScheduledTime) {
+  Scheduler sched;
+  Time seen = -1.0;
+  Timer timer(sched, [&] { seen = sched.now(); });
+  timer.schedule_at(2.5);
+  EXPECT_TRUE(timer.pending());
+  sched.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_FALSE(timer.pending());
+}
+
+TEST(TimerTest, ScheduleInIsRelativeToNow) {
+  Scheduler sched;
+  Time seen = -1.0;
+  Timer timer(sched, [&] { seen = sched.now(); });
+  sched.schedule(1.0, [&] { timer.schedule_in(2.0); });
+  sched.run();
+  EXPECT_DOUBLE_EQ(seen, 3.0);
+}
+
+TEST(TimerTest, RestartMovesTheDeadline) {
+  Scheduler sched;
+  int fired = 0;
+  Timer timer(sched, [&] { ++fired; });
+  timer.schedule_at(1.0);
+  timer.schedule_at(5.0);  // restart: one logical timer, one firing
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sched.now(), 5.0);
+}
+
+TEST(TimerTest, RestartKeepsFifoContractWithFreshSchedules) {
+  // A restarted timer must fire after events already waiting at the new
+  // deadline, exactly as if it had been cancelled and re-scheduled.
+  Scheduler sched;
+  std::vector<int> order;
+  Timer timer(sched, [&] { order.push_back(0); });
+  timer.schedule_at(1.0);
+  sched.schedule(3.0, [&] { order.push_back(1); });
+  timer.schedule_at(3.0);
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(TimerTest, StopPreventsFiring) {
+  Scheduler sched;
+  int fired = 0;
+  Timer timer(sched, [&] { ++fired; });
+  timer.schedule_at(1.0);
+  EXPECT_TRUE(timer.stop());
+  EXPECT_FALSE(timer.pending());
+  EXPECT_FALSE(timer.stop()) << "second stop reports already-idle";
+  sched.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, CallbackCanReArmForPeriodicPatterns) {
+  Scheduler sched;
+  std::vector<Time> firings;
+  Timer timer(sched, [&] {
+    firings.push_back(sched.now());
+    if (firings.size() < 4) timer.schedule_in(1.0);
+  });
+  timer.schedule_at(1.0);
+  sched.run();
+  EXPECT_EQ(firings, (std::vector<Time>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(TimerTest, ReArmAfterFiringUsesFreshSlot) {
+  Scheduler sched;
+  int fired = 0;
+  Timer timer(sched, [&] { ++fired; });
+  timer.schedule_at(1.0);
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  timer.schedule_at(2.0);  // stale id must fall through to a new schedule
+  EXPECT_TRUE(timer.pending());
+  sched.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerTest, DestructorCancelsPendingFiring) {
+  Scheduler sched;
+  int fired = 0;
+  {
+    Timer timer(sched, [&] { ++fired; });
+    timer.schedule_at(1.0);
+  }
+  sched.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, StopDuringCallbackIsANoOp) {
+  Scheduler sched;
+  int fired = 0;
+  Timer timer(sched, [&] {
+    ++fired;
+    EXPECT_FALSE(timer.stop()) << "timer is already idle while firing";
+  });
+  timer.schedule_at(1.0);
+  sched.run();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace pdos

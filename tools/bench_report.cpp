@@ -1,0 +1,284 @@
+// Engine performance report: measures the scheduler micro-benchmarks and a
+// fixed fig. 6 quick-mode sweep, and writes BENCH_engine.json.
+//
+// This is the tracked-baseline half of the perf story: google-benchmark
+// (bench/micro_engine) is for interactive work, while this tool emits a
+// stable, machine-readable snapshot that CI diffs against the committed
+// bench/baseline_engine.json. The JSON is flat `"key": number` pairs so the
+// reader below stays a 30-line scanner instead of a JSON library.
+//
+// Usage:
+//   bench_report [--out FILE] [--baseline FILE] [--check] [--reps N]
+//                [--skip-sweep]
+//
+//   --out FILE       output path (default BENCH_engine.json)
+//   --baseline FILE  committed reference; its values are copied into the
+//                    output next to the fresh numbers (before/after in one
+//                    artifact)
+//   --check          exit non-zero if any micro-benchmark runs >30% slower
+//                    than the baseline (requires --baseline)
+//   --reps N         samples per benchmark, best-of (default 7)
+//   --skip-sweep     omit the fig. 6 sweep (fast CI smoke)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
+#include "sweep/sweep.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kRegressionTolerance = 0.30;  // fail at >30% slowdown
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// --- workloads (mirror bench/micro_engine.cpp) ---------------------------
+
+long long g_sink = 0;
+
+void workload_schedule_run(int n) {
+  Scheduler sched;
+  for (int i = 0; i < n; ++i) {
+    sched.schedule(static_cast<Time>((i * 2654435761u) % 1000),
+                   [] { ++g_sink; });
+  }
+  sched.run();
+}
+
+void workload_cancel_heavy() {
+  Scheduler sched;
+  EventId pending = kInvalidEventId;
+  for (int i = 0; i < 10000; ++i) {
+    if (pending != kInvalidEventId) sched.cancel(pending);
+    pending = sched.schedule(1000.0, [] {});
+    sched.schedule(0.001 * i, [] {});
+  }
+  sched.run();
+}
+
+void workload_timer_restart() {
+  Scheduler sched;
+  Timer timer(sched, [] { ++g_sink; });
+  timer.schedule_at(1.0);
+  for (int i = 0; i < 10000; ++i) timer.schedule_at(1.0 + 0.001 * i);
+  sched.run();
+}
+
+/// Best-of-`reps` items/sec for `fn`, which processes `items` per call.
+/// Each sample batches calls until it spans >= 10 ms so the clock
+/// resolution never dominates.
+template <typename F>
+double measure_items_per_sec(F&& fn, long long items, int reps) {
+  fn();  // warm caches, page in slabs
+  const auto probe = Clock::now();
+  fn();
+  const double once = std::max(seconds_since(probe), 1e-9);
+  const int batch = std::max(1, static_cast<int>(0.01 / once));
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    for (int b = 0; b < batch; ++b) fn();
+    const double rate =
+        static_cast<double>(items) * batch / seconds_since(start);
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
+// --- fig. 6 quick-mode sweep (single-threaded, fixed spec) ---------------
+
+double fig06_quick_sweep_seconds(std::size_t* points_out) {
+  sweep::SweepSpec spec;
+  spec.flow_counts = {15, 25, 35, 45};
+  spec.textents = {ms(50), ms(75), ms(100)};
+  spec.rattacks = {mbps(25)};
+  spec.gamma_points = 7;
+  spec.control.warmup = sec(5);
+  spec.control.measure = sec(15);
+
+  sweep::SweepOptions options;
+  options.threads = 1;
+  const auto start = Clock::now();
+  const sweep::SweepResult result = sweep::run_sweep(spec, options);
+  const double wall = seconds_since(start);
+  if (points_out != nullptr) *points_out = result.points.size();
+  if (result.failures() > 0) {
+    std::fprintf(stderr, "bench_report: %zu sweep points failed\n",
+                 result.failures());
+    std::exit(1);
+  }
+  return wall;
+}
+
+// --- flat JSON in/out ----------------------------------------------------
+
+/// Read `"key": <number>` from a flat JSON file. Returns NaN if absent.
+double scan_json_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nan("");
+  const std::size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+struct Entry {
+  std::string key;
+  double value;
+};
+
+void write_json(const std::string& path, const std::vector<Entry>& entries) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"schema\": \"pdos-bench-engine-v1\"";
+  for (const Entry& e : entries) {
+    out << ",\n  \"" << e.key << "\": ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", e.value);
+    out << buf;
+  }
+  out << "\n}\n";
+}
+
+}  // namespace
+}  // namespace pdos
+
+int main(int argc, char** argv) {
+  using namespace pdos;
+
+  std::string out_path = "BENCH_engine.json";
+  std::string baseline_path;
+  bool check = false;
+  bool skip_sweep = false;
+  int reps = 7;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--skip-sweep") == 0) {
+      skip_sweep = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_report [--out FILE] [--baseline FILE] "
+                   "[--check] [--reps N] [--skip-sweep]\n");
+      return 2;
+    }
+  }
+  if (check && baseline_path.empty()) {
+    std::fprintf(stderr, "bench_report: --check requires --baseline\n");
+    return 2;
+  }
+
+  struct Micro {
+    const char* key;
+    double items;
+    double rate = 0.0;
+  };
+  std::vector<Micro> micros = {
+      {"schedule_run_1k_items_per_sec", 1000},
+      {"schedule_run_100k_items_per_sec", 100000},
+      {"cancel_heavy_items_per_sec", 10000},
+      {"timer_restart_items_per_sec", 10000},
+  };
+  micros[0].rate = measure_items_per_sec([] { workload_schedule_run(1000); },
+                                         1000, reps);
+  micros[1].rate = measure_items_per_sec(
+      [] { workload_schedule_run(100000); }, 100000, reps);
+  micros[2].rate =
+      measure_items_per_sec([] { workload_cancel_heavy(); }, 10000, reps);
+  micros[3].rate =
+      measure_items_per_sec([] { workload_timer_restart(); }, 10000, reps);
+
+  std::vector<Entry> entries;
+  for (const Micro& m : micros) {
+    std::printf("%-36s %12.0f items/s\n", m.key, m.rate);
+    entries.push_back(Entry{m.key, m.rate});
+  }
+
+  if (!skip_sweep) {
+    std::size_t points = 0;
+    const double wall = fig06_quick_sweep_seconds(&points);
+    std::printf("%-36s %12.2f s (%zu points, 1 thread)\n",
+                "fig06_quick_sweep_wall_seconds", wall, points);
+    entries.push_back(Entry{"fig06_quick_sweep_wall_seconds", wall});
+    entries.push_back(
+        Entry{"fig06_quick_sweep_points", static_cast<double>(points)});
+  }
+
+  int regressions = 0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "bench_report: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    for (const Micro& m : micros) {
+      const double base = scan_json_number(text, m.key);
+      if (std::isnan(base) || base <= 0.0) continue;
+      const double ratio = m.rate / base;
+      entries.push_back(Entry{std::string("baseline_") + m.key, base});
+      entries.push_back(
+          Entry{std::string("speedup_vs_baseline_") +
+                    std::string(m.key).substr(
+                        0, std::strlen(m.key) - std::strlen("_items_per_sec")),
+                ratio});
+      std::printf("%-36s %.2fx vs baseline\n", m.key, ratio);
+      if (check && ratio < 1.0 - kRegressionTolerance) {
+        std::fprintf(stderr,
+                     "REGRESSION: %s is %.0f%% of baseline (gate: >%.0f%%)\n",
+                     m.key, 100.0 * ratio,
+                     100.0 * (1.0 - kRegressionTolerance));
+        ++regressions;
+      }
+    }
+    // Pre-overhaul history rides along so one artifact holds the whole
+    // before/after story.
+    for (const Micro& m : micros) {
+      const std::string pre_key = std::string("pre_overhaul_") + m.key;
+      const double pre = scan_json_number(text, pre_key);
+      if (!std::isnan(pre)) entries.push_back(Entry{pre_key, pre});
+    }
+    const double pre_sweep =
+        scan_json_number(text, "pre_overhaul_fig06_quick_sweep_wall_seconds");
+    if (!std::isnan(pre_sweep)) {
+      entries.push_back(
+          Entry{"pre_overhaul_fig06_quick_sweep_wall_seconds", pre_sweep});
+    }
+  }
+
+  write_json(out_path, entries);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (regressions > 0) {
+    std::fprintf(stderr, "bench_report: %d benchmark(s) regressed\n",
+                 regressions);
+    return 1;
+  }
+  return 0;
+}
