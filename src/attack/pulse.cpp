@@ -65,12 +65,19 @@ void PulseAttacker::start(Time when) { pulse_timer_.schedule_at(when); }
 void PulseAttacker::fire_pulse() {
   if (stopped_ || stats_.pulses_started >= train_.n) return;
   ++stats_.pulses_started;
-  // Packets within the pulse are one-shot events; several are pending at
-  // once, so they stay plain schedules (the closure is just `this`).
-  for (std::int64_t i = 0; i < packets_per_pulse_; ++i) {
-    sim_.schedule(static_cast<double>(i) * packet_spacing_,
-                  [this] { emit_packet(); });
-  }
+  // Emissions within the pulse chain through one pending event: each one
+  // schedules its successor, so a burst occupies a single heap entry
+  // instead of ballooning the event queue by packets_per_pulse_. Claiming
+  // the burst's rank range here keeps same-timestamp ordering identical to
+  // scheduling every emission eagerly; a started burst always runs to
+  // completion (stop() only suppresses future pulses), exactly as the
+  // eagerly scheduled events would have.
+  burst_start_ = sim_.now();
+  burst_seq_ = sim_.scheduler().allocate_seq_range(
+      static_cast<std::uint32_t>(packets_per_pulse_));
+  burst_next_ = 0;
+  sim_.scheduler().schedule_at_sequenced(burst_start_, burst_seq_,
+                                         [this] { emit_packet(); });
   if (stats_.pulses_started < train_.n) {
     pulse_timer_.schedule_in(train_.period());
   }
@@ -85,6 +92,14 @@ void PulseAttacker::emit_packet() {
   pkt.size_bytes = train_.packet_bytes;
   ++stats_.packets_sent;
   stats_.bytes_sent += pkt.size_bytes;
+  if (++burst_next_ < packets_per_pulse_) {
+    // Emission times are computed from the burst origin, not accumulated,
+    // so the chain reproduces the eager schedule's timestamps bit-for-bit.
+    sim_.scheduler().schedule_at_sequenced(
+        burst_start_ + static_cast<double>(burst_next_) * packet_spacing_,
+        burst_seq_ + static_cast<std::uint32_t>(burst_next_),
+        [this] { emit_packet(); });
+  }
   out_->handle(std::move(pkt));
 }
 

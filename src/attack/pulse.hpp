@@ -83,6 +83,13 @@ class PulseAttacker {
   std::int64_t packets_per_pulse_;
   bool stopped_ = false;
   Timer pulse_timer_;  // drives the periodic pulse cycle
+  // In-pulse emission chain: one pending event walks the burst instead of
+  // packets_per_pulse_ events sitting in the heap at once. The whole
+  // burst's tie-break ranks are claimed when the pulse fires, so each
+  // emission keeps the rank it would have had as an eager schedule.
+  Time burst_start_ = 0.0;         // fire_pulse() time of the current burst
+  std::uint32_t burst_seq_ = 0;    // rank of emission 0
+  std::int64_t burst_next_ = 0;    // emissions already sent this burst
   AttackerStats stats_;
 };
 

@@ -13,7 +13,7 @@
 #include "sim/simulator.hpp"
 #include "stats/fairness.hpp"
 #include "stats/jitter.hpp"
-#include "stats/timeseries.hpp"
+#include "stats/stats_hub.hpp"
 #include "traffic/sources.hpp"
 #include "tcp/connection.hpp"
 #include "util/assert.hpp"
@@ -229,15 +229,14 @@ RunResult run_scenario(const ScenarioConfig& config,
   build(frame, config, attack);
 
   // Instrument the bottleneck's arrivals (the paper's "incoming traffic").
-  BinnedSeries incoming(control.bin_width);
-  BinnedSeries attack_arrivals(control.bin_width);
-  frame.bottleneck->add_arrival_tap([&](const Packet& pkt) {
-    incoming.add(frame.sim.now(), static_cast<double>(pkt.size_bytes));
-    if (pkt.is_attack()) {
-      attack_arrivals.add(frame.sim.now(),
-                          static_cast<double>(pkt.size_bytes));
-    }
-  });
+  // StatsHub batches the per-bin sums and is pre-sized to the horizon, so
+  // the tap — an inline closure of two pointers — does no allocation and
+  // at most one bins-vector store per bin.
+  StatsHub arrivals(control.bin_width, control.horizon());
+  frame.bottleneck->add_arrival_tap(
+      [hub = &arrivals, sim = &frame.sim](const Packet& pkt) {
+        hub->on_arrival(sim->now(), pkt);
+      });
 
   RunResult result;
 
@@ -328,8 +327,8 @@ RunResult run_scenario(const ScenarioConfig& config,
   result.goodput_rate =
       static_cast<double>(result.goodput_bytes) * 8.0 / control.measure;
   result.utilization = result.goodput_rate / config.bottleneck;
-  result.incoming_bins = incoming.bins_until(control.horizon());
-  result.attack_bins = attack_arrivals.bins_until(control.horizon());
+  result.incoming_bins = arrivals.incoming_bins_until(control.horizon());
+  result.attack_bins = arrivals.attack_bins_until(control.horizon());
   result.bin_width = control.bin_width;
   result.bottleneck_queue = frame.bottleneck->queue().stats();
   if (const auto* red =

@@ -9,12 +9,14 @@ TraceLogger::TraceLogger(Simulator& sim, std::ostream& out,
     : sim_(sim), out_(out), filter_(filter) {}
 
 void TraceLogger::attach(Link& link) {
-  const std::string name = link.name();
-  link.add_arrival_tap([this, name](const Packet& pkt) {
-    if (filter_.accepts(pkt)) write('+', name, pkt);
+  // Taps are inline closures: capture the link (whose name outlives the
+  // run) rather than a std::string copy that would not fit the tap's
+  // inline storage.
+  link.add_arrival_tap([this, ln = &link](const Packet& pkt) {
+    if (filter_.accepts(pkt)) write('+', ln->name(), pkt);
   });
-  link.add_departure_tap([this, name](const Packet& pkt) {
-    if (filter_.accepts(pkt)) write('-', name, pkt);
+  link.add_departure_tap([this, ln = &link](const Packet& pkt) {
+    if (filter_.accepts(pkt)) write('-', ln->name(), pkt);
   });
 }
 

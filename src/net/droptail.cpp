@@ -19,10 +19,8 @@ bool DropTailQueue::enqueue(Packet pkt) {
   return true;
 }
 
-std::optional<Packet> DropTailQueue::dequeue() {
-  if (buffer_.empty()) return std::nullopt;
-  Packet pkt = std::move(buffer_.front());
-  buffer_.pop_front();
+Packet DropTailQueue::dequeue_nonempty() {
+  Packet pkt = buffer_.pop_front();
   ++stats_.dequeued;
   return pkt;
 }

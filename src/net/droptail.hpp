@@ -1,8 +1,7 @@
 // Tail-drop FIFO queue.
 #pragma once
 
-#include <deque>
-
+#include "net/packet_ring.hpp"
 #include "net/queue.hpp"
 
 namespace pdos {
@@ -13,13 +12,16 @@ class DropTailQueue : public QueueDiscipline {
   explicit DropTailQueue(std::size_t capacity_packets);
 
   bool enqueue(Packet pkt) override;
-  std::optional<Packet> dequeue() override;
+  Packet dequeue_nonempty() override;
   std::size_t length() const override { return buffer_.size(); }
   std::size_t capacity() const override { return capacity_; }
 
  private:
   std::size_t capacity_;
-  std::deque<Packet> buffer_;
+  // Grows on demand up to `capacity_` and never shrinks: once the queue has
+  // filled once, enqueue/dequeue are allocation-free. Starting small keeps
+  // construction cheap for sweeps that build thousands of queues.
+  PacketRing buffer_;
 };
 
 }  // namespace pdos

@@ -6,31 +6,6 @@
 
 namespace pdos {
 
-void Link::PacketRing::push_back(Packet&& pkt) {
-  if (size_ == buf_.size()) grow();
-  buf_[(head_ + size_) & mask_] = std::move(pkt);
-  ++size_;
-}
-
-Packet Link::PacketRing::pop_front() {
-  PDOS_CHECK(size_ > 0);
-  Packet pkt = std::move(buf_[head_]);
-  head_ = (head_ + 1) & mask_;
-  --size_;
-  return pkt;
-}
-
-void Link::PacketRing::grow() {
-  const std::size_t capacity = buf_.empty() ? 4 : buf_.size() * 2;
-  std::vector<Packet> next(capacity);
-  for (std::size_t i = 0; i < size_; ++i) {
-    next[i] = std::move(buf_[(head_ + i) & mask_]);
-  }
-  buf_ = std::move(next);
-  mask_ = capacity - 1;
-  head_ = 0;
-}
-
 Link::Link(Simulator& sim, std::string name, BitRate rate, Time delay,
            std::unique_ptr<QueueDiscipline> queue, PacketHandler* downstream,
            Bytes mean_packet_bytes)
@@ -39,8 +14,7 @@ Link::Link(Simulator& sim, std::string name, BitRate rate, Time delay,
       rate_(rate),
       delay_(delay),
       queue_(std::move(queue)),
-      downstream_(downstream),
-      service_timer_(sim.scheduler(), [this] { finish_service(); }) {
+      downstream_(downstream) {
   PDOS_REQUIRE(rate_ > 0.0, "Link: rate must be positive");
   PDOS_REQUIRE(delay_ >= 0.0, "Link: delay must be non-negative");
   PDOS_REQUIRE(queue_ != nullptr, "Link: queue must be non-null");
@@ -48,47 +22,70 @@ Link::Link(Simulator& sim, std::string name, BitRate rate, Time delay,
   queue_->bind(&sim_.scheduler(), rate_, mean_packet_bytes);
 }
 
-void Link::add_arrival_tap(std::function<void(const Packet&)> tap) {
+void Link::add_arrival_tap(PacketTap tap) {
   arrival_taps_.push_back(std::move(tap));
+  tapped_ = true;
 }
 
-void Link::add_departure_tap(std::function<void(const Packet&)> tap) {
+void Link::add_departure_tap(PacketTap tap) {
   departure_taps_.push_back(std::move(tap));
+  tapped_ = true;
 }
 
 void Link::handle(Packet pkt) {
   // Tapless fast path: no observer can see the enqueue stamp, so skip it.
-  if (!arrival_taps_.empty() || !departure_taps_.empty()) {
-    for (const auto& tap : arrival_taps_) tap(pkt);
+  if (tapped_) {
+    for (auto& tap : arrival_taps_) tap(pkt);
     pkt.enqueue_time = sim_.now();
   }
   if (!queue_->enqueue(std::move(pkt))) return;  // dropped; stats in queue
+  ++queued_;
   if (!busy_) start_service();
 }
 
 void Link::start_service() {
-  auto next = queue_->dequeue();
-  if (!next) {
+  if (queued_ == 0) {
     busy_ = false;
     return;
   }
+  --queued_;
   busy_ = true;
   // The queue no longer owns the packet; it rides in `in_service_` until the
-  // service timer expires, so the event itself captures nothing.
-  in_service_ = std::move(*next);
-  service_timer_.schedule_in(transmission_time(in_service_.size_bytes, rate_));
+  // service event fires, so the event itself captures nothing but `this`.
+  // Events are scheduled straight on the scheduler — links live as long as
+  // the simulation (Simulator arena), so no Timer cancel-on-destroy
+  // indirection is needed on this path.
+  in_service_ = queue_->dequeue_nonempty();
+  sim_.schedule(transmission_time(in_service_.size_bytes, rate_),
+                [this] { finish_service(); });
 }
 
 void Link::finish_service() {
-  for (const auto& tap : departure_taps_) tap(in_service_);
+  for (auto& tap : departure_taps_) tap(in_service_);
   // Propagation is pipelined: hand off after `delay_`, then immediately
   // serialize the next buffered packet. Same delay for every packet means
-  // deliveries happen in departure order, so a FIFO ring carries them.
+  // deliveries happen in departure order, so FIFO rings carry them and the
+  // delivery timer only ever tracks the head — it is armed here when the
+  // pipeline was empty and re-armed in deliver() while packets remain.
+  const Due due{sim_.now() + delay_,  // rank claimed NOW: ties at the same
+                sim_.scheduler().allocate_seq()};  // timestamp keep firing
+                                                   // in departure order
+  if (in_flight_.empty()) arm_delivery(due);
   in_flight_.push_back(std::move(in_service_));
-  sim_.schedule(delay_, [this] { deliver(); });
+  due_.push_back(due);
   start_service();
 }
 
-void Link::deliver() { downstream_->handle(in_flight_.pop_front()); }
+void Link::arm_delivery(const Due& due) {
+  sim_.scheduler().schedule_at_sequenced(due.when, due.seq,
+                                         [this] { deliver(); });
+}
+
+void Link::deliver() {
+  Packet pkt = in_flight_.pop_front();
+  due_.pop_front();
+  if (!in_flight_.empty()) arm_delivery(due_.front());
+  downstream_->handle(std::move(pkt));
+}
 
 }  // namespace pdos

@@ -7,26 +7,38 @@
 // Propagation is pipelined: several packets can be in flight concurrently.
 //
 // Hot-path layout: the packet being serialized sits in `in_service_` and
-// packets in propagation sit in a FIFO ring, so the per-packet events — the
-// service timer and the delivery events — capture only `this` and stay
+// packets in propagation sit in a `PacketRing`, so the per-packet events —
+// the service timer and the delivery timer — capture only `this` and stay
 // within InlineFn's inline storage. Because the propagation delay is the
-// same for every packet, deliveries complete in departure order and the
-// ring needs no per-packet bookkeeping. Taps are only consulted when
+// same for every packet, deliveries complete in departure order, so the
+// propagation pipeline is a pair of rings (packets, due times) drained by a
+// single restartable timer: the scheduler holds ONE delivery event per link
+// no matter how many packets are in flight, which keeps the event heap —
+// the simulator's hottest structure — proportional to the number of links,
+// not to the bandwidth-delay product. Taps are `PacketTap`s — the same
+// inline-closure machinery as events, one function-pointer call per packet,
+// no heap-held std::function state — and are only consulted when
 // registered; the untapped fast path skips the loops and the
 // `enqueue_time` stamp entirely.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/packet_ring.hpp"
 #include "net/queue.hpp"
 #include "sim/simulator.hpp"
 #include "util/units.hpp"
 
 namespace pdos {
+
+/// Per-packet observer: an inline-storage `void(const Packet&)` callable.
+/// Captures must fit kInlineFnCapacity (32 bytes) — in practice a sink
+/// pointer or two; oversized captures are a compile error, so no tap can
+/// silently reintroduce a heap closure on the per-packet path.
+using PacketTap = BasicInlineFn<kInlineFnCapacity, const Packet&>;
 
 class Link : public PacketHandler {
  public:
@@ -39,9 +51,9 @@ class Link : public PacketHandler {
   void handle(Packet pkt) override;
 
   /// Observe every arrival (before the queue's drop decision).
-  void add_arrival_tap(std::function<void(const Packet&)> tap);
+  void add_arrival_tap(PacketTap tap);
   /// Observe every departure (after serialization completes).
-  void add_departure_tap(std::function<void(const Packet&)> tap);
+  void add_departure_tap(PacketTap tap);
 
   const QueueDiscipline& queue() const { return *queue_; }
   QueueDiscipline& queue() { return *queue_; }
@@ -51,26 +63,11 @@ class Link : public PacketHandler {
   bool busy() const { return busy_; }
 
  private:
-  /// Power-of-two circular FIFO for packets in propagation. Grows on demand
-  /// and then never reallocates: the in-flight population is bounded by
-  /// delay/serialization-time, so steady state is allocation-free.
-  class PacketRing {
-   public:
-    bool empty() const { return size_ == 0; }
-    void push_back(Packet&& pkt);
-    Packet pop_front();
-
-   private:
-    void grow();
-
-    std::vector<Packet> buf_;
-    std::size_t mask_ = 0;
-    std::size_t head_ = 0;
-    std::size_t size_ = 0;
-  };
+  struct Due;
 
   void start_service();
   void finish_service();
+  void arm_delivery(const Due& due);
   void deliver();
 
   Simulator& sim_;
@@ -80,11 +77,24 @@ class Link : public PacketHandler {
   std::unique_ptr<QueueDiscipline> queue_;
   PacketHandler* downstream_;
   bool busy_ = false;
-  Packet in_service_;       // owned by the pending service_timer_ expiry
+  bool tapped_ = false;     // any tap registered; gates the slow arrival path
+  // Accepted-minus-dequeued mirror of queue_->length(), kept here so the
+  // after-each-service "anything left?" test is a register compare instead
+  // of a virtual dequeue that usually comes back empty.
+  std::uint32_t queued_ = 0;
+  // Delivery deadline of an in-flight packet plus the tie-break rank it
+  // claimed when it departed, so materializing its heap node late cannot
+  // reorder it against other events at the same timestamp.
+  struct Due {
+    Time when = 0.0;
+    std::uint32_t seq = 0;
+  };
+
+  Packet in_service_;       // owned by the pending service event
   PacketRing in_flight_;    // departed, still propagating (FIFO)
-  Timer service_timer_;     // fires when in_service_ finishes serializing
-  std::vector<std::function<void(const Packet&)>> arrival_taps_;
-  std::vector<std::function<void(const Packet&)>> departure_taps_;
+  Ring<Due> due_;           // deadline of each in_flight_ packet
+  std::vector<PacketTap> arrival_taps_;
+  std::vector<PacketTap> departure_taps_;
 };
 
 }  // namespace pdos

@@ -6,31 +6,49 @@ namespace pdos {
 
 void Node::add_route(NodeId dst, PacketHandler* via) {
   PDOS_REQUIRE(via != nullptr, "Node::add_route: next hop must be non-null");
-  routes_[dst] = via;
+  PDOS_REQUIRE(dst >= 0, "Node::add_route: destination must be >= 0");
+  if (static_cast<std::size_t>(dst) >= routes_.size()) {
+    routes_.resize(static_cast<std::size_t>(dst) + 1, nullptr);
+  }
+  routes_[static_cast<std::size_t>(dst)] = via;
 }
 
 void Node::attach(FlowId flow, PacketHandler* agent) {
   PDOS_REQUIRE(agent != nullptr, "Node::attach: agent must be non-null");
-  PDOS_CHECK_MSG(agents_.find(flow) == agents_.end(),
-                 "flow already attached to node " + name_);
-  agents_[flow] = agent;
+  for (const auto& [attached, unused] : agents_) {
+    PDOS_CHECK_MSG(attached != flow, "flow already attached to node " + name_);
+  }
+  agents_.emplace_back(flow, agent);
 }
 
-void Node::detach(FlowId flow) { agents_.erase(flow); }
+void Node::detach(FlowId flow) {
+  for (auto it = agents_.begin(); it != agents_.end(); ++it) {
+    if (it->first == flow) {
+      agents_.erase(it);
+      return;
+    }
+  }
+}
 
 void Node::handle(Packet pkt) {
   if (pkt.dst == id_) {
-    auto it = agents_.find(pkt.flow);
-    if (it != agents_.end()) {
-      it->second->handle(std::move(pkt));
-    } else {
-      sink_bytes_ += pkt.size_bytes;
-      ++sink_packets_;
+    // Local delivery: scan the (tiny) agent table. Raw sinks — e.g. the
+    // router attack packets are aimed at — fall straight through.
+    for (const auto& [flow, agent] : agents_) {
+      if (flow == pkt.flow) {
+        agent->handle(std::move(pkt));
+        return;
+      }
     }
+    sink_bytes_ += pkt.size_bytes;
+    ++sink_packets_;
     return;
   }
-  auto it = routes_.find(pkt.dst);
-  PacketHandler* via = it != routes_.end() ? it->second : default_route_;
+  PacketHandler* via =
+      pkt.dst >= 0 && static_cast<std::size_t>(pkt.dst) < routes_.size()
+          ? routes_[static_cast<std::size_t>(pkt.dst)]
+          : nullptr;
+  if (via == nullptr) via = default_route_;
   PDOS_CHECK_MSG(via != nullptr,
                  "node " + name_ + " has no route for destination");
   via->handle(std::move(pkt));

@@ -2,15 +2,20 @@
 //
 // Topologies in this library are small and fixed (dumbbell, single
 // bottleneck), so routing is a static next-hop table keyed by destination
-// node, with an optional default route. Packets addressed to the node itself
-// are demultiplexed to an attached agent by flow id; deliveries with no
-// matching agent (e.g. attack packets aimed at a raw sink) are counted, not
-// errors.
+// node, with an optional default route. Node ids are assigned densely from
+// 0 by the topology builder, so the table is a flat vector indexed by
+// destination — the per-hop lookup every forwarded packet pays is an array
+// load, not a hash probe. Packets addressed to the node itself are
+// demultiplexed to an attached agent by flow id via a flat (flow, agent)
+// vector — a node hosts at most a handful of agents, so a linear scan beats
+// any hash machinery. Deliveries with no matching agent (e.g. attack
+// packets aimed at a raw sink) are counted, not errors.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "util/units.hpp"
@@ -42,9 +47,11 @@ class Node : public PacketHandler {
  private:
   NodeId id_;
   std::string name_;
-  std::unordered_map<NodeId, PacketHandler*> routes_;
+  // Dense next-hop table: routes_[dst] is null for destinations with no
+  // explicit route (fall through to default_route_).
+  std::vector<PacketHandler*> routes_;
   PacketHandler* default_route_ = nullptr;
-  std::unordered_map<FlowId, PacketHandler*> agents_;
+  std::vector<std::pair<FlowId, PacketHandler*>> agents_;
   Bytes sink_bytes_ = 0;
   std::uint64_t sink_packets_ = 0;
 };

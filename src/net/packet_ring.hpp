@@ -1,0 +1,97 @@
+// Power-of-two circular FIFO.
+//
+// The shared buffer primitive of the packet data path: queue disciplines
+// (RED, DropTail) buffer admitted packets in one, and Link keeps departed,
+// still-propagating packets (plus their delivery deadlines) in another.
+// Compared to std::deque — the previous buffer in both places — a ring
+// indexes with a mask instead of a block map, stays in one contiguous
+// allocation, and never allocates after reaching its high-water capacity:
+// `reserve` (or organic growth) is grow-once, so the steady-state
+// enqueue/dequeue path touches no allocator.
+//
+// FIFO only: push_back / pop_front. Capacity is always a power of two so
+// the wrap is a single AND. `T` must be default-constructible and movable;
+// `PacketRing` is the packet instantiation the data path is built on.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+
+template <typename T>
+class Ring {
+ public:
+  Ring() = default;
+  /// Pre-size for `capacity` elements (rounded up to a power of two).
+  explicit Ring(std::size_t capacity) { reserve(capacity); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Ensure room for `n` elements with no further allocation.
+  void reserve(std::size_t n) {
+    if (n > buf_.size()) rebuild(round_up_pow2(n));
+  }
+
+  void push_back(T&& value) {
+    if (size_ == buf_.size()) {
+      rebuild(buf_.empty() ? kInitialCapacity : buf_.size() * 2);
+    }
+    buf_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+  void push_back(const T& value) { push_back(T(value)); }
+
+  const T& front() const {
+    PDOS_CHECK(size_ > 0);
+    return buf_[head_];
+  }
+
+  T pop_front() {
+    PDOS_CHECK(size_ > 0);
+    T value = std::move(buf_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return value;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 4;
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = kInitialCapacity;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  /// Reallocate to `capacity` (a power of two), compacting to head_ == 0.
+  void rebuild(std::size_t capacity) {
+    std::vector<T> next(capacity);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    mask_ = capacity - 1;
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+using PacketRing = Ring<Packet>;
+
+}  // namespace pdos

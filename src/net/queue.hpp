@@ -41,8 +41,16 @@ class QueueDiscipline {
   /// dropped (stats updated internally).
   virtual bool enqueue(Packet pkt) = 0;
 
+  /// Remove and return the head-of-line packet. Precondition: length() > 0.
+  /// The link's service loop tracks occupancy itself and only calls in here
+  /// when a packet is buffered, so the hot path never pays for an optional.
+  virtual Packet dequeue_nonempty() = 0;
+
   /// Remove and return the head-of-line packet, or nullopt when empty.
-  virtual std::optional<Packet> dequeue() = 0;
+  std::optional<Packet> dequeue() {
+    if (length() == 0) return std::nullopt;
+    return dequeue_nonempty();
+  }
 
   /// Packets currently buffered.
   virtual std::size_t length() const = 0;

@@ -110,10 +110,8 @@ bool RedQueue::enqueue(Packet pkt) {
   return true;
 }
 
-std::optional<Packet> RedQueue::dequeue() {
-  if (buffer_.empty()) return std::nullopt;
-  Packet pkt = std::move(buffer_.front());
-  buffer_.pop_front();
+Packet RedQueue::dequeue_nonempty() {
+  Packet pkt = buffer_.pop_front();
   ++stats_.dequeued;
   if (buffer_.empty()) {
     idle_ = true;

@@ -11,8 +11,7 @@
 // `RedParams::paper_testbed` reproduces that.
 #pragma once
 
-#include <deque>
-
+#include "net/packet_ring.hpp"
 #include "net/queue.hpp"
 #include "util/rng.hpp"
 
@@ -40,7 +39,7 @@ class RedQueue : public QueueDiscipline {
   RedQueue(RedParams params, Rng rng);
 
   bool enqueue(Packet pkt) override;
-  std::optional<Packet> dequeue() override;
+  Packet dequeue_nonempty() override;
   std::size_t length() const override { return buffer_.size(); }
   std::size_t capacity() const override { return params_.capacity; }
 
@@ -61,7 +60,9 @@ class RedQueue : public QueueDiscipline {
 
   RedParams params_;
   Rng rng_;
-  std::deque<Packet> buffer_;
+  // Grows on demand up to `params_.capacity` and never shrinks; once the
+  // queue has filled once, enqueue/dequeue are allocation-free.
+  PacketRing buffer_;
 
   const Scheduler* clock_ = nullptr;  // may be null in unit tests
   double mean_service_time_ = 0.0;    // seconds per average packet

@@ -6,6 +6,13 @@
 // nothing. `InlineFn` stores the closure in a fixed inline buffer — a
 // too-large closure is a compile error, never a silent heap fallback — so
 // scheduling an event touches only the scheduler's own arrays.
+//
+// The machinery is shared: `BasicInlineFn<Capacity, Args...>` is the same
+// inline-storage callable for any argument list. The event loop uses the
+// nullary `InlineFn`; the packet data path instantiates it with
+// `const Packet&` for link taps (see net/link.hpp's `PacketTap`), replacing
+// the `std::function` observers that used to cost a heap closure and a
+// double indirection per packet.
 #pragma once
 
 #include <cstddef>
@@ -25,20 +32,24 @@ namespace pdos {
 /// gets bigger — so bump it if the static_assert below fires.
 inline constexpr std::size_t kInlineFnCapacity = 32;
 
-/// Action executed when an event fires. Events run to completion; they may
-/// schedule further events but must not block.
+/// Inline-storage callable `void(Args...)`. Closures live in a fixed
+/// `Capacity`-byte buffer; a too-large closure is a compile error, never a
+/// silent heap fallback. Invocation is one indirect call through a stored
+/// function pointer — no virtual dispatch, no allocation, no double
+/// indirection through a heap-held closure.
 ///
 /// Move-only: moving relocates the closure into the destination buffer and
-/// empties the source. Copy is deliberately unsupported — events fire once,
-/// and copyability is what forced std::function's allocation semantics.
-class InlineFn {
+/// empties the source. Copy is deliberately unsupported — copyability is
+/// what forced std::function's allocation semantics.
+template <std::size_t Capacity, typename... Args>
+class BasicInlineFn {
  public:
-  InlineFn() = default;
+  BasicInlineFn() = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineFn>>>
-  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor): callable wrapper
+                !std::is_same_v<std::decay_t<F>, BasicInlineFn>>>
+  BasicInlineFn(F&& fn) {  // NOLINT(google-explicit-constructor): callable wrapper
     construct(std::forward<F>(fn));
   }
 
@@ -48,15 +59,15 @@ class InlineFn {
   /// intermediate moves.
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineFn>>>
+                !std::is_same_v<std::decay_t<F>, BasicInlineFn>>>
   void emplace(F&& fn) {
     reset();
     construct(std::forward<F>(fn));
   }
 
-  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  BasicInlineFn(BasicInlineFn&& other) noexcept { move_from(other); }
 
-  InlineFn& operator=(InlineFn&& other) noexcept {
+  BasicInlineFn& operator=(BasicInlineFn&& other) noexcept {
     if (this != &other) {
       reset();
       move_from(other);
@@ -64,13 +75,15 @@ class InlineFn {
     return *this;
   }
 
-  InlineFn(const InlineFn&) = delete;
-  InlineFn& operator=(const InlineFn&) = delete;
+  BasicInlineFn(const BasicInlineFn&) = delete;
+  BasicInlineFn& operator=(const BasicInlineFn&) = delete;
 
-  ~InlineFn() { reset(); }
+  ~BasicInlineFn() { reset(); }
 
   /// Invoke the stored closure. Precondition: non-empty.
-  void operator()() { invoke_(storage_); }
+  void operator()(Args... args) {
+    invoke_(storage_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const { return invoke_ != nullptr; }
 
@@ -85,23 +98,27 @@ class InlineFn {
 
  private:
   enum class Op { kRelocate, kDestroy };
-  using Invoke = void (*)(void*);
+  using Invoke = void (*)(void*, Args...);
   using Manage = void (*)(Op, void* self, void* other);
 
   template <typename F>
   void construct(F&& fn) {
     using Closure = std::decay_t<F>;
-    static_assert(std::is_invocable_r_v<void, Closure&>,
-                  "InlineFn requires a void() callable");
-    static_assert(sizeof(Closure) <= kInlineFnCapacity,
-                  "closure too large for InlineFn inline storage — capture "
-                  "less, or grow kInlineFnCapacity in sim/event.hpp");
+    static_assert(std::is_invocable_r_v<void, Closure&, Args...>,
+                  "BasicInlineFn requires a void(Args...) callable");
+    static_assert(sizeof(Closure) <= Capacity,
+                  "closure too large for inline storage — capture less, or "
+                  "grow the Capacity parameter (kInlineFnCapacity for "
+                  "events) in sim/event.hpp");
     static_assert(alignof(Closure) <= alignof(std::max_align_t),
-                  "closure over-aligned for InlineFn inline storage");
+                  "closure over-aligned for inline storage");
     static_assert(std::is_nothrow_move_constructible_v<Closure>,
-                  "InlineFn closures must be nothrow-move-constructible");
+                  "inline closures must be nothrow-move-constructible");
     ::new (static_cast<void*>(storage_)) Closure(std::forward<F>(fn));
-    invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Closure*>(s)))(); };
+    invoke_ = [](void* s, Args... args) {
+      (*std::launder(reinterpret_cast<Closure*>(s)))(
+          std::forward<Args>(args)...);
+    };
     if constexpr (std::is_trivially_copyable_v<Closure> &&
                   std::is_trivially_destructible_v<Closure>) {
       // Trivially relocatable closures (the overwhelmingly common case:
@@ -119,7 +136,7 @@ class InlineFn {
     }
   }
 
-  void move_from(InlineFn& other) noexcept {
+  void move_from(BasicInlineFn& other) noexcept {
     if (other.invoke_ != nullptr) {
       if (other.manage_ == nullptr) {
         // Whole-buffer copy: the closure's true size is unknown here, and
@@ -130,7 +147,7 @@ class InlineFn {
 #pragma GCC diagnostic ignored "-Wuninitialized"
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 #endif
-        std::memcpy(storage_, other.storage_, kInlineFnCapacity);
+        std::memcpy(storage_, other.storage_, Capacity);
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop
 #endif
@@ -144,10 +161,14 @@ class InlineFn {
     }
   }
 
-  alignas(std::max_align_t) unsigned char storage_[kInlineFnCapacity];
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
   Invoke invoke_ = nullptr;
   Manage manage_ = nullptr;
 };
+
+/// Action executed when an event fires. Events run to completion; they may
+/// schedule further events but must not block.
+using InlineFn = BasicInlineFn<kInlineFnCapacity>;
 
 /// Event closures are InlineFn; the alias survives from the std::function
 /// era so call sites read the same.

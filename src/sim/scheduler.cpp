@@ -10,19 +10,46 @@ namespace pdos {
 bool Scheduler::cancel(EventId id) {
   Slot* s = live_slot(id);
   if (s == nullptr) return false;
-  detach(static_cast<std::size_t>(s->heap_pos));
+  const std::uint32_t slot = static_cast<std::uint32_t>(id) - 1;
+  const std::int32_t p = pos_[slot];
+  if (p <= kShelfBase) {
+    shelf_remove(static_cast<std::size_t>(kShelfBase - p));
+  } else {
+    detach(static_cast<std::size_t>(p));
+  }
   s->fn.reset();
-  release_slot(static_cast<std::uint32_t>(id) - 1);
+  release_slot(slot);
   return true;
 }
 
 bool Scheduler::reschedule_at(EventId id, Time when) {
   PDOS_REQUIRE(when >= now_, "Scheduler::reschedule_at: time is in the past");
-  Slot* s = live_slot(id);
-  if (s == nullptr) return false;
-  const std::size_t pos = static_cast<std::size_t>(s->heap_pos);
+  if (live_slot(id) == nullptr) return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id) - 1;
+  const std::int32_t p = pos_[slot];
+  const std::uint32_t seq = next_seq();  // re-sequence: ties fire as if
+                                         // freshly scheduled
+  if (p <= kShelfBase) {
+    const std::size_t idx = static_cast<std::size_t>(kShelfBase - p);
+    if (when > far_horizon_) {
+      // Far timer pushed to another far deadline — the common TCP RTO
+      // re-arm. Two stores, no heap traffic.
+      shelf_[idx].when = when;
+      shelf_[idx].seq = seq;
+    } else {
+      shelf_remove(idx);
+      insert_node(HeapNode{when, seq, slot});
+    }
+    return true;
+  }
+  const std::size_t pos = static_cast<std::size_t>(p);
+  if (when > far_horizon_) {
+    detach(pos);
+    insert_node(HeapNode{when, seq, slot});  // lands on the shelf
+    return true;
+  }
   heap_[pos].when = when;
-  heap_[pos].seq = next_seq_++;  // re-sequence: ties fire as if re-scheduled
+  heap_[pos].seq = seq;
   sift_down(pos);
   sift_up(pos);
   return true;
@@ -35,6 +62,8 @@ bool Scheduler::reschedule(EventId id, Time delay) {
 
 void Scheduler::reserve(std::size_t n) {
   heap_.reserve(n);
+  shelf_.reserve(n);
+  pos_.reserve(n);
   while (slabs_.size() * kSlabSize < n) {
     slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
   }
@@ -49,18 +78,18 @@ void Scheduler::sift_down(std::size_t pos) {
     const std::size_t best = min_child(first_child, size);
     if (!before(heap_[best], node)) break;
     heap_[pos] = heap_[best];
-    slot_ptr(heap_[pos].slot)->heap_pos = static_cast<std::int32_t>(pos);
+    pos_[heap_[pos].slot] = static_cast<std::int32_t>(pos);
     pos = best;
   }
   heap_[pos] = node;
-  slot_ptr(node.slot)->heap_pos = static_cast<std::int32_t>(pos);
+  pos_[node.slot] = static_cast<std::int32_t>(pos);
 }
 
 void Scheduler::detach(std::size_t pos) {
   const std::size_t last = heap_.size() - 1;
   if (pos != last) {
     heap_[pos] = heap_[last];
-    slot_ptr(heap_[pos].slot)->heap_pos = static_cast<std::int32_t>(pos);
+    pos_[heap_[pos].slot] = static_cast<std::int32_t>(pos);
     heap_.pop_back();
     sift_down(pos);
     sift_up(pos);
@@ -72,16 +101,15 @@ void Scheduler::detach(std::size_t pos) {
 void Scheduler::release_slot(std::uint32_t slot) {
   Slot* s = slot_ptr(slot);
   ++s->gen;  // outstanding ids to this slot are now detectably stale
-  s->heap_pos = -1;
+  pos_[slot] = -1;
   s->next_free = free_head_;
   free_head_ = slot;
 }
 
 std::uint32_t Scheduler::pop_min() {
   const HeapNode top = heap_[0];
-  Slot* s = slot_ptr(top.slot);
-  ++s->gen;  // outstanding ids are now stale; recycled after the invoke
-  s->heap_pos = -1;
+  ++slot_ptr(top.slot)->gen;  // ids are now stale; recycled after the invoke
+  pos_[top.slot] = -1;
   const std::size_t size = heap_.size() - 1;
   if (size > 0) {
     const HeapNode moved = heap_[size];
@@ -96,22 +124,71 @@ std::uint32_t Scheduler::pop_min() {
       if (first_child >= size) break;
       const std::size_t best = min_child(first_child, size);
       heap_[pos] = heap_[best];
-      slot_ptr(heap_[pos].slot)->heap_pos = static_cast<std::int32_t>(pos);
+      pos_[heap_[pos].slot] = static_cast<std::int32_t>(pos);
       pos = best;
     }
     heap_[pos] = moved;
-    slot_ptr(moved.slot)->heap_pos = static_cast<std::int32_t>(pos);
+    pos_[moved.slot] = static_cast<std::int32_t>(pos);
     sift_up(pos);
   } else {
     heap_.pop_back();
   }
   now_ = top.when;
+  // The clock can only pass the frontier when the shelf is empty (the run
+  // loops pull first otherwise); sliding it forward keeps subsequent
+  // schedule() calls routing near events into the heap.
+  if (now_ > far_horizon_) far_horizon_ = now_;
   return top.slot;
+}
+
+void Scheduler::pull_shelf() {
+  // Advance the frontier one window past the earliest pending event and
+  // migrate every shelf entry that falls inside it, with original
+  // (when, seq) keys — pop order is a pure function of the keys, so batch
+  // migration cannot reorder anything. One pass always restores the pop
+  // invariant (heap top <= frontier, or shelf empty); the loop is belt and
+  // braces.
+  while (!shelf_.empty() && (heap_.empty() || heap_[0].when > far_horizon_)) {
+    Time next = shelf_[0].when;
+    for (std::size_t i = 1; i < shelf_.size(); ++i) {
+      next = std::min(next, shelf_[i].when);
+    }
+    if (!heap_.empty()) next = std::min(next, heap_[0].when);
+    far_horizon_ = std::max(far_horizon_, next) + far_window_;
+    const std::size_t scanned = shelf_.size();
+    std::size_t migrated = 0;
+    std::size_t i = 0;
+    while (i < shelf_.size()) {
+      if (shelf_[i].when <= far_horizon_) {
+        const HeapNode node = shelf_[i];
+        shelf_remove(i);  // swap-remove: re-examine index i
+        insert_node(node);
+        ++migrated;
+      } else {
+        ++i;
+      }
+    }
+    // Adapt the window to the shelf's density in time. A pull that scans
+    // many entries but moves few means the population is spread over far
+    // more than one window (bulk-scheduled far-future events); doubling
+    // makes the repeated scans geometric instead of quadratic. A pull that
+    // moves most of what it scans can afford to narrow back toward the
+    // cadence-matched default.
+    if (migrated * 4 < scanned) {
+      far_window_ *= 2.0;
+    } else if (far_window_ > kFarWindow) {
+      far_window_ *= 0.5;
+    }
+  }
 }
 
 std::uint64_t Scheduler::run_until(Time horizon) {
   std::uint64_t count = 0;
-  while (!heap_.empty() && heap_[0].when <= horizon) {
+  for (;;) {
+    if (!shelf_.empty() && (heap_.empty() || heap_[0].when > far_horizon_)) {
+      pull_shelf();
+    }
+    if (heap_.empty() || heap_[0].when > horizon) break;
     const std::uint32_t slot = pop_min();
     slot_ptr(slot)->fn();  // in place: the slot cannot be re-acquired yet
     recycle_slot(slot);
@@ -124,7 +201,11 @@ std::uint64_t Scheduler::run_until(Time horizon) {
 
 std::uint64_t Scheduler::run() {
   std::uint64_t count = 0;
-  while (!heap_.empty()) {
+  for (;;) {
+    if (!shelf_.empty() && (heap_.empty() || heap_[0].when > far_horizon_)) {
+      pull_shelf();
+    }
+    if (heap_.empty()) break;
     const std::uint32_t slot = pop_min();
     slot_ptr(slot)->fn();  // in place: the slot cannot be re-acquired yet
     recycle_slot(slot);
@@ -135,6 +216,9 @@ std::uint64_t Scheduler::run() {
 }
 
 bool Scheduler::step() {
+  if (!shelf_.empty() && (heap_.empty() || heap_[0].when > far_horizon_)) {
+    pull_shelf();
+  }
   if (heap_.empty()) return false;
   const std::uint32_t slot = pop_min();
   slot_ptr(slot)->fn();

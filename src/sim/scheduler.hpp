@@ -9,11 +9,26 @@
 // `reschedule_at` moves a pending event in place (fresh tie-break sequence,
 // same slot), the primitive behind `Timer`'s restart-without-realloc path.
 //
-// Layout: the heap array holds only 24-byte (when, seq, slot) keys, so
-// sifting never touches a closure buffer. Slots live in fixed-size slabs
-// with stable addresses — growing the slot population never relocates a
-// pending closure — and freed slots recycle through a LIFO free list, so
-// the steady-state event loop performs no allocations at all.
+// Layout: the heap array holds only 16-byte (when, seq, slot) keys — four
+// nodes per cache line — so sifting never touches a closure buffer. Heap
+// positions live in a flat dense array indexed by slot, not in the slots
+// themselves, so the per-move bookkeeping write lands in a small hot int
+// array instead of dragging a closure-bearing slot line through the slab
+// indirection. Slots live in fixed-size slabs with stable addresses —
+// growing the slot population never relocates a pending closure — and
+// freed slots recycle through a LIFO free list, so the steady-state event
+// loop performs no allocations at all.
+//
+// Two tiers: events due within the far horizon live in the heap; events
+// beyond it (TCP retransmit timers, delayed ACKs, pulse periods — the bulk
+// of the resident population, but a sliver of the firing rate) sit in an
+// unsorted shelf and migrate heap-ward in batches as the clock approaches.
+// Every pop therefore sifts a heap of the handful of imminent events, not
+// of every armed timer in the simulation, and rescheduling a shelved timer
+// is two stores instead of two sifts. Ordering is unaffected: the heap
+// holds every event at or before the horizon, the shelf is strictly
+// beyond it, and migration re-inserts nodes with their original
+// (when, seq) keys.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +66,34 @@ class Scheduler {
   /// Schedule `fn` at absolute virtual time `when` (when >= now()).
   template <typename F>
   EventId schedule_at(Time when, F&& fn) {
+    return schedule_at_sequenced(when, next_seq(), std::forward<F>(fn));
+  }
+
+  /// Claim the next tie-break sequence number without scheduling anything.
+  /// Pair with `schedule_at_sequenced`: a component that batches future
+  /// events outside the heap (Link's delivery lane) claims the rank at the
+  /// moment the work is logically emitted, then materializes the heap node
+  /// later — same-timestamp events still fire in emission order, exactly as
+  /// if each had been scheduled eagerly.
+  std::uint32_t allocate_seq() { return next_seq(); }
+
+  /// Claim `n` consecutive tie-break ranks at once (returns the first).
+  /// Equivalent to `n` calls to `allocate_seq` — a burst emitter claims the
+  /// ranks of its whole batch up front, then materializes the events one at
+  /// a time as the batch drains.
+  std::uint32_t allocate_seq_range(std::uint32_t n) {
+    PDOS_CHECK_MSG(0xffffffffu - next_seq_ > n,
+                   "event sequence space exhausted");
+    const std::uint32_t base = next_seq_;
+    next_seq_ += n;
+    return base;
+  }
+
+  /// `schedule_at` with a caller-provided tie-break rank from
+  /// `allocate_seq`. Ranks must be claimed in non-decreasing event-emission
+  /// order; reusing one across two live events is undefined.
+  template <typename F>
+  EventId schedule_at_sequenced(Time when, std::uint32_t seq, F&& fn) {
     PDOS_REQUIRE(when >= now_, "Scheduler::schedule_at: time is in the past");
     const std::uint32_t slot = acquire_slot();
     Slot& s = *slot_ptr(slot);
@@ -60,9 +103,7 @@ class Scheduler {
     } else {
       s.fn.emplace(std::forward<F>(fn));
     }
-    s.heap_pos = static_cast<std::int32_t>(heap_.size());
-    heap_.push_back(HeapNode{when, next_seq_++, slot});
-    sift_up(heap_.size() - 1);
+    insert_node(HeapNode{when, seq, slot});
     return (static_cast<EventId>(s.gen) << 32) | (slot + 1);
   }
 
@@ -97,22 +138,25 @@ class Scheduler {
   /// Execute only the next pending event (if any). Returns true if one ran.
   bool step();
 
-  std::size_t queue_size() const { return heap_.size(); }
-  bool empty() const { return heap_.empty(); }
+  std::size_t queue_size() const { return heap_.size() + shelf_.size(); }
+  bool empty() const { return heap_.empty() && shelf_.empty(); }
   std::uint64_t events_executed() const { return executed_; }
 
  private:
   /// Heap node: ordering key plus the slot holding the closure. Kept apart
-  /// from the slots so sifting moves 24 bytes, never a closure buffer.
+  /// from the slots so sifting moves 16 bytes, never a closure buffer. The
+  /// sequence tie-breaker is 32-bit: it only has to stay unique within one
+  /// scheduler's lifetime, and a run would need ~4.3 billion schedules to
+  /// wrap — `next_seq()` checks and fails loudly long before silent reorder.
   struct HeapNode {
     Time when;
-    std::uint64_t seq;  // tie-breaker: FIFO among simultaneous events
+    std::uint32_t seq;  // tie-breaker: FIFO among simultaneous events
     std::uint32_t slot;
   };
+  static_assert(sizeof(HeapNode) == 16, "heap keys should be 16 bytes");
 
   struct Slot {
-    std::uint32_t gen = 0;       // bumped on release; stale ids never match
-    std::int32_t heap_pos = -1;  // index into heap_, -1 when free
+    std::uint32_t gen = 0;  // bumped on release; stale ids never match
     std::uint32_t next_free = 0;
     InlineFn fn;
   };
@@ -122,6 +166,21 @@ class Scheduler {
   static constexpr std::uint32_t kSlabBits = 10;
   static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
   static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  // Far-shelf migration window, in virtual seconds. Anything due more than
+  // one advance beyond the current frontier parks on the shelf; 50 ms sits
+  // above the propagation delays that drive the per-packet event cadence
+  // and below the retransmit/delayed-ACK timeouts that dominate the armed
+  // population. The live window adapts upward from here when the shelf
+  // population turns out to be sparse in time (see pull_shelf). A mistuned
+  // window costs only constant factors — ordering never depends on it.
+  static constexpr Time kFarWindow = 0.050;
+
+  // pos_[slot] encoding: >= 0 is an index into heap_; kFreePos means free,
+  // invoked, or never armed; anything <= kShelfBase encodes an index into
+  // shelf_ as (kShelfBase - pos).
+  static constexpr std::int32_t kFreePos = -1;
+  static constexpr std::int32_t kShelfBase = -2;
 
   static bool before(const HeapNode& a, const HeapNode& b) {
     // Bitwise, not short-circuit: both compares are register-only, and the
@@ -164,7 +223,13 @@ class Scheduler {
       PDOS_CHECK_MSG(slot_count_ < 0xfffffc00u, "event slot space exhausted");
       slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
     }
+    pos_.push_back(-1);
     return slot_count_++;
+  }
+
+  std::uint32_t next_seq() {
+    PDOS_CHECK_MSG(next_seq_ != 0xffffffffu, "event sequence space exhausted");
+    return next_seq_++;
   }
 
   /// Decode `id`; returns the slot if it names a live event, else null.
@@ -173,9 +238,36 @@ class Scheduler {
     if (low == 0 || low > slot_count_) return nullptr;
     Slot* s = slot_ptr(low - 1);
     if (s->gen != static_cast<std::uint32_t>(id >> 32)) return nullptr;
-    if (s->heap_pos < 0) return nullptr;
+    if (pos_[low - 1] == kFreePos) return nullptr;
     return s;
   }
+
+  /// Route a fresh node to the heap or the far shelf by due time.
+  void insert_node(const HeapNode& node) {
+    if (node.when > far_horizon_) {
+      pos_[node.slot] = kShelfBase - static_cast<std::int32_t>(shelf_.size());
+      shelf_.push_back(node);
+    } else {
+      pos_[node.slot] = static_cast<std::int32_t>(heap_.size());
+      heap_.push_back(node);
+      sift_up(heap_.size() - 1);
+    }
+  }
+
+  /// Swap-remove shelf entry `idx`, fixing the displaced node's position.
+  void shelf_remove(std::size_t idx) {
+    const std::size_t last = shelf_.size() - 1;
+    if (idx != last) {
+      shelf_[idx] = shelf_[last];
+      pos_[shelf_[idx].slot] = kShelfBase - static_cast<std::int32_t>(idx);
+    }
+    shelf_.pop_back();
+  }
+
+  /// Advance the far horizon and migrate newly imminent shelf entries into
+  /// the heap, so the heap top becomes the global minimum. Called when the
+  /// heap has run dry relative to the shelf.
+  void pull_shelf();
 
   void sift_up(std::size_t pos) {
     const HeapNode node = heap_[pos];
@@ -183,11 +275,11 @@ class Scheduler {
       const std::size_t parent = (pos - 1) / 4;
       if (!before(node, heap_[parent])) break;
       heap_[pos] = heap_[parent];
-      slot_ptr(heap_[pos].slot)->heap_pos = static_cast<std::int32_t>(pos);
+      pos_[heap_[pos].slot] = static_cast<std::int32_t>(pos);
       pos = parent;
     }
     heap_[pos] = node;
-    slot_ptr(node.slot)->heap_pos = static_cast<std::int32_t>(pos);
+    pos_[node.slot] = static_cast<std::int32_t>(pos);
   }
 
   void sift_down(std::size_t pos);
@@ -212,9 +304,16 @@ class Scheduler {
   }
 
   Time now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
+  Time far_horizon_ = 0.0;  // heap holds everything due at or before this
+  Time far_window_ = kFarWindow;  // adaptive; see pull_shelf
+  std::uint32_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::vector<HeapNode> heap_;
+  std::vector<HeapNode> shelf_;  // unsorted; strictly beyond far_horizon_
+  // pos_[slot] is the slot's index into heap_, -1 while the slot is free or
+  // its event is being invoked. Parallel to the slabs, always slot_count_
+  // entries long.
+  std::vector<std::int32_t> pos_;
   std::vector<std::unique_ptr<Slot[]>> slabs_;
   std::uint32_t slot_count_ = 0;  // slots ever created (all tail slabs full)
   std::uint32_t free_head_ = kNoFreeSlot;

@@ -1,0 +1,50 @@
+#include "stats/stats_hub.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pdos {
+
+StatsHub::StatsHub(Time bin_width, Time horizon) : bin_width_(bin_width) {
+  PDOS_REQUIRE(bin_width > 0.0, "StatsHub: bin_width must be > 0");
+  PDOS_REQUIRE(horizon >= 0.0, "StatsHub: horizon must be >= 0");
+  if (horizon > 0.0) {
+    const auto needed =
+        static_cast<std::size_t>(std::ceil(horizon / bin_width_)) + 1;
+    incoming_.bins.reserve(needed);
+    attack_.bins.reserve(needed);
+  }
+}
+
+void StatsHub::Channel::roll(std::size_t idx) {
+  if (bin != kNoBin) {
+    PDOS_CHECK_MSG(idx > bin, "StatsHub: timestamps must be non-decreasing");
+    if (bins.size() <= bin) bins.resize(bin + 1, 0.0);
+    bins[bin] += pending;
+    pending = 0.0;
+  }
+  bin = idx;
+}
+
+std::vector<double> StatsHub::Channel::bins_until(Time until,
+                                                  Time bin_width) const {
+  std::vector<double> out = bins;
+  if (bin != kNoBin) {
+    if (out.size() <= bin) out.resize(bin + 1, 0.0);
+    out[bin] += pending;
+  }
+  const auto needed = static_cast<std::size_t>(std::ceil(until / bin_width));
+  if (needed > out.size()) out.resize(needed, 0.0);
+  return out;
+}
+
+std::vector<double> StatsHub::incoming_bins_until(Time until) const {
+  return incoming_.bins_until(until, bin_width_);
+}
+
+std::vector<double> StatsHub::attack_bins_until(Time until) const {
+  return attack_.bins_until(until, bin_width_);
+}
+
+}  // namespace pdos

@@ -1,0 +1,74 @@
+// Batched per-packet statistics sink for link taps.
+//
+// The paper's incoming-traffic series (Figs. 2-3) used to be collected by a
+// std::function arrival tap doing two BinnedSeries::add calls per packet —
+// each one a division, a bounds check, a possible vector grow, and an
+// indexed read-modify-write into heap storage. StatsHub is the batched
+// replacement: it rides a `PacketTap` (inline closure, function-pointer
+// dispatch), computes the bin index once per packet, and accumulates the
+// current bin's sums in member doubles, spilling to the bins vector only
+// when simulation time crosses a bin boundary. Bins vectors are reserved to
+// the simulation horizon up front, so the per-packet path performs zero
+// allocations.
+//
+// Determinism contract: for non-decreasing timestamps, the materialized
+// bins are bit-identical to per-packet BinnedSeries::add — the same values
+// are added in the same order, just staged in a register-resident sum
+// before the single store per bin.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+class StatsHub {
+ public:
+  /// `horizon`, when known, pre-sizes the bins so the hot path never grows
+  /// them; 0 means size on demand.
+  explicit StatsHub(Time bin_width, Time horizon = 0.0);
+
+  /// Hot path, called from a link arrival tap. `now` must be non-decreasing
+  /// across calls (simulation time is).
+  void on_arrival(Time now, const Packet& pkt) {
+    const auto idx = static_cast<std::size_t>(now / bin_width_);
+    const double bytes = static_cast<double>(pkt.size_bytes);
+    incoming_.add(idx, bytes);
+    if (pkt.is_attack()) attack_.add(idx, bytes);
+  }
+
+  /// Bin sums from t=0 to `until` (trailing empty bins materialized as
+  /// zeros), flushing pending batches; same semantics as
+  /// BinnedSeries::bins_until.
+  std::vector<double> incoming_bins_until(Time until) const;
+  std::vector<double> attack_bins_until(Time until) const;
+
+  Time bin_width() const { return bin_width_; }
+
+ private:
+  /// One batched series: the current bin's running sum stays in `pending`
+  /// until an add lands in a later bin.
+  struct Channel {
+    static constexpr std::size_t kNoBin = static_cast<std::size_t>(-1);
+
+    std::size_t bin = kNoBin;
+    double pending = 0.0;
+    std::vector<double> bins;
+
+    void add(std::size_t idx, double value) {
+      if (idx != bin) roll(idx);
+      pending += value;
+    }
+    void roll(std::size_t idx);  // cold: spill + advance to `idx`
+    std::vector<double> bins_until(Time until, Time bin_width) const;
+  };
+
+  Time bin_width_;
+  Channel incoming_;
+  Channel attack_;
+};
+
+}  // namespace pdos

@@ -11,6 +11,11 @@ BinnedSeries::BinnedSeries(Time bin_width) : bin_width_(bin_width) {
   PDOS_REQUIRE(bin_width > 0.0, "BinnedSeries: bin_width must be > 0");
 }
 
+void BinnedSeries::reserve_until(Time horizon) {
+  PDOS_REQUIRE(horizon >= 0.0, "BinnedSeries: horizon must be >= 0");
+  bins_.reserve(static_cast<std::size_t>(std::ceil(horizon / bin_width_)) + 1);
+}
+
 void BinnedSeries::add(Time t, double value) {
   PDOS_REQUIRE(t >= 0.0, "BinnedSeries: time must be >= 0");
   const auto idx = static_cast<std::size_t>(t / bin_width_);

@@ -23,6 +23,11 @@ class BinnedSeries {
   /// Add `value` to the bin containing time `t` (t >= 0).
   void add(Time t, double value);
 
+  /// Pre-size the bin storage to cover [0, horizon) so subsequent add()
+  /// calls never reallocate. Capacity only: bins() still ends at the last
+  /// recorded bin, and bins_until() still materializes trailing zeros.
+  void reserve_until(Time horizon);
+
   /// Bin values from t=0 up to the last recorded bin (or `until` if given a
   /// later horizon — trailing empty bins are materialized as zeros).
   const std::vector<double>& bins() const { return bins_; }

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <map>
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
@@ -21,6 +20,35 @@ namespace pdos::sweep {
 
 const char* scenario_kind_name(ScenarioKind kind) {
   return kind == ScenarioKind::kNs2Dumbbell ? "ns2" : "testbed";
+}
+
+std::pair<std::size_t, bool> PairIndex::insert(int a, int b,
+                                               std::size_t slot) {
+  const std::uint64_t key = key_of(a, b);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::uint64_t k) { return e.key < k; });
+  if (it != entries_.end() && it->key == key) return {it->slot, false};
+  entries_.insert(it, Entry{key, slot});
+  return {slot, true};
+}
+
+std::size_t PairIndex::at(int a, int b) const {
+  const std::uint64_t key = key_of(a, b);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::uint64_t k) { return e.key < k; });
+  PDOS_CHECK_MSG(it != entries_.end() && it->key == key,
+                 "PairIndex::at: key not present");
+  return it->slot;
+}
+
+bool PairIndex::contains(int a, int b) const {
+  const std::uint64_t key = key_of(a, b);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::uint64_t k) { return e.key < k; });
+  return it != entries_.end() && it->key == key;
 }
 
 std::uint64_t replicate_seed(std::uint64_t base_seed, int replicate) {
@@ -276,11 +304,11 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   const std::vector<PointSpec> points = spec.enumerate();
 
   // Unique (flows, replicate) pairs, in stable order of first appearance.
-  std::map<std::pair<int, int>, std::size_t> baseline_index;
+  PairIndex baseline_index;
   std::vector<BaselineSlot> baselines;
   for (const PointSpec& point : points) {
-    const auto key = std::make_pair(point.flows, point.replicate);
-    if (baseline_index.emplace(key, baselines.size()).second) {
+    if (baseline_index.insert(point.flows, point.replicate, baselines.size())
+            .second) {
       BaselineSlot slot;
       slot.probe = point;
       baselines.push_back(slot);
@@ -332,8 +360,8 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       meter.tick();
       return;  // stays kSkipped
     }
-    const auto key = std::make_pair(slot.point.flows, slot.point.replicate);
-    const BaselineSlot& baseline = baselines[baseline_index.at(key)];
+    const BaselineSlot& baseline =
+        baselines[baseline_index.at(slot.point.flows, slot.point.replicate)];
     try {
       if (!baseline.ok) {
         throw std::runtime_error("baseline failed: " + baseline.error);

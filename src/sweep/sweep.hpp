@@ -79,6 +79,36 @@ struct SweepSpec {
 /// replicate streams are independent and thread-count invariant.
 std::uint64_t replicate_seed(std::uint64_t base_seed, int replicate);
 
+/// Flat sorted-vector index from an (int, int) key pair to a slot number.
+/// Replaces the std::map that used to assemble the sweep's baseline table:
+/// entries live contiguously and lookups are a branch-free binary search
+/// over 16-byte records instead of a pointer chase per tree level. Keys are
+/// a few dozen (flows, replicate) pairs, so insertion's O(n) shift is
+/// cheaper than a node allocation ever was.
+class PairIndex {
+ public:
+  /// Map `(a, b)` to `slot` if the key is absent. Returns the slot the key
+  /// maps to and whether this call inserted it.
+  std::pair<std::size_t, bool> insert(int a, int b, std::size_t slot);
+
+  /// Slot for `(a, b)`; the key must be present.
+  std::size_t at(int a, int b) const;
+
+  bool contains(int a, int b) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::size_t slot;
+  };
+  static std::uint64_t key_of(int a, int b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+  std::vector<Entry> entries_;  // sorted by key
+};
+
 enum class PointStatus { kOk, kFailed, kSkipped };
 
 /// One row of the result table.

@@ -9,9 +9,13 @@
 
 #include <cstddef>
 #include <cstdlib>
+#include <memory>
 #include <new>
 
+#include "net/droptail.hpp"
+#include "net/link.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 
 namespace {
@@ -118,6 +122,63 @@ TEST(AllocTest, CancelScheduleChurnStaysAllocationFree) {
   const std::size_t after = g_new_calls;
 
   EXPECT_EQ(after - before, 0u);
+}
+
+TEST(AllocTest, TappedLinkPipelineStaysAllocationFree) {
+  // End-to-end data path: packets burst into a tapped link faster than it
+  // drains, so the queue fills, the propagation rings wrap, and both taps
+  // fire per packet. After one warm-up burst has grown every ring to its
+  // high-water mark, a second identical burst must not touch the allocator.
+  Simulator sim(7);
+  sim.reserve_events(64);
+
+  struct CountingSink : PacketHandler {
+    long long received = 0;
+    void handle(Packet) override { ++received; }
+  };
+  auto* sink = sim.make<CountingSink>();
+  auto* link = sim.make<Link>(sim, "bottleneck", mbps(10), ms(5),
+                              std::make_unique<DropTailQueue>(32), sink);
+  long long arrivals = 0;
+  long long departures = 0;
+  link->add_arrival_tap([&arrivals](const Packet&) { ++arrivals; });
+  link->add_departure_tap([&departures](const Packet&) { ++departures; });
+
+  struct BurstSource {
+    Simulator& sim;
+    Link& link;
+    int remaining;
+    void operator()() const {
+      Packet pkt;
+      pkt.type = PacketType::kUdp;
+      pkt.size_bytes = 1040;
+      link.handle(pkt);
+      if (remaining > 1) {
+        // Twice the service rate: the queue builds up, then drains during
+        // the inter-burst gap.
+        sim.schedule(transmission_time(1040, mbps(20)),
+                     BurstSource{sim, link, remaining - 1});
+      }
+    }
+  };
+
+  // Warm-up: grow the queue ring, the in-flight rings, and the slot slabs.
+  sim.schedule(0.0, BurstSource{sim, *link, 500});
+  sim.run();
+  const long long warm_received = sink->received;
+  ASSERT_GT(warm_received, 0);
+
+  const std::size_t before = g_new_calls;
+  sim.schedule(0.0, BurstSource{sim, *link, 500});
+  sim.run();
+  const std::size_t after = g_new_calls;
+
+  EXPECT_EQ(sink->received, 2 * warm_received)
+      << "identical bursts through an identical pipeline";
+  EXPECT_EQ(arrivals, 1000);
+  EXPECT_GT(departures, 0);
+  EXPECT_EQ(after - before, 0u)
+      << "a warmed-up tapped link must move packets without allocating";
 }
 
 }  // namespace

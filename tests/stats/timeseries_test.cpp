@@ -41,6 +41,21 @@ TEST(BinnedSeriesTest, BinsUntilPadsTrailingZeros) {
   EXPECT_DOUBLE_EQ(bins[5], 0.0);
 }
 
+TEST(BinnedSeriesTest, ReserveUntilIsCapacityOnly) {
+  BinnedSeries series(ms(100));
+  series.reserve_until(sec(2.0));
+  // Capacity covers the horizon up front...
+  EXPECT_GE(series.bins().capacity(), 20u);
+  // ...but logical size still tracks only what was recorded.
+  series.add(0.25, 3.0);
+  EXPECT_EQ(series.bins().size(), 3u);
+  // And trailing zeros are still materialized on demand, not pre-filled.
+  const auto padded = series.bins_until(sec(2.0));
+  ASSERT_EQ(padded.size(), 20u);
+  EXPECT_DOUBLE_EQ(padded[2], 3.0);
+  EXPECT_DOUBLE_EQ(padded[19], 0.0);
+}
+
 TEST(BinnedSeriesTest, RatesDivideByBinWidth) {
   BinnedSeries series(ms(500));
   series.add(0.1, 100.0);

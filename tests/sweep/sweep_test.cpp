@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
+#include <random>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "sweep/spec.hpp"
 #include "util/assert.hpp"
@@ -24,6 +27,32 @@ SweepSpec tiny_spec() {
   spec.control.warmup = sec(0.5);
   spec.control.measure = sec(1.5);
   return spec;
+}
+
+TEST(PairIndex, MatchesMapReferenceAcrossRandomInserts) {
+  // The flat sorted-vector index must behave exactly like the std::map it
+  // replaced, including repeated keys, negative components, and lookups.
+  PairIndex index;
+  std::map<std::pair<int, int>, std::size_t> ref;
+  std::mt19937 rng(20250806);
+  std::size_t next_slot = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const int a = static_cast<int>(rng() % 17) - 8;
+    const int b = static_cast<int>(rng() % 16);
+    const auto [slot, inserted] = index.insert(a, b, next_slot);
+    const auto [it, ref_inserted] = ref.emplace(std::make_pair(a, b),
+                                                next_slot);
+    ASSERT_EQ(inserted, ref_inserted);
+    ASSERT_EQ(slot, it->second);
+    if (inserted) ++next_slot;
+  }
+  EXPECT_EQ(index.size(), ref.size());
+  for (const auto& [key, slot] : ref) {
+    ASSERT_TRUE(index.contains(key.first, key.second));
+    ASSERT_EQ(index.at(key.first, key.second), slot);
+  }
+  EXPECT_FALSE(index.contains(99, 99));
+  EXPECT_THROW(index.at(99, 99), InvariantError);
 }
 
 TEST(SeedDerivation, StableAndDistinct) {

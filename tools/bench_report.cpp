@@ -1,24 +1,30 @@
-// Engine performance report: measures the scheduler micro-benchmarks and a
-// fixed fig. 6 quick-mode sweep, and writes BENCH_engine.json.
+// Engine + data-path performance report: measures the scheduler and packet
+// data-path micro-benchmarks and a fixed fig. 6 quick-mode sweep, and
+// writes BENCH_engine.json plus BENCH_datapath.json.
 //
 // This is the tracked-baseline half of the perf story: google-benchmark
-// (bench/micro_engine) is for interactive work, while this tool emits a
-// stable, machine-readable snapshot that CI diffs against the committed
-// bench/baseline_engine.json. The JSON is flat `"key": number` pairs so the
-// reader below stays a 30-line scanner instead of a JSON library.
+// (bench/micro_engine, bench/micro_datapath) is for interactive work, while
+// this tool emits stable, machine-readable snapshots that CI diffs against
+// the committed bench/baseline_engine.json and bench/baseline_datapath.json.
+// The JSON is flat `"key": number` pairs so the reader below stays a
+// 30-line scanner instead of a JSON library.
 //
 // Usage:
-//   bench_report [--out FILE] [--baseline FILE] [--check] [--reps N]
+//   bench_report [--out FILE] [--baseline FILE] [--datapath-out FILE]
+//                [--datapath-baseline FILE] [--check] [--reps N]
 //                [--skip-sweep]
 //
-//   --out FILE       output path (default BENCH_engine.json)
-//   --baseline FILE  committed reference; its values are copied into the
-//                    output next to the fresh numbers (before/after in one
-//                    artifact)
-//   --check          exit non-zero if any micro-benchmark runs >30% slower
-//                    than the baseline (requires --baseline)
-//   --reps N         samples per benchmark, best-of (default 7)
-//   --skip-sweep     omit the fig. 6 sweep (fast CI smoke)
+//   --out FILE                engine output path (default BENCH_engine.json)
+//   --baseline FILE           committed engine reference; its values are
+//                             copied into the output next to the fresh
+//                             numbers (before/after in one artifact)
+//   --datapath-out FILE       data-path output (default BENCH_datapath.json)
+//   --datapath-baseline FILE  committed data-path reference
+//   --check                   exit non-zero if any micro-benchmark runs >30%
+//                             slower than its baseline (requires the
+//                             corresponding --*baseline)
+//   --reps N                  samples per benchmark, best-of (default 7)
+//   --skip-sweep              omit the fig. 6 sweep (fast CI smoke)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -26,12 +32,18 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "net/droptail.hpp"
+#include "net/link.hpp"
+#include "net/packet_ring.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "stats/stats_hub.hpp"
 #include "sweep/sweep.hpp"
 #include "util/units.hpp"
 
@@ -76,6 +88,62 @@ void workload_timer_restart() {
   timer.schedule_at(1.0);
   for (int i = 0; i < 10000; ++i) timer.schedule_at(1.0 + 0.001 * i);
   sched.run();
+}
+
+// --- data-path workloads (mirror bench/micro_datapath.cpp) ---------------
+
+Packet bench_packet() {
+  Packet pkt;
+  pkt.type = PacketType::kAttack;
+  pkt.size_bytes = 1040;
+  return pkt;
+}
+
+void workload_ring_churn() {
+  static PacketRing ring;
+  ring.reserve(256);
+  const Packet pkt = bench_packet();
+  for (int lap = 0; lap < 8; ++lap) {
+    for (int i = 0; i < 128; ++i) ring.push_back(pkt);
+    while (!ring.empty()) g_sink += ring.pop_front().size_bytes;
+  }
+}
+
+struct BenchSink : PacketHandler {
+  long long received = 0;
+  void handle(Packet) override { ++received; }
+};
+
+/// 1000 packets into a 10 Mbps / 5 ms link at twice its service rate, so
+/// the queue builds and drains; optionally with production taps attached.
+void workload_link_pipeline(bool tapped) {
+  Simulator sim(1);
+  sim.reserve_events(64);
+  StatsHub hub(ms(10), sec(2));
+  auto* sink = sim.make<BenchSink>();
+  auto* link = sim.make<Link>(sim, "l", mbps(10), ms(5),
+                              std::make_unique<DropTailQueue>(64), sink);
+  if (tapped) {
+    link->add_arrival_tap([&sim, &hub](const Packet& pkt) {
+      hub.on_arrival(sim.now(), pkt);
+    });
+    link->add_departure_tap([](const Packet&) { ++g_sink; });
+  }
+  struct Source {
+    Simulator& sim;
+    Link& link;
+    int remaining;
+    void operator()() const {
+      link.handle(bench_packet());
+      if (remaining > 1) {
+        sim.schedule(transmission_time(1040, mbps(20)),
+                     Source{sim, link, remaining - 1});
+      }
+    }
+  };
+  sim.schedule(0.0, Source{sim, *link, 1000});
+  sim.run();
+  g_sink += sink->received;
 }
 
 /// Best-of-`reps` items/sec for `fn`, which processes `items` per call.
@@ -141,13 +209,14 @@ struct Entry {
   double value;
 };
 
-void write_json(const std::string& path, const std::vector<Entry>& entries) {
+void write_json(const std::string& path, const char* schema,
+                const std::vector<Entry>& entries) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  out << "{\n  \"schema\": \"pdos-bench-engine-v1\"";
+  out << "{\n  \"schema\": \"" << schema << "\"";
   for (const Entry& e : entries) {
     out << ",\n  \"" << e.key << "\": ";
     char buf[64];
@@ -155,6 +224,63 @@ void write_json(const std::string& path, const std::vector<Entry>& entries) {
     out << buf;
   }
   out << "\n}\n";
+}
+
+struct Micro {
+  const char* key;
+  double items;
+  double rate = 0.0;
+};
+
+/// Compare fresh `micros` against the flat-JSON baseline at `path`:
+/// baseline and speedup entries are appended to `entries`, pre_overhaul_*
+/// history keys are carried through, and the number of >30% regressions is
+/// returned (0 when `check` is false).
+int apply_baseline(const std::string& path, const std::vector<Micro>& micros,
+                   bool check, std::vector<Entry>& entries) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_report: cannot read baseline %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  int regressions = 0;
+  for (const Micro& m : micros) {
+    const double base = scan_json_number(text, m.key);
+    if (std::isnan(base) || base <= 0.0) continue;
+    const double ratio = m.rate / base;
+    entries.push_back(Entry{std::string("baseline_") + m.key, base});
+    entries.push_back(
+        Entry{std::string("speedup_vs_baseline_") +
+                  std::string(m.key).substr(
+                      0, std::strlen(m.key) - std::strlen("_items_per_sec")),
+              ratio});
+    std::printf("%-36s %.2fx vs baseline\n", m.key, ratio);
+    if (check && ratio < 1.0 - kRegressionTolerance) {
+      std::fprintf(stderr,
+                   "REGRESSION: %s is %.0f%% of baseline (gate: >%.0f%%)\n",
+                   m.key, 100.0 * ratio, 100.0 * (1.0 - kRegressionTolerance));
+      ++regressions;
+    }
+  }
+  // Pre-overhaul history rides along so one artifact holds the whole
+  // before/after story.
+  for (const Micro& m : micros) {
+    const std::string pre_key = std::string("pre_overhaul_") + m.key;
+    const double pre = scan_json_number(text, pre_key);
+    if (!std::isnan(pre)) entries.push_back(Entry{pre_key, pre});
+  }
+  const double pre_sweep =
+      scan_json_number(text, "pre_overhaul_fig06_quick_sweep_wall_seconds");
+  if (!std::isnan(pre_sweep)) {
+    entries.push_back(
+        Entry{"pre_overhaul_fig06_quick_sweep_wall_seconds", pre_sweep});
+  }
+  return regressions;
 }
 
 }  // namespace
@@ -165,6 +291,8 @@ int main(int argc, char** argv) {
 
   std::string out_path = "BENCH_engine.json";
   std::string baseline_path;
+  std::string datapath_out_path = "BENCH_datapath.json";
+  std::string datapath_baseline_path;
   bool check = false;
   bool skip_sweep = false;
   int reps = 7;
@@ -173,6 +301,11 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--datapath-out") == 0 && i + 1 < argc) {
+      datapath_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--datapath-baseline") == 0 &&
+               i + 1 < argc) {
+      datapath_baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--skip-sweep") == 0) {
@@ -182,20 +315,16 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_report [--out FILE] [--baseline FILE] "
+                   "[--datapath-out FILE] [--datapath-baseline FILE] "
                    "[--check] [--reps N] [--skip-sweep]\n");
       return 2;
     }
   }
-  if (check && baseline_path.empty()) {
-    std::fprintf(stderr, "bench_report: --check requires --baseline\n");
+  if (check && baseline_path.empty() && datapath_baseline_path.empty()) {
+    std::fprintf(stderr, "bench_report: --check requires a baseline\n");
     return 2;
   }
 
-  struct Micro {
-    const char* key;
-    double items;
-    double rate = 0.0;
-  };
   std::vector<Micro> micros = {
       {"schedule_run_1k_items_per_sec", 1000},
       {"schedule_run_100k_items_per_sec", 100000},
@@ -211,10 +340,27 @@ int main(int argc, char** argv) {
   micros[3].rate =
       measure_items_per_sec([] { workload_timer_restart(); }, 10000, reps);
 
+  std::vector<Micro> datapath_micros = {
+      {"ring_churn_items_per_sec", 8 * 256},
+      {"link_untapped_items_per_sec", 1000},
+      {"link_tapped_items_per_sec", 1000},
+  };
+  datapath_micros[0].rate =
+      measure_items_per_sec([] { workload_ring_churn(); }, 8 * 256, reps);
+  datapath_micros[1].rate = measure_items_per_sec(
+      [] { workload_link_pipeline(false); }, 1000, reps);
+  datapath_micros[2].rate = measure_items_per_sec(
+      [] { workload_link_pipeline(true); }, 1000, reps);
+
   std::vector<Entry> entries;
   for (const Micro& m : micros) {
     std::printf("%-36s %12.0f items/s\n", m.key, m.rate);
     entries.push_back(Entry{m.key, m.rate});
+  }
+  std::vector<Entry> datapath_entries;
+  for (const Micro& m : datapath_micros) {
+    std::printf("%-36s %12.0f items/s\n", m.key, m.rate);
+    datapath_entries.push_back(Entry{m.key, m.rate});
   }
 
   if (!skip_sweep) {
@@ -229,52 +375,17 @@ int main(int argc, char** argv) {
 
   int regressions = 0;
   if (!baseline_path.empty()) {
-    std::ifstream in(baseline_path);
-    if (!in) {
-      std::fprintf(stderr, "bench_report: cannot read baseline %s\n",
-                   baseline_path.c_str());
-      return 2;
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
-
-    for (const Micro& m : micros) {
-      const double base = scan_json_number(text, m.key);
-      if (std::isnan(base) || base <= 0.0) continue;
-      const double ratio = m.rate / base;
-      entries.push_back(Entry{std::string("baseline_") + m.key, base});
-      entries.push_back(
-          Entry{std::string("speedup_vs_baseline_") +
-                    std::string(m.key).substr(
-                        0, std::strlen(m.key) - std::strlen("_items_per_sec")),
-                ratio});
-      std::printf("%-36s %.2fx vs baseline\n", m.key, ratio);
-      if (check && ratio < 1.0 - kRegressionTolerance) {
-        std::fprintf(stderr,
-                     "REGRESSION: %s is %.0f%% of baseline (gate: >%.0f%%)\n",
-                     m.key, 100.0 * ratio,
-                     100.0 * (1.0 - kRegressionTolerance));
-        ++regressions;
-      }
-    }
-    // Pre-overhaul history rides along so one artifact holds the whole
-    // before/after story.
-    for (const Micro& m : micros) {
-      const std::string pre_key = std::string("pre_overhaul_") + m.key;
-      const double pre = scan_json_number(text, pre_key);
-      if (!std::isnan(pre)) entries.push_back(Entry{pre_key, pre});
-    }
-    const double pre_sweep =
-        scan_json_number(text, "pre_overhaul_fig06_quick_sweep_wall_seconds");
-    if (!std::isnan(pre_sweep)) {
-      entries.push_back(
-          Entry{"pre_overhaul_fig06_quick_sweep_wall_seconds", pre_sweep});
-    }
+    regressions += apply_baseline(baseline_path, micros, check, entries);
+  }
+  if (!datapath_baseline_path.empty()) {
+    regressions += apply_baseline(datapath_baseline_path, datapath_micros,
+                                  check, datapath_entries);
   }
 
-  write_json(out_path, entries);
+  write_json(out_path, "pdos-bench-engine-v1", entries);
   std::printf("wrote %s\n", out_path.c_str());
+  write_json(datapath_out_path, "pdos-bench-datapath-v1", datapath_entries);
+  std::printf("wrote %s\n", datapath_out_path.c_str());
   if (regressions > 0) {
     std::fprintf(stderr, "bench_report: %d benchmark(s) regressed\n",
                  regressions);
