@@ -6,6 +6,7 @@
 // Points whose attack period T_AIMD lands on a shrew harmonic minRTO/n are
 // marked '*': there the simulated gain exceeds the analytical prediction
 // because flows are pinned in timeout, which the model ignores.
+#include <algorithm>
 #include <cstdio>
 
 #include "attack/shrew.hpp"

@@ -95,97 +95,89 @@ namespace {
 constexpr std::uint64_t kQueueStream = 0x71756575'65000000ULL;      // "queue"
 constexpr std::uint64_t kFlowStartStream = 0x666c6f77'73000000ULL;  // "flows"
 
-/// All the wiring for one dumbbell run, kept alive for the run's duration.
-struct Testframe {
-  Simulator sim;
-  Node* router_s = nullptr;
-  Node* router_r = nullptr;
-  Link* bottleneck = nullptr;
-  std::vector<TcpConnection> connections;
-  std::vector<PulseAttacker*> attackers;
-  OnOffSource* cross_traffic = nullptr;
-
-  explicit Testframe(std::uint64_t seed) : sim(seed) {}
-};
-
-std::unique_ptr<QueueDiscipline> make_queue(const ScenarioConfig& config,
-                                            Rng rng) {
+/// Bottleneck queue, allocated in the simulator's arena so its buffer and
+/// the links it serves share blocks (and survive warm resets).
+QueueDiscipline* make_queue(Simulator& sim, const ScenarioConfig& config) {
   if (config.queue == QueueKind::kDropTail) {
-    return std::make_unique<DropTailQueue>(config.buffer_packets);
+    return sim.make<DropTailQueue>(config.buffer_packets, sim.memory());
   }
-  return std::make_unique<RedQueue>(
-      RedParams::paper_testbed(config.buffer_packets), rng);
+  return sim.make<RedQueue>(RedParams::paper_testbed(config.buffer_packets),
+                            sim.stream(kQueueStream), sim.memory());
 }
 
-std::unique_ptr<DropTailQueue> big_fifo() {
+QueueDiscipline* big_fifo(Simulator& sim) {
   // Access links are never the bottleneck; give them ample tail-drop space.
-  return std::make_unique<DropTailQueue>(1000);
+  return sim.make<DropTailQueue>(1000, sim.memory());
 }
 
-void build(Testframe& frame, const ScenarioConfig& config,
-           const std::optional<PulseTrain>& attack) {
+}  // namespace
+
+void ScenarioWorkspace::build(const ScenarioConfig& config,
+                              const std::optional<PulseTrain>& attack) {
   const int m = config.num_flows;
   const NodeId router_s_id = 2 * m;
   const NodeId router_r_id = 2 * m + 1;
   const NodeId attacker_id = 2 * m + 2;
-  Simulator& sim = frame.sim;
+  Simulator& sim = sim_;
 
-  frame.router_s = sim.make<Node>(router_s_id, "routerS");
-  frame.router_r = sim.make<Node>(router_r_id, "routerR");
+  router_s_ = sim.make<Node>(router_s_id, "routerS", sim.memory());
+  router_r_ = sim.make<Node>(router_r_id, "routerR", sim.memory());
 
   const Bytes spacket = config.tcp.mss + config.tcp.header_bytes;
-  frame.bottleneck = sim.make<Link>(
+  bottleneck_ = sim.make<Link>(
       sim, "bottleneck", config.bottleneck, config.bottleneck_delay,
-      make_queue(config, sim.stream(kQueueStream)), frame.router_r, spacket);
+      make_queue(sim, config), router_r_, spacket);
   auto* bottleneck_rev = sim.make<Link>(sim, "bottleneck.rev",
                                         config.bottleneck,
-                                        config.bottleneck_delay, big_fifo(),
-                                        frame.router_s, spacket);
-  frame.router_r->add_route(router_s_id, bottleneck_rev);
+                                        config.bottleneck_delay,
+                                        big_fifo(sim), router_s_, spacket);
+  router_r_->add_route(router_s_id, bottleneck_rev);
 
   for (int i = 0; i < m; ++i) {
     const NodeId snd_id = i;
     const NodeId rcv_id = m + i;
-    auto* snd = sim.make<Node>(snd_id, "sender" + std::to_string(i));
-    auto* rcv = sim.make<Node>(rcv_id, "receiver" + std::to_string(i));
+    auto* snd =
+        sim.make<Node>(snd_id, "sender" + std::to_string(i), sim.memory());
+    auto* rcv =
+        sim.make<Node>(rcv_id, "receiver" + std::to_string(i), sim.memory());
 
     // Split the flow's propagation RTT between its two access links.
     const Time side = (config.rtts[i] / 2.0 - config.bottleneck_delay) / 2.0;
     PDOS_CHECK(side > 0.0);
 
     auto* snd_fwd = sim.make<Link>(sim, "acc.s" + std::to_string(i),
-                                   config.access, side, big_fifo(),
-                                   frame.router_s, spacket);
+                                   config.access, side, big_fifo(sim),
+                                   router_s_, spacket);
     auto* snd_rev = sim.make<Link>(sim, "acc.s.rev" + std::to_string(i),
-                                   config.access, side, big_fifo(), snd,
+                                   config.access, side, big_fifo(sim), snd,
                                    spacket);
     auto* rcv_fwd = sim.make<Link>(sim, "acc.r" + std::to_string(i),
-                                   config.access, side, big_fifo(), rcv,
+                                   config.access, side, big_fifo(sim), rcv,
                                    spacket);
     auto* rcv_rev = sim.make<Link>(sim, "acc.r.rev" + std::to_string(i),
-                                   config.access, side, big_fifo(),
-                                   frame.router_r, spacket);
+                                   config.access, side, big_fifo(sim),
+                                   router_r_, spacket);
 
     snd->set_default_route(snd_fwd);
     rcv->set_default_route(rcv_rev);
-    frame.router_s->add_route(rcv_id, frame.bottleneck);
-    frame.router_s->add_route(snd_id, snd_rev);
-    frame.router_r->add_route(rcv_id, rcv_fwd);
-    frame.router_r->add_route(snd_id, bottleneck_rev);
+    router_s_->add_route(rcv_id, bottleneck_);
+    router_s_->add_route(snd_id, snd_rev);
+    router_r_->add_route(rcv_id, rcv_fwd);
+    router_r_->add_route(snd_id, bottleneck_rev);
 
-    frame.connections.push_back(
+    connections_.push_back(
         make_tcp_connection(sim, *snd, *rcv, /*flow=*/i, config.tcp));
   }
-  frame.router_s->add_route(router_r_id, frame.bottleneck);
+  router_s_->add_route(router_r_id, bottleneck_);
 
   if (config.cross_traffic_rate > 0.0) {
     const NodeId cross_id = 2 * m + 3;
-    auto* cross_node = sim.make<Node>(cross_id, "cross");
+    auto* cross_node = sim.make<Node>(cross_id, "cross", sim.memory());
     auto* cross_link = sim.make<Link>(sim, "acc.cross", config.access, ms(1),
-                                      big_fifo(), frame.router_s, spacket);
+                                      big_fifo(sim), router_s_, spacket);
     cross_node->set_default_route(cross_link);
     // 50% duty cycle: peak rate of twice the requested average.
-    frame.cross_traffic = sim.make<OnOffSource>(
+    cross_traffic_ = sim.make<OnOffSource>(
         sim, 2.0 * config.cross_traffic_rate, ms(500), ms(500), spacket,
         cross_id, router_r_id, cross_node);
   }
@@ -194,8 +186,8 @@ void build(Testframe& frame, const ScenarioConfig& config,
     const auto sub_trains = split_train(*attack, config.num_attackers);
     for (int a = 0; a < config.num_attackers; ++a) {
       const NodeId node_id = attacker_id + 10 + a;
-      auto* attacker_node =
-          sim.make<Node>(node_id, "attacker" + std::to_string(a));
+      auto* attacker_node = sim.make<Node>(
+          node_id, "attacker" + std::to_string(a), sim.memory());
       BitRate attacker_access = config.attacker_access;
       if (attacker_access <= 0.0) {
         attacker_access =
@@ -203,38 +195,45 @@ void build(Testframe& frame, const ScenarioConfig& config,
       }
       auto* attack_link = sim.make<Link>(
           sim, "acc.attacker" + std::to_string(a), attacker_access, ms(1),
-          big_fifo(), frame.router_s, attack->packet_bytes);
+          big_fifo(sim), router_s_, attack->packet_bytes);
       attacker_node->set_default_route(attack_link);
       // Attack packets are addressed to routerR, which has no agent for
       // their flow id and therefore sinks them — after they have crossed
       // the bottleneck queue, which is all the attack needs.
-      frame.attackers.push_back(
+      attackers_.push_back(
           sim.make<PulseAttacker>(sim, sub_trains[a], node_id, router_r_id,
                                   attacker_node, FlowId{-1000 - a}));
     }
   }
 }
 
-}  // namespace
-
-RunResult run_scenario(const ScenarioConfig& config,
-                       const std::optional<PulseTrain>& attack,
-                       const RunControl& control) {
+RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
+                                 const std::optional<PulseTrain>& attack,
+                                 const RunControl& control) {
   config.validate();
   if (attack) attack->validate();
   PDOS_REQUIRE(control.warmup >= 0.0 && control.measure > 0.0,
                "RunControl: need warmup >= 0 and measure > 0");
 
-  Testframe frame(config.seed);
-  build(frame, config, attack);
+  // Rewind the simulator to the run seed: the previous run's object graph
+  // is destroyed, but every block of memory it occupied is retained and
+  // reused by the rebuild below.
+  sim_.reset(config.seed);
+  router_s_ = nullptr;
+  router_r_ = nullptr;
+  bottleneck_ = nullptr;
+  cross_traffic_ = nullptr;
+  connections_.clear();
+  attackers_.clear();
+  build(config, attack);
 
   // Instrument the bottleneck's arrivals (the paper's "incoming traffic").
   // StatsHub batches the per-bin sums and is pre-sized to the horizon, so
   // the tap — an inline closure of two pointers — does no allocation and
   // at most one bins-vector store per bin.
   StatsHub arrivals(control.bin_width, control.horizon());
-  frame.bottleneck->add_arrival_tap(
-      [hub = &arrivals, sim = &frame.sim](const Packet& pkt) {
+  bottleneck_->add_arrival_tap(
+      [hub = &arrivals, sim = &sim_](const Packet& pkt) {
         hub->on_arrival(sim->now(), pkt);
       });
 
@@ -244,20 +243,20 @@ RunResult run_scenario(const ScenarioConfig& config,
   // The state is bundled so the closure captures one pointer and stays
   // within InlineFn's inline budget.
   struct SamplerCtx {
-    Testframe& frame;
+    Link* bottleneck;
+    Simulator& sim;
     RunResult& result;
     const RunControl& control;
     const RedQueue* red_queue;
     Timer* timer = nullptr;
-  } sampler_ctx{frame, result, control,
-                dynamic_cast<const RedQueue*>(&frame.bottleneck->queue())};
-  Timer sampler(frame.sim.scheduler(), [ctx = &sampler_ctx] {
+  } sampler_ctx{bottleneck_, sim_, result, control,
+                dynamic_cast<const RedQueue*>(&bottleneck_->queue())};
+  Timer sampler(sim_.scheduler(), [ctx = &sampler_ctx] {
     ctx->result.queue_occupancy.push_back(
-        static_cast<double>(ctx->frame.bottleneck->queue().length()));
+        static_cast<double>(ctx->bottleneck->queue().length()));
     ctx->result.red_avg_samples.push_back(
         ctx->red_queue != nullptr ? ctx->red_queue->avg() : 0.0);
-    if (ctx->frame.sim.now() + ctx->control.bin_width <=
-        ctx->control.horizon()) {
+    if (ctx->sim.now() + ctx->control.bin_width <= ctx->control.horizon()) {
       ctx->timer->schedule_in(ctx->control.bin_width);
     }
   });
@@ -265,52 +264,54 @@ RunResult run_scenario(const ScenarioConfig& config,
   sampler.schedule_in(0.0);
 
   // Per-flow delivery jitter (§2.3's "increase in jitter").
-  std::vector<JitterMeter> jitter(frame.connections.size());
-  for (std::size_t i = 0; i < frame.connections.size(); ++i) {
-    frame.connections[i].receiver->set_delivery_tracer(
-        [&jitter, i](Time t, std::int64_t) { jitter[i].observe(t); });
+  jitter_.assign(connections_.size(), JitterMeter{});
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    connections_[i].receiver->set_delivery_tracer(
+        [&jitter = jitter_, i](Time t, std::int64_t) {
+          jitter[i].observe(t);
+        });
   }
 
   if (control.traced_flow >= 0) {
     PDOS_REQUIRE(control.traced_flow < config.num_flows,
                  "RunControl: traced_flow out of range");
-    frame.connections[control.traced_flow].sender->set_cwnd_tracer(
+    connections_[control.traced_flow].sender->set_cwnd_tracer(
         [&result](Time t, double w) { result.cwnd_trace.emplace_back(t, w); });
   }
 
   // Stagger flow starts to avoid artificial lockstep at t = 0. Each flow
   // draws from its own seed-derived stream so the offsets do not depend on
   // what else the scenario instantiates (attackers, cross traffic).
-  for (std::size_t i = 0; i < frame.connections.size(); ++i) {
-    Rng start_rng = frame.sim.stream(kFlowStartStream + i);
-    frame.connections[i].sender->start(
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    Rng start_rng = sim_.stream(kFlowStartStream + i);
+    connections_[i].sender->start(
         start_rng.uniform(0.0, config.flow_start_spread));
   }
-  if (!frame.attackers.empty()) {
+  if (!attackers_.empty()) {
     auto phases =
-        spread_phases_seeded(static_cast<int>(frame.attackers.size()),
+        spread_phases_seeded(static_cast<int>(attackers_.size()),
                              config.attacker_phase_spread, config.seed);
-    for (std::size_t a = 0; a < frame.attackers.size(); ++a) {
-      frame.attackers[a]->start(phases[a]);
+    for (std::size_t a = 0; a < attackers_.size(); ++a) {
+      attackers_[a]->start(phases[a]);
     }
   }
-  if (frame.cross_traffic) frame.cross_traffic->start(0.0);
+  if (cross_traffic_) cross_traffic_->start(0.0);
 
-  frame.sim.run_until(control.warmup);
-  std::vector<Bytes> goodput_marks;
-  goodput_marks.reserve(frame.connections.size());
-  for (const auto& conn : frame.connections) {
-    goodput_marks.push_back(conn.receiver->goodput_bytes());
+  sim_.run_until(control.warmup);
+  goodput_marks_.clear();
+  goodput_marks_.reserve(connections_.size());
+  for (const auto& conn : connections_) {
+    goodput_marks_.push_back(conn.receiver->goodput_bytes());
   }
 
-  frame.sim.run_until(control.horizon());
+  sim_.run_until(control.horizon());
 
-  for (std::size_t i = 0; i < frame.connections.size(); ++i) {
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
     const Bytes flow_bytes =
-        frame.connections[i].receiver->goodput_bytes() - goodput_marks[i];
+        connections_[i].receiver->goodput_bytes() - goodput_marks_[i];
     result.per_flow_goodput.push_back(flow_bytes);
     result.goodput_bytes += flow_bytes;
-    const auto& stats = frame.connections[i].sender->stats();
+    const auto& stats = connections_[i].sender->stats();
     result.total_timeouts += stats.timeouts;
     result.total_fast_recoveries += stats.fast_recoveries;
     result.total_retransmits += stats.retransmits;
@@ -320,38 +321,43 @@ RunResult run_scenario(const ScenarioConfig& config,
                                result.per_flow_goodput.end());
     result.fairness_index = jain_fairness_index(shares);
   }
-  for (const auto& meter : jitter) {
+  for (const auto& meter : jitter_) {
     result.mean_delivery_jitter += meter.smoothed_jitter();
   }
-  result.mean_delivery_jitter /= static_cast<double>(jitter.size());
+  result.mean_delivery_jitter /= static_cast<double>(jitter_.size());
   result.goodput_rate =
       static_cast<double>(result.goodput_bytes) * 8.0 / control.measure;
   result.utilization = result.goodput_rate / config.bottleneck;
   result.incoming_bins = arrivals.incoming_bins_until(control.horizon());
   result.attack_bins = arrivals.attack_bins_until(control.horizon());
   result.bin_width = control.bin_width;
-  result.bottleneck_queue = frame.bottleneck->queue().stats();
+  result.bottleneck_queue = bottleneck_->queue().stats();
   if (const auto* red =
-          dynamic_cast<const RedQueue*>(&frame.bottleneck->queue())) {
+          dynamic_cast<const RedQueue*>(&bottleneck_->queue())) {
     result.red_early_drops = red->early_drops();
     result.red_forced_drops = red->forced_drops();
   }
-  for (const auto* attacker : frame.attackers) {
+  for (const auto* attacker : attackers_) {
     result.attack_packets_sent +=
         static_cast<std::uint64_t>(attacker->stats().packets_sent);
   }
-  result.events_executed = frame.sim.scheduler().events_executed();
+  result.events_executed = sim_.scheduler().events_executed();
   return result;
 }
 
-GainMeasurement measure_gain(const ScenarioConfig& config,
-                             const PulseTrain& train, double kappa,
-                             const RunControl& control,
-                             BitRate baseline_goodput) {
+BitRate ScenarioWorkspace::baseline(const ScenarioConfig& config,
+                                    const RunControl& control) {
+  return run(config, std::nullopt, control).goodput_rate;
+}
+
+GainMeasurement ScenarioWorkspace::gain(const ScenarioConfig& config,
+                                        const PulseTrain& train, double kappa,
+                                        const RunControl& control,
+                                        BitRate baseline_goodput) {
   PDOS_REQUIRE(baseline_goodput > 0.0,
                "measure_gain: baseline goodput must be > 0");
   GainMeasurement point;
-  point.run = run_scenario(config, train, control);
+  point.run = run(config, train, control);
   point.gamma = train.gamma(config.bottleneck);
   point.degradation =
       std::max(0.0, 1.0 - point.run.goodput_rate / baseline_goodput);
@@ -360,9 +366,25 @@ GainMeasurement measure_gain(const ScenarioConfig& config,
   return point;
 }
 
+RunResult run_scenario(const ScenarioConfig& config,
+                       const std::optional<PulseTrain>& attack,
+                       const RunControl& control) {
+  ScenarioWorkspace workspace;
+  return workspace.run(config, attack, control);
+}
+
+GainMeasurement measure_gain(const ScenarioConfig& config,
+                             const PulseTrain& train, double kappa,
+                             const RunControl& control,
+                             BitRate baseline_goodput) {
+  ScenarioWorkspace workspace;
+  return workspace.gain(config, train, kappa, control, baseline_goodput);
+}
+
 BitRate measure_baseline(const ScenarioConfig& config,
                          const RunControl& control) {
-  return run_scenario(config, std::nullopt, control).goodput_rate;
+  ScenarioWorkspace workspace;
+  return workspace.baseline(config, control);
 }
 
 }  // namespace pdos

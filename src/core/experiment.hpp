@@ -24,10 +24,15 @@
 #include "core/params.hpp"
 #include "net/queue.hpp"
 #include "net/red.hpp"
+#include "stats/jitter.hpp"
+#include "tcp/connection.hpp"
 #include "tcp/tcp_sender.hpp"
 #include "util/units.hpp"
 
 namespace pdos {
+
+class Link;
+class OnOffSource;
 
 enum class QueueKind { kDropTail, kRed };
 
@@ -116,6 +121,57 @@ struct RunResult {
   std::uint64_t events_executed = 0;
 
   std::vector<std::pair<Time, double>> cwnd_trace;  // if traced_flow >= 0
+};
+
+/// One point of the paper's gain plots (declared early for
+/// ScenarioWorkspace): Γ = 1 − goodput/baseline (clamped at 0) and
+/// G = Γ(1−γ)^κ, with γ taken from the train and the scenario's bottleneck.
+struct GainMeasurement;
+
+/// A reusable scenario harness: one warm `Simulator` whose arena blocks,
+/// scheduler slabs, and container capacities survive from run to run.
+/// Each `run()` rewinds the simulator to `config.seed` and rebuilds the
+/// dumbbell inside the retained memory, so a sweep worker pays scenario
+/// construction out of already-hot blocks instead of the system allocator.
+/// Outputs are bit-identical to a fresh `run_scenario` call: the seed
+/// streams, event ordering, and slot assignment do not depend on whether
+/// the simulator is fresh or rewound.
+class ScenarioWorkspace {
+ public:
+  ScenarioWorkspace() = default;
+  ScenarioWorkspace(const ScenarioWorkspace&) = delete;
+  ScenarioWorkspace& operator=(const ScenarioWorkspace&) = delete;
+
+  /// Build and run one scenario; equivalent to `run_scenario`.
+  RunResult run(const ScenarioConfig& config,
+                const std::optional<PulseTrain>& attack,
+                const RunControl& control);
+
+  /// Baseline goodput rate (no attack); equivalent to `measure_baseline`.
+  BitRate baseline(const ScenarioConfig& config, const RunControl& control);
+
+  /// One gain point; equivalent to `measure_gain`.
+  GainMeasurement gain(const ScenarioConfig& config, const PulseTrain& train,
+                       double kappa, const RunControl& control,
+                       BitRate baseline_goodput);
+
+  /// The underlying simulator (for memory/telemetry inspection in tests).
+  const Simulator& simulator() const { return sim_; }
+
+ private:
+  void build(const ScenarioConfig& config,
+             const std::optional<PulseTrain>& attack);
+
+  Simulator sim_{1};  // reseeded by every run()
+  Node* router_s_ = nullptr;
+  Node* router_r_ = nullptr;
+  Link* bottleneck_ = nullptr;
+  std::vector<TcpConnection> connections_;
+  std::vector<PulseAttacker*> attackers_;
+  OnOffSource* cross_traffic_ = nullptr;
+  // Per-run scratch, cleared (not freed) between runs.
+  std::vector<Bytes> goodput_marks_;
+  std::vector<JitterMeter> jitter_;
 };
 
 /// Build and run one scenario. If `attack` is set, the pulse train starts

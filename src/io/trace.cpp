@@ -1,12 +1,15 @@
 #include "io/trace.hpp"
 
-#include <iomanip>
+#include <cinttypes>
+#include <cstdio>
 
 namespace pdos {
 
 TraceLogger::TraceLogger(Simulator& sim, std::ostream& out,
                          TraceFilter filter)
     : sim_(sim), out_(out), filter_(filter) {}
+
+TraceLogger::~TraceLogger() { flush(); }
 
 void TraceLogger::attach(Link& link) {
   // Taps are inline closures: capture the link (whose name outlives the
@@ -18,6 +21,12 @@ void TraceLogger::attach(Link& link) {
   link.add_departure_tap([this, ln = &link](const Packet& pkt) {
     if (filter_.accepts(pkt)) write('-', ln->name(), pkt);
   });
+}
+
+void TraceLogger::flush() {
+  if (buffer_.empty()) return;
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  buffer_.clear();  // capacity retained for the next batch
 }
 
 const char* TraceLogger::type_name(PacketType type) {
@@ -36,10 +45,21 @@ const char* TraceLogger::type_name(PacketType type) {
 
 void TraceLogger::write(char event, const std::string& link_name,
                         const Packet& pkt) {
-  out_ << std::fixed << std::setprecision(6) << sim_.now() << ' ' << event
-       << ' ' << link_name << ' ' << type_name(pkt.type) << ' ' << pkt.flow
-       << ' ' << pkt.seq << ' ' << pkt.size_bytes << '\n';
+  // Same line format the streaming version produced: fixed 6-decimal time,
+  // then space-separated fields.
+  char line[192];
+  const int n = std::snprintf(
+      line, sizeof(line), "%.6f %c %s %s %" PRId32 " %" PRId32 " %" PRIu32 "\n",
+      sim_.now(), event, link_name.c_str(), type_name(pkt.type), pkt.flow,
+      pkt.seq, pkt.size_bytes);
+  if (n > 0) {
+    buffer_.append(line, static_cast<std::size_t>(
+                             n < static_cast<int>(sizeof(line))
+                                 ? n
+                                 : static_cast<int>(sizeof(line)) - 1));
+  }
   ++lines_;
+  if (buffer_.size() >= kFlushBytes) flush();
 }
 
 }  // namespace pdos

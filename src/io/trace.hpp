@@ -43,12 +43,23 @@ struct TraceFilter {
 
 class TraceLogger {
  public:
-  /// The stream must outlive the logger; events stream as they happen.
+  /// The stream must outlive the logger. Lines accumulate in an in-memory
+  /// buffer and reach the stream in large writes — on `flush()`, at the
+  /// high-water mark, and from the destructor — instead of paying the
+  /// ostream formatting/virtual-call machinery per packet event.
   TraceLogger(Simulator& sim, std::ostream& out, TraceFilter filter = {});
+  ~TraceLogger();
+
+  TraceLogger(const TraceLogger&) = delete;
+  TraceLogger& operator=(const TraceLogger&) = delete;
 
   /// Subscribe to a link's arrival ('+') and departure ('-') events.
   /// The link must outlive the simulation run.
   void attach(Link& link);
+
+  /// Push all buffered lines to the stream. Call before reading the
+  /// stream while the logger is still alive.
+  void flush();
 
   std::uint64_t lines_written() const { return lines_; }
 
@@ -56,9 +67,14 @@ class TraceLogger {
   void write(char event, const std::string& link_name, const Packet& pkt);
   static const char* type_name(PacketType type);
 
+  // Flush once the buffer crosses this; it grows once to about this size
+  // and is then recycled for the rest of the run.
+  static constexpr std::size_t kFlushBytes = 1 << 20;
+
   Simulator& sim_;
   std::ostream& out_;
   TraceFilter filter_;
+  std::string buffer_;
   std::uint64_t lines_ = 0;
 };
 

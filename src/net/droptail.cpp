@@ -4,8 +4,9 @@
 
 namespace pdos {
 
-DropTailQueue::DropTailQueue(std::size_t capacity_packets)
-    : capacity_(capacity_packets) {
+DropTailQueue::DropTailQueue(std::size_t capacity_packets,
+                             std::pmr::memory_resource* memory)
+    : capacity_(capacity_packets), buffer_(memory) {
   PDOS_REQUIRE(capacity_packets > 0, "DropTailQueue: capacity must be > 0");
 }
 

@@ -1,6 +1,8 @@
 // Tail-drop FIFO queue.
 #pragma once
 
+#include <memory_resource>
+
 #include "net/packet_ring.hpp"
 #include "net/queue.hpp"
 
@@ -8,8 +10,12 @@ namespace pdos {
 
 class DropTailQueue : public QueueDiscipline {
  public:
-  /// `capacity_packets` is the buffer size in packets (> 0).
-  explicit DropTailQueue(std::size_t capacity_packets);
+  /// `capacity_packets` is the buffer size in packets (> 0). The packet
+  /// buffer allocates from `memory` (default: the global heap; pass the
+  /// Simulator's arena for warm-reuse scenarios).
+  explicit DropTailQueue(std::size_t capacity_packets,
+                         std::pmr::memory_resource* memory =
+                             std::pmr::get_default_resource());
 
   bool enqueue(Packet pkt) override;
   Packet dequeue_nonempty() override;

@@ -9,12 +9,24 @@ namespace pdos {
 Link::Link(Simulator& sim, std::string name, BitRate rate, Time delay,
            std::unique_ptr<QueueDiscipline> queue, PacketHandler* downstream,
            Bytes mean_packet_bytes)
+    : Link(sim, std::move(name), rate, delay, queue.get(), downstream,
+           mean_packet_bytes) {
+  owned_queue_ = std::move(queue);
+}
+
+Link::Link(Simulator& sim, std::string name, BitRate rate, Time delay,
+           QueueDiscipline* queue, PacketHandler* downstream,
+           Bytes mean_packet_bytes)
     : sim_(sim),
       name_(std::move(name)),
       rate_(rate),
       delay_(delay),
-      queue_(std::move(queue)),
-      downstream_(downstream) {
+      queue_(queue),
+      downstream_(downstream),
+      in_flight_(sim.memory()),
+      due_(sim.memory()),
+      arrival_taps_(sim.memory()),
+      departure_taps_(sim.memory()) {
   PDOS_REQUIRE(rate_ > 0.0, "Link: rate must be positive");
   PDOS_REQUIRE(delay_ >= 0.0, "Link: delay must be non-negative");
   PDOS_REQUIRE(queue_ != nullptr, "Link: queue must be non-null");

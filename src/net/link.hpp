@@ -47,6 +47,13 @@ class Link : public PacketHandler {
        std::unique_ptr<QueueDiscipline> queue, PacketHandler* downstream,
        Bytes mean_packet_bytes = 1040);
 
+  /// Same, with a non-owned queue (typically arena-allocated via
+  /// `Simulator::make`, so it shares the link's lifetime and the link's
+  /// internal buffers ride the same arena).
+  Link(Simulator& sim, std::string name, BitRate rate, Time delay,
+       QueueDiscipline* queue, PacketHandler* downstream,
+       Bytes mean_packet_bytes = 1040);
+
   /// Packet arrival from the upstream node.
   void handle(Packet pkt) override;
 
@@ -74,7 +81,8 @@ class Link : public PacketHandler {
   std::string name_;
   BitRate rate_;
   Time delay_;
-  std::unique_ptr<QueueDiscipline> queue_;
+  std::unique_ptr<QueueDiscipline> owned_queue_;  // legacy ctor only
+  QueueDiscipline* queue_;
   PacketHandler* downstream_;
   bool busy_ = false;
   bool tapped_ = false;     // any tap registered; gates the slow arrival path
@@ -93,8 +101,8 @@ class Link : public PacketHandler {
   Packet in_service_;       // owned by the pending service event
   PacketRing in_flight_;    // departed, still propagating (FIFO)
   Ring<Due> due_;           // deadline of each in_flight_ packet
-  std::vector<PacketTap> arrival_taps_;
-  std::vector<PacketTap> departure_taps_;
+  std::pmr::vector<PacketTap> arrival_taps_;
+  std::pmr::vector<PacketTap> departure_taps_;
 };
 
 }  // namespace pdos

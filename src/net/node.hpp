@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,7 +25,11 @@ namespace pdos {
 
 class Node : public PacketHandler {
  public:
-  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  /// The route/agent tables allocate from `memory` (default: the global
+  /// heap; pass the Simulator's arena for warm-reuse scenarios).
+  Node(NodeId id, std::string name,
+       std::pmr::memory_resource* memory = std::pmr::get_default_resource())
+      : id_(id), name_(std::move(name)), routes_(memory), agents_(memory) {}
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -49,9 +54,9 @@ class Node : public PacketHandler {
   std::string name_;
   // Dense next-hop table: routes_[dst] is null for destinations with no
   // explicit route (fall through to default_route_).
-  std::vector<PacketHandler*> routes_;
+  std::pmr::vector<PacketHandler*> routes_;
   PacketHandler* default_route_ = nullptr;
-  std::vector<std::pair<FlowId, PacketHandler*>> agents_;
+  std::pmr::vector<std::pair<FlowId, PacketHandler*>> agents_;
   Bytes sink_bytes_ = 0;
   std::uint64_t sink_packets_ = 0;
 };

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory_resource>
 #include <utility>
 #include <vector>
 
@@ -26,9 +27,19 @@ namespace pdos {
 template <typename T>
 class Ring {
  public:
-  Ring() = default;
+  /// Buffer storage comes from `memory` (default: the global heap). An
+  /// arena-backed ring participates in the owning Simulator's rewind
+  /// discipline: cleared, its next growth re-traces the same arena bytes.
+  explicit Ring(std::pmr::memory_resource* memory =
+                    std::pmr::get_default_resource())
+      : buf_(memory) {}
   /// Pre-size for `capacity` elements (rounded up to a power of two).
-  explicit Ring(std::size_t capacity) { reserve(capacity); }
+  explicit Ring(std::size_t capacity,
+                std::pmr::memory_resource* memory =
+                    std::pmr::get_default_resource())
+      : buf_(memory) {
+    reserve(capacity);
+  }
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
@@ -77,7 +88,7 @@ class Ring {
 
   /// Reallocate to `capacity` (a power of two), compacting to head_ == 0.
   void rebuild(std::size_t capacity) {
-    std::vector<T> next(capacity);
+    std::pmr::vector<T> next(capacity, buf_.get_allocator());
     for (std::size_t i = 0; i < size_; ++i) {
       next[i] = std::move(buf_[(head_ + i) & mask_]);
     }
@@ -86,7 +97,7 @@ class Ring {
     head_ = 0;
   }
 
-  std::vector<T> buf_;
+  std::pmr::vector<T> buf_;
   std::size_t mask_ = 0;
   std::size_t head_ = 0;
   std::size_t size_ = 0;

@@ -27,8 +27,9 @@ void RedParams::validate() const {
   PDOS_REQUIRE(max_p > 0.0 && max_p <= 1.0, "RED: max_p must be in (0, 1]");
 }
 
-RedQueue::RedQueue(RedParams params, Rng rng)
-    : params_(params), rng_(rng) {
+RedQueue::RedQueue(RedParams params, Rng rng,
+                   std::pmr::memory_resource* memory)
+    : params_(params), rng_(rng), buffer_(memory) {
   params_.validate();
 }
 

@@ -11,6 +11,8 @@
 // `RedParams::paper_testbed` reproduces that.
 #pragma once
 
+#include <memory_resource>
+
 #include "net/packet_ring.hpp"
 #include "net/queue.hpp"
 #include "util/rng.hpp"
@@ -36,7 +38,11 @@ struct RedParams {
 
 class RedQueue : public QueueDiscipline {
  public:
-  RedQueue(RedParams params, Rng rng);
+  /// The packet buffer allocates from `memory` (default: the global heap;
+  /// pass the Simulator's arena for warm-reuse scenarios).
+  RedQueue(RedParams params, Rng rng,
+           std::pmr::memory_resource* memory =
+               std::pmr::get_default_resource());
 
   bool enqueue(Packet pkt) override;
   Packet dequeue_nonempty() override;

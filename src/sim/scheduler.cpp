@@ -69,6 +69,29 @@ void Scheduler::reserve(std::size_t n) {
   }
 }
 
+void Scheduler::reset() {
+  for (std::uint32_t slot = 0; slot < slot_count_; ++slot) {
+    Slot* s = slot_ptr(slot);
+    if (pos_[slot] != kFreePos) s->fn.reset();  // armed closure: destroy it
+    ++s->gen;  // every pre-reset id is now detectably stale
+    pos_[slot] = kFreePos;
+    s->next_free = slot + 1;
+  }
+  if (slot_count_ > 0) {
+    slot_ptr(slot_count_ - 1)->next_free = kNoFreeSlot;
+    free_head_ = 0;
+  } else {
+    free_head_ = kNoFreeSlot;
+  }
+  heap_.clear();
+  shelf_.clear();
+  now_ = 0.0;
+  far_horizon_ = 0.0;
+  far_window_ = kFarWindow;
+  next_seq_ = 0;
+  executed_ = 0;
+}
+
 void Scheduler::sift_down(std::size_t pos) {
   const HeapNode node = heap_[pos];
   const std::size_t size = heap_.size();

@@ -127,6 +127,15 @@ class Scheduler {
   /// even the warm-up phase of the event loop performs no allocations.
   void reserve(std::size_t n);
 
+  /// Return to the just-constructed state — clock at 0, no pending events,
+  /// fresh tie-break sequence — while RETAINING every slab and array
+  /// capacity, so a rebuilt scenario schedules without allocating. Armed
+  /// closures are destroyed; every outstanding EventId goes stale. The free
+  /// list is rebuilt in ascending slot order, so a reset scheduler hands
+  /// out slots 0, 1, 2, ... exactly like a fresh one — behaviour after a
+  /// reset is bit-identical to a new Scheduler.
+  void reset();
+
   /// Run events until the queue empties or `horizon` is passed. Events at
   /// exactly `horizon` still run; `now()` ends at `horizon` if events remain.
   /// Returns the number of events executed.

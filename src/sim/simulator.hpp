@@ -1,18 +1,26 @@
-// Simulation context: scheduler + seeded RNG + lifetime anchor.
+// Simulation context: scheduler + seeded RNG + arena lifetime anchor.
 //
-// A `Simulator` owns the virtual clock and the root random stream. Network
-// components (nodes, links, agents) are created through `make<T>()` so their
-// lifetime is tied to the run — events capture raw pointers into this arena,
-// which is safe because nothing is destroyed until the Simulator is.
+// A `Simulator` owns the virtual clock, the root random stream, and a
+// `MonotonicArena` that holds every component created through `make<T>()`.
+// Events capture raw pointers into the arena, which is safe because nothing
+// is destroyed until the Simulator is — or until `reset()`, which tears the
+// whole object graph down at once (destructors in reverse creation order),
+// rewinds the arena, and clears the scheduler while retaining all of their
+// capacity. A reset simulator rebuilds the same scenario without touching
+// the system allocator and behaves bit-identically to a freshly constructed
+// one: same `stream(tag)` derivation, same slot/sequence assignment.
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <memory_resource>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "sim/scheduler.hpp"
 #include "sim/timer.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -25,11 +33,13 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  ~Simulator() { destroy_components(); }
+
   Scheduler& scheduler() { return scheduler_; }
   const Scheduler& scheduler() const { return scheduler_; }
   Rng& rng() { return rng_; }
 
-  /// The seed this run was constructed with.
+  /// The seed this run was constructed (or last reset) with.
   std::uint64_t seed() const { return seed_; }
 
   /// An independent random stream derived from the run seed and `tag`.
@@ -58,23 +68,56 @@ class Simulator {
   /// Drain every pending event.
   std::uint64_t run() { return scheduler_.run(); }
 
-  /// Construct a component whose lifetime matches the simulation.
+  /// Construct a component whose lifetime matches the simulation (until
+  /// destruction or the next `reset()`). Storage comes from the arena.
   template <typename T, typename... Args>
   T* make(Args&&... args) {
-    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
-    T* raw = owned.get();
-    components_.push_back(
-        std::unique_ptr<void, void (*)(void*)>(owned.release(), [](void* p) {
-          delete static_cast<T*>(p);
-        }));
+    void* storage = arena_.allocate(sizeof(T), alignof(T));
+    T* raw = ::new (storage) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      dtors_.push_back(Dtor{[](void* p) { static_cast<T*>(p)->~T(); }, raw});
+    }
     return raw;
   }
 
+  /// The arena components and their internal containers live in. Pass to
+  /// pmr-aware members (`Ring`, route tables, reorder buffers) so a
+  /// component's working set shares the component's own blocks.
+  std::pmr::memory_resource* memory() { return &arena_; }
+  const MonotonicArena& arena() const { return arena_; }
+
+  /// Tear down this run and become a fresh simulator seeded with `seed`:
+  /// components are destroyed in reverse creation order, the scheduler is
+  /// cleared, and the arena is rewound — all capacity (slabs, heap arrays,
+  /// arena blocks) is retained, so rebuilding the same scenario performs no
+  /// system allocation. Everything observable afterwards (streams, event
+  /// order, slot assignment) matches a newly constructed Simulator(seed).
+  void reset(std::uint64_t seed) {
+    destroy_components();   // Timer members cancel into the live scheduler
+    scheduler_.reset();     // ... so the scheduler must be cleared after
+    arena_.rewind();
+    seed_ = seed;
+    rng_ = Rng(seed);
+  }
+
  private:
+  struct Dtor {
+    void (*fn)(void*);
+    void* obj;
+  };
+
+  void destroy_components() {
+    for (auto it = dtors_.rbegin(); it != dtors_.rend(); ++it) {
+      it->fn(it->obj);
+    }
+    dtors_.clear();
+  }
+
   std::uint64_t seed_;
   Scheduler scheduler_;
   Rng rng_;
-  std::vector<std::unique_ptr<void, void (*)(void*)>> components_;
+  MonotonicArena arena_;
+  std::vector<Dtor> dtors_;  // creation order; capacity survives reset
 };
 
 }  // namespace pdos

@@ -1,0 +1,98 @@
+// Persistent content-addressed cache of completed sweep points.
+//
+// A sweep point is a pure function of (scenario config, attack axes, seed):
+// re-running a campaign recomputes work whose inputs have not changed. The
+// cache keys every completed point (and every baseline run) by an FNV-1a
+// digest of the canonicalized inputs plus a schema/compiler fingerprint,
+// and stores the measured outputs. `run_sweep` consults it before
+// dispatching a point and appends after completing one, so an interrupted
+// or repeated campaign replays as cache hits (`pdos_sweep --resume`).
+//
+// Storage is a line-oriented append-only text file: one header line, then
+// one record per entry. Doubles are written with %.17g so the reloaded
+// value is bit-exact and cached CSV output stays byte-identical to a fresh
+// run. Robustness over cleverness: a missing, truncated, or corrupt file —
+// including one from an older schema — loads as empty and is rewritten by
+// subsequent appends; malformed lines (e.g. a torn tail write) are skipped.
+//
+// The key covers every *parameter* that shapes the simulation, plus the
+// compiler version. It cannot see code changes that alter simulation
+// semantics at equal parameters — bump kPointCacheSchema when making one,
+// or delete the cache file.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sweep/sweep.hpp"
+
+namespace pdos::sweep {
+
+/// Bump on any change to the record layout OR to simulation semantics that
+/// changes outputs at identical parameters.
+inline constexpr int kPointCacheSchema = 1;
+
+/// The measured (and analytic) outputs of one completed point — every
+/// PointResult field the CSV/JSON writers derive from a run.
+struct CachedPoint {
+  double c_psi = 0.0;
+  double analytic_degradation = 0.0;
+  double analytic_gain = 0.0;
+  bool shrew = false;
+  double baseline_goodput = 0.0;
+  double goodput = 0.0;
+  double measured_degradation = 0.0;
+  double measured_gain = 0.0;
+  double utilization = 0.0;
+  double fairness = 0.0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_recoveries = 0;
+  std::uint64_t attack_packets = 0;
+  std::uint64_t events = 0;
+};
+
+/// Digest of (point axes + derived ScenarioConfig + seed + control +
+/// fingerprint) for an attack point of `spec`.
+std::uint64_t point_key(const SweepSpec& spec, const PointSpec& point,
+                        std::uint64_t seed);
+
+/// Digest for the no-attack baseline of a (flows, replicate) pair.
+std::uint64_t baseline_key(const SweepSpec& spec, const PointSpec& probe,
+                           std::uint64_t seed);
+
+class PointCache {
+ public:
+  /// Load `path` if it exists (tolerating corruption); appends create it,
+  /// including missing parent directories.
+  explicit PointCache(std::string path);
+
+  PointCache(const PointCache&) = delete;
+  PointCache& operator=(const PointCache&) = delete;
+
+  bool lookup_point(std::uint64_t key, CachedPoint& out) const;
+  bool lookup_baseline(std::uint64_t key, double& goodput) const;
+
+  /// Record a completed point/baseline: insert in memory and append to the
+  /// cache file (flushed per record, so a killed sweep loses at most the
+  /// torn last line). Thread-safe.
+  void store_point(std::uint64_t key, const CachedPoint& value);
+  void store_baseline(std::uint64_t key, double goodput);
+
+  std::size_t size() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  void append(const std::string& line);
+
+  std::string path_;
+  bool rewrite_ = false;  // existing file had a foreign header: truncate it
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, CachedPoint> points_;
+  std::unordered_map<std::uint64_t, double> baselines_;
+  std::ofstream out_;  // opened lazily on first append
+};
+
+}  // namespace pdos::sweep

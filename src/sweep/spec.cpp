@@ -119,6 +119,8 @@ SpecFile parse_spec(const std::string& text) {
       file.csv_path = value;
     } else if (key == "json") {
       file.json_path = value;
+    } else if (key == "cache") {
+      file.options.cache_path = value;
     } else {
       throw ParameterError("spec line " + std::to_string(line) +
                            ": unknown key '" + key + "'");

@@ -20,6 +20,7 @@
 //   threads      = 0            # 0 = all hardware threads
 //   csv          = sweep.csv    # optional output paths
 //   json         = sweep.json
+//   cache        = points.cache # optional persistent point cache
 //
 // Unknown keys are an error (they are always typos).
 #pragma once

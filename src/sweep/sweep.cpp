@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
@@ -12,6 +13,7 @@
 #include "core/model.hpp"
 #include "core/planner.hpp"
 #include "io/csv.hpp"
+#include "sweep/point_cache.hpp"
 #include "sweep/thread_pool.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -298,6 +300,50 @@ class ProgressMeter {
   std::mutex mutex_;
 };
 
+/// Hands out warm `ScenarioWorkspace`s to sweep tasks. Each worker thread
+/// runs tasks serially, so the pool never holds more workspaces than
+/// threads; a released workspace keeps its arena blocks, scheduler slabs,
+/// and container capacities hot for the next point.
+class WorkspacePool {
+ public:
+  std::unique_ptr<ScenarioWorkspace> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        auto ws = std::move(idle_.back());
+        idle_.pop_back();
+        return ws;
+      }
+    }
+    return std::make_unique<ScenarioWorkspace>();
+  }
+
+  void release(std::unique_ptr<ScenarioWorkspace> ws) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(ws));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<ScenarioWorkspace>> idle_;
+};
+
+/// RAII acquire/release so exception paths return the workspace too.
+class WorkspaceLease {
+ public:
+  explicit WorkspaceLease(WorkspacePool& pool)
+      : pool_(pool), ws_(pool.acquire()) {}
+  ~WorkspaceLease() { pool_.release(std::move(ws_)); }
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+  ScenarioWorkspace& operator*() { return *ws_; }
+  ScenarioWorkspace* operator->() { return ws_.get(); }
+
+ private:
+  WorkspacePool& pool_;
+  std::unique_ptr<ScenarioWorkspace> ws_;
+};
+
 }  // namespace
 
 SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
@@ -328,6 +374,12 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   result.threads = pool.size();
   ProgressMeter meter(baselines.size() + points.size(), options.on_progress);
   std::atomic<bool> cancel{false};
+  std::atomic<std::size_t> cache_hits{0};
+  WorkspacePool workspaces;
+  std::unique_ptr<PointCache> cache;
+  if (!options.cache_path.empty()) {
+    cache = std::make_unique<PointCache>(options.cache_path);
+  }
   const auto start = std::chrono::steady_clock::now();
 
   // Phase 1: baselines. Each runs the no-attack scenario with the same
@@ -340,8 +392,20 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       return;
     }
     try {
-      const ScenarioConfig scenario = spec.make_scenario(slot.probe);
-      slot.goodput = measure_baseline(scenario, spec.control);
+      const std::uint64_t seed =
+          replicate_seed(spec.base_seed, slot.probe.replicate);
+      const std::uint64_t key =
+          cache ? baseline_key(spec, slot.probe, seed) : 0;
+      double cached = 0.0;
+      if (cache && cache->lookup_baseline(key, cached)) {
+        slot.goodput = cached;
+        cache_hits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        const ScenarioConfig scenario = spec.make_scenario(slot.probe);
+        WorkspaceLease ws(workspaces);
+        slot.goodput = ws->baseline(scenario, spec.control);
+        if (cache) cache->store_baseline(key, slot.goodput);
+      }
       PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
       slot.ok = true;
     } catch (const std::exception& e) {
@@ -360,9 +424,35 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       meter.tick();
       return;  // stays kSkipped
     }
-    const BaselineSlot& baseline =
-        baselines[baseline_index.at(slot.point.flows, slot.point.replicate)];
     try {
+      // A cached point carries everything, including its baseline — it can
+      // complete even when this run's baseline task failed.
+      const std::uint64_t key =
+          cache ? point_key(spec, slot.point, slot.seed) : 0;
+      CachedPoint hit;
+      if (cache && cache->lookup_point(key, hit)) {
+        slot.c_psi = hit.c_psi;
+        slot.analytic_degradation = hit.analytic_degradation;
+        slot.analytic_gain = hit.analytic_gain;
+        slot.shrew = hit.shrew;
+        slot.baseline_goodput = hit.baseline_goodput;
+        slot.goodput = hit.goodput;
+        slot.measured_degradation = hit.measured_degradation;
+        slot.measured_gain = hit.measured_gain;
+        slot.utilization = hit.utilization;
+        slot.fairness = hit.fairness;
+        slot.timeouts = hit.timeouts;
+        slot.fast_recoveries = hit.fast_recoveries;
+        slot.attack_packets = hit.attack_packets;
+        slot.events = hit.events;
+        slot.status = PointStatus::kOk;
+        cache_hits.fetch_add(1, std::memory_order_relaxed);
+        meter.tick();
+        return;
+      }
+
+      const BaselineSlot& baseline =
+          baselines[baseline_index.at(slot.point.flows, slot.point.replicate)];
       if (!baseline.ok) {
         throw std::runtime_error("baseline failed: " + baseline.error);
       }
@@ -382,9 +472,12 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       slot.analytic_gain = plan.predicted_gain;
       slot.shrew = plan.shrew_harmonic.has_value();
 
-      const GainMeasurement measured =
-          measure_gain(scenario, plan.train, slot.point.kappa, spec.control,
-                       baseline.goodput);
+      GainMeasurement measured;
+      {
+        WorkspaceLease ws(workspaces);
+        measured = ws->gain(scenario, plan.train, slot.point.kappa,
+                            spec.control, baseline.goodput);
+      }
       slot.baseline_goodput = baseline.goodput;
       slot.goodput = measured.run.goodput_rate;
       slot.measured_degradation = measured.degradation;
@@ -396,6 +489,24 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       slot.attack_packets = measured.run.attack_packets_sent;
       slot.events = measured.run.events_executed;
       slot.status = PointStatus::kOk;
+      if (cache) {
+        CachedPoint record;
+        record.c_psi = slot.c_psi;
+        record.analytic_degradation = slot.analytic_degradation;
+        record.analytic_gain = slot.analytic_gain;
+        record.shrew = slot.shrew;
+        record.baseline_goodput = slot.baseline_goodput;
+        record.goodput = slot.goodput;
+        record.measured_degradation = slot.measured_degradation;
+        record.measured_gain = slot.measured_gain;
+        record.utilization = slot.utilization;
+        record.fairness = slot.fairness;
+        record.timeouts = slot.timeouts;
+        record.fast_recoveries = slot.fast_recoveries;
+        record.attack_packets = slot.attack_packets;
+        record.events = slot.events;
+        cache->store_point(key, record);
+      }
     } catch (const std::exception& e) {
       slot.status = PointStatus::kFailed;
       slot.error = e.what();
@@ -405,6 +516,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     }
     meter.tick();
   });
+  result.cache_hits = cache_hits.load(std::memory_order_relaxed);
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

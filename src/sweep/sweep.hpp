@@ -143,6 +143,9 @@ struct SweepResult {
   int threads = 1;
   double wall_seconds = 0.0;
   bool cancelled = false;
+  /// Tasks (baselines + points) answered from the point cache instead of
+  /// simulation. 0 when no cache was configured.
+  std::size_t cache_hits = 0;
 
   std::size_t failures() const;
   std::size_t completed() const;
@@ -170,6 +173,11 @@ struct SweepOptions {
   /// Called with the pool's progress after each task; invocations are
   /// serialized, but may come from any worker thread.
   std::function<void(const SweepProgress&)> on_progress;
+  /// Persistent point-cache file (see sweep/point_cache.hpp). Completed
+  /// points are looked up before dispatch and appended after simulation,
+  /// so re-running a campaign resumes instead of recomputing. Empty
+  /// disables caching.
+  std::string cache_path;
 };
 
 /// Execute the sweep: baselines first (one per unique (flows, replicate)),

@@ -1,5 +1,8 @@
 #include "tcp/tcp_receiver.hpp"
 
+#include <algorithm>
+#include <functional>
+
 #include "util/assert.hpp"
 
 namespace pdos {
@@ -19,6 +22,7 @@ TcpReceiver::TcpReceiver(Simulator& sim, FlowId flow, NodeId self, NodeId peer,
       peer_(peer),
       out_(out),
       config_(config),
+      reorder_buffer_(sim.memory()),
       delack_timer_(sim.scheduler(), [this] {
         if (unacked_segments_ > 0) send_ack(pending_ts_echo_);
       }) {
@@ -35,8 +39,8 @@ void TcpReceiver::handle(Packet pkt) {
     std::int64_t advanced = 1;
     ++next_expected_;
     while (!reorder_buffer_.empty() &&
-           *reorder_buffer_.begin() == next_expected_) {
-      reorder_buffer_.erase(reorder_buffer_.begin());
+           reorder_buffer_.back() == next_expected_) {
+      reorder_buffer_.pop_back();  // descending order: smallest at the back
       ++next_expected_;
       ++advanced;
     }
@@ -56,9 +60,14 @@ void TcpReceiver::handle(Packet pkt) {
   }
 
   if (pkt.seq > next_expected_) {
-    // Gap: buffer and emit an immediate duplicate ACK.
+    // Gap: buffer (deduplicated) and emit an immediate duplicate ACK.
     ++stats_.out_of_order;
-    reorder_buffer_.insert(pkt.seq);
+    const auto it =
+        std::lower_bound(reorder_buffer_.begin(), reorder_buffer_.end(),
+                         pkt.seq, std::greater<std::int64_t>());
+    if (it == reorder_buffer_.end() || *it != pkt.seq) {
+      reorder_buffer_.insert(it, pkt.seq);
+    }
     send_ack(pkt.ts_echo);
     return;
   }

@@ -8,14 +8,21 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <set>
+#include <memory_resource>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "util/units.hpp"
 
 namespace pdos {
+
+/// In-order-delivery observer: an inline-storage
+/// `void(Time, std::int64_t)` callable. Captures must fit
+/// kInlineFnCapacity (32 bytes); oversized captures are a compile error, so
+/// per-flow instrumentation cannot reintroduce a heap-held std::function on
+/// the per-segment path.
+using DeliveryTracer = BasicInlineFn<kInlineFnCapacity, Time, std::int64_t>;
 
 struct TcpReceiverConfig {
   int delack_factor = 1;          // ACK every d full segments (d >= 1)
@@ -47,7 +54,7 @@ class TcpReceiver : public PacketHandler {
   const TcpReceiverStats& stats() const { return stats_; }
 
   /// Invoked as (time, new_in_order_segments) on each in-order advance.
-  void set_delivery_tracer(std::function<void(Time, std::int64_t)> tracer) {
+  void set_delivery_tracer(DeliveryTracer tracer) {
     delivery_tracer_ = std::move(tracer);
   }
 
@@ -64,7 +71,12 @@ class TcpReceiver : public PacketHandler {
   TcpReceiverConfig config_;
 
   std::int64_t next_expected_ = 0;
-  std::set<std::int64_t> reorder_buffer_;
+  // Out-of-order segment numbers, sorted DESCENDING so the smallest — the
+  // only one the drain loop inspects — sits at the back. A handful of
+  // segments at worst, so the insert shift is trivial; storage rides the
+  // simulator's arena and its capacity survives the occupancy cycle, unlike
+  // the std::set node churn it replaces.
+  std::pmr::vector<std::int64_t> reorder_buffer_;
   Bytes goodput_bytes_ = 0;
 
   int unacked_segments_ = 0;   // in-order segments since the last ACK
@@ -72,7 +84,7 @@ class TcpReceiver : public PacketHandler {
   Timer delack_timer_;
 
   TcpReceiverStats stats_;
-  std::function<void(Time, std::int64_t)> delivery_tracer_;
+  DeliveryTracer delivery_tracer_;
 };
 
 }  // namespace pdos

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "net/packet.hpp"
@@ -22,6 +21,12 @@
 #include "util/units.hpp"
 
 namespace pdos {
+
+/// cwnd-change observer: an inline-storage `void(Time, double)` callable.
+/// Captures must fit kInlineFnCapacity (32 bytes) — a sink pointer or two;
+/// oversized captures are a compile error, so tracing cannot reintroduce a
+/// heap-held std::function on the per-ACK path.
+using CwndTracer = BasicInlineFn<kInlineFnCapacity, Time, double>;
 
 /// Loss-recovery flavour. All three share the AIMD core; they differ in
 /// what happens at and after the third duplicate ACK:
@@ -97,7 +102,7 @@ class TcpSender : public PacketHandler {
   const TcpSenderConfig& config() const { return config_; }
 
   /// Invoked as (time, cwnd) whenever cwnd changes; used for Fig. 1 traces.
-  void set_cwnd_tracer(std::function<void(Time, double)> tracer) {
+  void set_cwnd_tracer(CwndTracer tracer) {
     cwnd_tracer_ = std::move(tracer);
   }
 
@@ -142,7 +147,7 @@ class TcpSender : public PacketHandler {
   Timer rto_timer_;  // restarted in place on every arm_rto()
 
   TcpSenderStats stats_;
-  std::function<void(Time, double)> cwnd_tracer_;
+  CwndTracer cwnd_tracer_;
 };
 
 }  // namespace pdos

@@ -1,0 +1,66 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pdos {
+
+MonotonicArena::MonotonicArena(std::size_t first_block_bytes)
+    : next_block_bytes_(std::max<std::size_t>(first_block_bytes, 256)) {}
+
+void MonotonicArena::rewind() {
+  current_ = 0;
+  offset_ = 0;
+  in_use_ = 0;
+}
+
+void MonotonicArena::release() {
+  blocks_.clear();
+  rewind();
+}
+
+std::size_t MonotonicArena::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.size;
+  return total;
+}
+
+void MonotonicArena::add_block(std::size_t min_bytes) {
+  const std::size_t size = std::max(next_block_bytes_, min_bytes);
+  Block block;
+  block.data = std::make_unique<std::byte[]>(size);
+  block.size = size;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+  if (next_block_bytes_ < kMaxBlockBytes) next_block_bytes_ *= 2;
+}
+
+void* MonotonicArena::do_allocate(std::size_t bytes, std::size_t alignment) {
+  // Walk forward through retained blocks until one fits. After a rewind the
+  // same allocation sequence re-traces the same walk, so a warm epoch never
+  // reaches the add_block fallback. Slack left in a skipped block is wasted
+  // only until the next rewind.
+  for (;;) {
+    if (current_ < blocks_.size()) {
+      Block& block = blocks_[current_];
+      const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+      const std::uintptr_t aligned =
+          (base + offset_ + (alignment - 1)) & ~(alignment - 1);
+      const std::size_t start = static_cast<std::size_t>(aligned - base);
+      if (start + bytes <= block.size) {
+        offset_ = start + bytes;
+        in_use_ += bytes;
+        return block.data.get() + start;
+      }
+      if (current_ + 1 < blocks_.size()) {
+        ++current_;
+        offset_ = 0;
+        continue;
+      }
+    }
+    add_block(bytes + alignment);
+  }
+}
+
+}  // namespace pdos

@@ -35,6 +35,7 @@ TEST(TraceTest, ArrivalAndDepartureLines) {
 
   link.handle(packet_of(PacketType::kTcpData, 3, 17));
   sim.run();
+  trace.flush();
 
   const std::string text = out.str();
   EXPECT_NE(text.find("+ bottleneck tcp 3 17 1040"), std::string::npos);
@@ -52,6 +53,7 @@ TEST(TraceTest, DepartureCarriesSerializationTime) {
   trace.attach(link);
   link.handle(packet_of(PacketType::kTcpData, 0, 0));
   sim.run();
+  trace.flush();
   // 1040 bytes at 8 kbps = 1.04 s.
   EXPECT_NE(out.str().find("1.040000 - l"), std::string::npos);
 }
@@ -70,6 +72,7 @@ TEST(TraceTest, FilterSuppressesClasses) {
   link.handle(packet_of(PacketType::kTcpData, 0, 0));
   link.handle(packet_of(PacketType::kAttack, -1, 0));
   sim.run();
+  trace.flush();
   EXPECT_EQ(out.str().find("tcp"), std::string::npos);
   EXPECT_NE(out.str().find("atk"), std::string::npos);
 }
@@ -80,6 +83,26 @@ TEST(TraceTest, AcksOffByDefault) {
   EXPECT_TRUE(filter.accepts(packet_of(PacketType::kTcpData, 0, 0)));
   EXPECT_TRUE(filter.accepts(packet_of(PacketType::kAttack, 0, 0)));
   EXPECT_TRUE(filter.accepts(packet_of(PacketType::kUdp, 0, 0)));
+}
+
+TEST(TraceTest, BufferedLinesReachStreamOnDestruction) {
+  Simulator sim;
+  NullSink sink;
+  Link link(sim, "l", mbps(8), 0.0, std::make_unique<DropTailQueue>(10),
+            &sink);
+  std::ostringstream out;
+  {
+    TraceLogger trace(sim, out);
+    trace.attach(link);
+    link.handle(packet_of(PacketType::kTcpData, 1, 2));
+    sim.run();
+    // Below the high-water mark nothing has reached the stream yet...
+    EXPECT_TRUE(out.str().empty());
+    EXPECT_EQ(trace.lines_written(), 2u);
+  }
+  // ...but the destructor flushes everything.
+  EXPECT_NE(out.str().find("+ l tcp 1 2 1040"), std::string::npos);
+  EXPECT_NE(out.str().find("- l tcp 1 2 1040"), std::string::npos);
 }
 
 TEST(TraceTest, DroppedPacketsAppearOnlyAsArrivals) {
@@ -94,6 +117,7 @@ TEST(TraceTest, DroppedPacketsAppearOnlyAsArrivals) {
     link.handle(packet_of(PacketType::kTcpData, 0, i));
   }
   sim.run();
+  trace.flush();
   // 5 arrivals; only 2 departures (1 in service + 1 buffered).
   std::size_t plus = 0;
   std::size_t minus = 0;

@@ -14,9 +14,12 @@
 
 #include "net/droptail.hpp"
 #include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/red.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "traffic/sources.hpp"
 
 namespace {
 
@@ -179,6 +182,59 @@ TEST(AllocTest, TappedLinkPipelineStaysAllocationFree) {
   EXPECT_GT(departures, 0);
   EXPECT_EQ(after - before, 0u)
       << "a warmed-up tapped link must move packets without allocating";
+}
+
+TEST(AllocTest, WarmResetRebuildRunsAllocationFree) {
+  // The sweep engine's warm-reuse contract: after one cold
+  // build+run+reset cycle has sized the arena, the scheduler slabs, and
+  // every pmr container, repeating the identical cycle must not touch the
+  // system allocator at all — construction included.
+  Simulator sim(3);
+
+  struct CountingSink : PacketHandler {
+    long long received = 0;
+    void handle(Packet) override { ++received; }
+  };
+
+  constexpr std::uint64_t kQueueStream = 0x71756575'65000000ULL;
+  long long cold_received = 0;
+
+  const auto build_and_run = [&](long long& received_out) {
+    auto* sink = sim.make<CountingSink>();
+    auto* dst = sim.make<Node>(NodeId{1}, "dst", sim.memory());
+    dst->attach(FlowId{-2000}, sink);  // CbrSource's default flow id
+    auto* red = sim.make<RedQueue>(RedParams::paper_testbed(32),
+                                   sim.stream(kQueueStream), sim.memory());
+    auto* link = sim.make<Link>(sim, "bottleneck", mbps(10), ms(5), red, dst);
+    auto* src = sim.make<Node>(NodeId{0}, "src", sim.memory());
+    src->add_route(NodeId{1}, link);
+    auto* cbr = sim.make<CbrSource>(sim, mbps(12), 1040, NodeId{0}, NodeId{1},
+                                    src);
+    cbr->start(0.0);
+    sim.run_until(sec(2.0));
+    received_out = sink->received;
+  };
+
+  // Cold cycle: grows every slab to its high-water mark.
+  build_and_run(cold_received);
+  ASSERT_GT(cold_received, 0);
+  sim.reset(3);
+  // One warm cycle to let lazily-grown structures (rings that wrapped at a
+  // different fill point, the dtor list) settle at their final capacity.
+  long long warm_received = 0;
+  build_and_run(warm_received);
+  EXPECT_EQ(warm_received, cold_received) << "reset must be deterministic";
+  sim.reset(3);
+
+  const std::size_t before = g_new_calls;
+  long long steady_received = 0;
+  build_and_run(steady_received);
+  sim.reset(3);
+  const std::size_t after = g_new_calls;
+
+  EXPECT_EQ(steady_received, cold_received);
+  EXPECT_EQ(after - before, 0u)
+      << "a warm rebuild+run+reset cycle must not allocate";
 }
 
 }  // namespace

@@ -1,17 +1,20 @@
-// Engine + data-path performance report: measures the scheduler and packet
-// data-path micro-benchmarks and a fixed fig. 6 quick-mode sweep, and
-// writes BENCH_engine.json plus BENCH_datapath.json.
+// Engine + data-path + sweep performance report: measures the scheduler and
+// packet data-path micro-benchmarks, scenario setup (fresh vs warm-reset),
+// and a fixed fig. 6 quick-mode sweep (cold and cache-resumed), and writes
+// BENCH_engine.json, BENCH_datapath.json, and BENCH_sweep.json.
 //
 // This is the tracked-baseline half of the perf story: google-benchmark
-// (bench/micro_engine, bench/micro_datapath) is for interactive work, while
-// this tool emits stable, machine-readable snapshots that CI diffs against
-// the committed bench/baseline_engine.json and bench/baseline_datapath.json.
-// The JSON is flat `"key": number` pairs so the reader below stays a
-// 30-line scanner instead of a JSON library.
+// (bench/micro_engine, bench/micro_datapath, bench/micro_setup) is for
+// interactive work, while this tool emits stable, machine-readable
+// snapshots that CI diffs against the committed bench/baseline_engine.json,
+// bench/baseline_datapath.json, and bench/baseline_sweep.json. The JSON is
+// flat `"key": number` pairs so the reader below stays a 30-line scanner
+// instead of a JSON library.
 //
 // Usage:
 //   bench_report [--out FILE] [--baseline FILE] [--datapath-out FILE]
-//                [--datapath-baseline FILE] [--check] [--reps N]
+//                [--datapath-baseline FILE] [--sweep-out FILE]
+//                [--sweep-baseline FILE] [--check] [--reps N]
 //                [--skip-sweep]
 //
 //   --out FILE                engine output path (default BENCH_engine.json)
@@ -20,23 +23,29 @@
 //                             numbers (before/after in one artifact)
 //   --datapath-out FILE       data-path output (default BENCH_datapath.json)
 //   --datapath-baseline FILE  committed data-path reference
+//   --sweep-out FILE          setup/sweep output (default BENCH_sweep.json)
+//   --sweep-baseline FILE     committed setup/sweep reference; only the
+//                             setup micros are gated — the cold/resume
+//                             wall-clock rides along as information
 //   --check                   exit non-zero if any micro-benchmark runs >30%
 //                             slower than its baseline (requires the
 //                             corresponding --*baseline)
 //   --reps N                  samples per benchmark, best-of (default 7)
-//   --skip-sweep              omit the fig. 6 sweep (fast CI smoke)
+//   --skip-sweep              omit the fig. 6 sweeps (fast CI smoke)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/experiment.hpp"
 #include "net/droptail.hpp"
 #include "net/link.hpp"
 #include "net/packet_ring.hpp"
@@ -167,9 +176,33 @@ double measure_items_per_sec(F&& fn, long long items, int reps) {
   return best;
 }
 
+// --- scenario setup workloads (mirror bench/micro_setup.cpp) -------------
+
+/// A horizon so short that almost no simulation events execute: the cost
+/// measured is topology construction (+ teardown on reset), not the run.
+RunControl setup_only_control() {
+  RunControl control;
+  control.warmup = 0.0;
+  control.measure = ms(1);
+  return control;
+}
+
+void workload_setup_fresh() {
+  const ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  ScenarioWorkspace ws;
+  g_sink += static_cast<long long>(
+      ws.run(config, std::nullopt, setup_only_control()).events_executed);
+}
+
+void workload_setup_warm(ScenarioWorkspace& ws) {
+  const ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  g_sink += static_cast<long long>(
+      ws.run(config, std::nullopt, setup_only_control()).events_executed);
+}
+
 // --- fig. 6 quick-mode sweep (single-threaded, fixed spec) ---------------
 
-double fig06_quick_sweep_seconds(std::size_t* points_out) {
+sweep::SweepSpec fig06_quick_spec() {
   sweep::SweepSpec spec;
   spec.flow_counts = {15, 25, 35, 45};
   spec.textents = {ms(50), ms(75), ms(100)};
@@ -177,11 +210,17 @@ double fig06_quick_sweep_seconds(std::size_t* points_out) {
   spec.gamma_points = 7;
   spec.control.warmup = sec(5);
   spec.control.measure = sec(15);
+  return spec;
+}
 
+double fig06_quick_sweep_seconds(std::size_t* points_out,
+                                 const std::string& cache_path = {}) {
   sweep::SweepOptions options;
   options.threads = 1;
+  options.cache_path = cache_path;
   const auto start = Clock::now();
-  const sweep::SweepResult result = sweep::run_sweep(spec, options);
+  const sweep::SweepResult result =
+      sweep::run_sweep(fig06_quick_spec(), options);
   const double wall = seconds_since(start);
   if (points_out != nullptr) *points_out = result.points.size();
   if (result.failures() > 0) {
@@ -254,11 +293,15 @@ int apply_baseline(const std::string& path, const std::vector<Micro>& micros,
     if (std::isnan(base) || base <= 0.0) continue;
     const double ratio = m.rate / base;
     entries.push_back(Entry{std::string("baseline_") + m.key, base});
-    entries.push_back(
-        Entry{std::string("speedup_vs_baseline_") +
-                  std::string(m.key).substr(
-                      0, std::strlen(m.key) - std::strlen("_items_per_sec")),
-              ratio});
+    std::string stem = m.key;
+    for (const char* suffix : {"_items_per_sec", "_points_per_sec"}) {
+      const std::size_t n = std::strlen(suffix);
+      if (stem.size() > n && stem.compare(stem.size() - n, n, suffix) == 0) {
+        stem.erase(stem.size() - n);
+        break;
+      }
+    }
+    entries.push_back(Entry{"speedup_vs_baseline_" + stem, ratio});
     std::printf("%-36s %.2fx vs baseline\n", m.key, ratio);
     if (check && ratio < 1.0 - kRegressionTolerance) {
       std::fprintf(stderr,
@@ -293,6 +336,8 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string datapath_out_path = "BENCH_datapath.json";
   std::string datapath_baseline_path;
+  std::string sweep_out_path = "BENCH_sweep.json";
+  std::string sweep_baseline_path;
   bool check = false;
   bool skip_sweep = false;
   int reps = 7;
@@ -306,6 +351,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--datapath-baseline") == 0 &&
                i + 1 < argc) {
       datapath_baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-out") == 0 && i + 1 < argc) {
+      sweep_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-baseline") == 0 && i + 1 < argc) {
+      sweep_baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--skip-sweep") == 0) {
@@ -316,11 +365,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_report [--out FILE] [--baseline FILE] "
                    "[--datapath-out FILE] [--datapath-baseline FILE] "
+                   "[--sweep-out FILE] [--sweep-baseline FILE] "
                    "[--check] [--reps N] [--skip-sweep]\n");
       return 2;
     }
   }
-  if (check && baseline_path.empty() && datapath_baseline_path.empty()) {
+  if (check && baseline_path.empty() && datapath_baseline_path.empty() &&
+      sweep_baseline_path.empty()) {
     std::fprintf(stderr, "bench_report: --check requires a baseline\n");
     return 2;
   }
@@ -352,6 +403,19 @@ int main(int argc, char** argv) {
   datapath_micros[2].rate = measure_items_per_sec(
       [] { workload_link_pipeline(true); }, 1000, reps);
 
+  std::vector<Micro> sweep_micros = {
+      {"setup_fresh_points_per_sec", 1},
+      {"setup_warm_points_per_sec", 1},
+  };
+  sweep_micros[0].rate =
+      measure_items_per_sec([] { workload_setup_fresh(); }, 1, reps);
+  {
+    ScenarioWorkspace warm_ws;
+    workload_setup_warm(warm_ws);  // cold build outside the clock
+    sweep_micros[1].rate = measure_items_per_sec(
+        [&warm_ws] { workload_setup_warm(warm_ws); }, 1, reps);
+  }
+
   std::vector<Entry> entries;
   for (const Micro& m : micros) {
     std::printf("%-36s %12.0f items/s\n", m.key, m.rate);
@@ -362,15 +426,35 @@ int main(int argc, char** argv) {
     std::printf("%-36s %12.0f items/s\n", m.key, m.rate);
     datapath_entries.push_back(Entry{m.key, m.rate});
   }
+  std::vector<Entry> sweep_entries;
+  for (const Micro& m : sweep_micros) {
+    std::printf("%-36s %12.0f items/s\n", m.key, m.rate);
+    sweep_entries.push_back(Entry{m.key, m.rate});
+  }
 
   if (!skip_sweep) {
+    // Cold sweep (populates a throwaway cache), then an all-hit resume of
+    // the identical campaign. The wall-clock pair is informational — too
+    // machine-dependent to gate — but rides in BENCH_sweep.json so every
+    // report carries the resume story.
+    const std::string tmp_cache = sweep_out_path + ".points.cache.tmp";
+    std::filesystem::remove(tmp_cache);
     std::size_t points = 0;
-    const double wall = fig06_quick_sweep_seconds(&points);
+    const double cold = fig06_quick_sweep_seconds(&points, tmp_cache);
+    const double resume = fig06_quick_sweep_seconds(nullptr, tmp_cache);
+    std::filesystem::remove(tmp_cache);
     std::printf("%-36s %12.2f s (%zu points, 1 thread)\n",
-                "fig06_quick_sweep_wall_seconds", wall, points);
-    entries.push_back(Entry{"fig06_quick_sweep_wall_seconds", wall});
+                "fig06_quick_cold_wall_seconds", cold, points);
+    std::printf("%-36s %12.4f s (all cache hits)\n",
+                "fig06_quick_resume_wall_seconds", resume);
+    entries.push_back(Entry{"fig06_quick_sweep_wall_seconds", cold});
     entries.push_back(
         Entry{"fig06_quick_sweep_points", static_cast<double>(points)});
+    sweep_entries.push_back(Entry{"fig06_quick_cold_wall_seconds", cold});
+    sweep_entries.push_back(
+        Entry{"fig06_quick_resume_wall_seconds", resume});
+    sweep_entries.push_back(
+        Entry{"fig06_quick_resume_speedup", resume > 0.0 ? cold / resume : 0.0});
   }
 
   int regressions = 0;
@@ -381,11 +465,17 @@ int main(int argc, char** argv) {
     regressions += apply_baseline(datapath_baseline_path, datapath_micros,
                                   check, datapath_entries);
   }
+  if (!sweep_baseline_path.empty()) {
+    regressions += apply_baseline(sweep_baseline_path, sweep_micros, check,
+                                  sweep_entries);
+  }
 
   write_json(out_path, "pdos-bench-engine-v1", entries);
   std::printf("wrote %s\n", out_path.c_str());
   write_json(datapath_out_path, "pdos-bench-datapath-v1", datapath_entries);
   std::printf("wrote %s\n", datapath_out_path.c_str());
+  write_json(sweep_out_path, "pdos-bench-sweep-v1", sweep_entries);
+  std::printf("wrote %s\n", sweep_out_path.c_str());
   if (regressions > 0) {
     std::fprintf(stderr, "bench_report: %d benchmark(s) regressed\n",
                  regressions);

@@ -3,11 +3,14 @@
 //
 // Usage:
 //   pdos_sweep SPECFILE [--threads N] [--csv PATH] [--json PATH]
-//              [--quiet] [--keep-going]
+//              [--resume] [--cache PATH] [--quiet] [--keep-going]
 //
 // The spec format is documented in src/sweep/spec.hpp (and README.md,
 // "Running parameter sweeps"). Command-line flags override the file.
 // Progress goes to stderr, the CSV table to --csv/`csv =` or stdout.
+// `--resume` enables the persistent point cache at .pdos-cache/points.cache
+// (or `--cache PATH`): completed points are replayed instead of re-simulated,
+// so an interrupted or repeated campaign picks up where it left off.
 // Exit status: 0 on success, 1 when any point failed.
 #include <cstdio>
 #include <cstdlib>
@@ -25,7 +28,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: pdos_sweep SPECFILE [--threads N] [--csv PATH] "
-               "[--json PATH] [--quiet] [--keep-going]\n");
+               "[--json PATH] [--resume] [--cache PATH] [--quiet] "
+               "[--keep-going]\n");
   return 2;
 }
 
@@ -50,6 +54,12 @@ int main(int argc, char** argv) {
       file.csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       file.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      if (file.options.cache_path.empty()) {
+        file.options.cache_path = ".pdos-cache/points.cache";
+      }
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      file.options.cache_path = argv[++i];
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (std::strcmp(argv[i], "--keep-going") == 0) {
@@ -80,6 +90,10 @@ int main(int argc, char** argv) {
                  result.completed(), result.failures(),
                  result.cancelled ? " (cancelled)" : "", result.threads,
                  result.wall_seconds);
+    if (!file.options.cache_path.empty()) {
+      std::fprintf(stderr, "pdos_sweep: %zu cache hits (%s)\n",
+                   result.cache_hits, file.options.cache_path.c_str());
+    }
   }
 
   if (file.csv_path.empty()) {
