@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "net/link.hpp"
 #include "util/assert.hpp"
 
 namespace pdos {
@@ -62,6 +63,12 @@ PulseAttacker::PulseAttacker(Simulator& sim, PulseTrain train, NodeId self,
 
 void PulseAttacker::start(Time when) { pulse_timer_.schedule_at(when); }
 
+void PulseAttacker::set_express_lane(Link* lane) {
+  PDOS_REQUIRE(lane != nullptr && lane->express(),
+               "PulseAttacker: burst lane must be an express link");
+  express_lane_ = lane;
+}
+
 void PulseAttacker::fire_pulse() {
   if (stopped_ || stats_.pulses_started >= train_.n) return;
   ++stats_.pulses_started;
@@ -73,17 +80,31 @@ void PulseAttacker::fire_pulse() {
   // completion (stop() only suppresses future pulses), exactly as the
   // eagerly scheduled events would have.
   burst_start_ = sim_.now();
-  burst_seq_ = sim_.scheduler().allocate_seq_range(
-      static_cast<std::uint32_t>(packets_per_pulse_));
-  burst_next_ = 0;
-  sim_.scheduler().schedule_at_sequenced(burst_start_, burst_seq_,
-                                         [this] { emit_packet(); });
+  if (express_lane_ != nullptr) {
+    // Batched fast path: the whole burst is injected now, each packet at
+    // its analytic send time. The lane serializes them exactly as the
+    // event-driven emissions would (it is never busy when a packet lands —
+    // its rate is at least twice R_attack), so only the event count and
+    // tie ranks change, never a packet timing. A fired burst runs to
+    // completion either way, so stop() semantics are unchanged.
+    for (std::int64_t j = 0; j < packets_per_pulse_; ++j) {
+      express_lane_->inject_at(
+          make_attack_packet(),
+          burst_start_ + static_cast<double>(j) * packet_spacing_);
+    }
+  } else {
+    burst_seq_ = sim_.scheduler().allocate_seq_range(
+        static_cast<std::uint32_t>(packets_per_pulse_));
+    burst_next_ = 0;
+    sim_.scheduler().schedule_at_sequenced(burst_start_, burst_seq_,
+                                           [this] { emit_packet(); });
+  }
   if (stats_.pulses_started < train_.n) {
     pulse_timer_.schedule_in(train_.period());
   }
 }
 
-void PulseAttacker::emit_packet() {
+Packet PulseAttacker::make_attack_packet() {
   Packet pkt;
   pkt.type = PacketType::kAttack;
   pkt.flow = flow_;
@@ -92,6 +113,11 @@ void PulseAttacker::emit_packet() {
   pkt.size_bytes = train_.packet_bytes;
   ++stats_.packets_sent;
   stats_.bytes_sent += pkt.size_bytes;
+  return pkt;
+}
+
+void PulseAttacker::emit_packet() {
+  Packet pkt = make_attack_packet();
   if (++burst_next_ < packets_per_pulse_) {
     // Emission times are computed from the burst origin, not accumulated,
     // so the chain reproduces the eager schedule's timestamps bit-for-bit.

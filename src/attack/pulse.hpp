@@ -66,18 +66,30 @@ class PulseAttacker {
   /// Stop after the current pulse; no further pulses are scheduled.
   void stop() { stopped_ = true; }
 
+  /// Fast path (DESIGN.md §11): emit bursts straight into an express access
+  /// link in one pass — each packet injected at its analytic send time
+  /// `burst_start + j * spacing` — so a pulse costs ONE scheduler event
+  /// instead of one per packet. Valid only because the attacker's access
+  /// link never congests (its rate is at least twice R_attack), so the
+  /// express lane serializes each packet exactly as the queued link would;
+  /// packet timings are bit-identical, only event counts and tie ranks
+  /// differ. `lane` must be express and must outlive the attacker.
+  void set_express_lane(class Link* lane);
+
   const PulseTrain& train() const { return train_; }
   const AttackerStats& stats() const { return stats_; }
 
  private:
   void fire_pulse();
   void emit_packet();
+  Packet make_attack_packet();
 
   Simulator& sim_;
   PulseTrain train_;
   NodeId self_;
   NodeId sink_;
   PacketHandler* out_;
+  class Link* express_lane_ = nullptr;  // batched-burst fast path, or null
   FlowId flow_;
   Time packet_spacing_;
   std::int64_t packets_per_pulse_;

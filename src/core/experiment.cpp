@@ -57,6 +57,26 @@ ScenarioConfig ScenarioConfig::testbed(int num_flows) {
   return config;
 }
 
+ScenarioConfig ScenarioConfig::large_scale(int num_flows,
+                                           BitRate bottleneck) {
+  ScenarioConfig config;
+  config.num_flows = num_flows;
+  config.bottleneck = bottleneck;
+  config.access = mbps(50);
+  config.bottleneck_delay = ms(1);
+  config.rtts = VictimProfile::even_rtts(num_flows, ms(20), ms(460));
+  config.queue = QueueKind::kRed;
+  // Scale the ns-2 dumbbell's 240-packet buffer with the bottleneck rate so
+  // buffering stays ~0.55 x BDP at the mean RTT regardless of scale.
+  config.buffer_packets =
+      static_cast<std::size_t>(240.0 * bottleneck / mbps(15));
+  config.tcp = TcpSenderConfig{};
+  config.tcp.aimd = AimdParams::new_reno();
+  config.tcp.rto_min = sec(1.0);
+  config.fast_path = true;
+  return config;
+}
+
 void ScenarioConfig::validate() const {
   PDOS_REQUIRE(num_flows >= 1, "Scenario: need at least one flow");
   PDOS_REQUIRE(static_cast<int>(rtts.size()) == num_flows,
@@ -118,20 +138,43 @@ void ScenarioWorkspace::build(const ScenarioConfig& config,
   const NodeId router_s_id = 2 * m;
   const NodeId router_r_id = 2 * m + 1;
   const NodeId attacker_id = 2 * m + 2;
+  const bool fast = config.fast_path;
   Simulator& sim = sim_;
 
   router_s_ = sim.make<Node>(router_s_id, "routerS", sim.memory());
   router_r_ = sim.make<Node>(router_r_id, "routerR", sim.memory());
 
+  // Flat hot-state tables: all N flows' per-ACK sender state in one arena
+  // block, receivers in the next, so the ACK clock walks contiguous cache
+  // lines instead of state scattered between cold component objects.
+  sender_hot_ = sim.make_array<TcpSenderHot>(static_cast<std::size_t>(m));
+  receiver_hot_ = sim.make_array<TcpReceiverHot>(static_cast<std::size_t>(m),
+                                                 sim.memory());
+
   const Bytes spacket = config.tcp.mss + config.tcp.header_bytes;
   bottleneck_ = sim.make<Link>(
       sim, "bottleneck", config.bottleneck, config.bottleneck_delay,
       make_queue(sim, config), router_r_, spacket);
-  auto* bottleneck_rev = sim.make<Link>(sim, "bottleneck.rev",
-                                        config.bottleneck,
-                                        config.bottleneck_delay,
-                                        big_fifo(sim), router_s_, spacket);
+  if (fast) bottleneck_->set_fused(true);
+  // Fast path: the reverse direction carries only 40-byte ACKs paced by the
+  // forward bottleneck — it can never congest, so it gets the queue-less
+  // express lane (one sequenced delivery event per link, no service
+  // events). Scenarios that queue or tap the reverse path keep fast_path
+  // off and get the full link.
+  Link* bottleneck_rev =
+      fast ? sim.make<Link>(sim, "bottleneck.rev", config.bottleneck,
+                            config.bottleneck_delay,
+                            static_cast<PacketHandler*>(router_s_), spacket)
+           : sim.make<Link>(sim, "bottleneck.rev", config.bottleneck,
+                            config.bottleneck_delay, big_fifo(sim), router_s_,
+                            spacket);
   router_r_->add_route(router_s_id, bottleneck_rev);
+  // Chain the ACK lane straight through routerS: every packet the reverse
+  // bottleneck emits is bound for a sender, whose per-flow reverse access
+  // link is also express and fed by this link alone, so the handoff skips
+  // routerS's delivery event — one scheduler event per ACK end to end
+  // instead of two (see DESIGN.md §11).
+  if (fast) bottleneck_rev->chain_via(router_s_);
 
   for (int i = 0; i < m; ++i) {
     const NodeId snd_id = i;
@@ -148,15 +191,27 @@ void ScenarioWorkspace::build(const ScenarioConfig& config,
     auto* snd_fwd = sim.make<Link>(sim, "acc.s" + std::to_string(i),
                                    config.access, side, big_fifo(sim),
                                    router_s_, spacket);
-    auto* snd_rev = sim.make<Link>(sim, "acc.s.rev" + std::to_string(i),
-                                   config.access, side, big_fifo(sim), snd,
-                                   spacket);
     auto* rcv_fwd = sim.make<Link>(sim, "acc.r" + std::to_string(i),
                                    config.access, side, big_fifo(sim), rcv,
                                    spacket);
-    auto* rcv_rev = sim.make<Link>(sim, "acc.r.rev" + std::to_string(i),
-                                   config.access, side, big_fifo(sim),
-                                   router_r_, spacket);
+    Link* snd_rev =
+        fast ? sim.make<Link>(sim, "acc.s.rev" + std::to_string(i),
+                              config.access, side,
+                              static_cast<PacketHandler*>(snd), spacket)
+             : sim.make<Link>(sim, "acc.s.rev" + std::to_string(i),
+                              config.access, side, big_fifo(sim), snd,
+                              spacket);
+    Link* rcv_rev =
+        fast ? sim.make<Link>(sim, "acc.r.rev" + std::to_string(i),
+                              config.access, side,
+                              static_cast<PacketHandler*>(router_r_), spacket)
+             : sim.make<Link>(sim, "acc.r.rev" + std::to_string(i),
+                              config.access, side, big_fifo(sim), router_r_,
+                              spacket);
+    if (fast) {
+      snd_fwd->set_fused(true);
+      rcv_fwd->set_fused(true);
+    }
 
     snd->set_default_route(snd_fwd);
     rcv->set_default_route(rcv_rev);
@@ -165,8 +220,22 @@ void ScenarioWorkspace::build(const ScenarioConfig& config,
     router_r_->add_route(rcv_id, rcv_fwd);
     router_r_->add_route(snd_id, bottleneck_rev);
 
-    connections_.push_back(
-        make_tcp_connection(sim, *snd, *rcv, /*flow=*/i, config.tcp));
+    connections_.push_back(make_tcp_connection(
+        sim, *snd, *rcv, /*flow=*/i, config.tcp, &sender_hot_[i],
+        &receiver_hot_[i],
+        // Fast path: a per-flow link carries exactly one flow, so every hop
+        // it feeds resolves to one handler — wire the agents and links
+        // point-to-point and skip the Node dispatch on both edge rows. The
+        // routers keep their tables (the bottleneck fan-out and the reverse
+        // chain handoff still resolve through them); packet timings, queue
+        // decisions, and events are untouched by call-path shortcuts.
+        fast ? snd_fwd : nullptr, fast ? rcv_rev : nullptr));
+    if (fast) {
+      snd_fwd->set_downstream(bottleneck_);
+      rcv_fwd->set_downstream(connections_.back().receiver);
+      rcv_rev->set_downstream(bottleneck_rev);
+      snd_rev->set_downstream(connections_.back().sender);
+    }
   }
   router_s_->add_route(router_r_id, bottleneck_);
 
@@ -175,6 +244,7 @@ void ScenarioWorkspace::build(const ScenarioConfig& config,
     auto* cross_node = sim.make<Node>(cross_id, "cross", sim.memory());
     auto* cross_link = sim.make<Link>(sim, "acc.cross", config.access, ms(1),
                                       big_fifo(sim), router_s_, spacket);
+    if (fast) cross_link->set_fused(true);
     cross_node->set_default_route(cross_link);
     // 50% duty cycle: peak rate of twice the requested average.
     cross_traffic_ = sim.make<OnOffSource>(
@@ -193,9 +263,26 @@ void ScenarioWorkspace::build(const ScenarioConfig& config,
         attacker_access =
             std::max(config.access, 2.0 * sub_trains[a].rattack);
       }
-      auto* attack_link = sim.make<Link>(
-          sim, "acc.attacker" + std::to_string(a), attacker_access, ms(1),
-          big_fifo(sim), router_s_, attack->packet_bytes);
+      // Fast path: with the access link at least as fast as the pulse rate
+      // it can never queue or drop, so it gets the express lane and the
+      // attacker injects each burst in one batched event instead of one
+      // event per packet (timings are identical either way).
+      const bool express_attack =
+          fast && attacker_access >= sub_trains[a].rattack;
+      Link* attack_link =
+          express_attack
+              ? sim.make<Link>(sim, "acc.attacker" + std::to_string(a),
+                               attacker_access, ms(1),
+                               static_cast<PacketHandler*>(router_s_),
+                               attack->packet_bytes)
+              : sim.make<Link>(sim, "acc.attacker" + std::to_string(a),
+                               attacker_access, ms(1), big_fifo(sim),
+                               router_s_, attack->packet_bytes);
+      if (fast && !express_attack) attack_link->set_fused(true);
+      // Every attack packet is bound for routerR across the bottleneck, so
+      // the fast path hands deliveries straight to the bottleneck link
+      // instead of bouncing through routerS's route table.
+      if (fast) attack_link->set_downstream(bottleneck_);
       attacker_node->set_default_route(attack_link);
       // Attack packets are addressed to routerR, which has no agent for
       // their flow id and therefore sinks them — after they have crossed
@@ -203,6 +290,7 @@ void ScenarioWorkspace::build(const ScenarioConfig& config,
       attackers_.push_back(
           sim.make<PulseAttacker>(sim, sub_trains[a], node_id, router_r_id,
                                   attacker_node, FlowId{-1000 - a}));
+      if (express_attack) attackers_.back()->set_express_lane(attack_link);
     }
   }
 }
@@ -223,6 +311,8 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
   router_r_ = nullptr;
   bottleneck_ = nullptr;
   cross_traffic_ = nullptr;
+  sender_hot_ = nullptr;
+  receiver_hot_ = nullptr;
   connections_.clear();
   attackers_.clear();
   build(config, attack);
@@ -252,6 +342,9 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
   } sampler_ctx{bottleneck_, sim_, result, control,
                 dynamic_cast<const RedQueue*>(&bottleneck_->queue())};
   Timer sampler(sim_.scheduler(), [ctx = &sampler_ctx] {
+    // Lazy fused links drain analytically between packets; flush services
+    // completed by now so the occupancy sample matches the eager schedule.
+    ctx->bottleneck->settle();
     ctx->result.queue_occupancy.push_back(
         static_cast<double>(ctx->bottleneck->queue().length()));
     ctx->result.red_avg_samples.push_back(
@@ -263,12 +356,14 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
   sampler_ctx.timer = &sampler;
   sampler.schedule_in(0.0);
 
-  // Per-flow delivery jitter (§2.3's "increase in jitter").
-  jitter_.assign(connections_.size(), JitterMeter{});
+  // Per-flow delivery jitter (§2.3's "increase in jitter"), kept in the
+  // hub's flat meter table: one O(1) JitterMeter update per in-order
+  // delivery, no allocation on the per-packet path.
+  arrivals.register_flows(connections_.size());
   for (std::size_t i = 0; i < connections_.size(); ++i) {
     connections_[i].receiver->set_delivery_tracer(
-        [&jitter = jitter_, i](Time t, std::int64_t) {
-          jitter[i].observe(t);
+        [hub = &arrivals, i](Time t, std::int64_t) {
+          hub->on_delivery(i, t);
         });
   }
 
@@ -321,16 +416,14 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
                                result.per_flow_goodput.end());
     result.fairness_index = jain_fairness_index(shares);
   }
-  for (const auto& meter : jitter_) {
-    result.mean_delivery_jitter += meter.smoothed_jitter();
-  }
-  result.mean_delivery_jitter /= static_cast<double>(jitter_.size());
+  result.mean_delivery_jitter = arrivals.mean_smoothed_jitter();
   result.goodput_rate =
       static_cast<double>(result.goodput_bytes) * 8.0 / control.measure;
   result.utilization = result.goodput_rate / config.bottleneck;
   result.incoming_bins = arrivals.incoming_bins_until(control.horizon());
   result.attack_bins = arrivals.attack_bins_until(control.horizon());
   result.bin_width = control.bin_width;
+  bottleneck_->settle();  // flush lazy services so dequeue counts are current
   result.bottleneck_queue = bottleneck_->queue().stats();
   if (const auto* red =
           dynamic_cast<const RedQueue*>(&bottleneck_->queue())) {

@@ -24,7 +24,6 @@
 #include "core/params.hpp"
 #include "net/queue.hpp"
 #include "net/red.hpp"
-#include "stats/jitter.hpp"
 #include "tcp/connection.hpp"
 #include "tcp/tcp_sender.hpp"
 #include "util/units.hpp"
@@ -60,6 +59,14 @@ struct ScenarioConfig {
   /// 0 disables it (the paper's scenarios).
   BitRate cross_traffic_rate = 0.0;
   std::uint64_t seed = 1;
+  /// Large-scale event plumbing (DESIGN.md §11): reverse-path links become
+  /// queue-less express ACK lanes and forward links fuse idle serves into
+  /// zero service events. Packet-level behaviour (timings, drops, RNG
+  /// draws) is unchanged, but the scheduler's event count and tie-break
+  /// rank stream are not — and the golden figure digests pin event counts —
+  /// so this is opt-in and the paper scenarios leave it off. A scenario
+  /// that installs reverse-path queues or taps must also leave it off.
+  bool fast_path = false;
 
   /// §4.1 ns-2 scenario. The paper reuses Kuzmanovic & Knightly's scripts;
   /// parameters it does not restate (buffer size, RED thresholds) follow
@@ -69,6 +76,15 @@ struct ScenarioConfig {
 
   /// §4.2 test-bed scenario.
   static ScenarioConfig testbed(int num_flows = 10);
+
+  /// Beyond-the-paper scaling family (DESIGN.md §11): the ns-2 dumbbell
+  /// stretched to `num_flows` victims on a `bottleneck` of up to 1 Gbps,
+  /// with the buffer scaled in proportion to the rate (240 packets at
+  /// 15 Mbps) so the queueing dynamics stay comparable. Enables
+  /// `fast_path`: the express ACK lane and event fusion, which leave
+  /// packet-level behaviour untouched.
+  static ScenarioConfig large_scale(int num_flows,
+                                    BitRate bottleneck = gbps(1));
 
   void validate() const;
 
@@ -169,9 +185,12 @@ class ScenarioWorkspace {
   std::vector<TcpConnection> connections_;
   std::vector<PulseAttacker*> attackers_;
   OnOffSource* cross_traffic_ = nullptr;
+  // Flat hot-state tables (tcp/flow_state.hpp), one slot per flow, laid out
+  // contiguously in the simulator arena by build().
+  TcpSenderHot* sender_hot_ = nullptr;
+  TcpReceiverHot* receiver_hot_ = nullptr;
   // Per-run scratch, cleared (not freed) between runs.
   std::vector<Bytes> goodput_marks_;
-  std::vector<JitterMeter> jitter_;
 };
 
 /// Build and run one scenario. If `attack` is set, the pulse train starts

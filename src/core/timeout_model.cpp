@@ -74,8 +74,19 @@ double timeout_bound_flow_packets(const AimdParams& aimd, Time t_aimd,
   const Time available = t_aimd - params.min_rto;
   if (available <= 0.0) return 0.0;  // pinned: retransmission meets a pulse
   // Slow start from one segment: after k RTTs, 2^k - 1 segments are out.
+  // The exponential is clamped at 2^40 (any larger count is cut off by the
+  // share cap anyway); at or beyond the clamp, and for whole-RTT exponents,
+  // the power of two is exact, so std::ldexp replaces the libm pow() call.
+  // Fractional exponents keep std::pow: generic 2^x routines round the last
+  // ulp differently, and the analytic gain columns are digest-pinned.
   const double rtts = available / rtt;
-  const double raw = std::pow(2.0, std::min(rtts, 40.0)) - 1.0;
+  if (rtts >= 40.0) {
+    return std::min(std::ldexp(1.0, 40) - 1.0, share_cap_packets);
+  }
+  const double whole = std::floor(rtts);
+  const double raw = whole == rtts
+                         ? std::ldexp(1.0, static_cast<int>(whole)) - 1.0
+                         : std::pow(2.0, rtts) - 1.0;
   return std::min(raw, share_cap_packets);
 }
 

@@ -39,6 +39,20 @@ class Node : public PacketHandler {
   /// Fallback next hop for destinations with no explicit route.
   void set_default_route(PacketHandler* via) { default_route_ = via; }
 
+  /// The hop handle() would forward a packet for `dst` to, without touching
+  /// the packet: the explicit route, else the default route, else null —
+  /// and null for the node itself (local delivery is not a hop). Express
+  /// chain handoff (Link::chain_via, DESIGN.md §11) uses this to skip the
+  /// router's delivery event when the next hop is another express lane.
+  PacketHandler* peek_route(NodeId dst) const {
+    if (dst == id_) return nullptr;
+    PacketHandler* via =
+        dst >= 0 && static_cast<std::size_t>(dst) < routes_.size()
+            ? routes_[static_cast<std::size_t>(dst)]
+            : nullptr;
+    return via != nullptr ? via : default_route_;
+  }
+
   /// Attach a local agent for packets addressed to this node on `flow`.
   void attach(FlowId flow, PacketHandler* agent);
   void detach(FlowId flow);

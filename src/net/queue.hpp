@@ -46,6 +46,18 @@ class QueueDiscipline {
   /// when a packet is buffered, so the hot path never pays for an optional.
   virtual Packet dequeue_nonempty() = 0;
 
+  /// Same, but the caller names the virtual time the service begins. Lazy
+  /// fused links (DESIGN.md §11) replay queued services after the fact, so
+  /// the wall clock at the call is later than the serialization boundary
+  /// the dequeue logically happens at; disciplines whose state depends on
+  /// the dequeue instant (RED's idle-decay origin) override this and use
+  /// `service_start` instead of the clock. Time-free disciplines inherit
+  /// the plain dequeue.
+  virtual Packet dequeue_nonempty_at(Time service_start) {
+    (void)service_start;
+    return dequeue_nonempty();
+  }
+
   /// Remove and return the head-of-line packet, or nullopt when empty.
   std::optional<Packet> dequeue() {
     if (length() == 0) return std::nullopt;

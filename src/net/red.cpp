@@ -112,11 +112,18 @@ bool RedQueue::enqueue(Packet pkt) {
 }
 
 Packet RedQueue::dequeue_nonempty() {
+  return dequeue_nonempty_at(clock_ != nullptr ? clock_->now() : 0.0);
+}
+
+Packet RedQueue::dequeue_nonempty_at(Time service_start) {
   Packet pkt = buffer_.pop_front();
   ++stats_.dequeued;
   if (buffer_.empty()) {
+    // The idle interval the next arrival decays over starts when service of
+    // the last buffered packet begins, which is the time the caller hands
+    // in — under lazy fusion the wall clock has already moved past it.
     idle_ = true;
-    idle_start_ = clock_ != nullptr ? clock_->now() : 0.0;
+    idle_start_ = service_start;
   }
   return pkt;
 }

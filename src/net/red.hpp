@@ -46,6 +46,7 @@ class RedQueue : public QueueDiscipline {
 
   bool enqueue(Packet pkt) override;
   Packet dequeue_nonempty() override;
+  Packet dequeue_nonempty_at(Time service_start) override;
   std::size_t length() const override { return buffer_.size(); }
   std::size_t capacity() const override { return params_.capacity; }
 

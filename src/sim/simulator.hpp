@@ -80,6 +80,26 @@ class Simulator {
     return raw;
   }
 
+  /// Construct a contiguous array of `n` components in one arena block —
+  /// the flat hot-state tables (`TcpSenderHot` et al.) the large-scale
+  /// scenarios iterate. Every element is constructed from the same `args`;
+  /// lifetime matches `make<T>` (destroyed, in reverse order, by the next
+  /// `reset()` or the destructor).
+  template <typename T, typename... Args>
+  T* make_array(std::size_t n, const Args&... args) {
+    PDOS_REQUIRE(n > 0, "Simulator::make_array: need n > 0");
+    void* storage = arena_.allocate(n * sizeof(T), alignof(T));
+    T* base = static_cast<T*>(storage);
+    for (std::size_t i = 0; i < n; ++i) {
+      T* raw = ::new (static_cast<void*>(base + i)) T(args...);
+      if constexpr (!std::is_trivially_destructible_v<T>) {
+        dtors_.push_back(
+            Dtor{[](void* p) { static_cast<T*>(p)->~T(); }, raw});
+      }
+    }
+    return base;
+  }
+
   /// The arena components and their internal containers live in. Pass to
   /// pmr-aware members (`Ring`, route tables, reorder buffers) so a
   /// component's working set shares the component's own blocks.

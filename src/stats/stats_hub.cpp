@@ -47,4 +47,11 @@ std::vector<double> StatsHub::attack_bins_until(Time until) const {
   return attack_.bins_until(until, bin_width_);
 }
 
+Time StatsHub::mean_smoothed_jitter() const {
+  if (meters_.empty()) return 0.0;
+  Time total = 0.0;
+  for (const auto& meter : meters_) total += meter.smoothed_jitter();
+  return total / static_cast<double>(meters_.size());
+}
+
 }  // namespace pdos

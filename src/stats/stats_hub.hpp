@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "stats/jitter.hpp"
 #include "util/units.hpp"
 
 namespace pdos {
@@ -46,6 +47,24 @@ class StatsHub {
   std::vector<double> incoming_bins_until(Time until) const;
   std::vector<double> attack_bins_until(Time until) const;
 
+  /// Size the per-flow delivery meters; flow indices are [0, n). Called
+  /// once at run setup — the only allocation the per-flow path ever makes.
+  void register_flows(std::size_t n) { meters_.assign(n, JitterMeter{}); }
+
+  /// Hot path, called from a receiver's delivery tracer: one O(1)
+  /// JitterMeter update into the flat meter table, no allocation, no
+  /// bounds growth. `flow` must be < the registered count.
+  void on_delivery(std::size_t flow, Time t) { meters_[flow].observe(t); }
+
+  /// Mean over registered flows of the RFC 3550 smoothed delivery jitter
+  /// (0 when no flows are registered).
+  Time mean_smoothed_jitter() const;
+
+  const JitterMeter& flow_meter(std::size_t flow) const {
+    return meters_[flow];
+  }
+  std::size_t registered_flows() const { return meters_.size(); }
+
   Time bin_width() const { return bin_width_; }
 
  private:
@@ -69,6 +88,7 @@ class StatsHub {
   Time bin_width_;
   Channel incoming_;
   Channel attack_;
+  std::vector<JitterMeter> meters_;  // one per registered flow
 };
 
 }  // namespace pdos

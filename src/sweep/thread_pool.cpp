@@ -39,8 +39,9 @@ ThreadPool::~ThreadPool() {
   for (auto& thread : threads_) thread.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  PDOS_REQUIRE(task != nullptr, "ThreadPool: cannot submit a null task");
+void ThreadPool::submit(InlineFn task) {
+  PDOS_REQUIRE(static_cast<bool>(task),
+               "ThreadPool: cannot submit an empty task");
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     PDOS_REQUIRE(!stopping_, "ThreadPool: submit after shutdown");
@@ -58,19 +59,16 @@ void ThreadPool::submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
-bool ThreadPool::try_pop_locked(std::size_t self,
-                                std::function<void()>& task) {
+bool ThreadPool::try_pop_locked(std::size_t self, InlineFn& task) {
   auto& own = workers_[self].tasks;
   if (!own.empty()) {
-    task = std::move(own.front());
-    own.pop_front();
+    task = own.pop_front();
     return true;
   }
   for (std::size_t off = 1; off < workers_.size(); ++off) {
     auto& victim = workers_[(self + off) % workers_.size()].tasks;
     if (!victim.empty()) {
-      task = std::move(victim.back());  // steal the coldest task
-      victim.pop_back();
+      task = victim.pop_front();  // steal the oldest (coldest) task
       return true;
     }
   }
@@ -82,7 +80,7 @@ void ThreadPool::worker_loop(std::size_t index) {
   tl_worker = index;
   std::unique_lock<std::mutex> lock(state_mutex_);
   for (;;) {
-    std::function<void()> task;
+    InlineFn task;
     if (try_pop_locked(index, task)) {
       --queued_;
       lock.unlock();

@@ -3,11 +3,18 @@
 // Simulations are CPU-bound and embarrassingly parallel — every sweep
 // point is an independent `Simulator` with its own seed — so the pool is
 // optimized for coarse tasks (milliseconds to seconds each), not
-// micro-tasks: each worker owns a deque protected by a small mutex, pops
-// from the front of its own deque (LIFO-ish locality for nested submits),
-// and steals from the back of a victim's deque when it runs dry. External
-// submits are distributed round-robin; submits from inside a worker go to
-// that worker's own deque, so task trees stay mostly local.
+// micro-tasks: each worker owns a ring protected by a small mutex, pops
+// from the front of its own ring, and steals from the front of a victim's
+// ring (the oldest, coldest task) when it runs dry. External submits are
+// distributed round-robin; submits from inside a worker go to that
+// worker's own ring, so task trees stay mostly local.
+//
+// Tasks are `InlineFn`s — the same fixed-capacity inline closure as
+// scheduler events — so a submitted task is a 48-byte ring slot, not a
+// heap-held std::function: once each worker's ring has grown to its
+// high-water mark, the submit/pop/steal cycle performs zero allocations.
+// A task capturing more than kInlineFnCapacity bytes is a compile error;
+// sweep tasks capture a handful of pointers (see parallel_for).
 //
 // The pool never touches simulation state: determinism is the caller's
 // job (seed every task up front; write results into pre-sized slots).
@@ -15,11 +22,13 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "net/packet_ring.hpp"
+#include "sim/event.hpp"
 
 namespace pdos::sweep {
 
@@ -37,9 +46,10 @@ class ThreadPool {
   /// Number of worker threads.
   int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueue a task. Thread-safe; callable from worker threads (nested
-  /// submits land on the submitting worker's own deque).
-  void submit(std::function<void()> task);
+  /// Enqueue a task (any callable whose captures fit kInlineFnCapacity).
+  /// Thread-safe; callable from worker threads (nested submits land on the
+  /// submitting worker's own ring).
+  void submit(InlineFn task);
 
   /// Block until every submitted task (including tasks submitted by other
   /// tasks) has finished. Must not be called from a worker thread.
@@ -49,16 +59,16 @@ class ThreadPool {
   static int default_threads();
 
  private:
-  // One deque per worker; all guarded by state_mutex_. Tasks are coarse
+  // One ring per worker; all guarded by state_mutex_. Tasks are coarse
   // (whole simulations), so a single lock is cheaper than getting lock-free
   // deques right — the *stealing policy* is what matters for balance.
   struct Worker {
-    std::deque<std::function<void()>> tasks;
+    Ring<InlineFn> tasks;
   };
 
-  // Pop from own front, else steal from a victim's back. Caller holds
-  // state_mutex_.
-  bool try_pop_locked(std::size_t self, std::function<void()>& task);
+  // Pop from own front, else steal the oldest task from a victim. Caller
+  // holds state_mutex_.
+  bool try_pop_locked(std::size_t self, InlineFn& task);
   void worker_loop(std::size_t index);
 
   std::vector<Worker> workers_;

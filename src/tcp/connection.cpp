@@ -3,17 +3,25 @@
 namespace pdos {
 
 TcpConnection make_tcp_connection(Simulator& sim, Node& src, Node& dst,
-                                  FlowId flow,
-                                  TcpSenderConfig sender_config) {
+                                  FlowId flow, TcpSenderConfig sender_config,
+                                  TcpSenderHot* sender_hot,
+                                  TcpReceiverHot* receiver_hot,
+                                  PacketHandler* sender_out,
+                                  PacketHandler* receiver_out) {
   TcpReceiverConfig receiver_config;
   receiver_config.delack_factor = sender_config.aimd.d;
   receiver_config.mss = sender_config.mss;
   receiver_config.ack_bytes = sender_config.header_bytes;
 
-  auto* sender = sim.make<TcpSender>(sim, flow, src.id(), dst.id(), &src,
-                                     sender_config);
-  auto* receiver = sim.make<TcpReceiver>(sim, flow, dst.id(), src.id(), &dst,
-                                         receiver_config);
+  auto* sender = sim.make<TcpSender>(
+      sim, flow, src.id(), dst.id(),
+      sender_out != nullptr ? sender_out : static_cast<PacketHandler*>(&src),
+      sender_config, sender_hot);
+  auto* receiver = sim.make<TcpReceiver>(
+      sim, flow, dst.id(), src.id(),
+      receiver_out != nullptr ? receiver_out
+                              : static_cast<PacketHandler*>(&dst),
+      receiver_config, receiver_hot);
   src.attach(flow, sender);
   dst.attach(flow, receiver);
   return TcpConnection{flow, sender, receiver};

@@ -1,0 +1,72 @@
+// Hot per-flow TCP state, split from the cold sender/receiver objects.
+//
+// A thousand-flow scenario touches every flow's congestion state on every
+// ACK; with the state embedded in full TcpSender/TcpReceiver objects those
+// touches are scattered across the arena between config blocks, stats
+// counters, node tables and strings. The hot structs below carry exactly
+// the fields the per-packet path reads and writes — window state, sequence
+// state, RTT estimator, timer handles — and are sized to at most two cache
+// lines each (static_assert'd), so `core/experiment` can lay all N of them
+// out in flat per-class arrays (`Simulator::make_array`) and the working
+// set of the ACK clock becomes N * <=128 contiguous bytes per class.
+//
+// The cold halves (TcpSenderConfig, stats counters, tracers, node wiring)
+// stay in the component objects, which hold a pointer to their hot slot.
+// Components built without an external slot (unit tests, hand-built
+// topologies) fall back to an embedded slot — behaviour is identical either
+// way, layout is not.
+#pragma once
+
+#include <cstdint>
+#include <memory_resource>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+
+/// Sender-side per-ACK state: one cache line of scalars plus the RTO event
+/// handle. `rto_event` replaces a Timer member — the closure lives with the
+/// cold sender, only the generation-tagged id rides the hot line.
+struct TcpSenderHot {
+  double cwnd = 0.0;            // congestion window, segments
+  double ssthresh = 0.0;        // slow-start threshold, segments
+  std::int64_t snd_una = 0;     // lowest unacknowledged segment
+  std::int64_t next_seq = 0;    // next new segment to transmit
+  std::int64_t recover = -1;    // highest segment sent at loss detection
+  Time srtt = 0.0;              // RFC 6298 smoothed RTT
+  Time rttvar = 0.0;            // RFC 6298 RTT variance
+  Time rto = 0.0;               // current retransmission timeout
+  EventId rto_event = kInvalidEventId;
+  std::int32_t dupack_count = 0;
+  std::int32_t backoff = 1;     // exponential backoff multiplier
+  bool started = false;
+  bool in_fast_recovery = false;
+  bool have_rtt_sample = false;
+};
+static_assert(sizeof(TcpSenderHot) <= 128,
+              "TcpSenderHot must fit two cache lines");
+
+/// Receiver-side per-segment state: cumulative point, delayed-ACK ledger,
+/// and the (usually empty) out-of-order buffer. The reorder vector's
+/// inline header rides the hot line; its spill storage comes from the
+/// simulator arena and is only touched during loss episodes.
+struct TcpReceiverHot {
+  explicit TcpReceiverHot(std::pmr::memory_resource* memory =
+                              std::pmr::get_default_resource())
+      : reorder_buffer(memory) {}
+
+  std::int64_t next_expected = 0;  // next in-order segment index
+  Bytes goodput_bytes = 0;         // unique delivered payload bytes
+  Time pending_ts_echo = 0.0;      // timestamp to echo on the next ACK
+  EventId delack_event = kInvalidEventId;
+  std::int32_t unacked_segments = 0;  // in-order segments since last ACK
+  // Out-of-order segment numbers, sorted DESCENDING so the smallest — the
+  // only one the drain loop inspects — sits at the back.
+  std::pmr::vector<std::int64_t> reorder_buffer;
+};
+static_assert(sizeof(TcpReceiverHot) <= 128,
+              "TcpReceiverHot must fit two cache lines");
+
+}  // namespace pdos

@@ -15,42 +15,51 @@ void TcpReceiverConfig::validate() const {
 }
 
 TcpReceiver::TcpReceiver(Simulator& sim, FlowId flow, NodeId self, NodeId peer,
-                         PacketHandler* out, TcpReceiverConfig config)
+                         PacketHandler* out, TcpReceiverConfig config,
+                         TcpReceiverHot* hot)
     : sim_(sim),
       flow_(flow),
       self_(self),
       peer_(peer),
       out_(out),
       config_(config),
-      reorder_buffer_(sim.memory()),
-      delack_timer_(sim.scheduler(), [this] {
-        if (unacked_segments_ > 0) send_ack(pending_ts_echo_);
-      }) {
+      hot_(hot != nullptr ? hot : &fallback_hot_),
+      fallback_hot_(sim.memory()) {
   PDOS_REQUIRE(out != nullptr, "TcpReceiver: out handler must be non-null");
   config_.validate();
+  // Reset the slot field-by-field: the reorder buffer keeps whatever memory
+  // resource it was constructed over (the arena for flat-array slots).
+  hot_->next_expected = 0;
+  hot_->goodput_bytes = 0;
+  hot_->pending_ts_echo = 0.0;
+  hot_->delack_event = kInvalidEventId;
+  hot_->unacked_segments = 0;
+  hot_->reorder_buffer.clear();
 }
+
+TcpReceiver::~TcpReceiver() { disarm_delack(); }
 
 void TcpReceiver::handle(Packet pkt) {
   PDOS_CHECK(pkt.type == PacketType::kTcpData);
   ++stats_.segments_received;
 
-  if (pkt.seq == next_expected_) {
+  auto& reorder = hot_->reorder_buffer;
+  if (pkt.seq == hot_->next_expected) {
     // In-order: deliver it plus any contiguous buffered segments.
     std::int64_t advanced = 1;
-    ++next_expected_;
-    while (!reorder_buffer_.empty() &&
-           reorder_buffer_.back() == next_expected_) {
-      reorder_buffer_.pop_back();  // descending order: smallest at the back
-      ++next_expected_;
+    ++hot_->next_expected;
+    while (!reorder.empty() && reorder.back() == hot_->next_expected) {
+      reorder.pop_back();  // descending order: smallest at the back
+      ++hot_->next_expected;
       ++advanced;
     }
-    goodput_bytes_ += advanced * config_.mss;
+    hot_->goodput_bytes += advanced * config_.mss;
     if (delivery_tracer_) delivery_tracer_(sim_.now(), advanced);
 
-    pending_ts_echo_ = pkt.ts_echo;
-    unacked_segments_ += static_cast<int>(advanced);
-    const bool filled_gap = !reorder_buffer_.empty() || advanced > 1;
-    if (filled_gap || unacked_segments_ >= config_.delack_factor) {
+    hot_->pending_ts_echo = pkt.ts_echo;
+    hot_->unacked_segments += static_cast<std::int32_t>(advanced);
+    const bool filled_gap = !reorder.empty() || advanced > 1;
+    if (filled_gap || hot_->unacked_segments >= config_.delack_factor) {
       // RFC 5681: ACK immediately when filling a hole or every d segments.
       send_ack(pkt.ts_echo);
     } else {
@@ -59,14 +68,13 @@ void TcpReceiver::handle(Packet pkt) {
     return;
   }
 
-  if (pkt.seq > next_expected_) {
+  if (pkt.seq > hot_->next_expected) {
     // Gap: buffer (deduplicated) and emit an immediate duplicate ACK.
     ++stats_.out_of_order;
-    const auto it =
-        std::lower_bound(reorder_buffer_.begin(), reorder_buffer_.end(),
-                         pkt.seq, std::greater<std::int64_t>());
-    if (it == reorder_buffer_.end() || *it != pkt.seq) {
-      reorder_buffer_.insert(it, pkt.seq);
+    const auto it = std::lower_bound(reorder.begin(), reorder.end(), pkt.seq,
+                                     std::greater<std::int64_t>());
+    if (it == reorder.end() || *it != pkt.seq) {
+      reorder.insert(it, pkt.seq);
     }
     send_ack(pkt.ts_echo);
     return;
@@ -80,25 +88,35 @@ void TcpReceiver::handle(Packet pkt) {
 
 void TcpReceiver::send_ack(Time ts_echo) {
   disarm_delack();
-  unacked_segments_ = 0;
+  hot_->unacked_segments = 0;
   Packet ack;
   ack.type = PacketType::kTcpAck;
   ack.flow = flow_;
   ack.src = self_;
   ack.dst = peer_;
   ack.size_bytes = config_.ack_bytes;
-  ack.ack = next_expected_;
-  ack.seq = next_expected_;
+  ack.ack = hot_->next_expected;
+  ack.seq = hot_->next_expected;
   ack.ts_echo = ts_echo;
   ++stats_.acks_sent;
   out_->handle(std::move(ack));
 }
 
 void TcpReceiver::arm_delack() {
-  if (delack_timer_.pending()) return;  // timer already running
-  delack_timer_.schedule_in(config_.delack_timeout);
+  if (hot_->delack_event != kInvalidEventId) return;  // already running
+  // Timer inlined onto the hot line: the armed closure marks the slot idle
+  // before firing so the callback may re-arm.
+  hot_->delack_event =
+      sim_.schedule(config_.delack_timeout, [this] {
+        hot_->delack_event = kInvalidEventId;
+        if (hot_->unacked_segments > 0) send_ack(hot_->pending_ts_echo);
+      });
 }
 
-void TcpReceiver::disarm_delack() { delack_timer_.stop(); }
+void TcpReceiver::disarm_delack() {
+  if (hot_->delack_event == kInvalidEventId) return;
+  sim_.scheduler().cancel(hot_->delack_event);
+  hot_->delack_event = kInvalidEventId;
+}
 
 }  // namespace pdos

@@ -5,14 +5,18 @@
 // segments trigger an immediate ACK (which the sender counts as a duplicate
 // when it does not advance). Goodput is counted in unique delivered payload
 // bytes, which is what the paper's throughput Ψ measures.
+//
+// Layout: per-segment mutable state (cumulative point, delayed-ACK ledger,
+// reorder buffer) lives in a `TcpReceiverHot` slot (tcp/flow_state.hpp);
+// scenario builders pass a slot from a flat per-class array, standalone
+// construction falls back to the embedded slot.
 #pragma once
 
 #include <cstdint>
-#include <memory_resource>
-#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "tcp/flow_state.hpp"
 #include "util/units.hpp"
 
 namespace pdos {
@@ -42,15 +46,21 @@ struct TcpReceiverStats {
 
 class TcpReceiver : public PacketHandler {
  public:
+  /// `hot`, when non-null, is the externally owned hot-state slot (a flat
+  /// array element, constructed over the simulator arena); it is reset here.
+  /// Null uses the embedded fallback slot.
   TcpReceiver(Simulator& sim, FlowId flow, NodeId self, NodeId peer,
-              PacketHandler* out, TcpReceiverConfig config = {});
+              PacketHandler* out, TcpReceiverConfig config = {},
+              TcpReceiverHot* hot = nullptr);
+
+  ~TcpReceiver();
 
   void handle(Packet pkt) override;
 
   /// Unique payload bytes delivered in order to the application.
-  Bytes goodput_bytes() const { return goodput_bytes_; }
+  Bytes goodput_bytes() const { return hot_->goodput_bytes; }
   /// Next expected segment index (== count of in-order segments delivered).
-  std::int64_t next_expected() const { return next_expected_; }
+  std::int64_t next_expected() const { return hot_->next_expected; }
   const TcpReceiverStats& stats() const { return stats_; }
 
   /// Invoked as (time, new_in_order_segments) on each in-order advance.
@@ -70,18 +80,8 @@ class TcpReceiver : public PacketHandler {
   PacketHandler* out_;
   TcpReceiverConfig config_;
 
-  std::int64_t next_expected_ = 0;
-  // Out-of-order segment numbers, sorted DESCENDING so the smallest — the
-  // only one the drain loop inspects — sits at the back. A handful of
-  // segments at worst, so the insert shift is trivial; storage rides the
-  // simulator's arena and its capacity survives the occupancy cycle, unlike
-  // the std::set node churn it replaces.
-  std::pmr::vector<std::int64_t> reorder_buffer_;
-  Bytes goodput_bytes_ = 0;
-
-  int unacked_segments_ = 0;   // in-order segments since the last ACK
-  Time pending_ts_echo_ = 0.0;  // timestamp to echo on the next ACK
-  Timer delack_timer_;
+  TcpReceiverHot* hot_;      // external flat-array slot, or &fallback_hot_
+  TcpReceiverHot fallback_hot_;
 
   TcpReceiverStats stats_;
   DeliveryTracer delivery_tracer_;

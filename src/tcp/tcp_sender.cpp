@@ -40,35 +40,39 @@ void TcpSenderConfig::validate() const {
 }
 
 TcpSender::TcpSender(Simulator& sim, FlowId flow, NodeId self, NodeId peer,
-                     PacketHandler* out, TcpSenderConfig config)
+                     PacketHandler* out, TcpSenderConfig config,
+                     TcpSenderHot* hot)
     : sim_(sim),
       flow_(flow),
       self_(self),
       peer_(peer),
       out_(out),
       config_(config),
-      cwnd_(config.initial_cwnd),
-      ssthresh_(config.initial_ssthresh),
-      rto_(config.initial_rto),
-      rto_timer_(sim.scheduler(), [this] { on_timeout(); }) {
+      hot_(hot != nullptr ? hot : &fallback_hot_) {
   PDOS_REQUIRE(out != nullptr, "TcpSender: out handler must be non-null");
   config_.validate();
+  *hot_ = TcpSenderHot{};
+  hot_->cwnd = config_.initial_cwnd;
+  hot_->ssthresh = config_.initial_ssthresh;
+  hot_->rto = config_.initial_rto;
 }
 
+TcpSender::~TcpSender() { disarm_rto(); }
+
 void TcpSender::start(Time when) {
-  PDOS_CHECK_MSG(!started_, "TcpSender started twice");
-  started_ = true;
+  PDOS_CHECK_MSG(!hot_->started, "TcpSender started twice");
+  hot_->started = true;
   sim_.schedule_at(when, [this] { send_available(); });
 }
 
 std::int64_t TcpSender::window() const {
-  const double w = std::min(cwnd_, config_.max_cwnd);
+  const double w = std::min(hot_->cwnd, config_.max_cwnd);
   return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::floor(w)));
 }
 
 void TcpSender::handle(Packet pkt) {
   PDOS_CHECK(pkt.type == PacketType::kTcpAck);
-  if (pkt.ack > snd_una_) {
+  if (pkt.ack > hot_->snd_una) {
     ++stats_.acks_received;
     on_new_ack(pkt);
   } else if (in_flight() > 0) {
@@ -80,15 +84,16 @@ void TcpSender::handle(Packet pkt) {
 }
 
 void TcpSender::on_new_ack(const Packet& pkt) {
-  const std::int64_t newly_acked = pkt.ack - snd_una_;
-  snd_una_ = pkt.ack;
+  const std::int64_t newly_acked = pkt.ack - hot_->snd_una;
+  hot_->snd_una = pkt.ack;
   sample_rtt(pkt);
-  backoff_ = 1;  // forward progress clears exponential backoff
+  hot_->backoff = 1;  // forward progress clears exponential backoff
 
-  if (in_fast_recovery_) {
+  if (hot_->in_fast_recovery) {
     // Reno deflates on the first new ACK regardless; NewReno stays in
     // recovery until the loss-time window is fully acknowledged (RFC 3782).
-    if (config_.variant == TcpVariant::kReno || snd_una_ > recover_) {
+    if (config_.variant == TcpVariant::kReno ||
+        hot_->snd_una > hot_->recover) {
       exit_fast_recovery();
     } else {
       on_partial_ack(newly_acked);
@@ -96,7 +101,7 @@ void TcpSender::on_new_ack(const Packet& pkt) {
       return;
     }
   } else {
-    dupack_count_ = 0;
+    hot_->dupack_count = 0;
   }
 
   // Window growth: one increase step per new ACK. Delayed ACKs (one ACK per
@@ -111,23 +116,24 @@ void TcpSender::on_new_ack(const Packet& pkt) {
 }
 
 void TcpSender::open_window_per_ack() {
-  if (cwnd_ < ssthresh_) {
-    cwnd_ = std::min(cwnd_ + 1.0, config_.max_cwnd);  // slow start
+  if (hot_->cwnd < hot_->ssthresh) {
+    hot_->cwnd = std::min(hot_->cwnd + 1.0, config_.max_cwnd);  // slow start
   } else {
-    cwnd_ = std::min(cwnd_ + config_.aimd.a / cwnd_, config_.max_cwnd);
+    hot_->cwnd =
+        std::min(hot_->cwnd + config_.aimd.a / hot_->cwnd, config_.max_cwnd);
   }
   trace_cwnd();
 }
 
 void TcpSender::on_dup_ack() {
-  ++dupack_count_;
-  if (in_fast_recovery_) {
+  ++hot_->dupack_count;
+  if (hot_->in_fast_recovery) {
     // Window inflation: each dupack signals a departed segment.
-    cwnd_ = std::min(cwnd_ + 1.0, config_.max_cwnd);
+    hot_->cwnd = std::min(hot_->cwnd + 1.0, config_.max_cwnd);
     trace_cwnd();
     return;
   }
-  if (dupack_count_ == config_.dupack_threshold) {
+  if (hot_->dupack_count == config_.dupack_threshold) {
     enter_fast_recovery();
   }
 }
@@ -135,38 +141,38 @@ void TcpSender::on_dup_ack() {
 void TcpSender::enter_fast_recovery() {
   ++stats_.fast_recoveries;
   // Multiplicative decrease of the general AIMD(a, b): W -> b * W.
-  ssthresh_ = std::max(kMinSsthresh, config_.aimd.b * cwnd_);
+  hot_->ssthresh = std::max(kMinSsthresh, config_.aimd.b * hot_->cwnd);
   if (config_.variant == TcpVariant::kTahoe) {
     // Tahoe has no fast recovery: retransmit and slow-start from one
     // segment.
-    cwnd_ = kMinCwnd;
-    dupack_count_ = 0;
+    hot_->cwnd = kMinCwnd;
+    hot_->dupack_count = 0;
     trace_cwnd();
-    emit_segment(snd_una_, /*retransmit=*/true);
+    emit_segment(hot_->snd_una, /*retransmit=*/true);
     arm_rto();
     return;
   }
-  in_fast_recovery_ = true;
-  recover_ = next_seq_ - 1;
-  cwnd_ = ssthresh_ + static_cast<double>(config_.dupack_threshold);
+  hot_->in_fast_recovery = true;
+  hot_->recover = hot_->next_seq - 1;
+  hot_->cwnd = hot_->ssthresh + static_cast<double>(config_.dupack_threshold);
   trace_cwnd();
-  emit_segment(snd_una_, /*retransmit=*/true);
+  emit_segment(hot_->snd_una, /*retransmit=*/true);
   arm_rto();
 }
 
 void TcpSender::on_partial_ack(std::int64_t newly_acked) {
   // RFC 3782: retransmit the next hole, deflate the window by the amount of
   // new data acknowledged, then add back one segment.
-  emit_segment(snd_una_, /*retransmit=*/true);
-  cwnd_ = std::max(kMinCwnd,
-                   cwnd_ - static_cast<double>(newly_acked) + 1.0);
+  emit_segment(hot_->snd_una, /*retransmit=*/true);
+  hot_->cwnd = std::max(kMinCwnd,
+                        hot_->cwnd - static_cast<double>(newly_acked) + 1.0);
   trace_cwnd();
 }
 
 void TcpSender::exit_fast_recovery() {
-  in_fast_recovery_ = false;
-  dupack_count_ = 0;
-  cwnd_ = std::max(kMinCwnd, ssthresh_);  // deflate to ssthresh
+  hot_->in_fast_recovery = false;
+  hot_->dupack_count = 0;
+  hot_->cwnd = std::max(kMinCwnd, hot_->ssthresh);  // deflate to ssthresh
   trace_cwnd();
 }
 
@@ -175,29 +181,29 @@ void TcpSender::on_timeout() {
   ++stats_.timeouts;
   // Loss of the whole window is assumed: shrink, slow-start from snd_una,
   // and resume go-back-N, as ns-2's TcpAgent does after a timeout.
-  ssthresh_ = std::max(kMinSsthresh, config_.aimd.b * cwnd_);
-  cwnd_ = kMinCwnd;
+  hot_->ssthresh = std::max(kMinSsthresh, config_.aimd.b * hot_->cwnd);
+  hot_->cwnd = kMinCwnd;
   trace_cwnd();
-  in_fast_recovery_ = false;
-  dupack_count_ = 0;
-  next_seq_ = snd_una_;
-  backoff_ = std::min(backoff_ * 2, 64);
-  emit_segment(snd_una_, /*retransmit=*/true);
-  next_seq_ = snd_una_ + 1;
+  hot_->in_fast_recovery = false;
+  hot_->dupack_count = 0;
+  hot_->next_seq = hot_->snd_una;
+  hot_->backoff = std::min(hot_->backoff * 2, 64);
+  emit_segment(hot_->snd_una, /*retransmit=*/true);
+  hot_->next_seq = hot_->snd_una + 1;
   arm_rto();
 }
 
 void TcpSender::send_available() {
-  if (!started_) return;
-  std::int64_t limit = snd_una_ + window();
+  if (!hot_->started) return;
+  std::int64_t limit = hot_->snd_una + window();
   if (config_.total_segments >= 0) {
     limit = std::min(limit, config_.total_segments);
   }
-  while (next_seq_ < limit) {
-    emit_segment(next_seq_, /*retransmit=*/false);
-    ++next_seq_;
+  while (hot_->next_seq < limit) {
+    emit_segment(hot_->next_seq, /*retransmit=*/false);
+    ++hot_->next_seq;
   }
-  if (in_flight() > 0 && !rto_timer_.pending()) arm_rto();
+  if (in_flight() > 0 && hot_->rto_event == kInvalidEventId) arm_rto();
 }
 
 void TcpSender::emit_segment(std::int64_t seq, bool retransmit) {
@@ -216,7 +222,7 @@ void TcpSender::emit_segment(std::int64_t seq, bool retransmit) {
 }
 
 void TcpSender::arm_rto() {
-  Time timeout = std::min(rto_ * static_cast<double>(backoff_),
+  Time timeout = std::min(hot_->rto * static_cast<double>(hot_->backoff),
                           config_.rto_max);
   if (config_.rto_jitter > 0.0) {
     // Randomized-RTO defense [7]: the effective minimum moves per timer,
@@ -226,11 +232,26 @@ void TcpSender::arm_rto() {
     timeout = std::max(timeout, jittered_min);
   }
   // Restart in place: every data segment re-arms this timer, so reusing the
-  // heap slot (not cancel + fresh insert) is the engine's hottest win.
-  rto_timer_.schedule_in(timeout);
+  // heap slot (not cancel + fresh insert) is the engine's hottest win. The
+  // id lives on the hot line (Timer's logic inlined); the armed closure
+  // marks the slot idle before firing so on_timeout() may re-arm.
+  const Time when = sim_.now() + timeout;
+  Scheduler& sched = sim_.scheduler();
+  if (hot_->rto_event != kInvalidEventId &&
+      sched.reschedule_at(hot_->rto_event, when)) {
+    return;
+  }
+  hot_->rto_event = sched.schedule_at(when, [this] {
+    hot_->rto_event = kInvalidEventId;
+    on_timeout();
+  });
 }
 
-void TcpSender::disarm_rto() { rto_timer_.stop(); }
+void TcpSender::disarm_rto() {
+  if (hot_->rto_event == kInvalidEventId) return;
+  sim_.scheduler().cancel(hot_->rto_event);
+  hot_->rto_event = kInvalidEventId;
+}
 
 void TcpSender::sample_rtt(const Packet& pkt) {
   // Timestamp echo makes the sample valid even across retransmissions
@@ -238,20 +259,20 @@ void TcpSender::sample_rtt(const Packet& pkt) {
   if (pkt.ts_echo <= 0.0) return;
   const Time r = sim_.now() - pkt.ts_echo;
   if (r < 0.0) return;
-  if (!have_rtt_sample_) {
-    srtt_ = r;
-    rttvar_ = r / 2.0;
-    have_rtt_sample_ = true;
+  if (!hot_->have_rtt_sample) {
+    hot_->srtt = r;
+    hot_->rttvar = r / 2.0;
+    hot_->have_rtt_sample = true;
   } else {
-    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - r);
-    srtt_ = 0.875 * srtt_ + 0.125 * r;
+    hot_->rttvar = 0.75 * hot_->rttvar + 0.25 * std::abs(hot_->srtt - r);
+    hot_->srtt = 0.875 * hot_->srtt + 0.125 * r;
   }
-  rto_ = std::clamp(srtt_ + std::max(4.0 * rttvar_, ms(10)), config_.rto_min,
-                    config_.rto_max);
+  hot_->rto = std::clamp(hot_->srtt + std::max(4.0 * hot_->rttvar, ms(10)),
+                         config_.rto_min, config_.rto_max);
 }
 
 void TcpSender::trace_cwnd() {
-  if (cwnd_tracer_) cwnd_tracer_(sim_.now(), cwnd_);
+  if (cwnd_tracer_) cwnd_tracer_(sim_.now(), hot_->cwnd);
 }
 
 }  // namespace pdos

@@ -10,6 +10,11 @@
 //     exponential backoff, configurable RTO_min — 1 s for the ns-2 scenario,
 //     200 ms for the Linux test-bed scenario)
 //   - go-back-N resumption after a timeout, as ns-2's TcpAgent does
+//
+// Layout: all per-ACK mutable state lives in a `TcpSenderHot` slot (see
+// tcp/flow_state.hpp). Scenario builders pass a slot from a flat per-class
+// array so N flows' hot state is contiguous; standalone construction falls
+// back to the embedded slot with identical behaviour.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +23,7 @@
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/aimd.hpp"
+#include "tcp/flow_state.hpp"
 #include "util/units.hpp"
 
 namespace pdos {
@@ -75,9 +81,15 @@ struct TcpSenderStats {
 class TcpSender : public PacketHandler {
  public:
   /// Data segments leave via `out` (typically the sender's access link or
-  /// node); ACKs arrive via handle(). `flow` tags every packet.
+  /// node); ACKs arrive via handle(). `flow` tags every packet. `hot`, when
+  /// non-null, is the externally owned hot-state slot (a flat-array element
+  /// from the scenario builder); it is (re)initialized here. Null uses the
+  /// embedded fallback slot.
   TcpSender(Simulator& sim, FlowId flow, NodeId self, NodeId peer,
-            PacketHandler* out, TcpSenderConfig config = {});
+            PacketHandler* out, TcpSenderConfig config = {},
+            TcpSenderHot* hot = nullptr);
+
+  ~TcpSender();
 
   /// Begin transmitting at absolute virtual time `when`.
   void start(Time when);
@@ -86,18 +98,19 @@ class TcpSender : public PacketHandler {
   void handle(Packet pkt) override;
 
   // --- observability ---
-  double cwnd() const { return cwnd_; }
-  double ssthresh() const { return ssthresh_; }
-  bool in_fast_recovery() const { return in_fast_recovery_; }
-  Time srtt() const { return srtt_; }
-  Time rto() const { return rto_; }
-  std::int64_t snd_una() const { return snd_una_; }
-  std::int64_t next_seq() const { return next_seq_; }
+  double cwnd() const { return hot_->cwnd; }
+  double ssthresh() const { return hot_->ssthresh; }
+  bool in_fast_recovery() const { return hot_->in_fast_recovery; }
+  Time srtt() const { return hot_->srtt; }
+  Time rto() const { return hot_->rto; }
+  std::int64_t snd_una() const { return hot_->snd_una; }
+  std::int64_t next_seq() const { return hot_->next_seq; }
   const TcpSenderStats& stats() const { return stats_; }
   FlowId flow() const { return flow_; }
   /// True once a finite transfer is fully acknowledged.
   bool complete() const {
-    return config_.total_segments >= 0 && snd_una_ >= config_.total_segments;
+    return config_.total_segments >= 0 &&
+           hot_->snd_una >= config_.total_segments;
   }
   const TcpSenderConfig& config() const { return config_; }
 
@@ -121,7 +134,7 @@ class TcpSender : public PacketHandler {
   void sample_rtt(const Packet& pkt);
   void trace_cwnd();
   std::int64_t window() const;
-  std::int64_t in_flight() const { return next_seq_ - snd_una_; }
+  std::int64_t in_flight() const { return hot_->next_seq - hot_->snd_una; }
 
   Simulator& sim_;
   FlowId flow_;
@@ -130,21 +143,8 @@ class TcpSender : public PacketHandler {
   PacketHandler* out_;
   TcpSenderConfig config_;
 
-  bool started_ = false;
-  double cwnd_;
-  double ssthresh_;
-  std::int64_t snd_una_ = 0;   // lowest unacknowledged segment
-  std::int64_t next_seq_ = 0;  // next new segment to transmit
-  int dupack_count_ = 0;
-  bool in_fast_recovery_ = false;
-  std::int64_t recover_ = -1;  // highest segment sent when loss was detected
-
-  Time srtt_ = 0.0;
-  Time rttvar_ = 0.0;
-  bool have_rtt_sample_ = false;
-  Time rto_;
-  int backoff_ = 1;
-  Timer rto_timer_;  // restarted in place on every arm_rto()
+  TcpSenderHot* hot_;       // external flat-array slot, or &fallback_hot_
+  TcpSenderHot fallback_hot_;
 
   TcpSenderStats stats_;
   CwndTracer cwnd_tracer_;

@@ -4,23 +4,24 @@
 
 namespace pdos {
 
-double Rng::uniform() {
-  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
-}
+double Rng::uniform() { return unit_dist_(engine_); }
 
 double Rng::uniform(double lo, double hi) {
   PDOS_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
-  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  using Dist = std::uniform_real_distribution<double>;
+  return real_dist_(engine_, Dist::param_type(lo, hi));
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   PDOS_REQUIRE(lo <= hi, "uniform_int: lo must be <= hi");
-  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  using Dist = std::uniform_int_distribution<std::int64_t>;
+  return int_dist_(engine_, Dist::param_type(lo, hi));
 }
 
 double Rng::exponential(double mean) {
   PDOS_REQUIRE(mean > 0.0, "exponential: mean must be positive");
-  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  using Dist = std::exponential_distribution<double>;
+  return exp_dist_(engine_, Dist::param_type(1.0 / mean));
 }
 
 bool Rng::bernoulli(double p) {

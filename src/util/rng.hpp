@@ -4,6 +4,14 @@
 // staggering) draws from an `Rng` owned by the `Simulator`, so a scenario
 // replays bit-identically from its seed. Components that need independent
 // streams fork a child generator with `fork()`.
+//
+// The distribution objects are members, not per-draw temporaries: libstdc++
+// distributions carry no draw-relevant state (every draw is a pure function
+// of the engine and the parameter pack), so passing an explicit
+// `param_type` per call produces the exact bit sequence the old
+// construct-per-draw code did — pinned by RngTest.DrawSequenceMatches
+// ReferenceImplementation — without re-running the constructor and its
+// parameter validation on every draw of the hot RED/enqueue path.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +46,10 @@ class Rng {
 
  private:
   std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_dist_{0.0, 1.0};
+  std::uniform_real_distribution<double> real_dist_;
+  std::uniform_int_distribution<std::int64_t> int_dist_;
+  std::exponential_distribution<double> exp_dist_;
 };
 
 /// Stateless seed derivation: mix `base` and `stream` into an independent

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/model.hpp"
 #include "util/assert.hpp"
 
@@ -87,6 +89,48 @@ TEST(RampTest, SlowStartGrowthAfterRto) {
   EXPECT_NEAR(timeout_bound_flow_packets(AimdParams::new_reno(), sec(1.5),
                                          ms(100), params, 1e9),
               31.0, 1e-6);
+}
+
+TEST(RampTest, ClampBoundaryIsExactPowerOfTwo) {
+  // The 2^k slow-start ramp clamps at k = 40 and now short-circuits the
+  // clamped and whole-RTT exponents through std::ldexp. Pin the values on
+  // both sides of the boundary: the replacement must agree bit-for-bit with
+  // the old std::pow(2.0, min(k, 40)) - 1.0.
+  const TimeoutModelParams params = ns2_params();
+  const AimdParams aimd = AimdParams::new_reno();
+  const Time rtt = sec(0.25);
+  const double cap = 1e18;  // never binding here
+  // available = t_aimd - min_rto; rtts = available / rtt (exact below).
+  // rtts = 40: exactly at the clamp -> 2^40 - 1.
+  EXPECT_DOUBLE_EQ(
+      timeout_bound_flow_packets(aimd, params.min_rto + sec(10.0), rtt,
+                                 params, cap),
+      1099511627775.0);
+  // rtts = 80: beyond the clamp -> still 2^40 - 1.
+  EXPECT_DOUBLE_EQ(
+      timeout_bound_flow_packets(aimd, params.min_rto + sec(20.0), rtt,
+                                 params, cap),
+      1099511627775.0);
+  // rtts = 39: last whole exponent under the clamp -> 2^39 - 1.
+  EXPECT_DOUBLE_EQ(
+      timeout_bound_flow_packets(aimd, params.min_rto + sec(9.75), rtt,
+                                 params, cap),
+      549755813887.0);
+  // Fractional exponents keep the libm pow() path bit-for-bit.
+  const Time frac_avail = sec(9.8125);  // rtts = 39.25
+  EXPECT_EQ(timeout_bound_flow_packets(aimd, params.min_rto + frac_avail,
+                                       rtt, params, cap),
+            std::pow(2.0, 39.25) - 1.0);
+}
+
+TEST(RampTest, LdexpMatchesPowForWholeExponents) {
+  // Every whole exponent the integral fast path can take must match the old
+  // pow() computation exactly.
+  for (int k = 1; k <= 40; ++k) {
+    EXPECT_EQ(std::ldexp(1.0, k) - 1.0,
+              std::pow(2.0, static_cast<double>(k)) - 1.0)
+        << "k=" << k;
+  }
 }
 
 TEST(RampTest, ShareCapBounds) {

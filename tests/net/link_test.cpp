@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/droptail.hpp"
+#include "net/node.hpp"
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
 
@@ -155,6 +156,261 @@ TEST(LinkTest, InvalidConstructionThrows) {
   EXPECT_THROW(make_link(kbps(8), -1.0, true, &sink), ParameterError);
   EXPECT_THROW(make_link(kbps(8), 0.0, false, &sink), ParameterError);
   EXPECT_THROW(make_link(kbps(8), 0.0, true, nullptr), ParameterError);
+}
+
+// ---- Express lane and event fusion (DESIGN.md §11) ----
+
+TEST(LinkTest, ExpressLaneMatchesFullLinkDeliveryTimes) {
+  // The express lane must deliver every packet at exactly the instant an
+  // uncongested full link would: serialization chains FIFO off the previous
+  // completion, then constant propagation.
+  Simulator sim_full;
+  RecordingSink full_sink(sim_full);
+  Link full(sim_full, "full", kbps(8), sec(0.5),
+            std::make_unique<DropTailQueue>(1000), &full_sink);
+
+  Simulator sim_express;
+  RecordingSink express_sink(sim_express);
+  Link express(sim_express, "express", kbps(8), sec(0.5), &express_sink);
+  EXPECT_TRUE(express.express());
+
+  // A burst (queues behind the serializer), a gap, then a lone packet.
+  for (auto pair :
+       {std::pair<Simulator*, Link*>{&sim_full, &full},
+        std::pair<Simulator*, Link*>{&sim_express, &express}}) {
+    Simulator& sim = *pair.first;
+    Link& link = *pair.second;
+    sim.schedule_at(0.0, [&link] {
+      link.handle(make_packet(1000, 0));
+      link.handle(make_packet(1000, 1));
+      link.handle(make_packet(500, 2));
+    });
+    sim.schedule_at(10.0, [&link] { link.handle(make_packet(1000, 3)); });
+    sim.run();
+  }
+
+  ASSERT_EQ(full_sink.times.size(), 4u);
+  ASSERT_EQ(express_sink.times.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(express_sink.times[i], full_sink.times[i]) << "packet " << i;
+    EXPECT_EQ(express_sink.packets[i].seq, full_sink.packets[i].seq);
+  }
+  // And it must do so with fewer scheduler events: one delivery event per
+  // pipeline burst, zero service events.
+  EXPECT_LT(sim_express.scheduler().events_executed(),
+            sim_full.scheduler().events_executed());
+}
+
+TEST(LinkTest, ExpressLaneRejectsTapsAndQueueAccess) {
+  Simulator sim;
+  RecordingSink sink(sim);
+  Link express(sim, "express", kbps(8), sec(0.5), &sink);
+  EXPECT_THROW(express.add_arrival_tap([](const Packet&) {}), ParameterError);
+  EXPECT_THROW(express.add_departure_tap([](const Packet&) {}),
+               ParameterError);
+  EXPECT_THROW(express.queue(), ParameterError);
+}
+
+TEST(LinkTest, FusedLinkMatchesFullLinkTimingsAndDrops) {
+  // Fusion collapses idle-link serves into zero service events but must
+  // keep every delivery time and every queue decision identical — the
+  // packets pass through the same enqueue/dequeue sequence either way.
+  auto drive = [](bool fused, std::vector<Time>& times,
+                  std::uint64_t& dropped, std::uint64_t& events) {
+    Simulator sim;
+    RecordingSink sink(sim);
+    Link link(sim, "l", kbps(8), sec(0.25),
+              std::make_unique<DropTailQueue>(2), &sink);
+    link.set_fused(fused);
+    // Saturating burst (forces drops + pump events), then idle singles
+    // (the fused zero-service-event case).
+    sim.schedule_at(0.0, [&link] {
+      for (int i = 0; i < 6; ++i) link.handle(make_packet(1000, i));
+    });
+    for (int i = 0; i < 4; ++i) {
+      sim.schedule_at(20.0 + 2.0 * i,
+                      [&link, i] { link.handle(make_packet(1000, 100 + i)); });
+    }
+    sim.run();
+    times = sink.times;
+    dropped = link.queue().stats().dropped;
+    events = sim.scheduler().events_executed();
+  };
+
+  std::vector<Time> full_times, fused_times;
+  std::uint64_t full_dropped = 0, fused_dropped = 0;
+  std::uint64_t full_events = 0, fused_events = 0;
+  drive(false, full_times, full_dropped, full_events);
+  drive(true, fused_times, fused_dropped, fused_events);
+
+  EXPECT_EQ(fused_times, full_times);
+  EXPECT_EQ(fused_dropped, full_dropped);
+  EXPECT_LT(fused_events, full_events);
+}
+
+TEST(LinkTest, SettleReplaysLazyBacklogForSamplers) {
+  // A lazy fused link owns no boundary event, so its queue state is stale
+  // between packet visits; settle() replays the overdue services so a
+  // sampler reads the exact occupancy an eager link would report.
+  Simulator sim;
+  RecordingSink sink(sim);
+  Link link(sim, "l", kbps(8), sec(0.5), std::make_unique<DropTailQueue>(10),
+            &sink);
+  link.set_fused(true);
+  // Five 1 s services back to back: boundaries at 1, 2, 3, 4 s.
+  sim.schedule_at(0.0, [&link] {
+    for (int i = 0; i < 5; ++i) link.handle(make_packet(1000, i));
+  });
+  std::size_t sampled = 99;
+  sim.schedule_at(2.25, [&link, &sampled] {
+    link.settle();
+    sampled = link.queue().length();
+  });
+  sim.run();
+  // By 2.25 s the t=0, 1 s, and 2 s services have started, leaving two
+  // packets queued — exactly what the full path's sampler would see.
+  EXPECT_EQ(sampled, 2u);
+  ASSERT_EQ(sink.times.size(), 5u);
+  EXPECT_NEAR(sink.times.back(), 5.5, 1e-9);
+}
+
+TEST(LinkTest, ChainHandoffMatchesTwoHopExpressTimings) {
+  // bottleneck_rev -> routerS -> per-flow reverse lane, in miniature: the
+  // chained variant must deliver every packet at the same instant as the
+  // event-driven two-hop reference while executing fewer events.
+  auto drive = [](bool chained, std::vector<Time>& times,
+                  std::uint64_t& events) {
+    Simulator sim;
+    RecordingSink sink(sim);
+    Node router(7, "router");
+    Link second(sim, "second", kbps(16), sec(0.25),
+                static_cast<PacketHandler*>(&sink));
+    router.add_route(5, &second);
+    Link first(sim, "first", kbps(8), sec(0.5),
+               static_cast<PacketHandler*>(&router));
+    if (chained) first.chain_via(&router);
+    sim.schedule_at(0.0, [&first] {
+      for (int i = 0; i < 3; ++i) {
+        Packet pkt = make_packet(1000, i);
+        pkt.dst = 5;
+        first.handle(std::move(pkt));
+      }
+    });
+    sim.run();
+    times = sink.times;
+    events = sim.scheduler().events_executed();
+  };
+
+  std::vector<Time> ref_times, chained_times;
+  std::uint64_t ref_events = 0, chained_events = 0;
+  drive(false, ref_times, ref_events);
+  drive(true, chained_times, chained_events);
+
+  ASSERT_EQ(ref_times.size(), 3u);
+  EXPECT_EQ(chained_times, ref_times);
+  // The first hop stops owning delivery events entirely.
+  EXPECT_LT(chained_events, ref_events);
+}
+
+TEST(LinkTest, ChainHandoffRequiresExpressEndpoints) {
+  Simulator sim;
+  RecordingSink sink(sim);
+  Node router(7, "router");
+  Link queued(sim, "queued", kbps(8), sec(0.5),
+              std::make_unique<DropTailQueue>(10), &sink);
+  EXPECT_THROW(queued.chain_via(&router), ParameterError);
+
+  Link express(sim, "express", kbps(8), sec(0.5),
+               static_cast<PacketHandler*>(&router));
+  EXPECT_THROW(express.chain_via(nullptr), ParameterError);
+
+  // Chaining toward a non-express hop is rejected when the first packet
+  // resolves the route.
+  router.add_route(5, &queued);
+  express.chain_via(&router);
+  Packet pkt = make_packet(1000, 0);
+  pkt.dst = 5;
+  EXPECT_THROW(express.handle(std::move(pkt)), ParameterError);
+}
+
+TEST(LinkTest, InjectAtBatchMatchesEventDrivenArrivals) {
+  // The pulse attacker's batched bursts: injecting a whole burst in one
+  // call stack, each packet at its analytic arrival time, must serialize
+  // exactly like per-event handle() calls at those times.
+  auto drive = [](bool batched, std::vector<Time>& times,
+                  std::uint64_t& events) {
+    Simulator sim;
+    RecordingSink sink(sim);
+    Link lane(sim, "lane", kbps(16), sec(0.5),
+              static_cast<PacketHandler*>(&sink));
+    for (int i = 0; i < 3; ++i) {
+      const Time at = 0.25 * i;
+      if (batched) {
+        // One event injects the whole burst with analytic arrival times.
+        if (i == 0) {
+          sim.schedule_at(0.0, [&lane] {
+            for (int j = 0; j < 3; ++j) {
+              lane.inject_at(make_packet(1000, j), 0.25 * j);
+            }
+          });
+        }
+      } else {
+        sim.schedule_at(at, [&lane, i] { lane.handle(make_packet(1000, i)); });
+      }
+    }
+    sim.run();
+    times = sink.times;
+    events = sim.scheduler().events_executed();
+  };
+
+  std::vector<Time> ref_times, batch_times;
+  std::uint64_t ref_events = 0, batch_events = 0;
+  drive(false, ref_times, ref_events);
+  drive(true, batch_times, batch_events);
+
+  ASSERT_EQ(ref_times.size(), 3u);
+  EXPECT_EQ(batch_times, ref_times);
+  EXPECT_LT(batch_events, ref_events);
+}
+
+TEST(LinkTest, SetDownstreamRewiresDeliveryTarget) {
+  // Fast-path direct wiring: retargeting the delivery handler changes the
+  // call path only — serialization and delivery instants are untouched.
+  Simulator sim;
+  RecordingSink before(sim);
+  RecordingSink after(sim);
+  Link link(sim, "l", kbps(8), sec(0.5), std::make_unique<DropTailQueue>(10),
+            &before);
+  link.handle(make_packet(1000, 0));
+  sim.schedule_at(2.0, [&link, &after] {
+    link.set_downstream(&after);
+    link.handle(make_packet(1000, 1));
+  });
+  sim.run();
+  ASSERT_EQ(before.times.size(), 1u);
+  EXPECT_NEAR(before.times[0], 1.5, 1e-9);
+  ASSERT_EQ(after.times.size(), 1u);
+  EXPECT_NEAR(after.times[0], 3.5, 1e-9);
+  EXPECT_THROW(link.set_downstream(nullptr), ParameterError);
+}
+
+TEST(LinkTest, FusedLinkWithDepartureTapKeepsServiceEvents) {
+  // A departure tap must observe the packet at its departure instant, so a
+  // fused link with one installed falls back to the full service path.
+  Simulator sim;
+  RecordingSink sink(sim);
+  Link link(sim, "l", kbps(8), sec(0.5), std::make_unique<DropTailQueue>(10),
+            &sink);
+  link.set_fused(true);
+  std::vector<Time> departures;
+  link.add_departure_tap(
+      [&departures, &sim](const Packet&) { departures.push_back(sim.now()); });
+  link.handle(make_packet(1000, 0));
+  sim.run();
+  ASSERT_EQ(departures.size(), 1u);
+  EXPECT_NEAR(departures[0], 1.0, 1e-9);  // at serialization end
+  ASSERT_EQ(sink.times.size(), 1u);
+  EXPECT_NEAR(sink.times[0], 1.5, 1e-9);
 }
 
 }  // namespace

@@ -23,6 +23,19 @@ Packet addressed(NodeId dst, FlowId flow = 0) {
   return pkt;
 }
 
+TEST(NodeTest, PeekRouteMirrorsForwardingWithoutTouchingPackets) {
+  Node node(1, "n1");
+  CollectingHandler explicit_hop;
+  CollectingHandler fallback_hop;
+  node.add_route(7, &explicit_hop);
+  node.set_default_route(&fallback_hop);
+  EXPECT_EQ(node.peek_route(7), &explicit_hop);
+  EXPECT_EQ(node.peek_route(9), &fallback_hop);    // beyond the table
+  EXPECT_EQ(node.peek_route(0), &fallback_hop);    // in-table gap
+  EXPECT_EQ(node.peek_route(1), nullptr);          // self: local delivery
+  EXPECT_TRUE(explicit_hop.packets.empty());       // peek forwards nothing
+}
+
 TEST(NodeTest, ForwardsViaRouteTable) {
   Node node(1, "n1");
   CollectingHandler next_hop;

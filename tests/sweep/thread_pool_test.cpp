@@ -4,13 +4,35 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
+#include <new>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "util/assert.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_new_calls{0};
+
+}  // namespace
+
+// Counting global allocator hooks (atomic: the pool is multi-threaded).
+void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace pdos::sweep {
 namespace {
@@ -95,9 +117,61 @@ TEST(ThreadPool, WorkIsActuallyDistributed) {
   EXPECT_GE(seen.size(), 2u);
 }
 
-TEST(ThreadPool, RejectsNullTask) {
+TEST(ThreadPool, RejectsEmptyTask) {
   ThreadPool pool(1);
-  EXPECT_THROW(pool.submit(nullptr), ParameterError);
+  EXPECT_THROW(pool.submit(InlineFn{}), ParameterError);
+}
+
+TEST(ThreadPool, WarmSubmissionCycleIsAllocationFree) {
+  // Tasks are InlineFns living in per-worker rings: once the rings have
+  // grown to their high-water mark, an identical submit/drain cycle must
+  // not touch the heap — no per-task std::function allocation, no ring
+  // rebuild. A gate task parks every worker during submission so both
+  // phases queue to exactly the same depth.
+  ThreadPool pool(2);
+  constexpr int kTasks = 256;
+  std::atomic<int> count{0};
+  std::atomic<bool> gate{false};
+
+  const auto run_phase = [&] {
+    gate.store(false);
+    for (int w = 0; w < pool.size(); ++w) {
+      pool.submit([&gate] {
+        while (!gate.load()) std::this_thread::yield();
+      });
+    }
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    gate.store(true);
+    pool.wait_idle();
+  };
+
+  run_phase();  // warm: grows each worker's ring to kTasks / size()
+  const std::size_t before = g_new_calls.load();
+  run_phase();
+  const std::size_t after = g_new_calls.load();
+
+  EXPECT_EQ(count.load(), 2 * kTasks);
+  EXPECT_EQ(after - before, 0u)
+      << "a warmed-up pool must run tasks without allocating";
+}
+
+TEST(ThreadPool, ParallelForClosureFitsInlineStorage) {
+  // parallel_for's per-iteration closure is the largest task the sweep
+  // engine submits; it must stay within the ring slot's inline budget.
+  std::function<void(std::size_t)> fn;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t i = 0;
+  auto task = [i, &fn, &error_mutex, &first_error] {
+    (void)i;
+    (void)fn;
+    (void)error_mutex;
+    (void)first_error;
+  };
+  static_assert(sizeof(task) <= kInlineFnCapacity,
+                "parallel_for closure exceeds InlineFn capacity");
 }
 
 TEST(ParallelFor, CoversTheFullRange) {

@@ -1,20 +1,24 @@
-// Engine + data-path + sweep performance report: measures the scheduler and
-// packet data-path micro-benchmarks, scenario setup (fresh vs warm-reset),
-// and a fixed fig. 6 quick-mode sweep (cold and cache-resumed), and writes
-// BENCH_engine.json, BENCH_datapath.json, and BENCH_sweep.json.
+// Engine + data-path + sweep + scale performance report: measures the
+// scheduler and packet data-path micro-benchmarks, scenario setup (fresh vs
+// warm-reset), the LargeScale fast-path scenarios (interleaved fast/full
+// A/B), and a fixed fig. 6 quick-mode sweep (cold and cache-resumed), and
+// writes BENCH_engine.json, BENCH_datapath.json, BENCH_sweep.json, and
+// BENCH_scale.json.
 //
 // This is the tracked-baseline half of the perf story: google-benchmark
-// (bench/micro_engine, bench/micro_datapath, bench/micro_setup) is for
-// interactive work, while this tool emits stable, machine-readable
-// snapshots that CI diffs against the committed bench/baseline_engine.json,
-// bench/baseline_datapath.json, and bench/baseline_sweep.json. The JSON is
+// (bench/micro_engine, bench/micro_datapath, bench/micro_setup,
+// bench/micro_largescale) is for interactive work, while this tool emits
+// stable, machine-readable snapshots that CI diffs against the committed
+// bench/baseline_engine.json, bench/baseline_datapath.json,
+// bench/baseline_sweep.json, and bench/baseline_scale.json. The JSON is
 // flat `"key": number` pairs so the reader below stays a 30-line scanner
 // instead of a JSON library.
 //
 // Usage:
 //   bench_report [--out FILE] [--baseline FILE] [--datapath-out FILE]
 //                [--datapath-baseline FILE] [--sweep-out FILE]
-//                [--sweep-baseline FILE] [--check] [--reps N]
+//                [--sweep-baseline FILE] [--scale-out FILE]
+//                [--scale-baseline FILE] [--check] [--reps N]
 //                [--skip-sweep]
 //
 //   --out FILE                engine output path (default BENCH_engine.json)
@@ -27,6 +31,10 @@
 //   --sweep-baseline FILE     committed setup/sweep reference; only the
 //                             setup micros are gated — the cold/resume
 //                             wall-clock rides along as information
+//   --scale-out FILE          LargeScale output (default BENCH_scale.json)
+//   --scale-baseline FILE     committed LargeScale reference; the fast-path
+//                             event throughputs are gated, the fast-vs-full
+//                             speedup rides along as information
 //   --check                   exit non-zero if any micro-benchmark runs >30%
 //                             slower than its baseline (requires the
 //                             corresponding --*baseline)
@@ -40,11 +48,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "attack/pulse.hpp"
 #include "core/experiment.hpp"
 #include "net/droptail.hpp"
 #include "net/link.hpp"
@@ -200,6 +210,67 @@ void workload_setup_warm(ScenarioWorkspace& ws) {
       ws.run(config, std::nullopt, setup_only_control()).events_executed);
 }
 
+// --- LargeScale workloads (mirror bench/micro_largescale.cpp) ------------
+
+/// Pulse train scaled to the bottleneck per the paper's Eq. (1)-(2): the
+/// pulse magnitude must exceed the bottleneck rate for the queue to fill
+/// within T_extent, so R_attack tracks R_bottle (same 25/15 ratio as the
+/// ns-2 reference scenario) with γ = 0.3 fixing the period.
+PulseTrain large_scale_train(BitRate bottleneck) {
+  return PulseTrain::from_gamma(ms(50), bottleneck * (25.0 / 15.0), 0.3,
+                                bottleneck);
+}
+
+/// Short horizon: long enough that steady-state forwarding dominates the
+/// build cost, short enough to keep the 1 Gbps A/B pair inside a CI smoke.
+RunControl large_scale_control() {
+  RunControl control;
+  control.warmup = sec(0.5);
+  control.measure = sec(1.0);
+  return control;
+}
+
+struct ScaleSample {
+  std::uint64_t events = 0;
+  double wall = 0.0;
+};
+
+ScaleSample run_large_scale(ScenarioWorkspace& ws, int flows, BitRate rate,
+                            bool fast) {
+  ScenarioConfig config = ScenarioConfig::large_scale(flows, rate);
+  config.fast_path = fast;
+  const RunControl control = large_scale_control();
+  const auto start = Clock::now();
+  const RunResult result = ws.run(config, large_scale_train(rate), control);
+  return ScaleSample{result.events_executed, seconds_since(start)};
+}
+
+struct ScaleMeasurement {
+  std::uint64_t fast_events = 0;  // deterministic per config/seed
+  std::uint64_t full_events = 0;
+  double fast_wall = 0.0;  // best-of-reps
+  double full_wall = 0.0;
+};
+
+/// Interleaved A/B: alternate fast-path and full-path samples (each in its
+/// own warm workspace) so clock drift and thermal state hit both arms the
+/// same way, then take best-of per arm.
+ScaleMeasurement measure_large_scale(int flows, BitRate rate, int reps) {
+  ScenarioWorkspace fast_ws;
+  ScenarioWorkspace full_ws;
+  ScaleMeasurement m;
+  m.fast_events = run_large_scale(fast_ws, flows, rate, true).events;   // warm
+  m.full_events = run_large_scale(full_ws, flows, rate, false).events;  // warm
+  m.fast_wall = m.full_wall = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    m.fast_wall =
+        std::min(m.fast_wall, run_large_scale(fast_ws, flows, rate, true).wall);
+    m.full_wall = std::min(m.full_wall,
+                           run_large_scale(full_ws, flows, rate, false).wall);
+  }
+  return m;
+}
+
 // --- fig. 6 quick-mode sweep (single-threaded, fixed spec) ---------------
 
 sweep::SweepSpec fig06_quick_spec() {
@@ -294,7 +365,8 @@ int apply_baseline(const std::string& path, const std::vector<Micro>& micros,
     const double ratio = m.rate / base;
     entries.push_back(Entry{std::string("baseline_") + m.key, base});
     std::string stem = m.key;
-    for (const char* suffix : {"_items_per_sec", "_points_per_sec"}) {
+    for (const char* suffix :
+         {"_items_per_sec", "_points_per_sec", "_events_per_sec"}) {
       const std::size_t n = std::strlen(suffix);
       if (stem.size() > n && stem.compare(stem.size() - n, n, suffix) == 0) {
         stem.erase(stem.size() - n);
@@ -338,6 +410,8 @@ int main(int argc, char** argv) {
   std::string datapath_baseline_path;
   std::string sweep_out_path = "BENCH_sweep.json";
   std::string sweep_baseline_path;
+  std::string scale_out_path = "BENCH_scale.json";
+  std::string scale_baseline_path;
   bool check = false;
   bool skip_sweep = false;
   int reps = 7;
@@ -355,6 +429,10 @@ int main(int argc, char** argv) {
       sweep_out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sweep-baseline") == 0 && i + 1 < argc) {
       sweep_baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scale-out") == 0 && i + 1 < argc) {
+      scale_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scale-baseline") == 0 && i + 1 < argc) {
+      scale_baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--skip-sweep") == 0) {
@@ -366,12 +444,13 @@ int main(int argc, char** argv) {
                    "usage: bench_report [--out FILE] [--baseline FILE] "
                    "[--datapath-out FILE] [--datapath-baseline FILE] "
                    "[--sweep-out FILE] [--sweep-baseline FILE] "
+                   "[--scale-out FILE] [--scale-baseline FILE] "
                    "[--check] [--reps N] [--skip-sweep]\n");
       return 2;
     }
   }
   if (check && baseline_path.empty() && datapath_baseline_path.empty() &&
-      sweep_baseline_path.empty()) {
+      sweep_baseline_path.empty() && scale_baseline_path.empty()) {
     std::fprintf(stderr, "bench_report: --check requires a baseline\n");
     return 2;
   }
@@ -416,6 +495,26 @@ int main(int argc, char** argv) {
         [&warm_ws] { workload_setup_warm(warm_ws); }, 1, reps);
   }
 
+  // LargeScale family: interleaved fast/full A/B at both scale points. The
+  // gated metric is the fast path's scheduler-event throughput (events per
+  // wall second); the event counts, events-per-simulated-second density,
+  // and the fast-vs-full speedup ride along as information.
+  const ScaleMeasurement scale_155 =
+      measure_large_scale(250, mbps(155), std::max(2, reps / 2));
+  const ScaleMeasurement scale_1g =
+      measure_large_scale(1000, gbps(1), std::max(2, reps / 2));
+
+  std::vector<Micro> scale_micros = {
+      {"largescale_250f_155m_events_per_sec",
+       static_cast<double>(scale_155.fast_events)},
+      {"largescale_1000f_1g_events_per_sec",
+       static_cast<double>(scale_1g.fast_events)},
+  };
+  scale_micros[0].rate =
+      static_cast<double>(scale_155.fast_events) / scale_155.fast_wall;
+  scale_micros[1].rate =
+      static_cast<double>(scale_1g.fast_events) / scale_1g.fast_wall;
+
   std::vector<Entry> entries;
   for (const Micro& m : micros) {
     std::printf("%-36s %12.0f items/s\n", m.key, m.rate);
@@ -430,6 +529,44 @@ int main(int argc, char** argv) {
   for (const Micro& m : sweep_micros) {
     std::printf("%-36s %12.0f items/s\n", m.key, m.rate);
     sweep_entries.push_back(Entry{m.key, m.rate});
+  }
+  std::vector<Entry> scale_entries;
+  for (const Micro& m : scale_micros) {
+    std::printf("%-36s %12.0f events/s\n", m.key, m.rate);
+    scale_entries.push_back(Entry{m.key, m.rate});
+  }
+  {
+    const double sim_horizon = large_scale_control().horizon();
+    const struct {
+      const char* tag;
+      const ScaleMeasurement& m;
+    } points[] = {{"largescale_250f_155m", scale_155},
+                  {"largescale_1000f_1g", scale_1g}};
+    for (const auto& p : points) {
+      const double speedup = p.m.fast_wall > 0.0 && p.m.full_wall > 0.0
+                                 ? p.m.full_wall / p.m.fast_wall
+                                 : 0.0;
+      std::printf("%s: fast %.3f s (%llu events), full %.3f s (%llu events), "
+                  "speedup %.2fx\n",
+                  p.tag, p.m.fast_wall,
+                  static_cast<unsigned long long>(p.m.fast_events),
+                  p.m.full_wall,
+                  static_cast<unsigned long long>(p.m.full_events), speedup);
+      const std::string tag = p.tag;
+      scale_entries.push_back(
+          Entry{tag + "_events", static_cast<double>(p.m.fast_events)});
+      scale_entries.push_back(
+          Entry{tag + "_events_per_sim_sec",
+                static_cast<double>(p.m.fast_events) / sim_horizon});
+      scale_entries.push_back(
+          Entry{tag + "_fastpath_wall_seconds", p.m.fast_wall});
+      scale_entries.push_back(
+          Entry{tag + "_fullpath_wall_seconds", p.m.full_wall});
+      scale_entries.push_back(
+          Entry{tag + "_fullpath_events",
+                static_cast<double>(p.m.full_events)});
+      scale_entries.push_back(Entry{tag + "_fastpath_speedup", speedup});
+    }
   }
 
   if (!skip_sweep) {
@@ -469,6 +606,10 @@ int main(int argc, char** argv) {
     regressions += apply_baseline(sweep_baseline_path, sweep_micros, check,
                                   sweep_entries);
   }
+  if (!scale_baseline_path.empty()) {
+    regressions += apply_baseline(scale_baseline_path, scale_micros, check,
+                                  scale_entries);
+  }
 
   write_json(out_path, "pdos-bench-engine-v1", entries);
   std::printf("wrote %s\n", out_path.c_str());
@@ -476,6 +617,8 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", datapath_out_path.c_str());
   write_json(sweep_out_path, "pdos-bench-sweep-v1", sweep_entries);
   std::printf("wrote %s\n", sweep_out_path.c_str());
+  write_json(scale_out_path, "pdos-bench-scale-v1", scale_entries);
+  std::printf("wrote %s\n", scale_out_path.c_str());
   if (regressions > 0) {
     std::fprintf(stderr, "bench_report: %d benchmark(s) regressed\n",
                  regressions);
