@@ -1,0 +1,83 @@
+// Fluid surrogate benchmarks (google-benchmark): the fig. 6 quick-mode
+// grid point (15-flow ns-2 dumbbell, T_extent 50 ms, R_attack 25 Mbps,
+// γ = 0.5, 5 s warmup + 15 s measure) evaluated on the fluid backend, the
+// full packet backend, and the hybrid split, plus the bare fluid::solve
+// kernel without the experiment wrapper. These are for interactive work on
+// the surrogate tier — the tracked, gated numbers (including the ≥100x
+// fluid-vs-packet floor) live in tools/bench_report (BENCH_fluid.json vs
+// bench/baseline_fluid.json).
+#include <benchmark/benchmark.h>
+
+#include "attack/pulse.hpp"
+#include "core/experiment.hpp"
+#include "fluid/fluid.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+namespace {
+
+PulseTrain fig06_point_train(BitRate bottleneck) {
+  return PulseTrain::from_gamma(ms(50), mbps(25), 0.5, bottleneck);
+}
+
+RunControl fig06_point_control() {
+  RunControl control;
+  control.warmup = sec(5);
+  control.measure = sec(15);
+  return control;
+}
+
+void run_backend_point(benchmark::State& state, Backend backend) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  config.backend = backend;
+  const PulseTrain train = fig06_point_train(config.bottleneck);
+  const RunControl control = fig06_point_control();
+  ScenarioWorkspace ws;
+  for (auto _ : state) {
+    const RunResult result = ws.run(config, train, control);
+    benchmark::DoNotOptimize(result.goodput_bytes);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("items = fig06 quick grid points");
+}
+
+void BM_FluidPoint(benchmark::State& state) {
+  run_backend_point(state, Backend::kFluid);
+}
+BENCHMARK(BM_FluidPoint)->Unit(benchmark::kMicrosecond);
+
+void BM_PacketPoint(benchmark::State& state) {
+  run_backend_point(state, Backend::kFull);
+}
+BENCHMARK(BM_PacketPoint)->Unit(benchmark::kMillisecond);
+
+void BM_HybridPoint(benchmark::State& state) {
+  run_backend_point(state, Backend::kHybrid);
+}
+BENCHMARK(BM_HybridPoint)->Unit(benchmark::kMillisecond);
+
+/// The bare solver, no experiment-layer mapping: what the optimizer's
+/// inner search actually pays per candidate γ.
+void BM_FluidSolve(benchmark::State& state) {
+  const ScenarioConfig scenario = ScenarioConfig::ns2_dumbbell(15);
+  const fluid::FluidConfig config = make_fluid_config(scenario);
+  const PulseTrain train = fig06_point_train(scenario.bottleneck);
+  fluid::FluidAttack attack;
+  attack.textent = train.textent;
+  attack.rattack = train.rattack;
+  attack.tspace = train.tspace;
+  fluid::FluidControl control;
+  control.warmup = sec(5);
+  control.measure = sec(15);
+  for (auto _ : state) {
+    const fluid::FluidResult result = fluid::solve(config, attack, control);
+    benchmark::DoNotOptimize(result.goodput_bytes);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FluidSolve)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pdos
+
+BENCHMARK_MAIN();

@@ -7,6 +7,7 @@
 //                   [--rtomin MS] [--textent MS] [--rattack MBPS]
 //                   [--gamma G | --no-attack] [--kappa K]
 //                   [--warmup S] [--measure S] [--seed N]
+//                   [--backend full|fast|fluid|hybrid] [--foreground N]
 //   scenario_runner --sweep SPECFILE [--threads N]
 //
 // The first form prints baseline and attacked goodput, measured vs
@@ -104,18 +105,31 @@ int main(int argc, char** argv) {
   scenario.tcp.variant = tcp == "tahoe"  ? TcpVariant::kTahoe
                          : tcp == "reno" ? TcpVariant::kReno
                                          : TcpVariant::kNewReno;
+  const std::string backend = arg_of(argc, argv, "--backend", "full");
+  const auto parsed_backend = parse_backend(backend);
+  if (!parsed_backend) {
+    std::fprintf(stderr,
+                 "unknown --backend '%s' (want full|fast|fluid|hybrid)\n",
+                 backend.c_str());
+    return 2;
+  }
+  scenario.backend = *parsed_backend;
+  scenario.hybrid_foreground = static_cast<int>(
+      arg_of(argc, argv, "--foreground",
+             static_cast<double>(scenario.hybrid_foreground)));
 
   RunControl control;
   control.warmup = sec(arg_of(argc, argv, "--warmup", 5.0));
   control.measure = sec(arg_of(argc, argv, "--measure", 20.0));
 
   std::printf("scenario: %d flows, %.1f Mbps %s bottleneck, B=%zu pkts, "
-              "TCP %s, minRTO=%.0fms, seed=%llu\n",
+              "TCP %s, minRTO=%.0fms, seed=%llu, backend=%s\n",
               scenario.num_flows, to_mbps(scenario.bottleneck),
               queue.c_str(), scenario.buffer_packets,
               tcp_variant_name(scenario.tcp.variant),
               to_ms(scenario.tcp.rto_min),
-              static_cast<unsigned long long>(scenario.seed));
+              static_cast<unsigned long long>(scenario.seed),
+              backend_name(scenario.backend));
 
   const BitRate baseline = measure_baseline(scenario, control);
   std::printf("baseline: %.2f Mbps goodput (%.1f%% utilization), jitter "

@@ -7,6 +7,7 @@
 
 #include "attack/distributed.hpp"
 #include "core/model.hpp"
+#include "fluid/hybrid.hpp"
 #include "net/droptail.hpp"
 #include "net/link.hpp"
 #include "net/node.hpp"
@@ -19,6 +20,24 @@
 #include "util/assert.hpp"
 
 namespace pdos {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kFull: return "full";
+    case Backend::kFast: return "fast";
+    case Backend::kFluid: return "fluid";
+    case Backend::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+std::optional<Backend> parse_backend(const std::string& name) {
+  if (name == "full") return Backend::kFull;
+  if (name == "fast") return Backend::kFast;
+  if (name == "fluid") return Backend::kFluid;
+  if (name == "hybrid") return Backend::kHybrid;
+  return std::nullopt;
+}
 
 ScenarioConfig ScenarioConfig::ns2_dumbbell(int num_flows) {
   ScenarioConfig config;
@@ -93,6 +112,23 @@ void ScenarioConfig::validate() const {
     PDOS_REQUIRE(rtt > 2.0 * bottleneck_delay,
                  "Scenario: RTT must exceed bottleneck propagation");
   }
+  if (backend == Backend::kFluid || backend == Backend::kHybrid) {
+    PDOS_REQUIRE(fluid_dt_pulse > 0.0 && fluid_dt_idle > 0.0,
+                 "Scenario: fluid integration steps must be > 0");
+  }
+  if (backend == Backend::kFluid) {
+    PDOS_REQUIRE(cross_traffic_rate == 0.0,
+                 "Scenario: fluid backend does not model cross traffic");
+    PDOS_REQUIRE(attacker_phase_spread == 0.0,
+                 "Scenario: fluid backend needs in-phase attackers");
+  }
+  if (backend == Backend::kHybrid) {
+    PDOS_REQUIRE(queue == QueueKind::kRed,
+                 "Scenario: hybrid backend requires a RED bottleneck");
+    PDOS_REQUIRE(hybrid_foreground >= 1 && hybrid_foreground < num_flows,
+                 "Scenario: hybrid needs 1 <= hybrid_foreground < num_flows");
+    PDOS_REQUIRE(hybrid_tick > 0.0, "Scenario: hybrid_tick must be > 0");
+  }
   tcp.validate();
 }
 
@@ -103,6 +139,27 @@ VictimProfile ScenarioConfig::victim_profile() const {
   victim.rbottle = bottleneck;
   victim.rtts = rtts;
   return victim;
+}
+
+fluid::FluidConfig make_fluid_config(const ScenarioConfig& config) {
+  fluid::FluidConfig fc;
+  fc.aimd = config.tcp.aimd;
+  fc.spacket = config.tcp.mss + config.tcp.header_bytes;
+  fc.bottleneck = config.bottleneck;
+  fc.access = config.access;
+  // Same parameterization make_queue builds for the packet bottleneck.
+  fc.red = RedParams::paper_testbed(config.buffer_packets);
+  fc.droptail = config.queue == QueueKind::kDropTail;
+  fc.classes.reserve(config.rtts.size());
+  for (Time rtt : config.rtts) {
+    fc.classes.push_back(fluid::FluidClass{rtt, 1.0});
+  }
+  fc.initial_ssthresh = config.tcp.initial_ssthresh;
+  fc.max_cwnd = config.tcp.max_cwnd;
+  fc.rto_min = config.tcp.rto_min;
+  fc.dt_pulse = config.fluid_dt_pulse;
+  fc.dt_idle = config.fluid_dt_idle;
+  return fc;
 }
 
 namespace {
@@ -130,6 +187,57 @@ QueueDiscipline* big_fifo(Simulator& sim) {
   return sim.make<DropTailQueue>(1000, sim.memory());
 }
 
+/// kFluid backend: no simulator at all — translate, solve, and map the
+/// fluid observables onto RunResult so every caller (sweeps, optimizer,
+/// gain/baseline) consumes the surrogate through the same interface.
+RunResult run_fluid_backend(const ScenarioConfig& config,
+                            const std::optional<PulseTrain>& attack,
+                            const RunControl& control) {
+  const fluid::FluidConfig fc = make_fluid_config(config);
+  fluid::FluidControl fctl;
+  fctl.warmup = control.warmup;
+  fctl.measure = control.measure;
+  fctl.bin_width = control.bin_width;
+  fctl.traced_class = control.traced_flow;
+  std::optional<fluid::FluidAttack> fattack;
+  if (attack) {
+    fattack = fluid::FluidAttack{attack->textent, attack->rattack,
+                                 attack->tspace, attack->packet_bytes};
+  }
+  fluid::FluidResult fr = fluid::solve(fc, fattack, fctl);
+
+  RunResult result;
+  result.goodput_bytes = static_cast<Bytes>(fr.goodput_bytes);
+  result.goodput_rate = fr.goodput_rate;
+  result.utilization = fr.utilization;
+  result.per_flow_goodput.reserve(fr.per_class_goodput_bytes.size());
+  for (double bytes : fr.per_class_goodput_bytes) {
+    result.per_flow_goodput.push_back(static_cast<Bytes>(bytes));
+  }
+  result.fairness_index = jain_fairness_index(fr.per_class_goodput_bytes);
+  result.bin_width = fr.bin_width;
+  result.red_early_drops =
+      static_cast<std::uint64_t>(fr.early_dropped_packets);
+  result.red_forced_drops =
+      static_cast<std::uint64_t>(fr.forced_dropped_packets);
+  result.total_timeouts = fr.timeouts;
+  // A fluid loss episode is the surrogate of a fast-recovery spell.
+  result.total_fast_recoveries = fr.loss_events;
+  result.events_executed = fr.steps;
+  if (attack) {
+    double attack_bytes = 0.0;
+    for (double b : fr.attack_bins) attack_bytes += b;
+    result.attack_packets_sent = static_cast<std::uint64_t>(
+        attack_bytes / static_cast<double>(attack->packet_bytes));
+  }
+  result.incoming_bins = std::move(fr.incoming_bins);
+  result.attack_bins = std::move(fr.attack_bins);
+  result.queue_occupancy = std::move(fr.queue_occupancy);
+  result.red_avg_samples = std::move(fr.red_avg_samples);
+  result.cwnd_trace = std::move(fr.cwnd_trace);
+  return result;
+}
+
 }  // namespace
 
 void ScenarioWorkspace::build(const ScenarioConfig& config,
@@ -138,7 +246,7 @@ void ScenarioWorkspace::build(const ScenarioConfig& config,
   const NodeId router_s_id = 2 * m;
   const NodeId router_r_id = 2 * m + 1;
   const NodeId attacker_id = 2 * m + 2;
-  const bool fast = config.fast_path;
+  const bool fast = config.fast_path || config.backend == Backend::kFast;
   Simulator& sim = sim_;
 
   router_s_ = sim.make<Node>(router_s_id, "routerS", sim.memory());
@@ -303,6 +411,39 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
   PDOS_REQUIRE(control.warmup >= 0.0 && control.measure > 0.0,
                "RunControl: need warmup >= 0 and measure > 0");
 
+  if (config.backend == Backend::kFluid) {
+    // Pure surrogate: no packets, no simulator state touched.
+    return run_fluid_backend(config, attack, control);
+  }
+
+  // Hybrid: carve the packet-level foreground out of the flow list; the
+  // complement becomes the fluid background aggregate attached after build.
+  const bool hybrid = config.backend == Backend::kHybrid;
+  ScenarioConfig active = config;
+  std::vector<Time> background_rtts;
+  if (hybrid) {
+    const int m = config.num_flows;
+    const int f = config.hybrid_foreground;
+    std::vector<char> is_foreground(static_cast<std::size_t>(m), 0);
+    for (int i = 0; i < f; ++i) {
+      // Spread the packet flows evenly across the RTT list (f == 1 keeps
+      // the shortest-RTT flow). Strictly increasing for f <= m, no dupes.
+      const int idx =
+          f == 1 ? 0
+                 : static_cast<int>(std::lround(static_cast<double>(i) *
+                                                (m - 1) / (f - 1)));
+      is_foreground[static_cast<std::size_t>(idx)] = 1;
+    }
+    active.num_flows = f;
+    active.rtts.clear();
+    for (int i = 0; i < m; ++i) {
+      auto& dst = is_foreground[static_cast<std::size_t>(i)]
+                      ? active.rtts
+                      : background_rtts;
+      dst.push_back(config.rtts[i]);
+    }
+  }
+
   // Rewind the simulator to the run seed: the previous run's object graph
   // is destroyed, but every block of memory it occupied is retained and
   // reused by the rebuild below.
@@ -311,11 +452,26 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
   router_r_ = nullptr;
   bottleneck_ = nullptr;
   cross_traffic_ = nullptr;
+  background_ = nullptr;
   sender_hot_ = nullptr;
   receiver_hot_ = nullptr;
   connections_.clear();
   attackers_.clear();
-  build(config, attack);
+  build(active, attack);
+
+  if (hybrid) {
+    auto* red = dynamic_cast<RedQueue*>(&bottleneck_->queue());
+    PDOS_CHECK(red != nullptr);  // validate() enforced QueueKind::kRed
+    fluid::FluidConfig bg = make_fluid_config(config);
+    bg.classes.clear();
+    bg.classes.reserve(background_rtts.size());
+    for (Time rtt : background_rtts) {
+      bg.classes.push_back(fluid::FluidClass{rtt, 1.0});
+    }
+    background_ = sim_.make<fluid::FluidBackgroundSource>(
+        sim_, bottleneck_, red, std::move(bg), config.hybrid_tick);
+    background_->start(0.0);
+  }
 
   // Instrument the bottleneck's arrivals (the paper's "incoming traffic").
   // StatsHub batches the per-bin sums and is pre-sized to the horizon, so
@@ -345,8 +501,12 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
     // Lazy fused links drain analytically between packets; flush services
     // completed by now so the occupancy sample matches the eager schedule.
     ctx->bottleneck->settle();
+    // Hybrid runs count the fluid background's virtual backlog as occupancy;
+    // with no background the term is exactly 0.0 and the sample is
+    // bit-identical to the packet-only path.
     ctx->result.queue_occupancy.push_back(
-        static_cast<double>(ctx->bottleneck->queue().length()));
+        static_cast<double>(ctx->bottleneck->queue().length()) +
+        (ctx->red_queue != nullptr ? ctx->red_queue->fluid_backlog() : 0.0));
     ctx->result.red_avg_samples.push_back(
         ctx->red_queue != nullptr ? ctx->red_queue->avg() : 0.0);
     if (ctx->sim.now() + ctx->control.bin_width <= ctx->control.horizon()) {
@@ -368,7 +528,7 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
   }
 
   if (control.traced_flow >= 0) {
-    PDOS_REQUIRE(control.traced_flow < config.num_flows,
+    PDOS_REQUIRE(control.traced_flow < active.num_flows,
                  "RunControl: traced_flow out of range");
     connections_[control.traced_flow].sender->set_cwnd_tracer(
         [&result](Time t, double w) { result.cwnd_trace.emplace_back(t, w); });
@@ -398,6 +558,10 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
   for (const auto& conn : connections_) {
     goodput_marks_.push_back(conn.receiver->goodput_bytes());
   }
+  std::vector<double> background_mark;
+  if (background_ != nullptr) {
+    background_mark = background_->bank().delivered_packets();
+  }
 
   sim_.run_until(control.horizon());
 
@@ -410,6 +574,20 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
     result.total_timeouts += stats.timeouts;
     result.total_fast_recoveries += stats.fast_recoveries;
     result.total_retransmits += stats.retransmits;
+  }
+  if (background_ != nullptr) {
+    // Fold the fluid background's delivered mass into the aggregate: one
+    // per-flow entry per background class, appended after the packet flows.
+    const auto window = background_->bank().delivered_since(background_mark);
+    const double spacket_bytes =
+        static_cast<double>(background_->spacket());
+    for (double pkts : window) {
+      const Bytes bytes = static_cast<Bytes>(pkts * spacket_bytes);
+      result.per_flow_goodput.push_back(bytes);
+      result.goodput_bytes += bytes;
+    }
+    result.total_timeouts += background_->bank().timeouts;
+    result.total_fast_recoveries += background_->bank().loss_events;
   }
   {
     std::vector<double> shares(result.per_flow_goodput.begin(),

@@ -17,11 +17,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "attack/pulse.hpp"
 #include "core/params.hpp"
+#include "fluid/fluid.hpp"
 #include "net/queue.hpp"
 #include "net/red.hpp"
 #include "tcp/connection.hpp"
@@ -32,8 +34,31 @@ namespace pdos {
 
 class Link;
 class OnOffSource;
+namespace fluid {
+class FluidBackgroundSource;
+}
 
 enum class QueueKind { kDropTail, kRed };
+
+/// Simulation tier a scenario runs on (DESIGN.md §12, "Choosing a backend"
+/// in README.md):
+///   kFull   — the packet engine's default event path (golden-digest
+///             pinned; the paper figures run here).
+///   kFast   — the same packet engine with the express ACK lane and event
+///             fusion (DESIGN.md §11); bit-identical packet timings,
+///             different event counts. Equivalent to fast_path = true.
+///   kFluid  — no packets at all: the fluid AIMD solver (src/fluid)
+///             integrates per-class window ODEs and RED occupancy,
+///             microseconds per run.
+///   kHybrid — `hybrid_foreground` flows stay packet-level; the remaining
+///             flows become a fluid aggregate coupled into the RED
+///             bottleneck through a FluidBackgroundSource.
+enum class Backend { kFull, kFast, kFluid, kHybrid };
+
+const char* backend_name(Backend backend);
+
+/// Parse "full" | "fast" | "fluid" | "hybrid"; nullopt on anything else.
+std::optional<Backend> parse_backend(const std::string& name);
 
 struct ScenarioConfig {
   int num_flows = 15;
@@ -67,6 +92,20 @@ struct ScenarioConfig {
   /// so this is opt-in and the paper scenarios leave it off. A scenario
   /// that installs reverse-path queues or taps must also leave it off.
   bool fast_path = false;
+  /// Which simulation tier runs the scenario (see Backend above). kFull
+  /// keeps every default-path digest byte-identical; kFast implies
+  /// fast_path; kFluid and kHybrid trade packet-level fidelity for speed.
+  Backend backend = Backend::kFull;
+  /// Hybrid tier: how many flows (spread evenly across the RTT list) stay
+  /// packet-level. The other num_flows - hybrid_foreground flows form the
+  /// fluid background aggregate.
+  int hybrid_foreground = 4;
+  /// Hybrid tier: background integration tick.
+  Time hybrid_tick = ms(1.0);
+  /// Fluid tier: base integration step inside / between pulses. The solver
+  /// additionally snaps steps to pulse edges and RTO expiries.
+  Time fluid_dt_pulse = ms(10.0);
+  Time fluid_dt_idle = ms(20.0);
 
   /// §4.1 ns-2 scenario. The paper reuses Kuzmanovic & Knightly's scripts;
   /// parameters it does not restate (buffer size, RED thresholds) follow
@@ -185,6 +224,7 @@ class ScenarioWorkspace {
   std::vector<TcpConnection> connections_;
   std::vector<PulseAttacker*> attackers_;
   OnOffSource* cross_traffic_ = nullptr;
+  fluid::FluidBackgroundSource* background_ = nullptr;  // hybrid tier only
   // Flat hot-state tables (tcp/flow_state.hpp), one slot per flow, laid out
   // contiguously in the simulator arena by build().
   TcpSenderHot* sender_hot_ = nullptr;
@@ -217,5 +257,12 @@ GainMeasurement measure_gain(const ScenarioConfig& config,
 /// Baseline goodput rate (no attack) for the scenario under `control`.
 BitRate measure_baseline(const ScenarioConfig& config,
                          const RunControl& control);
+
+/// Translate a scenario to the fluid tier's system description: one class
+/// per flow, the same RED parameterization `make_queue` builds, the TCP
+/// stack's AIMD/slow-start/RTO knobs. Used by the kFluid backend, the
+/// hybrid background (with the class list cut down to the background
+/// flows), and the agreement tests.
+fluid::FluidConfig make_fluid_config(const ScenarioConfig& config);
 
 }  // namespace pdos

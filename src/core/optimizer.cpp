@@ -1,7 +1,11 @@
 #include "core/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <vector>
 
+#include "attack/pulse.hpp"
 #include "core/model.hpp"
 #include "util/assert.hpp"
 
@@ -93,6 +97,123 @@ double optimal_mu_risk_neutral_paper(double c_attack, Time textent,
 
 double optimal_gain(double cpsi, double kappa) {
   return attack_gain(optimal_gamma(cpsi, kappa), cpsi, kappa);
+}
+
+namespace {
+
+/// Shared engine for both search modes. `fluid_inner` = true scores the
+/// grid with the fluid surrogate and packet-confirms only the top
+/// `confirm_top`; false confirms every point (the reference search).
+GammaSearchResult run_gamma_search(const GammaSearch& search,
+                                   bool fluid_inner) {
+  PDOS_REQUIRE(search.grid_points >= 2,
+               "gamma search: need at least 2 grid points");
+  PDOS_REQUIRE(search.confirm_top >= 1,
+               "gamma search: need confirm_top >= 1");
+  PDOS_REQUIRE(search.textent > 0.0 && search.rattack > 0.0,
+               "gamma search: pulse shape must be positive");
+
+  // The confirm tier is the packet engine; a surrogate tier handed in by
+  // the caller would make "confirm" meaningless.
+  ScenarioConfig packet_cfg = search.scenario;
+  if (packet_cfg.backend != Backend::kFast) {
+    packet_cfg.backend = Backend::kFull;
+  }
+  ScenarioConfig fluid_cfg = search.scenario;
+  fluid_cfg.backend = Backend::kFluid;
+
+  const double c_attack = search.rattack / packet_cfg.bottleneck;
+  const double cpsi =
+      c_psi(packet_cfg.victim_profile(), search.textent, c_attack);
+  double lo = search.gamma_lo;
+  if (lo <= 0.0) lo = std::max(cpsi + 0.02, 0.1);
+  const double hi = search.gamma_hi;
+  PDOS_REQUIRE(lo < hi && hi < 1.0,
+               "gamma search: need gamma_lo < gamma_hi < 1");
+  // γ = R_attack·T_extent/(R_bottle·T) <= C_attack at back-to-back pulses.
+  PDOS_REQUIRE(hi <= c_attack,
+               "gamma search: gamma_hi unreachable at this R_attack");
+
+  GammaSearchResult result;
+  ScenarioWorkspace workspace;
+
+  result.baseline_goodput = workspace.baseline(packet_cfg, search.control);
+  ++result.packet_runs;
+  PDOS_REQUIRE(result.baseline_goodput > 0.0,
+               "gamma search: packet baseline produced no goodput");
+  if (fluid_inner) {
+    result.fluid_baseline_goodput =
+        workspace.baseline(fluid_cfg, search.control);
+    ++result.fluid_runs;
+    PDOS_REQUIRE(result.fluid_baseline_goodput > 0.0,
+                 "gamma search: fluid baseline produced no goodput");
+  }
+
+  result.candidates.resize(static_cast<std::size_t>(search.grid_points));
+  for (int i = 0; i < search.grid_points; ++i) {
+    auto& cand = result.candidates[static_cast<std::size_t>(i)];
+    cand.gamma = lo + (hi - lo) * static_cast<double>(i) /
+                          static_cast<double>(search.grid_points - 1);
+    if (fluid_inner) {
+      const PulseTrain train =
+          PulseTrain::from_gamma(search.textent, search.rattack, cand.gamma,
+                                 packet_cfg.bottleneck);
+      cand.fluid_gain = workspace
+                            .gain(fluid_cfg, train, search.kappa,
+                                  search.control,
+                                  result.fluid_baseline_goodput)
+                            .gain;
+      ++result.fluid_runs;
+    }
+  }
+
+  // Rank by surrogate score and confirm the head of the ranking on the
+  // packet path; packet-only mode confirms everything.
+  std::vector<std::size_t> order(result.candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (fluid_inner) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return result.candidates[a].fluid_gain >
+                              result.candidates[b].fluid_gain;
+                     });
+    result.gamma_star_fluid = result.candidates[order.front()].gamma;
+  }
+  const std::size_t confirm =
+      fluid_inner ? std::min(order.size(),
+                             static_cast<std::size_t>(search.confirm_top))
+                  : order.size();
+
+  double best_gain = -1.0;
+  for (std::size_t k = 0; k < confirm; ++k) {
+    auto& cand = result.candidates[order[k]];
+    const PulseTrain train =
+        PulseTrain::from_gamma(search.textent, search.rattack, cand.gamma,
+                               packet_cfg.bottleneck);
+    const GainMeasurement point =
+        workspace.gain(packet_cfg, train, search.kappa, search.control,
+                       result.baseline_goodput);
+    ++result.packet_runs;
+    cand.packet_gain = point.gain;
+    cand.confirmed = true;
+    if (point.gain > best_gain) {
+      best_gain = point.gain;
+      result.gamma_star = cand.gamma;
+      result.gain = point.gain;
+      result.degradation = point.degradation;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+GammaSearchResult search_confirm_gamma(const GammaSearch& search) {
+  return run_gamma_search(search, /*fluid_inner=*/true);
+}
+
+GammaSearchResult search_gamma_packet_only(const GammaSearch& search) {
+  return run_gamma_search(search, /*fluid_inner=*/false);
 }
 
 }  // namespace pdos

@@ -8,10 +8,20 @@
 // spacing via μ = T_space/T_extent. A golden-section maximizer is provided
 // to cross-validate the closed form and to optimize variants the paper
 // leaves analytical (e.g. adding measured shrew boosts).
+// The empirical layer (`search_confirm_gamma`) goes beyond the closed form:
+// it maximizes the *measured* gain over a γ grid with a two-tier
+// search-then-confirm loop — the fluid surrogate (src/fluid, microseconds
+// per point) scores every grid point, then only the top-ranked candidates
+// are re-measured on the packet path (tens of milliseconds per point) and
+// the confirmed winner is returned. `search_gamma_packet_only` runs the
+// same grid entirely at packet level; the regression test in
+// tests/core/optimizer_search_test.cpp pins that both return the same γ*.
 #pragma once
 
 #include <functional>
+#include <vector>
 
+#include "core/experiment.hpp"
 #include "core/params.hpp"
 #include "util/units.hpp"
 
@@ -49,5 +59,51 @@ double optimal_mu_risk_neutral_paper(double c_attack, Time textent,
 
 /// Gain achieved at the optimum, G(γ*).
 double optimal_gain(double cpsi, double kappa);
+
+// --- Empirical search-then-confirm (DESIGN.md §12) ----------------------
+
+/// One empirical γ* search: fix the pulse shape (T_extent, R_attack) and
+/// scan γ — i.e. T_space via Eq. (7) — over a grid, maximizing measured
+/// gain G = Γ(1−γ)^κ.
+struct GammaSearch {
+  ScenarioConfig scenario;   // `scenario.backend` selects the confirm tier
+                             // (kFluid/kHybrid are coerced to kFull)
+  Time textent = ms(50);
+  BitRate rattack = mbps(25);
+  double kappa = 1.0;
+  RunControl control;
+  int grid_points = 9;       // evenly spaced γ grid in [gamma_lo, gamma_hi]
+  int confirm_top = 3;       // fluid-ranked candidates re-run at packet level
+  double gamma_lo = 0.0;     // <= 0: auto, max(C_Ψ + 0.02, 0.1)
+  double gamma_hi = 0.95;
+};
+
+struct GammaCandidate {
+  double gamma = 0.0;
+  double fluid_gain = 0.0;   // surrogate score (0 in packet-only searches)
+  double packet_gain = 0.0;  // measured gain, valid when `confirmed`
+  bool confirmed = false;    // re-measured on the packet path
+};
+
+struct GammaSearchResult {
+  double gamma_star = 0.0;        // argmax of confirmed packet gain
+  double gain = 0.0;              // packet-measured G at gamma_star
+  double degradation = 0.0;       // packet-measured Γ at gamma_star
+  double gamma_star_fluid = 0.0;  // argmax of the fluid surrogate alone
+  BitRate baseline_goodput = 0.0;
+  BitRate fluid_baseline_goodput = 0.0;
+  int fluid_runs = 0;   // fluid evaluations (incl. the fluid baseline)
+  int packet_runs = 0;  // packet evaluations (incl. the packet baseline)
+  std::vector<GammaCandidate> candidates;  // ascending γ
+};
+
+/// Two-tier search: score the whole grid on the fluid surrogate, confirm
+/// the `confirm_top` best candidates on the packet path, return the
+/// confirmed winner.
+GammaSearchResult search_confirm_gamma(const GammaSearch& search);
+
+/// Reference search: every grid point measured on the packet path (the
+/// fluid tier is never consulted). Same grid, same ranking rule.
+GammaSearchResult search_gamma_packet_only(const GammaSearch& search);
 
 }  // namespace pdos

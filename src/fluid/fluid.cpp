@@ -1,0 +1,336 @@
+#include "fluid/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace pdos::fluid {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Below this window NewReno cannot raise three dupacks, so a loss episode
+// costs a retransmission timeout instead of a fast recovery.
+constexpr double kDupackFloor = 4.0;
+// Boundary snap tolerance: steps shorter than this are merged into the
+// discontinuity they precede.
+constexpr double kTimeEps = 1e-9;
+}  // namespace
+
+void FluidConfig::validate() const {
+  aimd.validate();
+  PDOS_REQUIRE(spacket > 0, "FluidConfig: spacket must be > 0");
+  PDOS_REQUIRE(bottleneck > 0.0 && access > 0.0,
+               "FluidConfig: link rates must be > 0");
+  PDOS_REQUIRE(red.capacity > 0, "FluidConfig: buffer must be > 0");
+  if (!droptail) red.validate();
+  PDOS_REQUIRE(!classes.empty(), "FluidConfig: need at least one class");
+  for (const FluidClass& c : classes) {
+    PDOS_REQUIRE(c.rtt > 0.0, "FluidConfig: class RTT must be > 0");
+    PDOS_REQUIRE(c.count > 0.0, "FluidConfig: class count must be > 0");
+  }
+  PDOS_REQUIRE(initial_ssthresh >= 2.0,
+               "FluidConfig: initial_ssthresh must be >= 2");
+  PDOS_REQUIRE(max_cwnd >= 1.0, "FluidConfig: max_cwnd must be >= 1");
+  PDOS_REQUIRE(rto_min > 0.0, "FluidConfig: rto_min must be > 0");
+  PDOS_REQUIRE(dt_pulse > 0.0 && dt_idle > 0.0,
+               "FluidConfig: integration steps must be > 0");
+}
+
+double red_drop_probability(const RedParams& params, double avg) {
+  double pb;
+  if (avg < params.min_th) return 0.0;
+  if (avg < params.max_th) {
+    pb = params.max_p * (avg - params.min_th) /
+         (params.max_th - params.min_th);
+  } else if (params.gentle && avg < 2.0 * params.max_th) {
+    pb = params.max_p +
+         (1.0 - params.max_p) * (avg - params.max_th) / params.max_th;
+  } else {
+    return 1.0;
+  }
+  // Expectation of ns-2's count-spread drops: uniformized gaps of mean
+  // (1 + 1/p_b)/2 packets realize 2 p_b / (1 + p_b) drops per arrival.
+  return std::min(1.0, 2.0 * pb / (1.0 + pb));
+}
+
+AimdBank::AimdBank(const FluidConfig& config)
+    : aimd_(config.aimd),
+      access_pps_(config.access / (8.0 * static_cast<double>(config.spacket))),
+      ssthresh0_(config.initial_ssthresh),
+      max_cwnd_(config.max_cwnd),
+      rto_min_(config.rto_min),
+      ss_log_(std::log(1.0 + 1.0 / static_cast<double>(config.aimd.d))) {
+  const std::size_t n = config.classes.size();
+  rtt_.reserve(n);
+  count_.reserve(n);
+  for (const FluidClass& c : config.classes) {
+    rtt_.push_back(c.rtt);
+    count_.push_back(c.count);
+  }
+  w_.assign(n, 1.0);
+  ssthresh_.assign(n, ssthresh0_);
+  accum_.assign(n, 0.0);
+  md_gate_.assign(n, 0.0);
+  rto_until_.assign(n, 0.0);
+  delivered_.assign(n, 0.0);
+  x_.assign(n, 0.0);
+}
+
+double AimdBank::refresh_rates(Time now, Time queue_delay) const {
+  if (now == x_now_ && queue_delay == x_delay_) return x_offered_;
+  double offered = 0.0;
+  // Branchless over the frozen mask so the divide chain vectorizes: the
+  // inner loop is the solver's single hottest statement.
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    const double active = now < rto_until_[i] ? 0.0 : 1.0;
+    const double x =
+        active * std::min(w_[i] / (rtt_[i] + queue_delay), access_pps_);
+    x_[i] = x;
+    offered += count_[i] * x;
+  }
+  x_offered_ = offered;
+  x_now_ = now;
+  x_delay_ = queue_delay;
+  return offered;
+}
+
+double AimdBank::offered_rate(Time now, Time queue_delay) const {
+  return refresh_rates(now, queue_delay);
+}
+
+double AimdBank::step(Time now, Time dt, double p_early, double forced_frac,
+                      Time queue_delay) {
+  const double p_total = p_early + (1.0 - p_early) * forced_frac;
+  const double offered = refresh_rates(now, queue_delay);
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    if (now < rto_until_[i]) continue;  // frozen: no arrivals, no growth
+    const double rtt = rtt_[i] + queue_delay;
+    const double dt_rtts = dt / rtt;  // the step in units of this class's RTT
+    const double x = x_[i];
+    delivered_[i] += count_[i] * x * (1.0 - p_total) * dt;
+
+    // Loss pressure: expected drops per flow integrate until they amount
+    // to a whole packet, then the class takes one NewReno episode. The
+    // pressure decays over ~2 RTTs when the path runs clean, so isolated
+    // sub-packet residue from an old pulse cannot trigger a phantom
+    // episode much later.
+    if (p_total > 0.0) {
+      accum_[i] += p_total * x * dt;
+    } else if (accum_[i] > 0.0) {
+      accum_[i] *= 1.0 - std::min(1.0, 0.5 * dt_rtts);
+    }
+    if (accum_[i] >= 1.0 && now >= md_gate_[i]) {
+      accum_[i] = 0.0;
+      if (w_[i] < kDupackFloor) {
+        // Too few in-flight segments for three dupacks: RTO. The window
+        // restarts from one in slow start when the freeze expires.
+        ++timeouts;
+        ssthresh_[i] = std::max(2.0, 0.5 * w_[i]);
+        w_[i] = 1.0;
+        rto_until_[i] = now + std::max(rto_min_, 2.0 * rtt);
+        md_gate_[i] = rto_until_[i];
+      } else {
+        ++loss_events;
+        ssthresh_[i] = std::max(2.0, aimd_.b * w_[i]);
+        w_[i] = std::max(1.0, aimd_.b * w_[i]);
+        // One decrease per window's worth of feedback: NewReno ignores
+        // further losses of the same flight.
+        md_gate_[i] = now + rtt;
+      }
+      continue;  // no growth on the episode step
+    }
+
+    if (w_[i] < ssthresh_[i]) {
+      w_[i] += w_[i] * ss_log_ * dt_rtts;  // slow start: doubling per d-RTT
+    } else {
+      w_[i] += aimd_.a * dt_rtts / static_cast<double>(aimd_.d);
+    }
+    if (w_[i] > max_cwnd_) w_[i] = max_cwnd_;
+  }
+  x_now_ = -1.0;  // the windows moved: cached rates are stale
+  return offered;
+}
+
+std::vector<double> AimdBank::delivered_since(
+    const std::vector<double>& mark) const {
+  PDOS_CHECK(mark.size() == delivered_.size());
+  std::vector<double> window(delivered_.size());
+  for (std::size_t i = 0; i < delivered_.size(); ++i) {
+    window[i] = delivered_[i] - mark[i];
+  }
+  return window;
+}
+
+Time AimdBank::next_rto_expiry() const {
+  Time next = kInf;
+  for (double until : rto_until_) {
+    if (until > 0.0 && until < next) next = until;
+  }
+  return next;
+}
+
+FluidResult solve(const FluidConfig& config,
+                  const std::optional<FluidAttack>& attack,
+                  const FluidControl& control) {
+  config.validate();
+  PDOS_REQUIRE(control.warmup >= 0.0 && control.measure > 0.0,
+               "FluidControl: need warmup >= 0 and measure > 0");
+  if (attack) {
+    PDOS_REQUIRE(attack->textent > 0.0 && attack->rattack > 0.0 &&
+                     attack->tspace >= 0.0 && attack->packet_bytes > 0,
+                 "FluidAttack: invalid pulse train");
+  }
+  if (control.traced_class >= 0) {
+    PDOS_REQUIRE(static_cast<std::size_t>(control.traced_class) <
+                     config.classes.size(),
+                 "FluidControl: traced_class out of range");
+  }
+
+  AimdBank bank(config);
+  const double capacity = config.capacity_pps();
+  const double buffer = static_cast<double>(config.red.capacity);
+  const double atk_pps =
+      attack ? attack->rattack / (8.0 * static_cast<double>(
+                                            attack->packet_bytes))
+             : 0.0;
+  const double atk_bytes = attack ? static_cast<double>(attack->packet_bytes)
+                                  : 0.0;
+  const double tcp_bytes = static_cast<double>(config.spacket);
+  const Time horizon = control.horizon();
+  // (1 - w_q)^n per arrival batch, via exp(n log(1 - w_q)) with the log
+  // hoisted out of the step loop; pow() would redo it every step.
+  const double ewma_log_keep =
+      config.droptail ? 0.0 : std::log(1.0 - config.red.wq);
+
+  FluidResult result;
+  result.bin_width = control.bin_width;
+  const std::size_t num_bins = static_cast<std::size_t>(
+      std::ceil(horizon / control.bin_width - kTimeEps));
+  result.incoming_bins.assign(num_bins, 0.0);
+  result.attack_bins.assign(num_bins, 0.0);
+  result.queue_occupancy.reserve(num_bins + 2);
+  result.red_avg_samples.reserve(num_bins + 2);
+
+  double q = 0.0;    // queue level, packets
+  double avg = 0.0;  // RED EWMA estimate
+  Time t = 0.0;
+  Time next_sample = 0.0;
+  std::vector<double> warmup_mark;
+  bool marked = control.warmup == 0.0;
+  if (marked) warmup_mark.assign(config.classes.size(), 0.0);
+
+  while (t < horizon - kTimeEps) {
+    // Sample occupancy/EWMA at bin boundaries (mirrors the packet path's
+    // occupancy sampler, which fires at t = 0, bw, 2bw, ...).
+    while (next_sample <= t + kTimeEps) {
+      result.queue_occupancy.push_back(q);
+      result.red_avg_samples.push_back(config.droptail ? 0.0 : avg);
+      next_sample += control.bin_width;
+    }
+    if (!marked && t >= control.warmup - kTimeEps) {
+      warmup_mark = bank.delivered_packets();
+      marked = true;
+    }
+
+    // Pulse phase and the next square-wave discontinuity.
+    bool in_pulse = false;
+    Time next_boundary = kInf;
+    if (attack) {
+      const Time period = attack->period();
+      const double k = std::floor((t + kTimeEps) / period);
+      const Time pulse_start = k * period;
+      if (t < pulse_start + attack->textent - kTimeEps) {
+        in_pulse = true;
+        next_boundary = pulse_start + attack->textent;
+      } else {
+        next_boundary = (k + 1.0) * period;
+      }
+    }
+
+    // Step size: the base resolution for the current phase, clipped so no
+    // step straddles a pulse edge, an RTO expiry, a sample instant, a bin
+    // edge, the warmup mark, or the horizon.
+    Time dt = in_pulse ? config.dt_pulse : config.dt_idle;
+    dt = std::min(dt, horizon - t);
+    dt = std::min(dt, next_boundary - t);
+    dt = std::min(dt, next_sample - t);
+    const Time rto_expiry = bank.next_rto_expiry();
+    if (rto_expiry > t + kTimeEps) dt = std::min(dt, rto_expiry - t);
+    if (!marked) dt = std::min(dt, control.warmup - t);
+    const Time next_edge =
+        (std::floor(t / control.bin_width + kTimeEps) + 1.0) *
+        control.bin_width;
+    dt = std::min(dt, next_edge - t);
+    if (dt < kTimeEps) dt = kTimeEps;
+
+    const Time queue_delay = q / capacity;
+    const double offered = bank.offered_rate(t, queue_delay);
+    const double atk_rate = in_pulse ? atk_pps : 0.0;
+    const double total_in = offered + atk_rate;
+
+    // RED's estimator sees every arrival at the current backlog: n
+    // arrivals move avg toward q by (1 - w_q)^n.
+    if (!config.droptail && total_in > 0.0) {
+      avg = q + (avg - q) * std::exp(total_in * dt * ewma_log_keep);
+    }
+    const double p_early =
+        config.droptail ? 0.0 : red_drop_probability(config.red, avg);
+
+    // Queue balance over the step; overflow converts into a forced-drop
+    // fraction applied uniformly to the step's admitted fluid.
+    const double admitted = (1.0 - p_early) * total_in;
+    double q_next = q + (admitted - capacity) * dt;
+    double forced_frac = 0.0;
+    if (q_next > buffer) {
+      const double inflow = admitted * dt;
+      if (inflow > 0.0) {
+        forced_frac = std::min(1.0, (q_next - buffer) / inflow);
+      }
+      q_next = buffer;
+    }
+    if (q_next < 0.0) q_next = 0.0;
+
+    result.early_dropped_packets += p_early * total_in * dt;
+    result.forced_dropped_packets += forced_frac * admitted * dt;
+
+    const std::size_t bin = std::min(
+        num_bins - 1, static_cast<std::size_t>((t + 0.5 * dt) /
+                                               control.bin_width));
+    result.incoming_bins[bin] +=
+        offered * dt * tcp_bytes + atk_rate * dt * atk_bytes;
+    result.attack_bins[bin] += atk_rate * dt * atk_bytes;
+
+    bank.step(t, dt, p_early, forced_frac, queue_delay);
+    if (control.traced_class >= 0) {
+      result.cwnd_trace.emplace_back(
+          t + dt, bank.window(static_cast<std::size_t>(control.traced_class)));
+    }
+
+    q = q_next;
+    t += dt;
+    ++result.steps;
+  }
+  while (next_sample <= horizon + kTimeEps) {
+    result.queue_occupancy.push_back(q);
+    result.red_avg_samples.push_back(config.droptail ? 0.0 : avg);
+    next_sample += control.bin_width;
+  }
+  if (!marked) warmup_mark = bank.delivered_packets();
+
+  const std::vector<double> window = bank.delivered_since(warmup_mark);
+  result.per_class_goodput_bytes.reserve(window.size());
+  for (double packets : window) {
+    const double bytes = packets * tcp_bytes;
+    result.per_class_goodput_bytes.push_back(bytes);
+    result.goodput_bytes += bytes;
+  }
+  result.goodput_rate = result.goodput_bytes * 8.0 / control.measure;
+  result.utilization = result.goodput_rate / config.bottleneck;
+  result.loss_events = bank.loss_events;
+  result.timeouts = bank.timeouts;
+  return result;
+}
+
+}  // namespace pdos::fluid

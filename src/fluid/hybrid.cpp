@@ -1,0 +1,87 @@
+#include "fluid/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pdos::fluid {
+
+namespace {
+// The background aggregate never claims the whole link: the foreground
+// packets must keep draining, however slowly, or the service-time scale
+// diverges.
+constexpr double kMaxBackgroundShare = 0.98;
+}  // namespace
+
+FluidBackgroundSource::FluidBackgroundSource(Simulator& sim, Link* bottleneck,
+                                             RedQueue* red, FluidConfig config,
+                                             Time tick)
+    : sim_(sim),
+      bottleneck_(bottleneck),
+      red_(red),
+      config_(std::move(config)),
+      tick_(tick),
+      bank_(config_),
+      timer_(sim.scheduler(), [this] { on_tick(); }) {
+  PDOS_REQUIRE(bottleneck_ != nullptr && red_ != nullptr,
+               "FluidBackgroundSource: need a bottleneck link and RED queue");
+  PDOS_REQUIRE(tick_ > 0.0, "FluidBackgroundSource: tick must be > 0");
+  config_.validate();
+}
+
+void FluidBackgroundSource::start(Time when) {
+  last_ = when;
+  timer_.schedule_at(when + tick_);
+}
+
+void FluidBackgroundSource::on_tick() {
+  const Time now = sim_.now();
+  const Time dt = now - last_;
+  last_ = now;
+  ++ticks_;
+  timer_.schedule_at(now + tick_);
+  if (dt <= 0.0) return;
+
+  const double capacity = config_.capacity_pps();
+
+  // Flush any lazily-fused services so the composition we read is current.
+  bottleneck_->settle();
+
+  // 1) Drain: the FIFO serves real and virtual packets in proportion to
+  // their share of the combined backlog over the elapsed tick.
+  const double real_len = static_cast<double>(red_->length());
+  double backlog = red_->fluid_backlog();
+  const double combined = real_len + backlog;
+  double share = 0.0;
+  if (combined > 0.0) {
+    share = std::min(kMaxBackgroundShare, backlog / combined);
+    const double served = std::min(backlog, share * capacity * dt);
+    red_->fluid_drain(served);
+    backlog -= served;
+  }
+  // Foreground service runs at the residual capacity for the next tick.
+  bottleneck_->set_service_scale(1.0 / (1.0 - share));
+
+  // 2) Arrivals: offer the aggregate's fluid to RED. Early drops come from
+  // the live EWMA average (fed by real and virtual arrivals alike); the
+  // remainder lands in the virtual backlog up to the buffer's free space,
+  // the excess is a forced drop.
+  const Time queue_delay = (static_cast<double>(red_->length()) + backlog) /
+                           capacity;
+  const double p_early =
+      config_.droptail ? 0.0
+                       : red_drop_probability(red_->params(), red_->avg());
+  const double offered = bank_.offered_rate(now, queue_delay);
+  const double arrivals = offered * dt;
+  const double requested = arrivals * (1.0 - p_early);
+  const double admitted = red_->fluid_arrive(arrivals, requested);
+  const double forced_frac =
+      requested > 0.0 ? 1.0 - admitted / requested : 0.0;
+
+  // 3) Advance the background windows under the loss they just saw.
+  bank_.step(now, dt, p_early, std::clamp(forced_frac, 0.0, 1.0),
+             queue_delay);
+}
+
+}  // namespace pdos::fluid

@@ -1,0 +1,72 @@
+// Hybrid fluid/packet coupling (DESIGN.md §12).
+//
+// In a hybrid run a handful of foreground flows stay packet-level — full
+// TCP state machines, real packets through the real RED bottleneck — while
+// the background mass of flows is a fluid aggregate advanced by a
+// FluidBackgroundSource. The coupling is bidirectional and runs through
+// the shared RedQueue:
+//
+//   fluid -> packet: each tick injects the aggregate's admitted arrival
+//     mass into the queue as a *virtual backlog* (RedQueue::fluid_arrive).
+//     The virtual packets occupy buffer space, raise RED's EWMA average,
+//     and count toward the forced-drop capacity check, so foreground
+//     packets experience the congestion the background creates. The
+//     foreground link's service times are scaled by the background's
+//     bandwidth share (Link::set_service_scale), so foreground packets
+//     also drain at the residual capacity a FIFO would give them.
+//
+//   packet -> fluid: the aggregate reads RED's live average (fed by both
+//     real and virtual arrivals) for its early-drop probability, the
+//     combined backlog for its queueing delay, and the queue's free space
+//     for forced drops — so an attack pulse that fills the real queue
+//     throttles the fluid windows exactly as it throttles packet flows.
+//
+// With no FluidBackgroundSource attached, every hook this file relies on
+// is inert (zero virtual backlog, unit service scale): the packet path's
+// behaviour and its golden digests are untouched.
+#pragma once
+
+#include <vector>
+
+#include "fluid/fluid.hpp"
+#include "net/link.hpp"
+#include "net/red.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace pdos::fluid {
+
+class FluidBackgroundSource {
+ public:
+  /// `config.classes` holds the background classes only. `bottleneck` and
+  /// `red` must be the same link/queue pair and outlive the source; the
+  /// source assumes `red` is the bottleneck's queue discipline.
+  FluidBackgroundSource(Simulator& sim, Link* bottleneck, RedQueue* red,
+                        FluidConfig config, Time tick = ms(1.0));
+
+  /// Begin ticking at absolute virtual time `when`.
+  void start(Time when);
+
+  /// Background window/delivery state (snapshot `bank().delivered_packets()`
+  /// to measure a window of delivered background fluid).
+  const AimdBank& bank() const { return bank_; }
+
+  Bytes spacket() const { return config_.spacket; }
+  double backlog_packets() const { return red_->fluid_backlog(); }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void on_tick();
+
+  Simulator& sim_;
+  Link* bottleneck_;
+  RedQueue* red_;
+  FluidConfig config_;
+  Time tick_;
+  AimdBank bank_;
+  Time last_ = 0.0;
+  std::uint64_t ticks_ = 0;
+  Timer timer_;
+};
+
+}  // namespace pdos::fluid

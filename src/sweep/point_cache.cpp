@@ -65,6 +65,14 @@ void hash_common(Fnv1a& h, const SweepSpec& spec, const ScenarioConfig& c,
   h.f64(c.attacker_phase_spread).f64(c.flow_start_spread);
   h.f64(c.cross_traffic_rate);
 
+  // Simulation tier: the backend (and its tuning knobs) changes what a
+  // "result" means, so full/fast/fluid/hybrid points must never alias in a
+  // --resume replay.
+  h.i64(static_cast<std::int64_t>(c.backend));
+  h.i64(c.fast_path ? 1 : 0);
+  h.i64(c.hybrid_foreground).f64(c.hybrid_tick);
+  h.f64(c.fluid_dt_pulse).f64(c.fluid_dt_idle);
+
   const RunControl& ctl = spec.control;
   h.f64(ctl.warmup).f64(ctl.measure).f64(ctl.bin_width);
   h.i64(ctl.traced_flow);

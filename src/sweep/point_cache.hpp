@@ -33,7 +33,10 @@ namespace pdos::sweep {
 
 /// Bump on any change to the record layout OR to simulation semantics that
 /// changes outputs at identical parameters.
-inline constexpr int kPointCacheSchema = 1;
+/// Schema 2: the key covers the simulation tier (ScenarioConfig::backend,
+/// fast_path, and the hybrid/fluid tuning knobs), so points computed on
+/// different backends never alias.
+inline constexpr int kPointCacheSchema = 2;
 
 /// The measured (and analytic) outputs of one completed point — every
 /// PointResult field the CSV/JSON writers derive from a run.

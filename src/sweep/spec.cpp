@@ -82,6 +82,15 @@ SpecFile parse_spec(const std::string& text) {
                        ": queue must be red or droptail");
       file.spec.queue =
           value == "red" ? QueueKind::kRed : QueueKind::kDropTail;
+    } else if (key == "backend") {
+      const auto backend = parse_backend(value);
+      PDOS_REQUIRE(backend.has_value(),
+                   "spec line " + std::to_string(line) +
+                       ": backend must be full, fast, fluid or hybrid");
+      file.spec.backend = *backend;
+    } else if (key == "hybrid_foreground") {
+      file.spec.hybrid_foreground =
+          static_cast<int>(parse_double(value, line));
     } else if (key == "flows") {
       file.spec.flow_counts.clear();
       for (double flows : parse_list(value, line)) {

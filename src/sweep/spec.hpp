@@ -7,6 +7,9 @@
 //   # full Figs. 6-9 grid
 //   scenario     = ns2          # ns2 | testbed
 //   queue        = red          # red | droptail
+//   backend      = full         # full | fast | fluid | hybrid (tier, see
+//                               # DESIGN.md §12; default full)
+//   hybrid_foreground = 4       # hybrid only: packet-level flows per point
 //   flows        = 15,25,35,45
 //   textent_ms   = 50,75,100
 //   rattack_mbps = 25,30,35,40

@@ -1,0 +1,91 @@
+// Search-then-confirm regression: the fluid-surrogate search must land on
+// the same γ* as the all-packet reference search on the committed scenario,
+// while spending far fewer packet runs. This is the contract that lets
+// sweeps and planners use the fluid tier as the optimizer's inner loop.
+#include "core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+namespace {
+
+GammaSearch committed_search() {
+  GammaSearch search;
+  search.scenario = ScenarioConfig::ns2_dumbbell(15);
+  search.textent = ms(50);
+  search.rattack = mbps(25);
+  search.kappa = 1.0;
+  search.control.warmup = sec(5);
+  search.control.measure = sec(15);
+  search.grid_points = 7;
+  search.confirm_top = 3;
+  return search;
+}
+
+TEST(SearchConfirmTest, MatchesPacketOnlySearchOnCommittedScenario) {
+  const GammaSearch search = committed_search();
+  const GammaSearchResult confirmed = search_confirm_gamma(search);
+  const GammaSearchResult reference = search_gamma_packet_only(search);
+
+  // Same grid in both modes.
+  ASSERT_EQ(confirmed.candidates.size(), reference.candidates.size());
+  for (std::size_t i = 0; i < confirmed.candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(confirmed.candidates[i].gamma,
+                     reference.candidates[i].gamma);
+  }
+
+  // The acceptance contract: fluid-search + packet-confirm returns the
+  // exact γ* the all-packet search returns.
+  EXPECT_DOUBLE_EQ(confirmed.gamma_star, reference.gamma_star);
+  EXPECT_DOUBLE_EQ(confirmed.gain, reference.gain);
+  EXPECT_DOUBLE_EQ(confirmed.degradation, reference.degradation);
+  EXPECT_DOUBLE_EQ(confirmed.baseline_goodput, reference.baseline_goodput);
+
+  // And it does so with a fraction of the packet work: confirm_top + the
+  // baseline instead of every grid point + the baseline.
+  EXPECT_EQ(confirmed.packet_runs, search.confirm_top + 1);
+  EXPECT_EQ(reference.packet_runs, search.grid_points + 1);
+  EXPECT_EQ(confirmed.fluid_runs, search.grid_points + 1);
+  EXPECT_EQ(reference.fluid_runs, 0);
+
+  // The surrogate's own optimum should be in the right neighbourhood of
+  // the closed form (Corollary 3: γ* = sqrt(C_Ψ) under the model).
+  EXPECT_GT(confirmed.gamma_star_fluid, 0.0);
+  EXPECT_LT(std::abs(confirmed.gamma_star_fluid - confirmed.gamma_star),
+            0.35);
+}
+
+TEST(SearchConfirmTest, ConfirmedWinnerHasPositiveMeasuredGain) {
+  const GammaSearchResult result = search_confirm_gamma(committed_search());
+  EXPECT_GT(result.gain, 0.0);
+  EXPECT_GT(result.degradation, 0.0);
+  EXPECT_LT(result.degradation, 1.0);
+  int confirmed_count = 0;
+  for (const auto& cand : result.candidates) {
+    if (cand.confirmed) ++confirmed_count;
+    EXPECT_GE(cand.gamma, 0.0);
+    EXPECT_LT(cand.gamma, 1.0);
+  }
+  EXPECT_EQ(confirmed_count, 3);
+}
+
+TEST(SearchConfirmTest, RejectsDegenerateRequests) {
+  GammaSearch search = committed_search();
+  search.grid_points = 1;
+  EXPECT_THROW(search_confirm_gamma(search), ParameterError);
+  search = committed_search();
+  search.confirm_top = 0;
+  EXPECT_THROW(search_confirm_gamma(search), ParameterError);
+  search = committed_search();
+  search.gamma_lo = 0.9;
+  search.gamma_hi = 0.5;
+  EXPECT_THROW(search_confirm_gamma(search), ParameterError);
+}
+
+}  // namespace
+}  // namespace pdos

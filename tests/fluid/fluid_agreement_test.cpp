@@ -1,0 +1,91 @@
+// Fluid-vs-packet agreement on the figure grids.
+//
+// The fluid tier is only useful as an optimizer surrogate if its Γ(γ)
+// surface tracks the packet engine's. This suite runs the fig. 6 quick-mode
+// grid (the golden-digest spec: 15-45 flows, T_extent 50-100 ms, R_attack
+// 25 Mbps, 7-point auto-γ grids) and a fig. 7-9-style grid (R_attack
+// 30-40 Mbps axes at fixed T_extent, the other figures' sweep direction) on
+// BOTH backends and enforces the committed tolerances
+// (fluid::kDegradationAbsTol / kDegradationMeanTol) per point and per grid.
+// Tightening the solver is welcome; loosening the bounds is a red flag.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "fluid/fluid.hpp"
+#include "sweep/sweep.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+namespace {
+
+/// Run `spec` on the packet and fluid tiers and compare per-point Γ.
+void expect_agreement(sweep::SweepSpec spec, const char* grid_name) {
+  sweep::SweepOptions options;
+  options.threads = 1;
+
+  spec.backend = Backend::kFull;
+  const sweep::SweepResult packet = sweep::run_sweep(spec, options);
+  ASSERT_EQ(packet.failures(), 0u) << grid_name;
+
+  spec.backend = Backend::kFluid;
+  const sweep::SweepResult fluid = sweep::run_sweep(spec, options);
+  ASSERT_EQ(fluid.failures(), 0u) << grid_name;
+
+  ASSERT_EQ(packet.points.size(), fluid.points.size()) << grid_name;
+  double max_err = 0.0;
+  double sum_err = 0.0;
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < packet.points.size(); ++i) {
+    const auto& p = packet.points[i];
+    const auto& f = fluid.points[i];
+    if (p.status != sweep::PointStatus::kOk) continue;
+    ASSERT_EQ(f.status, sweep::PointStatus::kOk) << grid_name << " #" << i;
+    ASSERT_DOUBLE_EQ(p.point.gamma, f.point.gamma) << grid_name << " #" << i;
+    const double err =
+        std::abs(f.measured_degradation - p.measured_degradation);
+    EXPECT_LE(err, fluid::kDegradationAbsTol)
+        << grid_name << " point " << i << ": flows=" << p.point.flows
+        << " textent=" << p.point.textent << " rattack=" << p.point.rattack
+        << " gamma=" << p.point.gamma
+        << " Gamma_packet=" << p.measured_degradation
+        << " Gamma_fluid=" << f.measured_degradation;
+    max_err = std::max(max_err, err);
+    sum_err += err;
+    ++compared;
+  }
+  ASSERT_GT(compared, 0u) << grid_name;
+  const double mean_err = sum_err / static_cast<double>(compared);
+  EXPECT_LE(mean_err, fluid::kDegradationMeanTol) << grid_name;
+  std::printf("[agreement] %s: %zu points, |dGamma| max %.3f mean %.3f\n",
+              grid_name, compared, max_err, mean_err);
+}
+
+TEST(FluidAgreementTest, Fig06QuickGridWithinCommittedTolerance) {
+  sweep::SweepSpec spec;  // the golden-digest fig. 6 quick-mode grid
+  spec.flow_counts = {15, 25, 35, 45};
+  spec.textents = {ms(50), ms(75), ms(100)};
+  spec.rattacks = {mbps(25)};
+  spec.gamma_points = 7;
+  spec.control.warmup = sec(5);
+  spec.control.measure = sec(15);
+  expect_agreement(spec, "fig06-quick");
+}
+
+TEST(FluidAgreementTest, Fig07To09StyleGridWithinCommittedTolerance) {
+  // Figs. 7-9 sweep the attack-rate axis and the per-figure flow counts at
+  // the same dumbbell; this quick slice covers the 30-40 Mbps rates the
+  // fig. 6 grid above does not touch.
+  sweep::SweepSpec spec;
+  spec.flow_counts = {15, 35};
+  spec.textents = {ms(50), ms(100)};
+  spec.rattacks = {mbps(30), mbps(40)};
+  spec.gamma_points = 5;
+  spec.control.warmup = sec(5);
+  spec.control.measure = sec(15);
+  expect_agreement(spec, "fig07-09-quick");
+}
+
+}  // namespace
+}  // namespace pdos

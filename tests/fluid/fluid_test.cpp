@@ -1,0 +1,181 @@
+// Unit tests for the fluid AIMD solver (src/fluid/fluid.*): drop-curve
+// shape, baseline behaviour, attack response, determinism, and the RTO
+// freeze discontinuity.
+#include "fluid/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "util/assert.hpp"
+
+namespace pdos::fluid {
+namespace {
+
+FluidConfig dumbbell_config(int flows) {
+  return make_fluid_config(ScenarioConfig::ns2_dumbbell(flows));
+}
+
+TEST(RedDropProbabilityTest, FollowsTheGentleRamp) {
+  RedParams p = RedParams::paper_testbed(100);  // min 20, max 80
+  EXPECT_EQ(red_drop_probability(p, 0.0), 0.0);
+  EXPECT_EQ(red_drop_probability(p, 19.9), 0.0);
+  // Mid-ramp: pb = max_p/2, spread expectation 2pb/(1+pb).
+  const double pb = 0.5 * p.max_p;
+  EXPECT_NEAR(red_drop_probability(p, 50.0), 2.0 * pb / (1.0 + pb), 1e-12);
+  // Gentle region ramps from max_p at max_th to 1 at 2*max_th.
+  const double mid_gentle = p.max_p + (1.0 - p.max_p) * 0.5;
+  EXPECT_NEAR(red_drop_probability(p, 120.0),
+              2.0 * mid_gentle / (1.0 + mid_gentle), 1e-12);
+  EXPECT_EQ(red_drop_probability(p, 160.0), 1.0);
+  EXPECT_EQ(red_drop_probability(p, 400.0), 1.0);
+}
+
+TEST(RedDropProbabilityTest, MonotoneInAvg) {
+  RedParams p = RedParams::paper_testbed(240);
+  double prev = -1.0;
+  for (double avg = 0.0; avg <= 2.2 * p.max_th; avg += 1.0) {
+    const double drop = red_drop_probability(p, avg);
+    EXPECT_GE(drop, prev) << "avg=" << avg;
+    EXPECT_GE(drop, 0.0);
+    EXPECT_LE(drop, 1.0);
+    prev = drop;
+  }
+}
+
+TEST(FluidSolveTest, BaselineFillsTheBottleneck) {
+  FluidControl control;
+  control.warmup = sec(5);
+  control.measure = sec(15);
+  const FluidResult r = solve(dumbbell_config(15), std::nullopt, control);
+  // A 15-flow NewReno aggregate keeps a 15 Mbps RED bottleneck above 90%
+  // utilization (Lemma 1's premise; the packet path measures ~95%).
+  EXPECT_GT(r.utilization, 0.90);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+  EXPECT_EQ(r.per_class_goodput_bytes.size(), 15u);
+  for (double bytes : r.per_class_goodput_bytes) EXPECT_GT(bytes, 0.0);
+  EXPECT_GT(r.steps, 0u);
+  EXPECT_TRUE(r.attack_bins.empty() ||
+              *std::max_element(r.attack_bins.begin(), r.attack_bins.end()) ==
+                  0.0);
+}
+
+TEST(FluidSolveTest, PulsingAttackDegradesGoodput) {
+  FluidControl control;
+  control.warmup = sec(5);
+  control.measure = sec(15);
+  const FluidConfig config = dumbbell_config(15);
+  const FluidResult base = solve(config, std::nullopt, control);
+  FluidAttack attack;  // gamma = 0.5 at T_extent = 50 ms, R_attack = 25 Mbps
+  attack.textent = ms(50);
+  attack.rattack = mbps(25);
+  attack.tspace = ms(116.667);
+  const FluidResult hit = solve(config, attack, control);
+  EXPECT_LT(hit.goodput_rate, 0.75 * base.goodput_rate);
+  EXPECT_GT(hit.goodput_rate, 0.0);
+  // The attack shows up in the series and the loss accounting.
+  EXPECT_GT(*std::max_element(hit.attack_bins.begin(), hit.attack_bins.end()),
+            0.0);
+  EXPECT_GT(hit.early_dropped_packets + hit.forced_dropped_packets, 0.0);
+  EXPECT_GT(hit.loss_events + hit.timeouts, 0u);
+}
+
+TEST(FluidSolveTest, DeterministicBitForBit) {
+  FluidControl control;
+  control.warmup = sec(2);
+  control.measure = sec(6);
+  FluidAttack attack;
+  attack.tspace = ms(450);
+  const FluidConfig config = dumbbell_config(25);
+  const FluidResult a = solve(config, attack, control);
+  const FluidResult b = solve(config, attack, control);
+  EXPECT_EQ(a.goodput_bytes, b.goodput_bytes);
+  EXPECT_EQ(a.steps, b.steps);
+  ASSERT_EQ(a.queue_occupancy.size(), b.queue_occupancy.size());
+  for (std::size_t i = 0; i < a.queue_occupancy.size(); ++i) {
+    EXPECT_EQ(a.queue_occupancy[i], b.queue_occupancy[i]) << i;
+  }
+  ASSERT_EQ(a.red_avg_samples.size(), b.red_avg_samples.size());
+  for (std::size_t i = 0; i < a.red_avg_samples.size(); ++i) {
+    EXPECT_EQ(a.red_avg_samples[i], b.red_avg_samples[i]) << i;
+  }
+}
+
+TEST(FluidSolveTest, SevereAttackTriggersRtoFreezes) {
+  FluidControl control;
+  control.warmup = sec(5);
+  control.measure = sec(15);
+  FluidAttack attack;  // near-flooding: long pulses, short gaps
+  attack.textent = ms(200);
+  attack.rattack = mbps(25);
+  attack.tspace = ms(100);
+  const FluidResult r = solve(dumbbell_config(15), attack, control);
+  EXPECT_GT(r.timeouts, 0u);
+  EXPECT_LT(r.utilization, 0.5);
+}
+
+TEST(FluidSolveTest, TracedClassRecordsWindowTrajectory) {
+  FluidControl control;
+  control.warmup = sec(1);
+  control.measure = sec(3);
+  control.traced_class = 0;
+  const FluidResult r = solve(dumbbell_config(15), std::nullopt, control);
+  ASSERT_FALSE(r.cwnd_trace.empty());
+  double prev_t = -1.0;
+  for (const auto& [t, w] : r.cwnd_trace) {
+    EXPECT_GT(t, prev_t);
+    EXPECT_GT(w, 0.0);
+    prev_t = t;
+  }
+}
+
+TEST(FluidSolveTest, BinsCoverTheWholeRun) {
+  FluidControl control;
+  control.warmup = sec(1);
+  control.measure = sec(2);
+  control.bin_width = ms(100);
+  const FluidResult r = solve(dumbbell_config(15), std::nullopt, control);
+  // 3 s at 100 ms bins: 30 bins, 31 boundary samples (t = 0 included).
+  EXPECT_EQ(r.incoming_bins.size(), 30u);
+  EXPECT_EQ(r.attack_bins.size(), 30u);
+  EXPECT_EQ(r.queue_occupancy.size(), r.red_avg_samples.size());
+  EXPECT_GE(r.queue_occupancy.size(), 30u);
+}
+
+TEST(FluidConfigTest, ValidateRejectsNonsense) {
+  FluidConfig config = dumbbell_config(15);
+  config.classes.clear();
+  EXPECT_THROW(config.validate(), ParameterError);
+  config = dumbbell_config(15);
+  config.dt_pulse = 0.0;
+  EXPECT_THROW(config.validate(), ParameterError);
+  config = dumbbell_config(15);
+  config.bottleneck = 0.0;
+  EXPECT_THROW(config.validate(), ParameterError);
+}
+
+TEST(AimdBankTest, WindowsGrowWithoutLossAndHalveUnderPressure) {
+  FluidConfig config = dumbbell_config(15);
+  AimdBank bank(config);
+  ASSERT_EQ(bank.size(), 15u);
+  const double w0 = bank.window(0);
+  // One clean second: slow-start growth, no episodes.
+  Time now = 0.0;
+  for (int i = 0; i < 1000; ++i, now += 0.001) {
+    bank.step(now, 0.001, 0.0, 0.0, 0.0);
+  }
+  EXPECT_GT(bank.window(0), w0);
+  EXPECT_EQ(bank.loss_events, 0u);
+  const double w_grown = bank.window(0);
+  // Heavy loss probability: pressure accumulates, an episode fires.
+  for (int i = 0; i < 2000; ++i, now += 0.001) {
+    bank.step(now, 0.001, 0.9, 0.0, 0.0);
+  }
+  EXPECT_GT(bank.loss_events + bank.timeouts, 0u);
+  EXPECT_LT(bank.window(0), w_grown);
+}
+
+}  // namespace
+}  // namespace pdos::fluid

@@ -1,0 +1,164 @@
+// Hybrid fluid/packet coupling tests: the RedQueue virtual-backlog hooks,
+// the Link service-scale governor, and the kHybrid backend end to end.
+#include "fluid/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/pulse.hpp"
+#include "core/experiment.hpp"
+#include "net/droptail.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/red.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+namespace {
+
+RedQueue make_red(std::size_t capacity) {
+  return RedQueue(RedParams::paper_testbed(capacity), Rng(1));
+}
+
+Packet make_packet(int seq) {
+  Packet pkt;
+  pkt.size_bytes = 1040;
+  pkt.flow = FlowId{0};
+  pkt.seq = seq;
+  return pkt;
+}
+
+TEST(RedFluidHooksTest, BacklogCountsTowardOccupancyAndCapacity) {
+  RedQueue red = make_red(10);
+  EXPECT_EQ(red.fluid_backlog(), 0.0);
+  // 8 virtual packets: 2 slots left for real ones.
+  EXPECT_EQ(red.fluid_arrive(8.0, 8.0), 8.0);
+  EXPECT_EQ(red.fluid_backlog(), 8.0);
+  EXPECT_TRUE(red.enqueue(make_packet(0)));
+  EXPECT_TRUE(red.enqueue(make_packet(1)));
+  // Queue is now at capacity (2 real + 8 virtual): forced drop.
+  EXPECT_FALSE(red.enqueue(make_packet(2)));
+  EXPECT_EQ(red.forced_drops(), 1u);
+  // Draining the backlog frees the space again.
+  red.fluid_drain(8.0);
+  EXPECT_EQ(red.fluid_backlog(), 0.0);
+  EXPECT_TRUE(red.enqueue(make_packet(3)));
+}
+
+TEST(RedFluidHooksTest, ArrivalsAreClampedToFreeSpace) {
+  RedQueue red = make_red(10);
+  // Request 20, admit 20 -> only 10 slots exist.
+  EXPECT_EQ(red.fluid_arrive(20.0, 20.0), 10.0);
+  EXPECT_EQ(red.fluid_backlog(), 10.0);
+  // Full queue: nothing more fits, but the EWMA still sees the arrivals.
+  const double avg_before = red.avg();
+  EXPECT_EQ(red.fluid_arrive(5.0, 5.0), 0.0);
+  EXPECT_GT(red.avg(), avg_before);
+  red.fluid_drain(100.0);  // over-drain clamps at zero
+  EXPECT_EQ(red.fluid_backlog(), 0.0);
+}
+
+TEST(RedFluidHooksTest, EwmaMovesTowardCombinedOccupancy) {
+  RedQueue red = make_red(240);
+  EXPECT_EQ(red.avg(), 0.0);
+  red.fluid_arrive(100.0, 100.0);
+  // avg <- q + (avg - q)(1 - wq)^n with q = 0 at arrival start: the first
+  // call moves avg toward the pre-arrival occupancy (0), so avg stays 0;
+  // the second call sees q = 100 and climbs.
+  red.fluid_arrive(100.0, 0.0);
+  EXPECT_GT(red.avg(), 0.0);
+  EXPECT_LT(red.avg(), 200.0);
+}
+
+TEST(LinkServiceScaleTest, ScalesServiceTimes) {
+  Simulator sim(1);
+  auto* sink = sim.make<Node>(NodeId{0}, "sink", sim.memory());
+  auto* queue = sim.make<DropTailQueue>(100, sim.memory());
+  auto* link = sim.make<Link>(sim, "l", mbps(8), 0.0, queue,
+                              static_cast<PacketHandler*>(sink), 1000);
+  EXPECT_EQ(link->service_scale(), 1.0);
+  link->set_service_scale(2.0);
+  EXPECT_EQ(link->service_scale(), 2.0);
+  EXPECT_THROW(link->set_service_scale(0.5), ParameterError);
+  // 1000-byte packet at 8 Mbps = 1 ms unscaled; scaled -> 2 ms busy.
+  Packet pkt = make_packet(0);
+  pkt.dst = NodeId{0};  // addressed to the sink node so it absorbs it
+  link->handle(pkt);
+  EXPECT_TRUE(link->busy());
+  sim.run_until(0.0015);
+  EXPECT_TRUE(link->busy());  // still serializing at the residual rate
+  sim.run_until(0.0025);
+  EXPECT_FALSE(link->busy());
+}
+
+TEST(HybridBackendTest, RunsAndAccountsBackgroundGoodput) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  config.backend = Backend::kHybrid;
+  config.hybrid_foreground = 4;
+  RunControl control;
+  control.warmup = sec(5);
+  control.measure = sec(10);
+  const RunResult result = run_scenario(config, std::nullopt, control);
+  // 4 packet flows + 11 fluid background classes.
+  ASSERT_EQ(result.per_flow_goodput.size(), 15u);
+  for (std::size_t i = 0; i < result.per_flow_goodput.size(); ++i) {
+    EXPECT_GT(result.per_flow_goodput[i], 0u) << "flow " << i;
+  }
+  // The combined aggregate should keep the bottleneck busy, and the
+  // background must carry real (not vestigial) load.
+  EXPECT_GT(result.utilization, 0.75);
+  EXPECT_LE(result.utilization, 1.02);
+  Bytes background_bytes = 0;
+  for (std::size_t i = 4; i < result.per_flow_goodput.size(); ++i) {
+    background_bytes += result.per_flow_goodput[i];
+  }
+  EXPECT_GT(background_bytes, result.goodput_bytes / 4);
+}
+
+TEST(HybridBackendTest, AttackDegradesHybridGoodput) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  config.backend = Backend::kHybrid;
+  RunControl control;
+  control.warmup = sec(5);
+  control.measure = sec(10);
+  ScenarioWorkspace workspace;
+  const BitRate baseline = workspace.baseline(config, control);
+  ASSERT_GT(baseline, 0.0);
+  const PulseTrain train =
+      PulseTrain::from_gamma(ms(50), mbps(25), 0.5, config.bottleneck);
+  const GainMeasurement point =
+      workspace.gain(config, train, 1.0, control, baseline);
+  EXPECT_GT(point.degradation, 0.25);
+  EXPECT_LT(point.degradation, 0.95);
+}
+
+TEST(HybridBackendTest, ValidateRejectsBadHybridConfigs) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  config.backend = Backend::kHybrid;
+  config.queue = QueueKind::kDropTail;
+  EXPECT_THROW(config.validate(), ParameterError);
+  config = ScenarioConfig::ns2_dumbbell(15);
+  config.backend = Backend::kHybrid;
+  config.hybrid_foreground = 15;  // nothing left for the background
+  EXPECT_THROW(config.validate(), ParameterError);
+  config.hybrid_foreground = 0;
+  EXPECT_THROW(config.validate(), ParameterError);
+}
+
+TEST(BackendNamesTest, RoundTrip) {
+  for (Backend b : {Backend::kFull, Backend::kFast, Backend::kFluid,
+                    Backend::kHybrid}) {
+    const auto parsed = parse_backend(backend_name(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(parse_backend("warp").has_value());
+  EXPECT_FALSE(parse_backend("").has_value());
+}
+
+}  // namespace
+}  // namespace pdos

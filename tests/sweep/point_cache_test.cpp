@@ -200,6 +200,38 @@ TEST(PointCacheKeyTest, BaselineKeyIgnoresAttackAxes) {
   EXPECT_NE(baseline_key(spec, a, 1), baseline_key(spec, b, 1));
 }
 
+TEST(PointCacheKeyTest, BackendIsPartOfTheKey) {
+  // A --resume replay must never answer a fluid (or hybrid/fast) point
+  // from a cache populated by a full-packet campaign, or vice versa: the
+  // tiers measure different things at identical parameters.
+  const SweepSpec spec = quick_spec();
+  PointSpec point;
+  const std::uint64_t base_point = point_key(spec, point, 1);
+  const std::uint64_t base_baseline = baseline_key(spec, point, 1);
+
+  for (Backend backend :
+       {Backend::kFast, Backend::kFluid, Backend::kHybrid}) {
+    SweepSpec tier = spec;
+    tier.backend = backend;
+    EXPECT_NE(point_key(tier, point, 1), base_point)
+        << backend_name(backend);
+    EXPECT_NE(baseline_key(tier, point, 1), base_baseline)
+        << backend_name(backend);
+  }
+
+  // The tier tuning knobs are covered too.
+  SweepSpec hybrid = spec;
+  hybrid.backend = Backend::kHybrid;
+  SweepSpec hybrid_wider = hybrid;
+  hybrid_wider.hybrid_foreground = hybrid.hybrid_foreground + 2;
+  EXPECT_NE(point_key(hybrid, point, 1), point_key(hybrid_wider, point, 1));
+
+  // And the four backends are pairwise distinct.
+  SweepSpec fluid = spec;
+  fluid.backend = Backend::kFluid;
+  EXPECT_NE(point_key(hybrid, point, 1), point_key(fluid, point, 1));
+}
+
 TEST(PointCacheKeyTest, KeysAreStableAcrossCalls) {
   const SweepSpec spec = quick_spec();
   PointSpec point;

@@ -238,6 +238,8 @@ TEST(SpecParser, ParsesTheFullGrammar) {
 # a comment
 scenario     = ns2
 queue        = droptail
+backend      = fluid
+hybrid_foreground = 6
 flows        = 3, 5
 textent_ms   = 50, 75
 rattack_mbps = 25
@@ -253,6 +255,8 @@ json         = out.json
 )");
   EXPECT_EQ(file.spec.scenario, ScenarioKind::kNs2Dumbbell);
   EXPECT_EQ(file.spec.queue, QueueKind::kDropTail);
+  EXPECT_EQ(file.spec.backend, Backend::kFluid);
+  EXPECT_EQ(file.spec.hybrid_foreground, 6);
   EXPECT_EQ(file.spec.flow_counts, (std::vector<int>{3, 5}));
   ASSERT_EQ(file.spec.textents.size(), 2u);
   EXPECT_DOUBLE_EQ(file.spec.textents[1], ms(75));
@@ -276,6 +280,30 @@ TEST(SpecParser, RejectsUnknownKeysAndGarbage) {
   EXPECT_THROW(parse_spec("flows\n"), ParameterError);
   EXPECT_THROW(parse_spec("flows = abc\n"), ParameterError);
   EXPECT_THROW(parse_spec("scenario = ns3\n"), ParameterError);
+  EXPECT_THROW(parse_spec("backend = warp\n"), ParameterError);
+}
+
+TEST(RunSweep, FluidBackendProducesComparableDegradation) {
+  SweepSpec spec;
+  spec.flow_counts = {15};
+  spec.textents = {ms(50)};
+  spec.rattacks = {mbps(25)};
+  spec.gammas = {0.5};
+  spec.control.warmup = sec(5);
+  spec.control.measure = sec(10);
+
+  SweepOptions options;
+  options.threads = 1;
+  const SweepResult packet = run_sweep(spec, options);
+  spec.backend = Backend::kFluid;
+  const SweepResult fluid = run_sweep(spec, options);
+  ASSERT_EQ(packet.failures(), 0u);
+  ASSERT_EQ(fluid.failures(), 0u);
+  ASSERT_EQ(packet.points.size(), 1u);
+  ASSERT_EQ(fluid.points.size(), 1u);
+  EXPECT_GT(fluid.points[0].baseline_goodput, 0.0);
+  EXPECT_NEAR(fluid.points[0].measured_degradation,
+              packet.points[0].measured_degradation, 0.25);
 }
 
 TEST(SweepResult, CsvHasHeaderAndOneRowPerPoint) {

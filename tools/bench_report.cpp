@@ -1,24 +1,26 @@
-// Engine + data-path + sweep + scale performance report: measures the
-// scheduler and packet data-path micro-benchmarks, scenario setup (fresh vs
-// warm-reset), the LargeScale fast-path scenarios (interleaved fast/full
-// A/B), and a fixed fig. 6 quick-mode sweep (cold and cache-resumed), and
-// writes BENCH_engine.json, BENCH_datapath.json, BENCH_sweep.json, and
-// BENCH_scale.json.
+// Engine + data-path + sweep + scale + fluid performance report: measures
+// the scheduler and packet data-path micro-benchmarks, scenario setup
+// (fresh vs warm-reset), the LargeScale fast-path scenarios (interleaved
+// fast/full A/B), the fluid-surrogate vs packet A/B on a fig. 6 quick grid
+// point, and a fixed fig. 6 quick-mode sweep (cold and cache-resumed), and
+// writes BENCH_engine.json, BENCH_datapath.json, BENCH_sweep.json,
+// BENCH_scale.json, and BENCH_fluid.json.
 //
 // This is the tracked-baseline half of the perf story: google-benchmark
 // (bench/micro_engine, bench/micro_datapath, bench/micro_setup,
-// bench/micro_largescale) is for interactive work, while this tool emits
-// stable, machine-readable snapshots that CI diffs against the committed
-// bench/baseline_engine.json, bench/baseline_datapath.json,
-// bench/baseline_sweep.json, and bench/baseline_scale.json. The JSON is
-// flat `"key": number` pairs so the reader below stays a 30-line scanner
-// instead of a JSON library.
+// bench/micro_largescale, bench/micro_fluid) is for interactive work, while
+// this tool emits stable, machine-readable snapshots that CI diffs against
+// the committed bench/baseline_engine.json, bench/baseline_datapath.json,
+// bench/baseline_sweep.json, bench/baseline_scale.json, and
+// bench/baseline_fluid.json. The JSON is flat `"key": number` pairs so the
+// reader below stays a 30-line scanner instead of a JSON library.
 //
 // Usage:
 //   bench_report [--out FILE] [--baseline FILE] [--datapath-out FILE]
 //                [--datapath-baseline FILE] [--sweep-out FILE]
 //                [--sweep-baseline FILE] [--scale-out FILE]
-//                [--scale-baseline FILE] [--check] [--reps N]
+//                [--scale-baseline FILE] [--fluid-out FILE]
+//                [--fluid-baseline FILE] [--check] [--reps N]
 //                [--skip-sweep]
 //
 //   --out FILE                engine output path (default BENCH_engine.json)
@@ -35,6 +37,12 @@
 //   --scale-baseline FILE     committed LargeScale reference; the fast-path
 //                             event throughputs are gated, the fast-vs-full
 //                             speedup rides along as information
+//   --fluid-out FILE          fluid-tier output (default BENCH_fluid.json)
+//   --fluid-baseline FILE     committed fluid-tier reference; the fluid
+//                             point throughput is gated against it, and
+//                             under --check the fluid-vs-packet speedup
+//                             must additionally clear the >= 100x floor
+//                             the surrogate tier promises (DESIGN.md §12)
 //   --check                   exit non-zero if any micro-benchmark runs >30%
 //                             slower than its baseline (requires the
 //                             corresponding --*baseline)
@@ -72,6 +80,12 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr double kRegressionTolerance = 0.30;  // fail at >30% slowdown
+
+// The surrogate-tier contract (DESIGN.md §12): a fluid fig. 6 quick grid
+// point must evaluate at least this many times faster than the same point
+// on the full packet path. A same-machine ratio, so it is gated directly
+// under --check rather than via the committed baseline.
+constexpr double kFluidSpeedupFloor = 100.0;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -271,6 +285,25 @@ ScaleMeasurement measure_large_scale(int flows, BitRate rate, int reps) {
   return m;
 }
 
+// --- fluid surrogate vs packet point (mirror bench/micro_fluid.cpp) ------
+
+/// One fig. 6 quick-mode grid point (15-flow ns-2 dumbbell, T_extent 50 ms,
+/// R_attack 25 Mbps, γ = 0.5, 5 s warmup + 15 s measurement) on the given
+/// backend; returns the wall time of the run.
+double run_fig06_point(ScenarioWorkspace& ws, Backend backend) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  config.backend = backend;
+  const PulseTrain train =
+      PulseTrain::from_gamma(ms(50), mbps(25), 0.5, config.bottleneck);
+  RunControl control;
+  control.warmup = sec(5);
+  control.measure = sec(15);
+  const auto start = Clock::now();
+  const RunResult result = ws.run(config, train, control);
+  g_sink += static_cast<long long>(result.events_executed);
+  return seconds_since(start);
+}
+
 // --- fig. 6 quick-mode sweep (single-threaded, fixed spec) ---------------
 
 sweep::SweepSpec fig06_quick_spec() {
@@ -412,6 +445,8 @@ int main(int argc, char** argv) {
   std::string sweep_baseline_path;
   std::string scale_out_path = "BENCH_scale.json";
   std::string scale_baseline_path;
+  std::string fluid_out_path = "BENCH_fluid.json";
+  std::string fluid_baseline_path;
   bool check = false;
   bool skip_sweep = false;
   int reps = 7;
@@ -433,6 +468,10 @@ int main(int argc, char** argv) {
       scale_out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--scale-baseline") == 0 && i + 1 < argc) {
       scale_baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fluid-out") == 0 && i + 1 < argc) {
+      fluid_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fluid-baseline") == 0 && i + 1 < argc) {
+      fluid_baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--skip-sweep") == 0) {
@@ -445,12 +484,14 @@ int main(int argc, char** argv) {
                    "[--datapath-out FILE] [--datapath-baseline FILE] "
                    "[--sweep-out FILE] [--sweep-baseline FILE] "
                    "[--scale-out FILE] [--scale-baseline FILE] "
+                   "[--fluid-out FILE] [--fluid-baseline FILE] "
                    "[--check] [--reps N] [--skip-sweep]\n");
       return 2;
     }
   }
   if (check && baseline_path.empty() && datapath_baseline_path.empty() &&
-      sweep_baseline_path.empty() && scale_baseline_path.empty()) {
+      sweep_baseline_path.empty() && scale_baseline_path.empty() &&
+      fluid_baseline_path.empty()) {
     std::fprintf(stderr, "bench_report: --check requires a baseline\n");
     return 2;
   }
@@ -515,6 +556,29 @@ int main(int argc, char** argv) {
   scale_micros[1].rate =
       static_cast<double>(scale_1g.fast_events) / scale_1g.fast_wall;
 
+  // Fluid family: the same fig. 6 quick grid point on the fluid surrogate
+  // and the full packet path (each in its own warm workspace). The gated
+  // metric is the surrogate's point throughput; the packet wall time rides
+  // along so the artifact carries the A/B pair, and under --check the
+  // resulting speedup must clear kFluidSpeedupFloor.
+  std::vector<Micro> fluid_micros = {
+      {"fluid_point_points_per_sec", 1},
+  };
+  ScenarioWorkspace fluid_ws;
+  fluid_micros[0].rate = measure_items_per_sec(
+      [&fluid_ws] { run_fig06_point(fluid_ws, Backend::kFluid); }, 1, reps);
+  const double fluid_point_wall = 1.0 / fluid_micros[0].rate;
+  double packet_point_wall = std::numeric_limits<double>::infinity();
+  {
+    ScenarioWorkspace packet_ws;
+    run_fig06_point(packet_ws, Backend::kFull);  // warm
+    for (int r = 0; r < std::max(2, reps / 2); ++r) {
+      packet_point_wall = std::min(packet_point_wall,
+                                   run_fig06_point(packet_ws, Backend::kFull));
+    }
+  }
+  const double fluid_speedup = packet_point_wall / fluid_point_wall;
+
   std::vector<Entry> entries;
   for (const Micro& m : micros) {
     std::printf("%-36s %12.0f items/s\n", m.key, m.rate);
@@ -535,6 +599,20 @@ int main(int argc, char** argv) {
     std::printf("%-36s %12.0f events/s\n", m.key, m.rate);
     scale_entries.push_back(Entry{m.key, m.rate});
   }
+  std::vector<Entry> fluid_entries;
+  for (const Micro& m : fluid_micros) {
+    std::printf("%-36s %12.0f points/s\n", m.key, m.rate);
+    fluid_entries.push_back(Entry{m.key, m.rate});
+  }
+  std::printf("fluid_point: fluid %.6f s, packet %.3f s, speedup %.0fx "
+              "(floor %.0fx)\n",
+              fluid_point_wall, packet_point_wall, fluid_speedup,
+              kFluidSpeedupFloor);
+  fluid_entries.push_back(Entry{"fluid_point_wall_seconds", fluid_point_wall});
+  fluid_entries.push_back(
+      Entry{"packet_point_wall_seconds", packet_point_wall});
+  fluid_entries.push_back(Entry{"fluid_speedup_vs_packet", fluid_speedup});
+  fluid_entries.push_back(Entry{"fluid_speedup_floor", kFluidSpeedupFloor});
   {
     const double sim_horizon = large_scale_control().horizon();
     const struct {
@@ -610,6 +688,17 @@ int main(int argc, char** argv) {
     regressions += apply_baseline(scale_baseline_path, scale_micros, check,
                                   scale_entries);
   }
+  if (!fluid_baseline_path.empty()) {
+    regressions += apply_baseline(fluid_baseline_path, fluid_micros, check,
+                                  fluid_entries);
+  }
+  if (check && fluid_speedup < kFluidSpeedupFloor) {
+    std::fprintf(stderr,
+                 "REGRESSION: fluid point is only %.1fx faster than the "
+                 "packet point (floor: %.0fx)\n",
+                 fluid_speedup, kFluidSpeedupFloor);
+    ++regressions;
+  }
 
   write_json(out_path, "pdos-bench-engine-v1", entries);
   std::printf("wrote %s\n", out_path.c_str());
@@ -619,6 +708,8 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", sweep_out_path.c_str());
   write_json(scale_out_path, "pdos-bench-scale-v1", scale_entries);
   std::printf("wrote %s\n", scale_out_path.c_str());
+  write_json(fluid_out_path, "pdos-bench-fluid-v1", fluid_entries);
+  std::printf("wrote %s\n", fluid_out_path.c_str());
   if (regressions > 0) {
     std::fprintf(stderr, "bench_report: %d benchmark(s) regressed\n",
                  regressions);

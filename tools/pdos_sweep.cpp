@@ -72,8 +72,10 @@ int main(int argc, char** argv) {
   const auto points = file.spec.enumerate();
   if (!quiet) {
     std::fprintf(stderr,
-                 "pdos_sweep: %zu points (%s scenario, base seed %llu)\n",
+                 "pdos_sweep: %zu points (%s scenario, %s backend, "
+                 "base seed %llu)\n",
                  points.size(), sweep::scenario_kind_name(file.spec.scenario),
+                 backend_name(file.spec.backend),
                  static_cast<unsigned long long>(file.spec.base_seed));
     file.options.on_progress = [](const sweep::SweepProgress& progress) {
       std::fprintf(stderr, "\r%zu/%zu done, %.1fs elapsed, eta %.1fs   ",
