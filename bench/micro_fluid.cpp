@@ -56,6 +56,43 @@ void BM_HybridPoint(benchmark::State& state) {
 }
 BENCHMARK(BM_HybridPoint)->Unit(benchmark::kMillisecond);
 
+/// A million-flow population binned to 64 classes (fluid::bin_classes):
+/// the per-step cost is per *class*, so the solve costs the same as a
+/// 64-flow config — the point of opt-in binning. The class list spreads
+/// the ns-2 dumbbell's 20-460 ms RTT range over the full population.
+void BM_FluidSolveMillionFlowsBinned(benchmark::State& state) {
+  const ScenarioConfig scenario = ScenarioConfig::ns2_dumbbell(15);
+  fluid::FluidConfig config = make_fluid_config(scenario);
+  constexpr int kFlows = 1000000;
+  std::vector<fluid::FluidClass> classes;
+  classes.reserve(kFlows);
+  for (int i = 0; i < kFlows; ++i) {
+    const double frac = static_cast<double>(i) / (kFlows - 1);
+    classes.push_back(fluid::FluidClass{ms(20) + frac * ms(440), 1.0});
+  }
+  config.classes = fluid::bin_classes(std::move(classes), 64);
+  // Scale the bottleneck so per-flow fair share stays sane at N = 1e6,
+  // and the attack with it (γ = 0.5 needs R_attack > γ R_bottle).
+  config.bottleneck = gbps(10);
+  config.red = RedParams::paper_testbed(4000);
+  const PulseTrain train = PulseTrain::from_gamma(
+      ms(50), config.bottleneck * (25.0 / 15.0), 0.5, config.bottleneck);
+  fluid::FluidAttack attack;
+  attack.textent = train.textent;
+  attack.rattack = train.rattack;
+  attack.tspace = train.tspace;
+  fluid::FluidControl control;
+  control.warmup = sec(5);
+  control.measure = sec(15);
+  for (auto _ : state) {
+    const fluid::FluidResult result = fluid::solve(config, attack, control);
+    benchmark::DoNotOptimize(result.goodput_bytes);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("items = 20s horizons, 1e6 flows in 64 classes");
+}
+BENCHMARK(BM_FluidSolveMillionFlowsBinned)->Unit(benchmark::kMicrosecond);
+
 /// The bare solver, no experiment-layer mapping: what the optimizer's
 /// inner search actually pays per candidate γ.
 void BM_FluidSolve(benchmark::State& state) {

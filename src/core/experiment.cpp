@@ -6,6 +6,7 @@
 #include <string>
 
 #include "attack/distributed.hpp"
+#include "core/experiment_internal.hpp"
 #include "core/model.hpp"
 #include "fluid/hybrid.hpp"
 #include "net/droptail.hpp"
@@ -129,6 +130,13 @@ void ScenarioConfig::validate() const {
                  "Scenario: hybrid needs 1 <= hybrid_foreground < num_flows");
     PDOS_REQUIRE(hybrid_tick > 0.0, "Scenario: hybrid_tick must be > 0");
   }
+  PDOS_REQUIRE(shards >= 1, "Scenario: shards must be >= 1");
+  if (shards > 1) {
+    PDOS_REQUIRE(backend == Backend::kFull || backend == Backend::kFast,
+                 "Scenario: shards > 1 requires a packet backend");
+    PDOS_REQUIRE(shards - 1 <= num_flows,
+                 "Scenario: need at least one flow per flow shard");
+  }
   tcp.validate();
 }
 
@@ -164,28 +172,9 @@ fluid::FluidConfig make_fluid_config(const ScenarioConfig& config) {
 
 namespace {
 
-// Stream tags for seed-derived randomness (see Simulator::stream). Every
-// stochastic component gets its own stream keyed off the run seed, so
-// changing one component (e.g. adding attackers) never shifts the
-// randomness another component sees — two runs with the same config and
-// seed are bit-identical even when num_attackers > 1.
-constexpr std::uint64_t kQueueStream = 0x71756575'65000000ULL;      // "queue"
-constexpr std::uint64_t kFlowStartStream = 0x666c6f77'73000000ULL;  // "flows"
-
-/// Bottleneck queue, allocated in the simulator's arena so its buffer and
-/// the links it serves share blocks (and survive warm resets).
-QueueDiscipline* make_queue(Simulator& sim, const ScenarioConfig& config) {
-  if (config.queue == QueueKind::kDropTail) {
-    return sim.make<DropTailQueue>(config.buffer_packets, sim.memory());
-  }
-  return sim.make<RedQueue>(RedParams::paper_testbed(config.buffer_packets),
-                            sim.stream(kQueueStream), sim.memory());
-}
-
-QueueDiscipline* big_fifo(Simulator& sim) {
-  // Access links are never the bottleneck; give them ample tail-drop space.
-  return sim.make<DropTailQueue>(1000, sim.memory());
-}
+using detail::big_fifo;
+using detail::kFlowStartStream;
+using detail::make_queue;
 
 /// kFluid backend: no simulator at all — translate, solve, and map the
 /// fluid observables onto RunResult so every caller (sweeps, optimizer,
@@ -416,6 +405,14 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
     return run_fluid_backend(config, attack, control);
   }
 
+  if (config.shards > 1) {
+    // Conservative PDES partition (experiment_pdes.cpp): K simulators in
+    // lookahead-bounded rounds. Full backend: bit-identical to the path
+    // below, events included; fast backend: counters identical, event count
+    // differs (cross-shard links cannot fuse).
+    return run_pdes(config, attack, control);
+  }
+
   // Hybrid: carve the packet-level foreground out of the flow list; the
   // complement becomes the fluid background aggregate attached after build.
   const bool hybrid = config.backend == Backend::kHybrid;
@@ -565,6 +562,15 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
 
   sim_.run_until(control.horizon());
 
+  collect_packet_result(config, control, arrivals, background_mark, result);
+  result.events_executed = sim_.scheduler().events_executed();
+  return result;
+}
+
+void ScenarioWorkspace::collect_packet_result(
+    const ScenarioConfig& config, const RunControl& control,
+    StatsHub& arrivals, const std::vector<double>& background_mark,
+    RunResult& result) {
   for (std::size_t i = 0; i < connections_.size(); ++i) {
     const Bytes flow_bytes =
         connections_[i].receiver->goodput_bytes() - goodput_marks_[i];
@@ -612,8 +618,6 @@ RunResult ScenarioWorkspace::run(const ScenarioConfig& config,
     result.attack_packets_sent +=
         static_cast<std::uint64_t>(attacker->stats().packets_sent);
   }
-  result.events_executed = sim_.scheduler().events_executed();
-  return result;
 }
 
 BitRate ScenarioWorkspace::baseline(const ScenarioConfig& config,

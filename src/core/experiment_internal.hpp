@@ -1,0 +1,44 @@
+// Shared internals of the experiment runner, split out so the single-sim
+// path (experiment.cpp) and the sharded PDES path (experiment_pdes.cpp)
+// build scenarios from the SAME stream tags and queue parameterization —
+// the bit-identical-output guarantee between shards=1 and shards=K rests
+// on these never diverging.
+#pragma once
+
+#include <cstdint>
+
+#include "core/experiment.hpp"
+#include "net/droptail.hpp"
+#include "net/red.hpp"
+#include "sim/simulator.hpp"
+
+namespace pdos::detail {
+
+// Stream tags for seed-derived randomness (see Simulator::stream). Every
+// stochastic component gets its own stream keyed off the run seed, so
+// changing one component (e.g. adding attackers) never shifts the
+// randomness another component sees — two runs with the same config and
+// seed are bit-identical even when num_attackers > 1. Because streams are
+// derived from (seed, tag) alone — never from construction order — a
+// sharded run's per-shard simulators reproduce them exactly.
+inline constexpr std::uint64_t kQueueStream = 0x71756575'65000000ULL;  // "queue"
+inline constexpr std::uint64_t kFlowStartStream =
+    0x666c6f77'73000000ULL;  // "flows"
+
+/// Bottleneck queue, allocated in the simulator's arena so its buffer and
+/// the links it serves share blocks (and survive warm resets).
+inline QueueDiscipline* make_queue(Simulator& sim,
+                                   const ScenarioConfig& config) {
+  if (config.queue == QueueKind::kDropTail) {
+    return sim.make<DropTailQueue>(config.buffer_packets, sim.memory());
+  }
+  return sim.make<RedQueue>(RedParams::paper_testbed(config.buffer_packets),
+                            sim.stream(kQueueStream), sim.memory());
+}
+
+inline QueueDiscipline* big_fifo(Simulator& sim) {
+  // Access links are never the bottleneck; give them ample tail-drop space.
+  return sim.make<DropTailQueue>(1000, sim.memory());
+}
+
+}  // namespace pdos::detail

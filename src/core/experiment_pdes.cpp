@@ -1,0 +1,375 @@
+// Sharded scenario path (DESIGN.md §13): the dumbbell partitioned into
+// config.shards logical processes, run by the conservative PDES engine.
+//
+// Partition (a pure function of num_flows and shards, never of the executor
+// thread count):
+//   shard 0          — routerS, routerR, the bottleneck pair, attackers,
+//                      cross traffic, the sampler, and the router-side half
+//                      of every flow's access links (rcv_fwd, snd_rev).
+//   shard s in 1..K-1 — the contiguous flow block [m(s-1)/F, ms/F), F=K-1:
+//                      sender/receiver nodes, TCP agents, per-shard hot
+//                      tables, and the edge-side half of the access links
+//                      (snd_fwd, rcv_rev).
+//
+// Every access link therefore crosses the shard boundary exactly once, and
+// its propagation delay (side_i >= lookahead) is the conservative window.
+// Cross links get a RemoteLink egress hook instead of a local delivery
+// event: one staged message, one destination-shard event per packet — the
+// same per-packet event cost as the single-scheduler link path, which is
+// what keeps total events_executed (a golden-digest field) identical to
+// shards=1 on the full backend. On the fast backend the cross links cannot
+// fuse (a lazy link's deferred emissions would violate the lookahead
+// contract), so counters and bins match shards=1 exactly but the event
+// count is higher than the unsharded fast path.
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "attack/distributed.hpp"
+#include "core/experiment.hpp"
+#include "core/experiment_internal.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/pdes/engine.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "stats/stats_hub.hpp"
+#include "tcp/connection.hpp"
+#include "traffic/sources.hpp"
+#include "util/assert.hpp"
+
+namespace pdos {
+
+using detail::big_fifo;
+using detail::kFlowStartStream;
+using detail::make_queue;
+
+void ScenarioWorkspace::build_pdes(const ScenarioConfig& config,
+                                   const std::optional<PulseTrain>& attack) {
+  const int m = config.num_flows;
+  const int flow_shards = config.shards - 1;
+  const NodeId router_s_id = 2 * m;
+  const NodeId router_r_id = 2 * m + 1;
+  const NodeId attacker_id = 2 * m + 2;
+  const bool fast = config.fast_path || config.backend == Backend::kFast;
+  Simulator& sim = sim_;
+  const Bytes spacket = config.tcp.mss + config.tcp.header_bytes;
+
+  router_s_ = sim.make<Node>(router_s_id, "routerS", sim.memory());
+  router_r_ = sim.make<Node>(router_r_id, "routerR", sim.memory());
+
+  bottleneck_ = sim.make<Link>(
+      sim, "bottleneck", config.bottleneck, config.bottleneck_delay,
+      make_queue(sim, config), router_r_, spacket);
+  if (fast) bottleneck_->set_fused(true);
+  // The bottleneck pair is entirely shard-0-local, so the fast path keeps
+  // every single-sim optimization here: fusion on the forward direction and
+  // the chained express ACK lane on the reverse (DESIGN.md §11).
+  Link* bottleneck_rev =
+      fast ? sim.make<Link>(sim, "bottleneck.rev", config.bottleneck,
+                            config.bottleneck_delay,
+                            static_cast<PacketHandler*>(router_s_), spacket)
+           : sim.make<Link>(sim, "bottleneck.rev", config.bottleneck,
+                            config.bottleneck_delay, big_fifo(sim), router_s_,
+                            spacket);
+  router_r_->add_route(router_s_id, bottleneck_rev);
+  if (fast) bottleneck_rev->chain_via(router_s_);
+
+  connections_.reserve(static_cast<std::size_t>(m));
+  for (int s = 1; s <= flow_shards; ++s) {
+    Simulator& fs = *flow_sims_[static_cast<std::size_t>(s - 1)];
+    // Contiguous block split: every flow lands on exactly one shard and the
+    // block edges depend only on (m, F).
+    const int lo = m * (s - 1) / flow_shards;
+    const int hi = m * s / flow_shards;
+    const int count = hi - lo;
+    PDOS_CHECK(count > 0);  // validate(): shards - 1 <= num_flows
+    pdes::Channel* up = engine_->channel(static_cast<std::uint32_t>(s), 0);
+    pdes::Channel* down = engine_->channel(0, static_cast<std::uint32_t>(s));
+
+    // Per-shard hot tables: the block's ACK-clock state is contiguous in
+    // the shard's own arena, so shard tasks never share cache lines.
+    auto* snd_hot =
+        fs.make_array<TcpSenderHot>(static_cast<std::size_t>(count));
+    auto* rcv_hot = fs.make_array<TcpReceiverHot>(
+        static_cast<std::size_t>(count), fs.memory());
+
+    for (int i = lo; i < hi; ++i) {
+      const NodeId snd_id = i;
+      const NodeId rcv_id = m + i;
+      auto* snd =
+          fs.make<Node>(snd_id, "sender" + std::to_string(i), fs.memory());
+      auto* rcv =
+          fs.make<Node>(rcv_id, "receiver" + std::to_string(i), fs.memory());
+
+      const Time side = (config.rtts[i] / 2.0 - config.bottleneck_delay) / 2.0;
+      PDOS_CHECK(side > 0.0);
+
+      // Edge-side links live on the flow shard, router-side links on shard
+      // 0. A cross link's `downstream` pointer names the logical target for
+      // documentation/symmetry but is never dereferenced by the owner — the
+      // remote-egress hook intercepts emit() before delivery.
+      auto* snd_fwd = fs.make<Link>(fs, "acc.s" + std::to_string(i),
+                                    config.access, side, big_fifo(fs),
+                                    router_s_, spacket);
+      auto* rcv_fwd = sim.make<Link>(sim, "acc.r" + std::to_string(i),
+                                     config.access, side, big_fifo(sim), rcv,
+                                     spacket);
+      Link* snd_rev =
+          fast ? sim.make<Link>(sim, "acc.s.rev" + std::to_string(i),
+                                config.access, side,
+                                static_cast<PacketHandler*>(snd), spacket)
+               : sim.make<Link>(sim, "acc.s.rev" + std::to_string(i),
+                                config.access, side, big_fifo(sim), snd,
+                                spacket);
+      Link* rcv_rev =
+          fast ? fs.make<Link>(fs, "acc.r.rev" + std::to_string(i),
+                               config.access, side,
+                               static_cast<PacketHandler*>(router_r_), spacket)
+               : fs.make<Link>(fs, "acc.r.rev" + std::to_string(i),
+                               config.access, side, big_fifo(fs), router_r_,
+                               spacket);
+      // NOTE: no set_fused on snd_fwd/rcv_fwd even in fast mode — a lazy
+      // fused link defers emissions to later visits, which would push
+      // messages into a round that already started on the far shard. The
+      // express reverse lanes are safe: they emit eagerly at handle() time.
+
+      snd->set_default_route(snd_fwd);
+      rcv->set_default_route(rcv_rev);
+      router_s_->add_route(rcv_id, bottleneck_);
+      router_s_->add_route(snd_id, snd_rev);
+      router_r_->add_route(rcv_id, rcv_fwd);
+      router_r_->add_route(snd_id, bottleneck_rev);
+
+      connections_.push_back(make_tcp_connection(
+          fs, *snd, *rcv, /*flow=*/i, config.tcp, &snd_hot[i - lo],
+          &rcv_hot[i - lo], fast ? snd_fwd : nullptr,
+          fast ? rcv_rev : nullptr));
+
+      // Remote egress contexts, allocated in the OWNING shard's arena (the
+      // side whose round task writes the channel — SPSC by construction).
+      // Lanes 4i+k are unique per link, giving the destination merge its
+      // canonical tie-break. Fast mode delivers straight to the object the
+      // single-sim fast path would have set as the link's downstream; full
+      // mode delivers to the node, which dispatches exactly like the
+      // single-sim delivery event did.
+      const std::uint32_t lane = 4 * static_cast<std::uint32_t>(i);
+      auto* r_snd_fwd = fs.make<pdes::RemoteLink>();
+      r_snd_fwd->channel = up;
+      r_snd_fwd->handler =
+          fast ? static_cast<PacketHandler*>(bottleneck_)
+               : static_cast<PacketHandler*>(router_s_);
+      r_snd_fwd->delay = side;
+      r_snd_fwd->lane = lane + 0;
+      snd_fwd->set_remote_egress(&pdes::RemoteLink::egress, r_snd_fwd);
+
+      auto* r_rcv_fwd = sim.make<pdes::RemoteLink>();
+      r_rcv_fwd->channel = down;
+      r_rcv_fwd->handler =
+          fast ? static_cast<PacketHandler*>(connections_.back().receiver)
+               : static_cast<PacketHandler*>(rcv);
+      r_rcv_fwd->delay = side;
+      r_rcv_fwd->lane = lane + 1;
+      rcv_fwd->set_remote_egress(&pdes::RemoteLink::egress, r_rcv_fwd);
+
+      auto* r_snd_rev = sim.make<pdes::RemoteLink>();
+      r_snd_rev->channel = down;
+      r_snd_rev->handler =
+          fast ? static_cast<PacketHandler*>(connections_.back().sender)
+               : static_cast<PacketHandler*>(snd);
+      r_snd_rev->delay = side;
+      r_snd_rev->lane = lane + 2;
+      snd_rev->set_remote_egress(&pdes::RemoteLink::egress, r_snd_rev);
+
+      auto* r_rcv_rev = fs.make<pdes::RemoteLink>();
+      r_rcv_rev->channel = up;
+      r_rcv_rev->handler =
+          fast ? static_cast<PacketHandler*>(bottleneck_rev)
+               : static_cast<PacketHandler*>(router_r_);
+      r_rcv_rev->delay = side;
+      r_rcv_rev->lane = lane + 3;
+      rcv_rev->set_remote_egress(&pdes::RemoteLink::egress, r_rcv_rev);
+    }
+  }
+  router_s_->add_route(router_r_id, bottleneck_);
+
+  // Cross traffic and attackers are shard-0-local; this block is identical
+  // to build()'s.
+  if (config.cross_traffic_rate > 0.0) {
+    const NodeId cross_id = 2 * m + 3;
+    auto* cross_node = sim.make<Node>(cross_id, "cross", sim.memory());
+    auto* cross_link = sim.make<Link>(sim, "acc.cross", config.access, ms(1),
+                                      big_fifo(sim), router_s_, spacket);
+    if (fast) cross_link->set_fused(true);
+    cross_node->set_default_route(cross_link);
+    cross_traffic_ = sim.make<OnOffSource>(
+        sim, 2.0 * config.cross_traffic_rate, ms(500), ms(500), spacket,
+        cross_id, router_r_id, cross_node);
+  }
+
+  if (attack) {
+    const auto sub_trains = split_train(*attack, config.num_attackers);
+    for (int a = 0; a < config.num_attackers; ++a) {
+      const NodeId node_id = attacker_id + 10 + a;
+      auto* attacker_node = sim.make<Node>(
+          node_id, "attacker" + std::to_string(a), sim.memory());
+      BitRate attacker_access = config.attacker_access;
+      if (attacker_access <= 0.0) {
+        attacker_access =
+            std::max(config.access, 2.0 * sub_trains[a].rattack);
+      }
+      const bool express_attack =
+          fast && attacker_access >= sub_trains[a].rattack;
+      Link* attack_link =
+          express_attack
+              ? sim.make<Link>(sim, "acc.attacker" + std::to_string(a),
+                               attacker_access, ms(1),
+                               static_cast<PacketHandler*>(router_s_),
+                               attack->packet_bytes)
+              : sim.make<Link>(sim, "acc.attacker" + std::to_string(a),
+                               attacker_access, ms(1), big_fifo(sim),
+                               router_s_, attack->packet_bytes);
+      if (fast && !express_attack) attack_link->set_fused(true);
+      if (fast) attack_link->set_downstream(bottleneck_);
+      attacker_node->set_default_route(attack_link);
+      attackers_.push_back(
+          sim.make<PulseAttacker>(sim, sub_trains[a], node_id, router_r_id,
+                                  attacker_node, FlowId{-1000 - a}));
+      if (express_attack) attackers_.back()->set_express_lane(attack_link);
+    }
+  }
+}
+
+RunResult ScenarioWorkspace::run_pdes(const ScenarioConfig& config,
+                                      const std::optional<PulseTrain>& attack,
+                                      const RunControl& control) {
+  const std::size_t flow_shards =
+      static_cast<std::size_t>(config.shards) - 1;
+
+  // Rewind every shard to the run seed. Flow-shard simulators are created
+  // on first use and kept warm afterwards, exactly like sim_ — a workspace
+  // cycling through shard counts retains the larger set.
+  sim_.reset(config.seed);
+  while (flow_sims_.size() < flow_shards) {
+    flow_sims_.push_back(std::make_unique<Simulator>(config.seed));
+  }
+  for (std::size_t s = 0; s < flow_shards; ++s) {
+    flow_sims_[s]->reset(config.seed);
+  }
+  router_s_ = nullptr;
+  router_r_ = nullptr;
+  bottleneck_ = nullptr;
+  cross_traffic_ = nullptr;
+  background_ = nullptr;
+  sender_hot_ = nullptr;
+  receiver_hot_ = nullptr;
+  connections_.clear();
+  attackers_.clear();
+
+  // The conservative window: no cross-shard link may carry a packet across
+  // a round boundary faster than this. Every cross link is an access-link
+  // half with delay side_i, so the minimum side is the exact bound.
+  Time lookahead = std::numeric_limits<Time>::infinity();
+  for (Time rtt : config.rtts) {
+    const Time side = (rtt / 2.0 - config.bottleneck_delay) / 2.0;
+    lookahead = std::min(lookahead, side);
+  }
+
+  if (!engine_) engine_ = std::make_unique<pdes::PdesEngine>();
+  std::vector<Simulator*> sims;
+  sims.reserve(flow_shards + 1);
+  sims.push_back(&sim_);
+  for (std::size_t s = 0; s < flow_shards; ++s) {
+    sims.push_back(flow_sims_[s].get());
+  }
+  engine_->configure(std::move(sims), lookahead);
+
+  build_pdes(config, attack);
+
+  // Instrumentation mirrors run() exactly; see the comments there. The
+  // arrivals tap and sampler are shard-0-only; per-flow delivery tracers
+  // touch disjoint meter slots, so flow shards never write shared state.
+  StatsHub arrivals(control.bin_width, control.horizon());
+  bottleneck_->add_arrival_tap(
+      [hub = &arrivals, sim = &sim_](const Packet& pkt) {
+        hub->on_arrival(sim->now(), pkt);
+      });
+
+  RunResult result;
+
+  struct SamplerCtx {
+    Link* bottleneck;
+    Simulator& sim;
+    RunResult& result;
+    const RunControl& control;
+    const RedQueue* red_queue;
+    Timer* timer = nullptr;
+  } sampler_ctx{bottleneck_, sim_, result, control,
+                dynamic_cast<const RedQueue*>(&bottleneck_->queue())};
+  Timer sampler(sim_.scheduler(), [ctx = &sampler_ctx] {
+    ctx->bottleneck->settle();
+    ctx->result.queue_occupancy.push_back(
+        static_cast<double>(ctx->bottleneck->queue().length()) +
+        (ctx->red_queue != nullptr ? ctx->red_queue->fluid_backlog() : 0.0));
+    ctx->result.red_avg_samples.push_back(
+        ctx->red_queue != nullptr ? ctx->red_queue->avg() : 0.0);
+    if (ctx->sim.now() + ctx->control.bin_width <= ctx->control.horizon()) {
+      ctx->timer->schedule_in(ctx->control.bin_width);
+    }
+  });
+  sampler_ctx.timer = &sampler;
+  sampler.schedule_in(0.0);
+
+  arrivals.register_flows(connections_.size());
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    connections_[i].receiver->set_delivery_tracer(
+        [hub = &arrivals, i](Time t, std::int64_t) {
+          hub->on_delivery(i, t);
+        });
+  }
+
+  if (control.traced_flow >= 0) {
+    PDOS_REQUIRE(control.traced_flow < config.num_flows,
+                 "RunControl: traced_flow out of range");
+    connections_[control.traced_flow].sender->set_cwnd_tracer(
+        [&result](Time t, double w) { result.cwnd_trace.emplace_back(t, w); });
+  }
+
+  // Flow-start offsets come from the same seed-derived streams as run();
+  // shard simulators share the run seed, so which Simulator derives the
+  // stream is immaterial (Simulator::stream is construction-order free).
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    Rng start_rng = sim_.stream(kFlowStartStream + i);
+    connections_[i].sender->start(
+        start_rng.uniform(0.0, config.flow_start_spread));
+  }
+  if (!attackers_.empty()) {
+    auto phases =
+        spread_phases_seeded(static_cast<int>(attackers_.size()),
+                             config.attacker_phase_spread, config.seed);
+    for (std::size_t a = 0; a < attackers_.size(); ++a) {
+      attackers_[a]->start(phases[a]);
+    }
+  }
+  if (cross_traffic_) cross_traffic_->start(0.0);
+
+  engine_->run_until(control.warmup, shard_executor_);
+  goodput_marks_.clear();
+  goodput_marks_.reserve(connections_.size());
+  for (const auto& conn : connections_) {
+    goodput_marks_.push_back(conn.receiver->goodput_bytes());
+  }
+
+  engine_->run_until(control.horizon(), shard_executor_);
+
+  collect_packet_result(config, control, arrivals, /*background_mark=*/{},
+                        result);
+  result.events_executed = sim_.scheduler().events_executed();
+  for (std::size_t s = 0; s < flow_shards; ++s) {
+    result.events_executed += flow_sims_[s]->scheduler().events_executed();
+  }
+  return result;
+}
+
+}  // namespace pdos

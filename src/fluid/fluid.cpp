@@ -38,6 +38,51 @@ void FluidConfig::validate() const {
                "FluidConfig: integration steps must be > 0");
 }
 
+std::vector<FluidClass> bin_classes(std::vector<FluidClass> classes,
+                                    std::size_t max_classes) {
+  PDOS_REQUIRE(max_classes >= 1, "bin_classes: max_classes must be >= 1");
+  // Exact phase: classes at bit-equal RTTs obey identical ODEs from
+  // identical initial state, so summing their counts changes nothing but
+  // the bookkeeping. Sorting first makes equal RTTs adjacent and the
+  // output order canonical.
+  std::sort(classes.begin(), classes.end(),
+            [](const FluidClass& a, const FluidClass& b) {
+              return a.rtt < b.rtt;
+            });
+  std::vector<FluidClass> merged;
+  for (const FluidClass& c : classes) {
+    if (!merged.empty() && merged.back().rtt == c.rtt) {
+      merged.back().count += c.count;
+    } else {
+      merged.push_back(c);
+    }
+  }
+  if (merged.size() <= max_classes) return merged;
+  // Lossy phase: quantize the surviving RTTs onto max_classes equal-width
+  // bins over [min, max] and collapse each occupied bin to one class at
+  // its count-weighted mean RTT — the aggregate W/RTT arrival rate of a
+  // bin is preserved to first order in the RTT spread, which is what the
+  // queue balance integrates.
+  const Time lo = merged.front().rtt;
+  const Time hi = merged.back().rtt;
+  const double span = hi - lo;  // > 0: equal RTTs all merged above
+  std::vector<double> count(max_classes, 0.0);
+  std::vector<double> rtt_mass(max_classes, 0.0);
+  for (const FluidClass& c : merged) {
+    std::size_t bin = static_cast<std::size_t>(
+        static_cast<double>(max_classes) * (c.rtt - lo) / span);
+    if (bin >= max_classes) bin = max_classes - 1;
+    count[bin] += c.count;
+    rtt_mass[bin] += c.count * c.rtt;
+  }
+  std::vector<FluidClass> binned;
+  for (std::size_t b = 0; b < max_classes; ++b) {
+    if (count[b] <= 0.0) continue;
+    binned.push_back(FluidClass{rtt_mass[b] / count[b], count[b]});
+  }
+  return binned;
+}
+
 double red_drop_probability(const RedParams& params, double avg) {
   double pb;
   if (avg < params.min_th) return 0.0;

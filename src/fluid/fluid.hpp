@@ -44,11 +44,24 @@
 namespace pdos::fluid {
 
 /// One aggregated flow class: `count` identical flows at this RTT. The pure
-/// backend uses one class per flow; million-flow scenarios can bin.
+/// backend uses one class per flow; million-flow scenarios can bin with
+/// `bin_classes`.
 struct FluidClass {
   Time rtt = ms(100);   // two-way propagation, seconds
   double count = 1.0;   // flows aggregated into this class
 };
+
+/// Opt-in class binning for very large flow populations: merge classes
+/// with bit-equal RTTs exactly (their ODEs are identical, so summing the
+/// counts is lossless), then, if more than `max_classes` distinct RTTs
+/// remain, quantize them onto `max_classes` equal-width RTT bins and
+/// collapse each occupied bin to one class at its count-weighted mean RTT.
+/// Output is sorted by RTT. The solver never bins on its own — callers
+/// with N ~ 1e6 flows shrink `FluidConfig::classes` through this before
+/// `solve`, trading an RTT-quantization error (bounded by the bin width)
+/// for a per-step cost that no longer scales with N.
+std::vector<FluidClass> bin_classes(std::vector<FluidClass> classes,
+                                    std::size_t max_classes);
 
 /// The fluid system: victim transport, bottleneck, AQM, and flow classes.
 struct FluidConfig {

@@ -1,0 +1,157 @@
+#include "sim/pdes/engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pdos::pdes {
+
+namespace {
+
+/// std::*_heap comparator for a MIN-heap in message_before order.
+inline bool heap_later(const Message& a, const Message& b) {
+  return message_before(b, a);
+}
+
+}  // namespace
+
+void PdesEngine::configure(std::vector<Simulator*> shards, Time lookahead) {
+  PDOS_REQUIRE(shards.size() >= 2, "PdesEngine: need at least two shards");
+  PDOS_REQUIRE(lookahead > 0.0, "PdesEngine: lookahead must be positive");
+  for (Simulator* sim : shards) {
+    PDOS_REQUIRE(sim != nullptr, "PdesEngine: shard simulator is null");
+  }
+  if (shards_.size() != shards.size()) shards_.resize(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    Shard& sh = shards_[i];
+    sh.sim = shards[i];
+    sh.staging.clear();
+    sh.lane.clear();
+    sh.activity = 0;
+    sh.injected = 0;
+  }
+  // Channels to shards that no longer exist are dropped; the rest keep
+  // their buffers (capacity) and, crucially, their addresses — RemoteLink
+  // contexts rebuilt for the next run fetch the same pointers.
+  std::erase_if(channels_, [&](const std::unique_ptr<Channel>& ch) {
+    return ch->src >= shards.size() || ch->dst >= shards.size();
+  });
+  for (auto& ch : channels_) {
+    ch->buffer.clear();
+    ch->next_stamp = 0;
+  }
+  now_ = 0.0;
+  lookahead_ = lookahead;
+  rounds_ = 0;
+  messages_ = 0;
+}
+
+Channel* PdesEngine::channel(std::uint32_t src, std::uint32_t dst) {
+  PDOS_REQUIRE(src < shards_.size() && dst < shards_.size() && src != dst,
+               "PdesEngine: channel endpoints out of range");
+  for (auto& ch : channels_) {
+    if (ch->src == src && ch->dst == dst) return ch.get();
+  }
+  channels_.push_back(std::make_unique<Channel>());
+  channels_.back()->src = src;
+  channels_.back()->dst = dst;
+  return channels_.back().get();
+}
+
+void PdesEngine::round(std::size_t index, Time bound, bool inclusive) {
+  Shard& sh = shards_[index];
+  Scheduler& sched = sh.sim->scheduler();
+  std::uint64_t activity = 0;
+  // Inject every staged message due inside this round, in canonical order.
+  // Each delivery is scheduled with claim instant = its source-side
+  // emission time: the single-scheduler run claimed the delivery's rank
+  // inside the event that emitted the packet, so ordering ties by claim
+  // (Scheduler::before) reproduces that schedule exactly — a delivery
+  // beats local events claimed after the emission (per-packet events, whose
+  // claim distance is a service time or router hop) and loses to events
+  // claimed before it (a sampler tick or retransmit timer armed long ago).
+  // The rank itself comes from the reserved FRONT band, which settles only
+  // exact claim ties in the delivery's favour and keeps two messages
+  // landing at the same (arrival, emit) firing in canonical lane order no
+  // matter which channel carried them. Each message costs exactly one
+  // scheduler event.
+  while (!sh.staging.empty()) {
+    const Message& head = sh.staging.front();
+    if (inclusive ? head.arrival > bound : head.arrival >= bound) break;
+    PDOS_CHECK(head.arrival >= sched.now());  // conservative invariant
+    std::pop_heap(sh.staging.begin(), sh.staging.end(), heap_later);
+    Message msg = std::move(sh.staging.back());
+    sh.staging.pop_back();
+    const std::uint32_t seq = sched.allocate_front_seq();
+    Ring<Delivery>* lane = &sh.lane;
+    lane->push_back(Delivery{std::move(msg.pkt), msg.handler});
+    sched.schedule_at_sequenced(msg.arrival, msg.emit, seq, [lane] {
+      Delivery d = lane->pop_front();
+      d.handler->handle(std::move(d.pkt));
+    });
+    ++activity;
+  }
+  sh.injected += activity;
+  activity += inclusive ? sched.run_until(bound) : sched.run_before(bound);
+  sh.activity = activity;
+}
+
+void PdesEngine::run_rounds(Time bound, bool inclusive,
+                            const ShardExecutor& executor) {
+  const std::size_t n = shards_.size();
+  if (executor) {
+    executor(n, [this, bound, inclusive](std::size_t s) {
+      round(s, bound, inclusive);
+    });
+  } else {
+    for (std::size_t s = 0; s < n; ++s) round(s, bound, inclusive);
+  }
+  ++rounds_;
+}
+
+void PdesEngine::drain_channels() {
+  for (auto& ch : channels_) {
+    if (ch->buffer.empty()) continue;
+    auto& staging = shards_[ch->dst].staging;
+    for (Message& msg : ch->buffer) {
+      staging.push_back(std::move(msg));
+      std::push_heap(staging.begin(), staging.end(), heap_later);
+    }
+    ch->buffer.clear();
+  }
+}
+
+void PdesEngine::run_until(Time stop, const ShardExecutor& executor) {
+  PDOS_REQUIRE(!shards_.empty(), "PdesEngine: configure() before running");
+  PDOS_REQUIRE(stop >= now_, "PdesEngine: stop is in the past");
+  while (now_ < stop) {
+    const Time bound = std::min(now_ + lookahead_, stop);
+    run_rounds(bound, /*inclusive=*/false, executor);
+    drain_channels();
+    now_ = bound;
+  }
+  // Inclusive fixpoint at `stop`: events AT the stop instant run, and any
+  // message they (or earlier rounds) put on a channel with arrival <= stop
+  // is delivered and processed before returning — exactly the state a
+  // single scheduler's run_until(stop) leaves behind. Terminates because a
+  // message emitted at t gains at least one link delay per generation, so
+  // only finitely many generations can stay <= stop (and in practice the
+  // loop runs twice: lookahead <= every link delay puts post-stop arrivals
+  // strictly after stop).
+  for (;;) {
+    run_rounds(stop, /*inclusive=*/true, executor);
+    drain_channels();
+    bool quiescent = true;
+    for (const Shard& sh : shards_) {
+      if (sh.activity != 0) quiescent = false;
+      if (!sh.staging.empty() && sh.staging.front().arrival <= stop) {
+        quiescent = false;
+      }
+    }
+    if (quiescent) break;
+  }
+  messages_ = 0;
+  for (const Shard& sh : shards_) messages_ += sh.injected;
+}
+
+}  // namespace pdos::pdes

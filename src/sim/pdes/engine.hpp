@@ -1,0 +1,126 @@
+// Conservative parallel discrete-event engine (DESIGN.md §13).
+//
+// A partitioned scenario gives every logical process (shard) its own
+// `Simulator` — scheduler, arena, RNG streams — and registers the channels
+// that carry packets between them. The engine advances all shards in
+// lockstep *rounds* bounded by the lookahead window W, the minimum
+// propagation delay over every cross-shard link:
+//
+//   round k executes, on every shard in parallel, all events with
+//   timestamp in [T, T + W), where T = k·W. A message emitted at time
+//   t >= T arrives at t + delay >= T + W, i.e. never inside the round that
+//   produced it — so when a round starts, every message that can arrive
+//   inside it is already staged, and no shard can ever receive an event in
+//   its past. This is an LBTS barrier specialized to a static channel
+//   graph with uniform lookahead: with the dumbbell's access-link delays
+//   (4.5-37 ms halves of 9-230 ms one-way paths) dwarfing per-packet
+//   service times, each round carries thousands of events per shard and
+//   the barrier cost vanishes.
+//
+// Rounds are half-open (`Scheduler::run_before`), so a boundary event runs
+// exactly once, in the round that owns it. Run stops (`run_until(stop)`)
+// finish with an inclusive fixpoint: inject due messages, run events at
+// `stop` itself, drain, repeat until quiescent — mirroring the inclusive
+// semantics of a single scheduler's `run_until`, which callers rely on to
+// read warmup marks at exact instants. Termination is guaranteed because
+// every fixpoint generation advances message timestamps by at least one
+// link delay.
+//
+// Determinism: message injection at a round start claims consecutive
+// tie-break ranks in the canonical (arrival, emit, lane) order — see
+// message.hpp — and channels are drained at barriers in registration
+// order, so the merged event order is a pure function of the partition,
+// independent of the executor (inline, or any thread count). Each staged
+// message becomes exactly ONE destination-shard scheduler event popping a
+// FIFO delivery ring, matching the one-delivery-event-per-packet cost of
+// the single-scheduler link path — which is what keeps total
+// `events_executed` (a golden-digest field) identical between shards=1 and
+// shards=K on the full backend.
+//
+// Threading: the engine itself runs on the caller's thread; per-round
+// shard tasks are handed to an optional `ShardExecutor` (sweeps inject a
+// ThreadPool-backed one; null runs them inline with identical results).
+// During a round a shard task touches only its own simulator, its own
+// staging heap, and the buffers of channels it is the source of; the
+// coordinator touches them only between rounds. Task submission/join is
+// the happens-before edge — no atomics anywhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet_ring.hpp"
+#include "sim/pdes/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace pdos::pdes {
+
+/// Runs `fn(s)` for every shard index s in [0, n), returning when all have
+/// finished. A null executor means "run inline on the calling thread";
+/// sweeps and CLIs hand in a ThreadPool-backed one (`pool_executor` in
+/// sweep/sweep.hpp). Results are bit-identical either way.
+using ShardTask = std::function<void(std::size_t)>;
+using ShardExecutor = std::function<void(std::size_t n, const ShardTask& fn)>;
+
+class PdesEngine {
+ public:
+  PdesEngine() = default;
+  PdesEngine(const PdesEngine&) = delete;
+  PdesEngine& operator=(const PdesEngine&) = delete;
+
+  /// (Re)bind the engine to a shard set. Clears clocks, staging, and
+  /// channel buffers but keeps their capacity, so a warm workspace reuses
+  /// the same allocations run after run. `lookahead` must be positive and
+  /// no larger than any cross-shard link delay.
+  void configure(std::vector<Simulator*> shards, Time lookahead);
+
+  /// The channel carrying messages src -> dst, created on first use and
+  /// kept (warm) across configure() calls with the same shard count.
+  Channel* channel(std::uint32_t src, std::uint32_t dst);
+
+  /// Advance every shard to virtual time `stop` (inclusive, like
+  /// Scheduler::run_until). Callable repeatedly with increasing stops.
+  void run_until(Time stop, const ShardExecutor& executor);
+
+  Time now() const { return now_; }
+  Time lookahead() const { return lookahead_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Barrier count (round + fixpoint iterations), for telemetry/tests.
+  std::uint64_t rounds() const { return rounds_; }
+  /// Total cross-shard messages injected so far, for telemetry/tests.
+  std::uint64_t messages_delivered() const { return messages_; }
+
+ private:
+  /// A staged cross-shard delivery: the scheduler event that consumes it
+  /// captures only the ring pointer (InlineFn budget), and events are
+  /// scheduled in the exact order slots are pushed, so FIFO pops match.
+  struct Delivery {
+    Packet pkt;
+    PacketHandler* handler = nullptr;
+  };
+
+  /// Per-shard state, cache-line aligned so two shard tasks never share a
+  /// line through adjacent elements.
+  struct alignas(64) Shard {
+    Simulator* sim = nullptr;
+    std::vector<Message> staging;  // binary min-heap in message_before order
+    Ring<Delivery> lane;           // FIFO behind the per-message events
+    std::uint64_t activity = 0;    // events + injections in the last round
+    std::uint64_t injected = 0;    // lifetime messages injected
+  };
+
+  void round(std::size_t index, Time bound, bool inclusive);
+  void run_rounds(Time bound, bool inclusive, const ShardExecutor& executor);
+  void drain_channels();
+
+  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  Time now_ = 0.0;
+  Time lookahead_ = 0.0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace pdos::pdes

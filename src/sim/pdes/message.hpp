@@ -1,0 +1,86 @@
+// Cross-shard packet messages for the conservative PDES engine.
+//
+// When a scenario is partitioned into logical processes (DESIGN.md §13),
+// every link whose endpoints live on different shards stops scheduling its
+// own delivery event. Instead its `emit()` is intercepted by a remote-egress
+// hook (Link::set_remote_egress) that appends a timestamped `Message` to the
+// `Channel` connecting the two shards. Channels are single-producer /
+// single-consumer by construction: only the owning shard's round task
+// appends, and only the engine's coordinator drains — between rounds, on the
+// far side of a barrier — so no slot is ever touched concurrently and the
+// buffers need no atomics (the executor's task join provides the
+// happens-before edge).
+//
+// Determinism: the destination shard merges pending messages in the total
+// order (arrival, emit, stamp, lane). `stamp` is the channel's append
+// serial — messages from one source shard carry stamps in that shard's
+// execution order, so two emissions that tie exactly on (arrival, emit)
+// (equal-RTT topologies phase-lock access links into float-identical
+// service completions) are delivered in the order their service
+// completions actually ran, which is the single-scheduler order. `lane` is
+// a per-link serial assigned by the partitioner at build time; it makes
+// the order strict for messages of different channels, whose stamps are
+// only deterministic, not meaningful, against each other. Every key is a
+// pure function of the simulation state, never of executor scheduling, so
+// the merge is identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace pdos::pdes {
+
+/// One packet crossing a shard boundary, stamped with the times that order
+/// it on the destination scheduler.
+struct Message {
+  Packet pkt;
+  PacketHandler* handler = nullptr;  // destination-shard delivery target
+  Time arrival = 0.0;                // emit + link propagation delay
+  Time emit = 0.0;                   // source-side serialization finish
+  std::uint64_t stamp = 0;           // channel append serial: source order
+  std::uint32_t lane = 0;            // per-link serial: makes order strict
+};
+
+/// Canonical merge order for messages bound to one shard. Strict weak
+/// ordering; unique because (arrival, lane) never repeats.
+inline bool message_before(const Message& a, const Message& b) {
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  if (a.emit != b.emit) return a.emit < b.emit;
+  if (a.stamp != b.stamp) return a.stamp < b.stamp;
+  return a.lane < b.lane;
+}
+
+/// One direction of traffic between a pair of shards. Appended by the
+/// source shard's round task, drained by the engine between rounds.
+struct Channel {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t next_stamp = 0;  // append serial, monotone across rounds
+  std::vector<Message> buffer;
+};
+
+/// Remote-egress context for a cross-shard `Link`: translates the link's
+/// emissions into channel messages. Allocate one per cross link (typically
+/// in the source shard's arena) and install with
+/// `link->set_remote_egress(&RemoteLink::egress, ctx)`. The `handler` is
+/// the downstream the link would have delivered to — an object owned by
+/// the destination shard, only ever dereferenced there.
+struct RemoteLink {
+  Channel* channel = nullptr;
+  PacketHandler* handler = nullptr;
+  Time delay = 0.0;  // the link's propagation delay
+  std::uint32_t lane = 0;
+
+  static void egress(void* self, Packet&& pkt, Time fin) {
+    auto* rl = static_cast<RemoteLink*>(self);
+    rl->channel->buffer.push_back(Message{std::move(pkt), rl->handler,
+                                          fin + rl->delay, fin,
+                                          rl->channel->next_stamp++,
+                                          rl->lane});
+  }
+};
+
+}  // namespace pdos::pdes

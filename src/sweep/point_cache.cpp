@@ -72,6 +72,12 @@ void hash_common(Fnv1a& h, const SweepSpec& spec, const ScenarioConfig& c,
   h.i64(c.fast_path ? 1 : 0);
   h.i64(c.hybrid_foreground).f64(c.hybrid_tick);
   h.f64(c.fluid_dt_pulse).f64(c.fluid_dt_idle);
+  // ScenarioConfig::shards is DELIBERATELY not hashed: the conservative
+  // PDES partition produces bit-identical results at any shard count
+  // (DESIGN.md §13; pinned by tests/pdes and the key-invariance test in
+  // point_cache_test.cpp), so a cache written at one shard/executor count
+  // must replay at any other. Hashing it would fork the cache on a knob
+  // that cannot change a result.
 
   const RunControl& ctl = spec.control;
   h.f64(ctl.warmup).f64(ctl.measure).f64(ctl.bin_width);

@@ -91,6 +91,11 @@ SpecFile parse_spec(const std::string& text) {
     } else if (key == "hybrid_foreground") {
       file.spec.hybrid_foreground =
           static_cast<int>(parse_double(value, line));
+    } else if (key == "shards") {
+      file.spec.shards = static_cast<int>(parse_double(value, line));
+      PDOS_REQUIRE(file.spec.shards >= 1,
+                   "spec line " + std::to_string(line) +
+                       ": shards must be >= 1");
     } else if (key == "flows") {
       file.spec.flow_counts.clear();
       for (double flows : parse_list(value, line)) {

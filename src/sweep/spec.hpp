@@ -10,6 +10,9 @@
 //   backend      = full         # full | fast | fluid | hybrid (tier, see
 //                               # DESIGN.md §12; default full)
 //   hybrid_foreground = 4       # hybrid only: packet-level flows per point
+//   shards       = 1            # PDES shards per point (DESIGN.md §13);
+//                               # results are bit-identical at any K, so
+//                               # cache keys ignore it
 //   flows        = 15,25,35,45
 //   textent_ms   = 50,75,100
 //   rattack_mbps = 25,30,35,40

@@ -68,6 +68,7 @@ ScenarioConfig SweepSpec::make_scenario(const PointSpec& point) const {
   config.queue = queue;
   config.backend = backend;
   config.hybrid_foreground = hybrid_foreground;
+  config.shards = shards;
   config.seed = replicate_seed(base_seed, point.replicate);
   return config;
 }

@@ -144,6 +144,73 @@ TEST(FluidSolveTest, BinsCoverTheWholeRun) {
   EXPECT_GE(r.queue_occupancy.size(), 30u);
 }
 
+TEST(BinClassesTest, EqualRttsMergeExactly) {
+  // The testbed scenario gives every flow the same RTT: binning must
+  // collapse it to ONE class carrying the whole population, at any budget.
+  FluidConfig config = make_fluid_config(ScenarioConfig::testbed(10));
+  const auto binned = bin_classes(config.classes, 4);
+  ASSERT_EQ(binned.size(), 1u);
+  EXPECT_EQ(binned[0].rtt, config.classes[0].rtt);
+  EXPECT_EQ(binned[0].count, 10.0);
+}
+
+TEST(BinClassesTest, PreservesPopulationAndRttRange) {
+  FluidConfig config = dumbbell_config(45);  // 45 distinct RTTs
+  const auto binned = bin_classes(config.classes, 8);
+  ASSERT_LE(binned.size(), 8u);
+  ASSERT_GE(binned.size(), 2u);
+  double total = 0.0;
+  Time prev = 0.0;
+  for (const FluidClass& c : binned) {
+    EXPECT_GT(c.rtt, prev) << "output sorted, strictly distinct";
+    prev = c.rtt;
+    total += c.count;
+  }
+  EXPECT_DOUBLE_EQ(total, 45.0);
+  EXPECT_GE(binned.front().rtt, config.classes.front().rtt);
+  EXPECT_LE(binned.back().rtt, config.classes.back().rtt);
+}
+
+TEST(BinClassesTest, NoOpWhenUnderBudget) {
+  FluidConfig config = dumbbell_config(15);
+  const auto binned = bin_classes(config.classes, 15);
+  ASSERT_EQ(binned.size(), 15u);
+  for (std::size_t i = 0; i < binned.size(); ++i) {
+    EXPECT_EQ(binned[i].rtt, config.classes[i].rtt);
+    EXPECT_EQ(binned[i].count, config.classes[i].count);
+  }
+}
+
+TEST(BinClassesTest, BinnedSolveTracksUnbinnedWithinTolerance) {
+  // The fig. 6 quick point (γ = 0.5, T_extent 50 ms, R_attack 25 Mbps) on
+  // 45 per-flow classes vs the same population binned to 8: the binned
+  // run quantizes RTTs by at most one bin width, so its degradation must
+  // stay within the fluid tier's own per-point agreement band.
+  FluidControl control;
+  control.warmup = sec(5);
+  control.measure = sec(15);
+  FluidAttack attack;
+  attack.textent = ms(50);
+  attack.rattack = mbps(25);
+  attack.tspace = ms(116.667);
+  const FluidConfig config = dumbbell_config(45);
+  FluidConfig binned_config = config;
+  binned_config.classes = bin_classes(config.classes, 8);
+  ASSERT_LE(binned_config.classes.size(), 8u);
+
+  const FluidResult base = solve(config, std::nullopt, control);
+  const FluidResult hit = solve(config, attack, control);
+  const FluidResult binned_base = solve(binned_config, std::nullopt, control);
+  const FluidResult binned_hit = solve(binned_config, attack, control);
+
+  const double gamma_full = 1.0 - hit.goodput_rate / base.goodput_rate;
+  const double gamma_binned =
+      1.0 - binned_hit.goodput_rate / binned_base.goodput_rate;
+  EXPECT_NEAR(gamma_binned, gamma_full, kDegradationAbsTol);
+  // Baseline utilization barely depends on the RTT fine structure.
+  EXPECT_NEAR(binned_base.utilization, base.utilization, 0.05);
+}
+
 TEST(FluidConfigTest, ValidateRejectsNonsense) {
   FluidConfig config = dumbbell_config(15);
   config.classes.clear();

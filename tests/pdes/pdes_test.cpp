@@ -1,0 +1,175 @@
+// Determinism suite for the conservative PDES sharding path
+// (DESIGN.md §13, src/sim/pdes/, src/core/experiment_pdes.cpp).
+//
+// The contract under test: shards = K is not an approximation of
+// shards = 1 — it IS the same simulation. On the full backend every
+// RunResult field including the scheduler event count is bit-identical;
+// on the fast backend every counter, bin, and trace matches while only
+// the event count differs (cross-shard links cannot fuse). And none of it
+// may depend on the executor: inline rounds and ThreadPool rounds must
+// produce the same bytes.
+//
+// This file also runs in the TSan CI job (tsan-sweep), where the
+// ThreadPool-executor cases double as a race detector for the engine's
+// barrier/channel protocol.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "attack/pulse.hpp"
+#include "core/experiment.hpp"
+#include "support/digest.hpp"
+#include "sweep/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+namespace {
+
+using testsupport::fnv1a64;
+using testsupport::serialize;
+
+PulseTrain short_train() {
+  PulseTrain train;
+  train.textent = ms(50);
+  train.rattack = mbps(60);
+  train.tspace = ms(950);
+  return train;
+}
+
+RunControl short_control() {
+  RunControl control;
+  control.warmup = sec(1);
+  control.measure = sec(3);
+  control.traced_flow = 0;
+  return control;
+}
+
+/// Run the 16-flow ns-2 dumbbell at a given shard count (optionally on a
+/// pool-backed executor) and serialize the result.
+std::string run_sharded(Backend backend, int shards,
+                        sweep::ThreadPool* pool = nullptr,
+                        bool include_events = true) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(16);
+  config.backend = backend;
+  config.shards = shards;
+  ScenarioWorkspace workspace;
+  if (pool != nullptr) {
+    workspace.set_shard_executor(sweep::pool_shard_executor(*pool));
+  }
+  const RunResult result =
+      workspace.run(config, short_train(), short_control());
+  if (shards > 1) {
+    EXPECT_GT(workspace.pdes_rounds(), 0u);
+    EXPECT_GT(workspace.pdes_messages(), 0u);
+  }
+  return serialize(result, include_events);
+}
+
+TEST(PdesShardingTest, FullBackendBitIdenticalAcrossShardCounts) {
+  const std::string baseline = run_sharded(Backend::kFull, 1);
+  for (int shards : {2, 3, 5}) {
+    EXPECT_EQ(baseline, run_sharded(Backend::kFull, shards))
+        << "full backend diverged at shards=" << shards;
+  }
+}
+
+TEST(PdesShardingTest, FastBackendCountersIdenticalAcrossShardCounts) {
+  // Fast path: every counter/bin/trace matches; events are excluded from
+  // the serialization because cross-shard links cannot fuse.
+  const std::string baseline =
+      run_sharded(Backend::kFast, 1, nullptr, /*include_events=*/false);
+  for (int shards : {2, 4}) {
+    EXPECT_EQ(baseline,
+              run_sharded(Backend::kFast, shards, nullptr,
+                          /*include_events=*/false))
+        << "fast backend diverged at shards=" << shards;
+  }
+}
+
+TEST(PdesShardingTest, ExecutorDoesNotChangeResults) {
+  // Inline rounds vs a ThreadPool at several widths: byte-identical. This
+  // is the case TSan watches in CI.
+  const std::string inline_result = run_sharded(Backend::kFull, 4);
+  for (int threads : {1, 2, 4}) {
+    sweep::ThreadPool pool(threads);
+    EXPECT_EQ(inline_result, run_sharded(Backend::kFull, 4, &pool))
+        << "executor with " << threads << " threads changed the results";
+  }
+}
+
+TEST(PdesShardingTest, WarmWorkspaceReusesShardsAcrossRuns) {
+  // One workspace cycling shard counts (including back to 1) must keep
+  // reproducing the same bytes — warm flow-shard simulators and channel
+  // buffers rewind like the primary arena does.
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(16);
+  ScenarioWorkspace workspace;
+  std::string baseline;
+  for (int shards : {1, 3, 2, 3, 1}) {
+    config.shards = shards;
+    const RunResult result =
+        workspace.run(config, short_train(), short_control());
+    const std::string text = serialize(result);
+    if (baseline.empty()) {
+      baseline = text;
+    } else {
+      EXPECT_EQ(baseline, text) << "warm rerun diverged at shards=" << shards;
+    }
+  }
+}
+
+TEST(PdesShardingTest, GoldenFig03DigestReproducesSharded) {
+  // The pinned full-path digest (tests/support/digest.hpp) must come out of
+  // the sharded engine unchanged — including the event count.
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(24);
+  PulseTrain train;
+  train.textent = ms(50);
+  train.rattack = mbps(100);
+  train.tspace = ms(1950);
+  RunControl control;
+  control.warmup = sec(3);
+  control.measure = sec(10);
+  control.traced_flow = 0;
+
+  for (int shards : {2, 4}) {
+    config.shards = shards;
+    const RunResult result = run_scenario(config, train, control);
+    const std::uint64_t digest = fnv1a64(serialize(result));
+    EXPECT_EQ(digest, testsupport::kFig03Digest)
+        << "fig03 digest changed at shards=" << shards << ": actual 0x"
+        << std::hex << digest;
+  }
+}
+
+TEST(PdesShardingTest, GoldenFig12RedDigestReproducesSharded) {
+  ScenarioConfig config = ScenarioConfig::testbed(10);
+  const PulseTrain train =
+      PulseTrain::from_gamma(ms(150), mbps(20), 0.5, config.bottleneck);
+  RunControl control;
+  control.warmup = sec(2);
+  control.measure = sec(8);
+
+  for (int shards : {2, 4}) {
+    config.shards = shards;
+    const RunResult result = run_scenario(config, train, control);
+    const std::uint64_t digest = fnv1a64(serialize(result));
+    EXPECT_EQ(digest, testsupport::kFig12RedDigest)
+        << "fig12 RED digest changed at shards=" << shards << ": actual 0x"
+        << std::hex << digest;
+  }
+}
+
+TEST(PdesShardingTest, ValidateRejectsBadShardConfigs) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(4);
+  config.shards = 0;
+  EXPECT_THROW(config.validate(), std::exception);
+  config.shards = 6;  // 5 flow shards > 4 flows
+  EXPECT_THROW(config.validate(), std::exception);
+  config.shards = 2;
+  config.backend = Backend::kFluid;
+  EXPECT_THROW(config.validate(), std::exception);
+}
+
+}  // namespace
+}  // namespace pdos

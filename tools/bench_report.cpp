@@ -1,10 +1,12 @@
-// Engine + data-path + sweep + scale + fluid performance report: measures
-// the scheduler and packet data-path micro-benchmarks, scenario setup
-// (fresh vs warm-reset), the LargeScale fast-path scenarios (interleaved
-// fast/full A/B), the fluid-surrogate vs packet A/B on a fig. 6 quick grid
-// point, and a fixed fig. 6 quick-mode sweep (cold and cache-resumed), and
-// writes BENCH_engine.json, BENCH_datapath.json, BENCH_sweep.json,
-// BENCH_scale.json, and BENCH_fluid.json.
+// Engine + data-path + sweep + scale + fluid + pdes performance report:
+// measures the scheduler and packet data-path micro-benchmarks, scenario
+// setup (fresh vs warm-reset), the LargeScale fast-path scenarios
+// (interleaved fast/full A/B), the fluid-surrogate vs packet A/B on a
+// fig. 6 quick grid point, the sharded-vs-single PDES A/B on a 10 Gbps
+// LargeScale scenario, and a fixed fig. 6 quick-mode sweep (cold and
+// cache-resumed), and writes BENCH_engine.json, BENCH_datapath.json,
+// BENCH_sweep.json, BENCH_scale.json, BENCH_fluid.json, and
+// BENCH_pdes.json.
 //
 // This is the tracked-baseline half of the perf story: google-benchmark
 // (bench/micro_engine, bench/micro_datapath, bench/micro_setup,
@@ -20,8 +22,9 @@
 //                [--datapath-baseline FILE] [--sweep-out FILE]
 //                [--sweep-baseline FILE] [--scale-out FILE]
 //                [--scale-baseline FILE] [--fluid-out FILE]
-//                [--fluid-baseline FILE] [--check] [--reps N]
-//                [--skip-sweep]
+//                [--fluid-baseline FILE] [--pdes-out FILE]
+//                [--pdes-baseline FILE] [--fluid-surface-out FILE]
+//                [--check] [--reps N] [--skip-sweep]
 //
 //   --out FILE                engine output path (default BENCH_engine.json)
 //   --baseline FILE           committed engine reference; its values are
@@ -43,6 +46,19 @@
 //                             under --check the fluid-vs-packet speedup
 //                             must additionally clear the >= 100x floor
 //                             the surrogate tier promises (DESIGN.md §12)
+//   --pdes-out FILE           PDES sharding output (default BENCH_pdes.json)
+//   --pdes-baseline FILE      committed PDES reference; the sharded run's
+//                             event throughput is gated against it, and
+//                             under --check the shards=4 vs shards=1
+//                             speedup must clear the >= 3x floor
+//                             (DESIGN.md §13) — but ONLY on hosts with
+//                             at least 4 hardware threads. Single-core CI
+//                             runners print a skip line instead: the
+//                             sharded run cannot beat the single scheduler
+//                             without parallel hardware.
+//   --fluid-surface-out FILE  also emit the fluid-tier attack-gain surface
+//                             (γ × T_extent grid, long-format CSV:
+//                             textent_ms,gamma,degradation,gain) to FILE
 //   --check                   exit non-zero if any micro-benchmark runs >30%
 //                             slower than its baseline (requires the
 //                             corresponding --*baseline)
@@ -60,6 +76,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "attack/pulse.hpp"
@@ -72,6 +89,7 @@
 #include "sim/timer.hpp"
 #include "stats/stats_hub.hpp"
 #include "sweep/sweep.hpp"
+#include "sweep/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace pdos {
@@ -86,6 +104,16 @@ constexpr double kRegressionTolerance = 0.30;  // fail at >30% slowdown
 // on the full packet path. A same-machine ratio, so it is gated directly
 // under --check rather than via the committed baseline.
 constexpr double kFluidSpeedupFloor = 100.0;
+
+// The PDES sharding contract (DESIGN.md §13): a shards=4 LargeScale run on
+// a ThreadPool executor must beat the same run on one scheduler by at
+// least this much — but only where the hardware can possibly deliver it.
+// Hosts with fewer than kPdesFloorMinThreads hardware threads (single-core
+// CI runners in particular) skip the floor: the measurement still runs and
+// the speedup still rides along in the artifact, it just cannot gate.
+constexpr double kPdesSpeedupFloor = 3.0;
+constexpr unsigned kPdesFloorMinThreads = 4;
+constexpr int kPdesShards = 4;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -304,6 +332,98 @@ double run_fig06_point(ScenarioWorkspace& ws, Backend backend) {
   return seconds_since(start);
 }
 
+// --- PDES sharded-run A/B (mirror tests/pdes, DESIGN.md §13) -------------
+
+/// The intra-run parallelism target scenario: 10k flows on a 10 Gbps
+/// bottleneck, fast path, short horizon. Big enough that per-round shard
+/// work dwarfs the barrier cost, short enough for a CI smoke.
+ScaleSample run_pdes_point(ScenarioWorkspace& ws, int shards) {
+  ScenarioConfig config = ScenarioConfig::large_scale(10000, gbps(10));
+  config.shards = shards;
+  RunControl control;
+  control.warmup = sec(0.25);
+  control.measure = sec(0.5);
+  const auto start = Clock::now();
+  const RunResult result =
+      ws.run(config, large_scale_train(config.bottleneck), control);
+  return ScaleSample{result.events_executed, seconds_since(start)};
+}
+
+struct PdesMeasurement {
+  std::uint64_t single_events = 0;   // shards=1 event count (deterministic)
+  std::uint64_t sharded_events = 0;  // shards=4 event count (deterministic)
+  double single_wall = 0.0;          // best-of-reps
+  double sharded_wall = 0.0;
+  std::uint64_t rounds = 0;    // engine telemetry from the sharded arm
+  std::uint64_t messages = 0;  // cross-shard packets per run
+  int executor_threads = 1;    // 1 = inline executor (no pool)
+};
+
+/// Interleaved A/B: alternate shards=1 and shards=4 samples, each in its
+/// own warm workspace, best-of per arm. The sharded arm runs on a
+/// ThreadPool executor when the host has more than one hardware thread;
+/// on a single-core host it runs the rounds inline — same results (the
+/// outputs are executor-invariant), honest wall time.
+PdesMeasurement measure_pdes(int reps) {
+  PdesMeasurement m;
+  std::unique_ptr<sweep::ThreadPool> pool;
+  if (std::thread::hardware_concurrency() > 1) {
+    pool = std::make_unique<sweep::ThreadPool>();
+    m.executor_threads = pool->size();
+  }
+  ScenarioWorkspace single_ws;
+  ScenarioWorkspace sharded_ws;
+  if (pool) sharded_ws.set_shard_executor(sweep::pool_shard_executor(*pool));
+  m.single_events = run_pdes_point(single_ws, 1).events;            // warm
+  m.sharded_events = run_pdes_point(sharded_ws, kPdesShards).events;  // warm
+  m.rounds = sharded_ws.pdes_rounds();
+  m.messages = sharded_ws.pdes_messages();
+  m.single_wall = m.sharded_wall = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    m.single_wall = std::min(m.single_wall, run_pdes_point(single_ws, 1).wall);
+    m.sharded_wall =
+        std::min(m.sharded_wall, run_pdes_point(sharded_ws, kPdesShards).wall);
+  }
+  return m;
+}
+
+// --- fluid-tier attack-gain surface (γ × T_extent heatmap) ---------------
+
+/// Sweep the pulse shape over a γ × T_extent grid on the fluid surrogate
+/// (15-flow ns-2 dumbbell, R_attack 25 Mbps, κ = 1) and write the measured
+/// degradation Γ and gain G per cell as long-format CSV — the raw material
+/// for the heatmaps the optimizer's search surface is read from. The whole
+/// grid is a few thousand integrator steps, so it rides in a CI smoke.
+void emit_fluid_surface(const std::string& path) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  config.backend = Backend::kFluid;
+  RunControl control;
+  control.warmup = sec(5);
+  control.measure = sec(15);
+  ScenarioWorkspace ws;
+  const BitRate baseline = ws.baseline(config, control);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "textent_ms,gamma,degradation,gain\n";
+  const double textents_ms[] = {20, 35, 50, 65, 80, 100, 125, 150, 200};
+  for (double textent_ms : textents_ms) {
+    for (int gi = 1; gi <= 9; ++gi) {
+      const double gamma = 0.1 * gi;
+      const PulseTrain train = PulseTrain::from_gamma(
+          ms(textent_ms), mbps(25), gamma, config.bottleneck);
+      const GainMeasurement point =
+          ws.gain(config, train, 1.0, control, baseline);
+      char row[128];
+      std::snprintf(row, sizeof(row), "%g,%g,%.6g,%.6g\n", textent_ms, gamma,
+                    point.degradation, point.gain);
+      out << row;
+    }
+  }
+}
+
 // --- fig. 6 quick-mode sweep (single-threaded, fixed spec) ---------------
 
 sweep::SweepSpec fig06_quick_spec() {
@@ -447,6 +567,9 @@ int main(int argc, char** argv) {
   std::string scale_baseline_path;
   std::string fluid_out_path = "BENCH_fluid.json";
   std::string fluid_baseline_path;
+  std::string pdes_out_path = "BENCH_pdes.json";
+  std::string pdes_baseline_path;
+  std::string fluid_surface_path;
   bool check = false;
   bool skip_sweep = false;
   int reps = 7;
@@ -472,6 +595,13 @@ int main(int argc, char** argv) {
       fluid_out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--fluid-baseline") == 0 && i + 1 < argc) {
       fluid_baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--pdes-out") == 0 && i + 1 < argc) {
+      pdes_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--pdes-baseline") == 0 && i + 1 < argc) {
+      pdes_baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fluid-surface-out") == 0 &&
+               i + 1 < argc) {
+      fluid_surface_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--skip-sweep") == 0) {
@@ -485,13 +615,15 @@ int main(int argc, char** argv) {
                    "[--sweep-out FILE] [--sweep-baseline FILE] "
                    "[--scale-out FILE] [--scale-baseline FILE] "
                    "[--fluid-out FILE] [--fluid-baseline FILE] "
+                   "[--pdes-out FILE] [--pdes-baseline FILE] "
+                   "[--fluid-surface-out FILE] "
                    "[--check] [--reps N] [--skip-sweep]\n");
       return 2;
     }
   }
   if (check && baseline_path.empty() && datapath_baseline_path.empty() &&
       sweep_baseline_path.empty() && scale_baseline_path.empty() &&
-      fluid_baseline_path.empty()) {
+      fluid_baseline_path.empty() && pdes_baseline_path.empty()) {
     std::fprintf(stderr, "bench_report: --check requires a baseline\n");
     return 2;
   }
@@ -579,6 +711,20 @@ int main(int argc, char** argv) {
   }
   const double fluid_speedup = packet_point_wall / fluid_point_wall;
 
+  // PDES family: the same 10 Gbps / 10k-flow scenario on one scheduler and
+  // on four shards (interleaved A/B). The gated metric is the sharded arm's
+  // event throughput; the walls, event counts, engine telemetry, and the
+  // speedup ride along. The >= 3x floor gates only on >= 4-thread hosts.
+  const PdesMeasurement pdes = measure_pdes(std::max(2, reps / 2));
+  const double pdes_speedup =
+      pdes.sharded_wall > 0.0 ? pdes.single_wall / pdes.sharded_wall : 0.0;
+  std::vector<Micro> pdes_micros = {
+      {"pdes_shard4_10000f_10g_events_per_sec",
+       static_cast<double>(pdes.sharded_events)},
+  };
+  pdes_micros[0].rate =
+      static_cast<double>(pdes.sharded_events) / pdes.sharded_wall;
+
   std::vector<Entry> entries;
   for (const Micro& m : micros) {
     std::printf("%-36s %12.0f items/s\n", m.key, m.rate);
@@ -613,6 +759,37 @@ int main(int argc, char** argv) {
       Entry{"packet_point_wall_seconds", packet_point_wall});
   fluid_entries.push_back(Entry{"fluid_speedup_vs_packet", fluid_speedup});
   fluid_entries.push_back(Entry{"fluid_speedup_floor", kFluidSpeedupFloor});
+  std::vector<Entry> pdes_entries;
+  for (const Micro& m : pdes_micros) {
+    std::printf("%-36s %12.0f events/s\n", m.key, m.rate);
+    pdes_entries.push_back(Entry{m.key, m.rate});
+  }
+  std::printf("pdes_10000f_10g: shards=1 %.3f s (%llu events), shards=%d "
+              "%.3f s (%llu events, %llu rounds, %llu messages, %d-thread "
+              "executor), speedup %.2fx (floor %.0fx on >= %u threads)\n",
+              pdes.single_wall,
+              static_cast<unsigned long long>(pdes.single_events), kPdesShards,
+              pdes.sharded_wall,
+              static_cast<unsigned long long>(pdes.sharded_events),
+              static_cast<unsigned long long>(pdes.rounds),
+              static_cast<unsigned long long>(pdes.messages),
+              pdes.executor_threads, pdes_speedup, kPdesSpeedupFloor,
+              kPdesFloorMinThreads);
+  pdes_entries.push_back(Entry{"pdes_shard1_wall_seconds", pdes.single_wall});
+  pdes_entries.push_back(
+      Entry{"pdes_shard4_wall_seconds", pdes.sharded_wall});
+  pdes_entries.push_back(Entry{"pdes_shard1_events",
+                               static_cast<double>(pdes.single_events)});
+  pdes_entries.push_back(Entry{"pdes_shard4_events",
+                               static_cast<double>(pdes.sharded_events)});
+  pdes_entries.push_back(
+      Entry{"pdes_rounds", static_cast<double>(pdes.rounds)});
+  pdes_entries.push_back(
+      Entry{"pdes_messages", static_cast<double>(pdes.messages)});
+  pdes_entries.push_back(Entry{"pdes_executor_threads",
+                               static_cast<double>(pdes.executor_threads)});
+  pdes_entries.push_back(Entry{"pdes_speedup_vs_shard1", pdes_speedup});
+  pdes_entries.push_back(Entry{"pdes_speedup_floor", kPdesSpeedupFloor});
   {
     const double sim_horizon = large_scale_control().horizon();
     const struct {
@@ -692,6 +869,28 @@ int main(int argc, char** argv) {
     regressions += apply_baseline(fluid_baseline_path, fluid_micros, check,
                                   fluid_entries);
   }
+  if (!pdes_baseline_path.empty()) {
+    regressions += apply_baseline(pdes_baseline_path, pdes_micros, check,
+                                  pdes_entries);
+  }
+  if (check) {
+    // Satellite gate (DESIGN.md §13): the sharded run must actually be
+    // parallel where the hardware allows it. A same-machine ratio like the
+    // fluid floor, so it gates directly rather than via the baseline — and
+    // a single-core runner (hardware_concurrency < kPdesFloorMinThreads)
+    // skips it out loud instead of failing on physics.
+    const unsigned threads = std::thread::hardware_concurrency();
+    if (threads < kPdesFloorMinThreads) {
+      std::printf("pdes speedup floor skipped: %u hardware thread(s) < %u\n",
+                  threads, kPdesFloorMinThreads);
+    } else if (pdes_speedup < kPdesSpeedupFloor) {
+      std::fprintf(stderr,
+                   "REGRESSION: shards=%d run is only %.2fx faster than "
+                   "shards=1 (floor: %.0fx on %u threads)\n",
+                   kPdesShards, pdes_speedup, kPdesSpeedupFloor, threads);
+      ++regressions;
+    }
+  }
   if (check && fluid_speedup < kFluidSpeedupFloor) {
     std::fprintf(stderr,
                  "REGRESSION: fluid point is only %.1fx faster than the "
@@ -710,6 +909,12 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", scale_out_path.c_str());
   write_json(fluid_out_path, "pdos-bench-fluid-v1", fluid_entries);
   std::printf("wrote %s\n", fluid_out_path.c_str());
+  write_json(pdes_out_path, "pdos-bench-pdes-v1", pdes_entries);
+  std::printf("wrote %s\n", pdes_out_path.c_str());
+  if (!fluid_surface_path.empty()) {
+    emit_fluid_surface(fluid_surface_path);
+    std::printf("wrote %s\n", fluid_surface_path.c_str());
+  }
   if (regressions > 0) {
     std::fprintf(stderr, "bench_report: %d benchmark(s) regressed\n",
                  regressions);
