@@ -1,0 +1,101 @@
+// Replicate-batch benchmarks (google-benchmark): the fig. 6 quick-mode
+// grid point (15-flow ns-2 dumbbell, T_extent 50 ms, R_attack 25 Mbps,
+// γ = 0.5, 5 s warmup + 15 s measure) executed as R = 8 seed-varied
+// replicates, sequentially on one warm workspace vs co-resident through
+// ReplicateBatch (DESIGN.md §14), on the packet and fluid tiers. These are
+// for interactive work on the batching layer — the tracked, gated numbers
+// (including the ≥1.3x fluid-tier replicate-throughput floor) live in
+// tools/bench_report (BENCH_replicate.json vs bench/baseline_replicate.json).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "attack/pulse.hpp"
+#include "core/experiment.hpp"
+#include "sweep/replicate_batch.hpp"
+#include "sweep/sweep.hpp"
+#include "util/units.hpp"
+
+namespace pdos {
+namespace {
+
+constexpr int kReplicates = 8;
+
+PulseTrain fig06_point_train(BitRate bottleneck) {
+  return PulseTrain::from_gamma(ms(50), mbps(25), 0.5, bottleneck);
+}
+
+RunControl fig06_point_control() {
+  RunControl control;
+  control.warmup = sec(5);
+  control.measure = sec(15);
+  return control;
+}
+
+std::vector<std::uint64_t> replicate_seeds() {
+  std::vector<std::uint64_t> seeds;
+  for (int r = 0; r < kReplicates; ++r) {
+    seeds.push_back(sweep::replicate_seed(1, r));
+  }
+  return seeds;
+}
+
+void run_sequential(benchmark::State& state, Backend backend) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  config.backend = backend;
+  const PulseTrain train = fig06_point_train(config.bottleneck);
+  const RunControl control = fig06_point_control();
+  const std::vector<std::uint64_t> seeds = replicate_seeds();
+  ScenarioWorkspace ws;
+  for (auto _ : state) {
+    for (std::uint64_t seed : seeds) {
+      ScenarioConfig replicate = config;
+      replicate.seed = seed;
+      const RunResult result = ws.run(replicate, train, control);
+      benchmark::DoNotOptimize(result.goodput_bytes);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kReplicates);
+  state.SetLabel("items = replicates");
+}
+
+void run_batched(benchmark::State& state, Backend backend) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(15);
+  config.backend = backend;
+  const PulseTrain train = fig06_point_train(config.bottleneck);
+  const RunControl control = fig06_point_control();
+  const std::vector<std::uint64_t> seeds = replicate_seeds();
+  sweep::ReplicateBatch batch;
+  for (auto _ : state) {
+    const std::vector<RunResult> results =
+        batch.run(config, train, control, seeds);
+    benchmark::DoNotOptimize(results.front().goodput_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * kReplicates);
+  state.SetLabel("items = replicates");
+}
+
+void BM_SequentialReplicatesPacket(benchmark::State& state) {
+  run_sequential(state, Backend::kFull);
+}
+BENCHMARK(BM_SequentialReplicatesPacket)->Unit(benchmark::kMillisecond);
+
+void BM_BatchedReplicatesPacket(benchmark::State& state) {
+  run_batched(state, Backend::kFull);
+}
+BENCHMARK(BM_BatchedReplicatesPacket)->Unit(benchmark::kMillisecond);
+
+void BM_SequentialReplicatesFluid(benchmark::State& state) {
+  run_sequential(state, Backend::kFluid);
+}
+BENCHMARK(BM_SequentialReplicatesFluid)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchedReplicatesFluid(benchmark::State& state) {
+  run_batched(state, Backend::kFluid);
+}
+BENCHMARK(BM_BatchedReplicatesFluid)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pdos
+
+BENCHMARK_MAIN();

@@ -77,7 +77,14 @@ void hash_common(Fnv1a& h, const SweepSpec& spec, const ScenarioConfig& c,
   // (DESIGN.md §13; pinned by tests/pdes and the key-invariance test in
   // point_cache_test.cpp), so a cache written at one shard/executor count
   // must replay at any other. Hashing it would fork the cache on a knob
-  // that cannot change a result.
+  // that cannot change a result. SweepSpec::batch_replicates is excluded
+  // for the same reason: batched replicate execution (DESIGN.md §14) only
+  // reschedules WHEN each replicate's events run in wall time — every
+  // replicate keeps its own scheduler and seed streams, so the records a
+  // batched sweep stores are byte-for-byte the ones a sequential sweep
+  // stores (pinned by the batched/sequential invariance test in
+  // point_cache_test.cpp), and either mode must resume all-hit from the
+  // other's cache.
 
   const RunControl& ctl = spec.control;
   h.f64(ctl.warmup).f64(ctl.measure).f64(ctl.bin_width);

@@ -1,0 +1,116 @@
+#include "sweep/replicate_batch.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace pdos::sweep {
+
+ReplicateBatch::ReplicateBatch(ReplicateBatchOptions options)
+    : options_(options) {
+  PDOS_REQUIRE(options_.slice > 0.0, "ReplicateBatch: slice must be > 0");
+}
+
+ReplicateBatch::~ReplicateBatch() = default;
+
+void ReplicateBatch::ensure_slots(std::size_t n) {
+  while (slots_.size() < n) {
+    slots_.push_back(std::make_unique<ScenarioWorkspace>());
+  }
+}
+
+std::vector<RunResult> ReplicateBatch::run(
+    const ScenarioConfig& config, const std::optional<PulseTrain>& attack,
+    const RunControl& control, const std::vector<std::uint64_t>& seeds) {
+  std::vector<RunResult> results;
+  if (seeds.empty()) return results;
+  config.validate();
+  ensure_slots(seeds.size());
+  results.reserve(seeds.size());
+
+  if (config.backend == Backend::kFluid) {
+    // The fluid solver is deterministic in (config minus seed, attack,
+    // control): run_fluid_backend never reads config.seed, so the R
+    // per-seed sequential runs would compute the exact same bits R times.
+    // Solve once and fan the result out — this is where the batch's ~R×
+    // replicate-throughput floor comes from (BENCH_replicate.json).
+    ScenarioConfig first = config;
+    first.seed = seeds.front();
+    RunResult solved = slots_.front()->run(first, attack, control);
+    for (std::size_t i = 0; i + 1 < seeds.size(); ++i) {
+      results.push_back(solved);
+    }
+    results.push_back(std::move(solved));
+    return results;
+  }
+
+  if (config.shards > 1) {
+    // The PDES engine owns its round loop; run the replicates back to back
+    // on the warm slots (still one lease, still shared planning upstream).
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      ScenarioConfig replicate = config;
+      replicate.seed = seeds[i];
+      results.push_back(slots_[i]->run(replicate, attack, control));
+    }
+    return results;
+  }
+
+  // Co-resident packet replicates: begin every slot, then round-robin them
+  // through bounded virtual-time slices until all reach the horizon. Each
+  // slot owns its scheduler and seed streams, so slicing only changes WHEN
+  // (in wall time) a replicate's events execute, never which or in what
+  // order. Abort all in-flight runs if any slot throws, so the slots come
+  // back reusable.
+  try {
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      ScenarioConfig replicate = config;
+      replicate.seed = seeds[i];
+      slots_[i]->begin_run(replicate, attack, control);
+    }
+    const Time horizon = control.horizon();
+    bool done = false;
+    for (Time slice_end = options_.slice; !done;
+         slice_end += options_.slice) {
+      const Time target = std::min(slice_end, horizon);
+      done = true;
+      for (std::size_t i = 0; i < seeds.size(); ++i) {
+        done = slots_[i]->advance_run(target) && done;
+      }
+    }
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      results.push_back(slots_[i]->finish_run());
+    }
+  } catch (...) {
+    for (auto& slot : slots_) slot->abort_run();
+    throw;
+  }
+  return results;
+}
+
+std::vector<BitRate> ReplicateBatch::baseline(
+    const ScenarioConfig& config, const RunControl& control,
+    const std::vector<std::uint64_t>& seeds) {
+  std::vector<RunResult> runs = run(config, std::nullopt, control, seeds);
+  std::vector<BitRate> goodputs;
+  goodputs.reserve(runs.size());
+  for (const RunResult& r : runs) goodputs.push_back(r.goodput_rate);
+  return goodputs;
+}
+
+std::vector<GainMeasurement> ReplicateBatch::gain(
+    const ScenarioConfig& config, const PulseTrain& train, double kappa,
+    const RunControl& control, const std::vector<BitRate>& baselines,
+    const std::vector<std::uint64_t>& seeds) {
+  PDOS_REQUIRE(baselines.size() == seeds.size(),
+               "ReplicateBatch::gain: one baseline per seed");
+  std::vector<RunResult> runs = run(config, train, control, seeds);
+  std::vector<GainMeasurement> points;
+  points.reserve(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    points.push_back(finish_gain(config, train, kappa, baselines[i],
+                                 std::move(runs[i])));
+  }
+  return points;
+}
+
+}  // namespace pdos::sweep

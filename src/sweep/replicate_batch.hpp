@@ -1,0 +1,93 @@
+// Batched replicate execution (DESIGN.md §14).
+//
+// Every statistical claim in the paper is a mean over seed-varied
+// replicates of the SAME grid point: identical topology, route tables,
+// pulse train, and measurement windows — only the seed (and therefore the
+// RNG streams) differs. `ReplicateBatch` exploits that: it keeps R warm
+// workspace slots (a flat structure-of-arrays of per-replicate simulators,
+// each of whose hot flow state is already the PR 5 flat-array layout) and
+// executes the R replicates of one point as co-resident simulations,
+// round-robining them through `ScenarioWorkspace::advance_run` in bounded
+// virtual-time slices. The shared immutable inputs — config, attack plan,
+// control — are materialized once per point by the caller (run_sweep
+// computes the attack plan once per replicate group instead of once per
+// replicate).
+//
+// Determinism contract: every replicate keeps its OWN Scheduler, arena, and
+// seed-derived streams, and the sliced loop is the monolithic `run()` loop
+// split at arbitrary horizons (the scheduler pops in (time, rank) order
+// regardless of how run_until partitions the horizon), so results are
+// bit-identical to running each replicate sequentially — counters, bins,
+// CSV bytes, golden digests, and point-cache keys are all unchanged.
+// Pinned by tests/sweep/replicate_batch_test.cpp.
+//
+// Backend tiers:
+//   - kFull / kFast / kHybrid, shards == 1: time-sliced co-resident loop.
+//   - kFluid: the solver is a pure function of (config minus seed, attack,
+//     control) — run_fluid_backend never reads config.seed — so ONE solve
+//     serves every replicate slot; the batch runs slot 0 and fans the
+//     result out, an ~R× replicate-throughput win (the floor BENCH_replicate
+//     gates). Bit-identical because the sequential path computes the exact
+//     same bits R times.
+//   - shards > 1: the PDES engine drives its own round loop; replicates
+//     fall back to sequential execution on the warm slots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace pdos::sweep {
+
+struct ReplicateBatchOptions {
+  /// Virtual-time quantum of the round-robin: each slot advances this far
+  /// before the next slot runs. Purely a wall-clock locality knob — results
+  /// are bit-identical at any slice (DESIGN.md §14).
+  Time slice = ms(250);
+};
+
+/// R co-resident replicate simulations of one sweep point. Reusable: slots
+/// stay warm across calls (arena blocks, scheduler slabs, container
+/// capacities), exactly like a pooled ScenarioWorkspace, and the slot
+/// vector grows to the largest R ever requested.
+class ReplicateBatch {
+ public:
+  explicit ReplicateBatch(ReplicateBatchOptions options = {});
+  ~ReplicateBatch();
+  ReplicateBatch(const ReplicateBatch&) = delete;
+  ReplicateBatch& operator=(const ReplicateBatch&) = delete;
+
+  /// Run `config` once per seed (config.seed is overridden slot by slot)
+  /// and return the results in seed order. Bit-identical to calling
+  /// ScenarioWorkspace::run once per seed.
+  std::vector<RunResult> run(const ScenarioConfig& config,
+                             const std::optional<PulseTrain>& attack,
+                             const RunControl& control,
+                             const std::vector<std::uint64_t>& seeds);
+
+  /// Baseline (no-attack) goodput rates, one per seed.
+  std::vector<BitRate> baseline(const ScenarioConfig& config,
+                                const RunControl& control,
+                                const std::vector<std::uint64_t>& seeds);
+
+  /// Gain points, one per seed; `baselines[i]` normalizes `seeds[i]`.
+  std::vector<GainMeasurement> gain(const ScenarioConfig& config,
+                                    const PulseTrain& train, double kappa,
+                                    const RunControl& control,
+                                    const std::vector<BitRate>& baselines,
+                                    const std::vector<std::uint64_t>& seeds);
+
+  /// Warm slots currently held (never shrinks).
+  std::size_t slots() const { return slots_.size(); }
+
+ private:
+  void ensure_slots(std::size_t n);
+
+  ReplicateBatchOptions options_;
+  std::vector<std::unique_ptr<ScenarioWorkspace>> slots_;
+};
+
+}  // namespace pdos::sweep

@@ -96,6 +96,15 @@ SpecFile parse_spec(const std::string& text) {
       PDOS_REQUIRE(file.spec.shards >= 1,
                    "spec line " + std::to_string(line) +
                        ": shards must be >= 1");
+    } else if (key == "batch_replicates") {
+      if (value == "on" || value == "true" || value == "1") {
+        file.spec.batch_replicates = true;
+      } else if (value == "off" || value == "false" || value == "0") {
+        file.spec.batch_replicates = false;
+      } else {
+        PDOS_REQUIRE(false, "spec line " + std::to_string(line) +
+                                ": batch_replicates must be on or off");
+      }
     } else if (key == "flows") {
       file.spec.flow_counts.clear();
       for (double flows : parse_list(value, line)) {

@@ -13,6 +13,9 @@
 //   shards       = 1            # PDES shards per point (DESIGN.md §13);
 //                               # results are bit-identical at any K, so
 //                               # cache keys ignore it
+//   batch_replicates = on       # on | off: run a point's replicates as one
+//                               # co-resident batch (DESIGN.md §14); bit-
+//                               # identical either way, cache keys ignore it
 //   flows        = 15,25,35,45
 //   textent_ms   = 50,75,100
 //   rattack_mbps = 25,30,35,40

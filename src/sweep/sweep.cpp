@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,7 @@
 #include "core/planner.hpp"
 #include "io/csv.hpp"
 #include "sweep/point_cache.hpp"
+#include "sweep/replicate_batch.hpp"
 #include "sweep/thread_pool.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -274,23 +276,37 @@ class ProgressMeter {
         callback_(callback),
         start_(std::chrono::steady_clock::now()) {}
 
-  void tick() {
+  void tick(bool cached) {
     if (!callback_) {
       done_.fetch_add(1, std::memory_order_relaxed);
+      if (cached) cached_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     std::lock_guard<std::mutex> lock(mutex_);
     SweepProgress progress;
     progress.done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    progress.cached = cached_.fetch_add(cached ? 1 : 0,
+                                        std::memory_order_relaxed) +
+                      (cached ? 1 : 0);
     progress.total = total_;
     progress.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
-    if (progress.done > 0) {
-      progress.eta_seconds = progress.elapsed_seconds /
-                             static_cast<double>(progress.done) *
-                             static_cast<double>(total_ - progress.done);
+    // Cache hits replay in microseconds — weighting them at full cost made
+    // --resume ETAs absurd (an all-hit replay predicted hours). Average the
+    // elapsed wall time over the SIMULATED tasks only and predict the
+    // remaining mix at the hit rate observed so far; with no simulated task
+    // yet (pure replay) the remaining work rounds to zero.
+    const std::size_t simulated = progress.done - progress.cached;
+    if (simulated > 0) {
+      const double per_task =
+          progress.elapsed_seconds / static_cast<double>(simulated);
+      const double simulated_share = static_cast<double>(simulated) /
+                                     static_cast<double>(progress.done);
+      progress.eta_seconds = per_task *
+                             static_cast<double>(total_ - progress.done) *
+                             simulated_share;
     }
     callback_(progress);
   }
@@ -300,52 +316,164 @@ class ProgressMeter {
   const std::function<void(const SweepProgress&)>& callback_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::size_t> done_{0};
+  std::atomic<std::size_t> cached_{0};
   std::mutex mutex_;
 };
 
-/// Hands out warm `ScenarioWorkspace`s to sweep tasks. Each worker thread
-/// runs tasks serially, so the pool never holds more workspaces than
-/// threads; a released workspace keeps its arena blocks, scheduler slabs,
-/// and container capacities hot for the next point.
-class WorkspacePool {
+/// Hands out warm execution resources (ScenarioWorkspace, ReplicateBatch)
+/// to sweep tasks. Each worker thread runs tasks serially, so the pool
+/// never holds more resources than threads; a released resource keeps its
+/// arena blocks, scheduler slabs, and container capacities hot for the next
+/// point.
+template <typename T>
+class ResourcePool {
  public:
-  std::unique_ptr<ScenarioWorkspace> acquire() {
+  std::unique_ptr<T> acquire() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!idle_.empty()) {
-        auto ws = std::move(idle_.back());
+        auto resource = std::move(idle_.back());
         idle_.pop_back();
-        return ws;
+        return resource;
       }
     }
-    return std::make_unique<ScenarioWorkspace>();
+    return std::make_unique<T>();
   }
 
-  void release(std::unique_ptr<ScenarioWorkspace> ws) {
+  void release(std::unique_ptr<T> resource) {
     std::lock_guard<std::mutex> lock(mutex_);
-    idle_.push_back(std::move(ws));
+    idle_.push_back(std::move(resource));
   }
 
  private:
   std::mutex mutex_;
-  std::vector<std::unique_ptr<ScenarioWorkspace>> idle_;
+  std::vector<std::unique_ptr<T>> idle_;
 };
 
-/// RAII acquire/release so exception paths return the workspace too.
-class WorkspaceLease {
+/// RAII acquire/release so exception paths return the resource too.
+template <typename T>
+class Lease {
  public:
-  explicit WorkspaceLease(WorkspacePool& pool)
-      : pool_(pool), ws_(pool.acquire()) {}
-  ~WorkspaceLease() { pool_.release(std::move(ws_)); }
-  WorkspaceLease(const WorkspaceLease&) = delete;
-  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
-  ScenarioWorkspace& operator*() { return *ws_; }
-  ScenarioWorkspace* operator->() { return ws_.get(); }
+  explicit Lease(ResourcePool<T>& pool) : pool_(pool), res_(pool.acquire()) {}
+  ~Lease() { pool_.release(std::move(res_)); }
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+  T& operator*() { return *res_; }
+  T* operator->() { return res_.get(); }
 
  private:
-  WorkspacePool& pool_;
-  std::unique_ptr<ScenarioWorkspace> ws_;
+  ResourcePool<T>& pool_;
+  std::unique_ptr<T> res_;
 };
+
+using WorkspacePool = ResourcePool<ScenarioWorkspace>;
+using WorkspaceLease = Lease<ScenarioWorkspace>;
+
+/// A contiguous run of tasks that differ only in their replicate index.
+struct TaskGroup {
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
+bool same_point_axes(const PointSpec& a, const PointSpec& b) {
+  return a.flows == b.flows && a.textent == b.textent &&
+         a.rattack == b.rattack && a.gamma == b.gamma && a.kappa == b.kappa;
+}
+
+/// Group consecutive entries whose axes match (`enumerate()` emits the
+/// replicate axis innermost, so a point's replicates are always adjacent).
+template <typename GetSpec>
+std::vector<TaskGroup> group_consecutive(std::size_t n, GetSpec&& spec_of) {
+  std::vector<TaskGroup> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!groups.empty()) {
+      TaskGroup& last = groups.back();
+      if (same_point_axes(spec_of(last.first), spec_of(i))) {
+        ++last.count;
+        continue;
+      }
+    }
+    groups.push_back(TaskGroup{i, 1});
+  }
+  return groups;
+}
+
+}  // namespace
+
+namespace {
+
+void fill_cached_point(PointResult& slot, const CachedPoint& hit) {
+  slot.c_psi = hit.c_psi;
+  slot.analytic_degradation = hit.analytic_degradation;
+  slot.analytic_gain = hit.analytic_gain;
+  slot.shrew = hit.shrew;
+  slot.baseline_goodput = hit.baseline_goodput;
+  slot.goodput = hit.goodput;
+  slot.measured_degradation = hit.measured_degradation;
+  slot.measured_gain = hit.measured_gain;
+  slot.utilization = hit.utilization;
+  slot.fairness = hit.fairness;
+  slot.timeouts = hit.timeouts;
+  slot.fast_recoveries = hit.fast_recoveries;
+  slot.attack_packets = hit.attack_packets;
+  slot.events = hit.events;
+  slot.status = PointStatus::kOk;
+}
+
+CachedPoint to_cached_point(const PointResult& slot) {
+  CachedPoint record;
+  record.c_psi = slot.c_psi;
+  record.analytic_degradation = slot.analytic_degradation;
+  record.analytic_gain = slot.analytic_gain;
+  record.shrew = slot.shrew;
+  record.baseline_goodput = slot.baseline_goodput;
+  record.goodput = slot.goodput;
+  record.measured_degradation = slot.measured_degradation;
+  record.measured_gain = slot.measured_gain;
+  record.utilization = slot.utilization;
+  record.fairness = slot.fairness;
+  record.timeouts = slot.timeouts;
+  record.fast_recoveries = slot.fast_recoveries;
+  record.attack_packets = slot.attack_packets;
+  record.events = slot.events;
+  return record;
+}
+
+/// The analytic plan for a point. Depends on the scenario and the attack
+/// axes only — never on the seed — so a replicate group shares one plan.
+AttackPlan plan_point_attack(const ScenarioConfig& scenario,
+                             const PointSpec& point) {
+  AttackPlanRequest request;
+  request.victim = scenario.victim_profile();
+  request.textent = point.textent;
+  request.rattack = point.rattack;
+  request.kappa = point.kappa;
+  request.attack_packet_bytes = scenario.attack_packet_bytes;
+  request.victim_min_rto = scenario.tcp.rto_min;
+  return plan_attack_at_gamma(request, point.gamma);
+}
+
+void fill_plan(PointResult& slot, const AttackPlan& plan) {
+  slot.c_psi = plan.c_psi;
+  slot.analytic_degradation = plan.predicted_degradation;
+  slot.analytic_gain = plan.predicted_gain;
+  slot.shrew = plan.shrew_harmonic.has_value();
+}
+
+void fill_measured(PointResult& slot, const GainMeasurement& measured,
+                   BitRate baseline_goodput) {
+  slot.baseline_goodput = baseline_goodput;
+  slot.goodput = measured.run.goodput_rate;
+  slot.measured_degradation = measured.degradation;
+  slot.measured_gain = measured.gain;
+  slot.utilization = measured.run.utilization;
+  slot.fairness = measured.run.fairness_index;
+  slot.timeouts = measured.run.total_timeouts;
+  slot.fast_recoveries = measured.run.total_fast_recoveries;
+  slot.attack_packets = measured.run.attack_packets_sent;
+  slot.events = measured.run.events_executed;
+  slot.status = PointStatus::kOk;
+}
 
 }  // namespace
 
@@ -379,146 +507,286 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   std::atomic<bool> cancel{false};
   std::atomic<std::size_t> cache_hits{0};
   WorkspacePool workspaces;
+  ResourcePool<ReplicateBatch> batches;
   std::unique_ptr<PointCache> cache;
   if (!options.cache_path.empty()) {
     cache = std::make_unique<PointCache>(options.cache_path);
   }
   const auto start = std::chrono::steady_clock::now();
 
+  // Batched replicate execution (DESIGN.md §14): group the R seed-varied
+  // replicates of each grid point into one co-resident ReplicateBatch per
+  // worker. Results (and cache records) are bit-identical to the sequential
+  // path, so the knob changes only how the work is scheduled.
+  const bool batched = spec.batch_replicates && spec.replicates > 1;
+
   // Phase 1: baselines. Each runs the no-attack scenario with the same
   // seed as the attack points it will normalize.
-  parallel_for(pool, baselines.size(), [&](std::size_t i) {
-    BaselineSlot& slot = baselines[i];
-    if (cancel.load(std::memory_order_relaxed)) {
-      slot.error = "skipped: sweep cancelled";
-      meter.tick();
-      return;
-    }
-    try {
-      const std::uint64_t seed =
-          replicate_seed(spec.base_seed, slot.probe.replicate);
-      const std::uint64_t key =
-          cache ? baseline_key(spec, slot.probe, seed) : 0;
-      double cached = 0.0;
-      if (cache && cache->lookup_baseline(key, cached)) {
-        slot.goodput = cached;
-        cache_hits.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        const ScenarioConfig scenario = spec.make_scenario(slot.probe);
-        WorkspaceLease ws(workspaces);
-        slot.goodput = ws->baseline(scenario, spec.control);
-        if (cache) cache->store_baseline(key, slot.goodput);
-      }
-      PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
-      slot.ok = true;
-    } catch (const std::exception& e) {
-      slot.error = e.what();
-      if (options.cancel_on_failure) {
-        cancel.store(true, std::memory_order_relaxed);
-      }
-    }
-    meter.tick();
-  });
-
-  // Phase 2: the points themselves.
-  parallel_for(pool, points.size(), [&](std::size_t i) {
-    PointResult& slot = result.points[i];
-    if (cancel.load(std::memory_order_relaxed)) {
-      meter.tick();
-      return;  // stays kSkipped
-    }
-    try {
-      // A cached point carries everything, including its baseline — it can
-      // complete even when this run's baseline task failed.
-      const std::uint64_t key =
-          cache ? point_key(spec, slot.point, slot.seed) : 0;
-      CachedPoint hit;
-      if (cache && cache->lookup_point(key, hit)) {
-        slot.c_psi = hit.c_psi;
-        slot.analytic_degradation = hit.analytic_degradation;
-        slot.analytic_gain = hit.analytic_gain;
-        slot.shrew = hit.shrew;
-        slot.baseline_goodput = hit.baseline_goodput;
-        slot.goodput = hit.goodput;
-        slot.measured_degradation = hit.measured_degradation;
-        slot.measured_gain = hit.measured_gain;
-        slot.utilization = hit.utilization;
-        slot.fairness = hit.fairness;
-        slot.timeouts = hit.timeouts;
-        slot.fast_recoveries = hit.fast_recoveries;
-        slot.attack_packets = hit.attack_packets;
-        slot.events = hit.events;
-        slot.status = PointStatus::kOk;
-        cache_hits.fetch_add(1, std::memory_order_relaxed);
-        meter.tick();
+  if (!batched) {
+    parallel_for(pool, baselines.size(), [&](std::size_t i) {
+      BaselineSlot& slot = baselines[i];
+      if (cancel.load(std::memory_order_relaxed)) {
+        slot.error = "skipped: sweep cancelled";
+        meter.tick(false);
         return;
       }
+      bool hit = false;
+      try {
+        const std::uint64_t seed =
+            replicate_seed(spec.base_seed, slot.probe.replicate);
+        const std::uint64_t key =
+            cache ? baseline_key(spec, slot.probe, seed) : 0;
+        double cached = 0.0;
+        if (cache && cache->lookup_baseline(key, cached)) {
+          slot.goodput = cached;
+          hit = true;
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          const ScenarioConfig scenario = spec.make_scenario(slot.probe);
+          WorkspaceLease ws(workspaces);
+          slot.goodput = ws->baseline(scenario, spec.control);
+          if (cache) cache->store_baseline(key, slot.goodput);
+        }
+        PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
+        slot.ok = true;
+      } catch (const std::exception& e) {
+        slot.error = e.what();
+        if (options.cancel_on_failure) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+      meter.tick(hit);
+    });
+  } else {
+    // Baselines batch over their own (flows, replicate) slots: the probes
+    // for one flows value are adjacent (replicate is the innermost
+    // enumeration axis), so each group is one warm batch of R no-attack
+    // replicates.
+    const std::vector<TaskGroup> groups = group_consecutive(
+        baselines.size(),
+        [&](std::size_t i) -> const PointSpec& { return baselines[i].probe; });
+    parallel_for(pool, groups.size(), [&](std::size_t gi) {
+      const TaskGroup group = groups[gi];
+      if (cancel.load(std::memory_order_relaxed)) {
+        for (std::size_t j = 0; j < group.count; ++j) {
+          baselines[group.first + j].error = "skipped: sweep cancelled";
+          meter.tick(false);
+        }
+        return;
+      }
+      std::vector<std::size_t> miss;
+      for (std::size_t j = 0; j < group.count; ++j) {
+        const std::size_t bi = group.first + j;
+        BaselineSlot& slot = baselines[bi];
+        try {
+          const std::uint64_t seed =
+              replicate_seed(spec.base_seed, slot.probe.replicate);
+          const std::uint64_t key =
+              cache ? baseline_key(spec, slot.probe, seed) : 0;
+          double cached = 0.0;
+          if (cache && cache->lookup_baseline(key, cached)) {
+            slot.goodput = cached;
+            cache_hits.fetch_add(1, std::memory_order_relaxed);
+            PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
+            slot.ok = true;
+            meter.tick(true);
+          } else {
+            miss.push_back(bi);
+          }
+        } catch (const std::exception& e) {
+          slot.error = e.what();
+          if (options.cancel_on_failure) {
+            cancel.store(true, std::memory_order_relaxed);
+          }
+          meter.tick(true);
+        }
+      }
+      if (miss.empty()) return;
+      std::vector<std::uint64_t> seeds;
+      seeds.reserve(miss.size());
+      for (std::size_t bi : miss) {
+        seeds.push_back(
+            replicate_seed(spec.base_seed, baselines[bi].probe.replicate));
+      }
+      try {
+        const ScenarioConfig scenario =
+            spec.make_scenario(baselines[miss.front()].probe);
+        Lease<ReplicateBatch> batch(batches);
+        const std::vector<BitRate> goodputs =
+            batch->baseline(scenario, spec.control, seeds);
+        for (std::size_t k = 0; k < miss.size(); ++k) {
+          BaselineSlot& slot = baselines[miss[k]];
+          try {
+            slot.goodput = goodputs[k];
+            if (cache) {
+              cache->store_baseline(
+                  baseline_key(spec, slot.probe, seeds[k]), slot.goodput);
+            }
+            PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
+            slot.ok = true;
+          } catch (const std::exception& e) {
+            slot.error = e.what();
+            if (options.cancel_on_failure) {
+              cancel.store(true, std::memory_order_relaxed);
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        // The batch itself failed: every un-run replicate inherits the error.
+        for (std::size_t bi : miss) {
+          if (!baselines[bi].ok && baselines[bi].error.empty()) {
+            baselines[bi].error = e.what();
+          }
+        }
+        if (options.cancel_on_failure) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+      for (std::size_t k = 0; k < miss.size(); ++k) meter.tick(false);
+    });
+  }
 
-      const BaselineSlot& baseline =
-          baselines[baseline_index.at(slot.point.flows, slot.point.replicate)];
-      if (!baseline.ok) {
-        throw std::runtime_error("baseline failed: " + baseline.error);
+  // Phase 2: the points themselves.
+  if (!batched) {
+    parallel_for(pool, points.size(), [&](std::size_t i) {
+      PointResult& slot = result.points[i];
+      if (cancel.load(std::memory_order_relaxed)) {
+        meter.tick(false);
+        return;  // stays kSkipped
       }
-      const ScenarioConfig scenario = spec.make_scenario(slot.point);
+      bool hit = false;
+      try {
+        // A cached point carries everything, including its baseline — it can
+        // complete even when this run's baseline task failed.
+        const std::uint64_t key =
+            cache ? point_key(spec, slot.point, slot.seed) : 0;
+        CachedPoint cached;
+        if (cache && cache->lookup_point(key, cached)) {
+          fill_cached_point(slot, cached);
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+          meter.tick(true);
+          return;
+        }
 
-      AttackPlanRequest request;
-      request.victim = scenario.victim_profile();
-      request.textent = slot.point.textent;
-      request.rattack = slot.point.rattack;
-      request.kappa = slot.point.kappa;
-      request.attack_packet_bytes = scenario.attack_packet_bytes;
-      request.victim_min_rto = scenario.tcp.rto_min;
-      const AttackPlan plan =
-          plan_attack_at_gamma(request, slot.point.gamma);
-      slot.c_psi = plan.c_psi;
-      slot.analytic_degradation = plan.predicted_degradation;
-      slot.analytic_gain = plan.predicted_gain;
-      slot.shrew = plan.shrew_harmonic.has_value();
+        const BaselineSlot& baseline = baselines[baseline_index.at(
+            slot.point.flows, slot.point.replicate)];
+        if (!baseline.ok) {
+          throw std::runtime_error("baseline failed: " + baseline.error);
+        }
+        const ScenarioConfig scenario = spec.make_scenario(slot.point);
+        const AttackPlan plan = plan_point_attack(scenario, slot.point);
+        fill_plan(slot, plan);
 
-      GainMeasurement measured;
-      {
-        WorkspaceLease ws(workspaces);
-        measured = ws->gain(scenario, plan.train, slot.point.kappa,
-                            spec.control, baseline.goodput);
+        GainMeasurement measured;
+        {
+          WorkspaceLease ws(workspaces);
+          measured = ws->gain(scenario, plan.train, slot.point.kappa,
+                              spec.control, baseline.goodput);
+        }
+        fill_measured(slot, measured, baseline.goodput);
+        if (cache) cache->store_point(key, to_cached_point(slot));
+      } catch (const std::exception& e) {
+        slot.status = PointStatus::kFailed;
+        slot.error = e.what();
+        if (options.cancel_on_failure) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
       }
-      slot.baseline_goodput = baseline.goodput;
-      slot.goodput = measured.run.goodput_rate;
-      slot.measured_degradation = measured.degradation;
-      slot.measured_gain = measured.gain;
-      slot.utilization = measured.run.utilization;
-      slot.fairness = measured.run.fairness_index;
-      slot.timeouts = measured.run.total_timeouts;
-      slot.fast_recoveries = measured.run.total_fast_recoveries;
-      slot.attack_packets = measured.run.attack_packets_sent;
-      slot.events = measured.run.events_executed;
-      slot.status = PointStatus::kOk;
-      if (cache) {
-        CachedPoint record;
-        record.c_psi = slot.c_psi;
-        record.analytic_degradation = slot.analytic_degradation;
-        record.analytic_gain = slot.analytic_gain;
-        record.shrew = slot.shrew;
-        record.baseline_goodput = slot.baseline_goodput;
-        record.goodput = slot.goodput;
-        record.measured_degradation = slot.measured_degradation;
-        record.measured_gain = slot.measured_gain;
-        record.utilization = slot.utilization;
-        record.fairness = slot.fairness;
-        record.timeouts = slot.timeouts;
-        record.fast_recoveries = slot.fast_recoveries;
-        record.attack_packets = slot.attack_packets;
-        record.events = slot.events;
-        cache->store_point(key, record);
+      meter.tick(hit);
+    });
+  } else {
+    const std::vector<TaskGroup> groups = group_consecutive(
+        points.size(),
+        [&](std::size_t i) -> const PointSpec& { return points[i]; });
+    parallel_for(pool, groups.size(), [&](std::size_t gi) {
+      const TaskGroup group = groups[gi];
+      if (cancel.load(std::memory_order_relaxed)) {
+        for (std::size_t j = 0; j < group.count; ++j) {
+          meter.tick(false);  // slots stay kSkipped
+        }
+        return;
       }
-    } catch (const std::exception& e) {
-      slot.status = PointStatus::kFailed;
-      slot.error = e.what();
-      if (options.cancel_on_failure) {
-        cancel.store(true, std::memory_order_relaxed);
+      // Cached replicates complete individually; the rest run as one batch.
+      std::vector<std::size_t> miss;
+      for (std::size_t j = 0; j < group.count; ++j) {
+        const std::size_t i = group.first + j;
+        PointResult& slot = result.points[i];
+        const std::uint64_t key =
+            cache ? point_key(spec, slot.point, slot.seed) : 0;
+        CachedPoint cached;
+        if (cache && cache->lookup_point(key, cached)) {
+          fill_cached_point(slot, cached);
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+          meter.tick(true);
+        } else {
+          miss.push_back(i);
+        }
       }
-    }
-    meter.tick();
-  });
+      if (miss.empty()) return;
+      try {
+        // Shared immutable per-point work, computed ONCE for the group:
+        // the derived scenario and the analytic attack plan are pure
+        // functions of the axes (seed excluded), identical across
+        // replicates — the sequential path recomputes them per replicate.
+        const ScenarioConfig scenario =
+            spec.make_scenario(points[miss.front()]);
+        const AttackPlan plan =
+            plan_point_attack(scenario, points[miss.front()]);
+        std::vector<std::size_t> runnable;
+        std::vector<std::uint64_t> seeds;
+        std::vector<BitRate> base_goodputs;
+        for (std::size_t i : miss) {
+          PointResult& slot = result.points[i];
+          const BaselineSlot& baseline = baselines[baseline_index.at(
+              slot.point.flows, slot.point.replicate)];
+          if (!baseline.ok) {
+            slot.status = PointStatus::kFailed;
+            slot.error = "baseline failed: " + baseline.error;
+            if (options.cancel_on_failure) {
+              cancel.store(true, std::memory_order_relaxed);
+            }
+            meter.tick(false);
+            continue;
+          }
+          runnable.push_back(i);
+          seeds.push_back(slot.seed);
+          base_goodputs.push_back(baseline.goodput);
+        }
+        if (!runnable.empty()) {
+          std::vector<GainMeasurement> measured;
+          {
+            Lease<ReplicateBatch> batch(batches);
+            measured = batch->gain(scenario, plan.train,
+                                   points[runnable.front()].kappa,
+                                   spec.control, base_goodputs, seeds);
+          }
+          for (std::size_t k = 0; k < runnable.size(); ++k) {
+            PointResult& slot = result.points[runnable[k]];
+            fill_plan(slot, plan);
+            fill_measured(slot, measured[k], base_goodputs[k]);
+            if (cache) {
+              cache->store_point(point_key(spec, slot.point, slot.seed),
+                                 to_cached_point(slot));
+            }
+            meter.tick(false);
+          }
+        }
+      } catch (const std::exception& e) {
+        // Planning or the batch run failed: every replicate that has not
+        // been resolved yet (still kSkipped) inherits the error.
+        for (std::size_t i : miss) {
+          PointResult& slot = result.points[i];
+          if (slot.status != PointStatus::kSkipped) continue;
+          slot.status = PointStatus::kFailed;
+          slot.error = e.what();
+          meter.tick(false);
+        }
+        if (options.cancel_on_failure) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
   result.cache_hits = cache_hits.load(std::memory_order_relaxed);
 
   result.wall_seconds =
@@ -526,6 +794,99 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
           .count();
   result.cancelled = cancel.load(std::memory_order_relaxed);
   return result;
+}
+
+std::vector<AggregateRow> aggregate_replicates(const SweepResult& result) {
+  const std::vector<TaskGroup> groups = group_consecutive(
+      result.points.size(),
+      [&](std::size_t i) -> const PointSpec& { return result.points[i].point; });
+  std::vector<AggregateRow> rows;
+  rows.reserve(groups.size());
+  for (const TaskGroup& group : groups) {
+    AggregateRow row;
+    row.point = result.points[group.first].point;
+    row.point.replicate = 0;
+    double sum_gain = 0.0;
+    double sum_deg = 0.0;
+    double sum_goodput = 0.0;
+    std::vector<double> gains;
+    std::vector<double> degs;
+    gains.reserve(group.count);
+    for (std::size_t j = 0; j < group.count; ++j) {
+      const PointResult& r = result.points[group.first + j];
+      if (r.status != PointStatus::kOk) continue;
+      gains.push_back(r.measured_gain);
+      degs.push_back(r.measured_degradation);
+      sum_gain += r.measured_gain;
+      sum_deg += r.measured_degradation;
+      sum_goodput += r.goodput;
+    }
+    row.replicates = gains.size();
+    if (!gains.empty()) {
+      const double n = static_cast<double>(gains.size());
+      row.mean_gain = sum_gain / n;
+      row.mean_degradation = sum_deg / n;
+      row.mean_goodput = sum_goodput / n;
+      if (gains.size() > 1) {
+        double ss_gain = 0.0;
+        double ss_deg = 0.0;
+        for (std::size_t k = 0; k < gains.size(); ++k) {
+          ss_gain += (gains[k] - row.mean_gain) * (gains[k] - row.mean_gain);
+          ss_deg += (degs[k] - row.mean_degradation) *
+                    (degs[k] - row.mean_degradation);
+        }
+        // Sample (n-1) stddev; 95% half-width from the normal z — replicate
+        // counts are small but this matches how the figure scripts plotted
+        // their error bars.
+        row.stddev_gain = std::sqrt(ss_gain / (n - 1.0));
+        row.stddev_degradation = std::sqrt(ss_deg / (n - 1.0));
+        row.ci95_gain = 1.96 * row.stddev_gain / std::sqrt(n);
+        row.ci95_degradation = 1.96 * row.stddev_degradation / std::sqrt(n);
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void write_aggregate_csv(const std::vector<AggregateRow>& rows,
+                         std::ostream& out) {
+  CsvWriter csv(out, {"scenario_flows", "textent_ms", "rattack_mbps", "gamma",
+                      "kappa", "replicates", "mean_gain", "stddev_gain",
+                      "ci95_gain", "mean_degradation", "stddev_degradation",
+                      "ci95_degradation", "mean_goodput_mbps"});
+  for (const AggregateRow& r : rows) {
+    csv.row({std::to_string(r.point.flows), fmt(to_ms(r.point.textent)),
+             fmt(to_mbps(r.point.rattack)), fmt(r.point.gamma),
+             fmt(r.point.kappa),
+             fmt(static_cast<std::uint64_t>(r.replicates)), fmt(r.mean_gain),
+             fmt(r.stddev_gain), fmt(r.ci95_gain), fmt(r.mean_degradation),
+             fmt(r.stddev_degradation), fmt(r.ci95_degradation),
+             fmt(to_mbps(r.mean_goodput))});
+  }
+}
+
+void write_aggregate_json(const std::vector<AggregateRow>& rows,
+                          std::ostream& out) {
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AggregateRow& r = rows[i];
+    out << "  {\"flows\": " << r.point.flows
+        << ", \"textent_ms\": " << fmt(to_ms(r.point.textent))
+        << ", \"rattack_mbps\": " << fmt(to_mbps(r.point.rattack))
+        << ", \"gamma\": " << fmt(r.point.gamma)
+        << ", \"kappa\": " << fmt(r.point.kappa)
+        << ", \"replicates\": " << r.replicates
+        << ", \"mean_gain\": " << fmt(r.mean_gain)
+        << ", \"stddev_gain\": " << fmt(r.stddev_gain)
+        << ", \"ci95_gain\": " << fmt(r.ci95_gain)
+        << ", \"mean_degradation\": " << fmt(r.mean_degradation)
+        << ", \"stddev_degradation\": " << fmt(r.stddev_degradation)
+        << ", \"ci95_degradation\": " << fmt(r.ci95_degradation)
+        << ", \"mean_goodput_mbps\": " << fmt(to_mbps(r.mean_goodput)) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
 }
 
 }  // namespace pdos::sweep

@@ -57,6 +57,14 @@ struct SweepSpec {
   /// a cache written at one shard count replays at any other. Workers run
   /// the shard rounds inline (they are already one-per-core).
   int shards = 1;
+  /// Batched replicate execution (DESIGN.md §14): when replicates > 1, each
+  /// worker leases one ReplicateBatch and runs a point's R seed-varied
+  /// replicates as co-resident simulations (shared attack plan, warm slots,
+  /// time-sliced event loops; the fluid tier solves once per point). Spec
+  /// files select it with `batch_replicates = on|off`. Results are
+  /// bit-identical to sequential execution — like `shards`, this is an
+  /// execution-strategy knob, so cache keys deliberately EXCLUDE it.
+  bool batch_replicates = true;
 
   // Cartesian axes (ignored when `explicit_points` is non-empty).
   std::vector<int> flow_counts = {15};
@@ -169,12 +177,46 @@ struct SweepResult {
   void write_json(std::ostream& out) const;
 };
 
+/// Replicate statistics for one grid point: mean, sample stddev, and 95%
+/// normal CI half-width of the measured gain (and degradation) across the
+/// point's kOk replicate rows. What figure scripts used to post-process by
+/// hand; emitted by `pdos_sweep --aggregate`.
+struct AggregateRow {
+  PointSpec point;             // axes of the group; replicate field unused
+  std::size_t replicates = 0;  // kOk rows aggregated (0 = all failed)
+  double mean_gain = 0.0;
+  double stddev_gain = 0.0;
+  double ci95_gain = 0.0;
+  double mean_degradation = 0.0;
+  double stddev_degradation = 0.0;
+  double ci95_degradation = 0.0;
+  double mean_goodput = 0.0;  // bps
+};
+
+/// Collapse a result table to one row per (flows, textent, rattack, gamma,
+/// kappa) point, aggregating over its replicates in enumeration order.
+/// Failed/skipped replicates are excluded from the statistics (and counted
+/// out of `replicates`).
+std::vector<AggregateRow> aggregate_replicates(const SweepResult& result);
+
+void write_aggregate_csv(const std::vector<AggregateRow>& rows,
+                         std::ostream& out);
+void write_aggregate_json(const std::vector<AggregateRow>& rows,
+                          std::ostream& out);
+
 /// Progress snapshot handed to the callback after every finished task.
 struct SweepProgress {
-  std::size_t done = 0;   // finished tasks (baselines + points)
-  std::size_t total = 0;  // total tasks
+  std::size_t done = 0;    // finished tasks (baselines + points)
+  std::size_t total = 0;   // total tasks
+  std::size_t cached = 0;  // of `done`, answered from the point cache
   double elapsed_seconds = 0.0;
-  double eta_seconds = 0.0;  // elapsed/done extrapolation; 0 until done > 0
+  /// Wall-cost extrapolation of the remaining tasks. Cache hits replay in
+  /// microseconds, so they are weighted as zero-cost: the per-task average
+  /// comes from the simulated tasks only, and the remaining mix is
+  /// predicted at the hit rate observed so far — an all-hit --resume
+  /// reports eta 0 instead of extrapolating simulation cost onto replays.
+  /// 0 until done > 0.
+  double eta_seconds = 0.0;
 };
 
 struct SweepOptions {

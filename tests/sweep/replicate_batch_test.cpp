@@ -1,0 +1,372 @@
+// ReplicateBatch (DESIGN.md §14): the batched replicate runner must be
+// BIT-identical to sequential per-replicate execution — every counter,
+// every double, every series bin, and the sweep CSV bytes. These tests are
+// the determinism contract the point-cache exclusion of `batch_replicates`
+// rests on.
+#include "sweep/replicate_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/pulse.hpp"
+#include "core/planner.hpp"
+#include "sweep/sweep.hpp"
+
+namespace pdos::sweep {
+namespace {
+
+/// Small-but-real scenario: 4 flows, short windows, a genuine pulse train.
+ScenarioConfig small_config(Backend backend) {
+  ScenarioConfig config = ScenarioConfig::ns2_dumbbell(4);
+  config.backend = backend;
+  if (backend == Backend::kHybrid) config.hybrid_foreground = 2;
+  return config;
+}
+
+RunControl quick_control() {
+  RunControl control;
+  control.warmup = sec(0.5);
+  control.measure = sec(1.5);
+  return control;
+}
+
+PulseTrain small_attack(const ScenarioConfig& config) {
+  AttackPlanRequest request;
+  request.victim = config.victim_profile();
+  request.textent = ms(50);
+  request.rattack = mbps(25);
+  request.attack_packet_bytes = config.attack_packet_bytes;
+  request.victim_min_rto = config.tcp.rto_min;
+  return plan_attack_at_gamma(request, 0.5).train;
+}
+
+std::vector<std::uint64_t> seeds_for(std::size_t n) {
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t r = 0; r < n; ++r) {
+    seeds.push_back(replicate_seed(20250808, static_cast<int>(r)));
+  }
+  return seeds;
+}
+
+/// EXPECT_EQ on every field of RunResult — doubles compared exactly, since
+/// the contract is bit-identity, not tolerance.
+void expect_run_eq(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.goodput_bytes, b.goodput_bytes);
+  EXPECT_EQ(a.goodput_rate, b.goodput_rate);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.per_flow_goodput, b.per_flow_goodput);
+  EXPECT_EQ(a.fairness_index, b.fairness_index);
+  EXPECT_EQ(a.incoming_bins, b.incoming_bins);
+  EXPECT_EQ(a.attack_bins, b.attack_bins);
+  EXPECT_EQ(a.bin_width, b.bin_width);
+  EXPECT_EQ(a.bottleneck_queue.enqueued, b.bottleneck_queue.enqueued);
+  EXPECT_EQ(a.bottleneck_queue.dequeued, b.bottleneck_queue.dequeued);
+  EXPECT_EQ(a.bottleneck_queue.dropped, b.bottleneck_queue.dropped);
+  EXPECT_EQ(a.bottleneck_queue.dropped_tcp, b.bottleneck_queue.dropped_tcp);
+  EXPECT_EQ(a.bottleneck_queue.dropped_attack,
+            b.bottleneck_queue.dropped_attack);
+  EXPECT_EQ(a.bottleneck_queue.bytes_dropped,
+            b.bottleneck_queue.bytes_dropped);
+  EXPECT_EQ(a.red_early_drops, b.red_early_drops);
+  EXPECT_EQ(a.red_forced_drops, b.red_forced_drops);
+  EXPECT_EQ(a.queue_occupancy, b.queue_occupancy);
+  EXPECT_EQ(a.red_avg_samples, b.red_avg_samples);
+  EXPECT_EQ(a.total_timeouts, b.total_timeouts);
+  EXPECT_EQ(a.total_fast_recoveries, b.total_fast_recoveries);
+  EXPECT_EQ(a.total_retransmits, b.total_retransmits);
+  EXPECT_EQ(a.mean_delivery_jitter, b.mean_delivery_jitter);
+  EXPECT_EQ(a.attack_packets_sent, b.attack_packets_sent);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.cwnd_trace, b.cwnd_trace);
+}
+
+class ReplicateBatchBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ReplicateBatchBackends, AttackRunsMatchSequentialBitForBit) {
+  const ScenarioConfig config = small_config(GetParam());
+  const RunControl control = quick_control();
+  const PulseTrain train = small_attack(config);
+  const std::vector<std::uint64_t> seeds = seeds_for(3);
+
+  std::vector<RunResult> sequential;
+  {
+    ScenarioWorkspace ws;
+    for (std::uint64_t seed : seeds) {
+      ScenarioConfig replicate = config;
+      replicate.seed = seed;
+      sequential.push_back(ws.run(replicate, train, control));
+    }
+  }
+
+  ReplicateBatch batch;
+  const std::vector<RunResult> batched =
+      batch.run(config, train, control, seeds);
+  ASSERT_EQ(batched.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    SCOPED_TRACE("replicate " + std::to_string(i));
+    expect_run_eq(batched[i], sequential[i]);
+  }
+}
+
+TEST_P(ReplicateBatchBackends, BaselinesMatchSequentialBitForBit) {
+  const ScenarioConfig config = small_config(GetParam());
+  const RunControl control = quick_control();
+  const std::vector<std::uint64_t> seeds = seeds_for(3);
+
+  std::vector<BitRate> sequential;
+  {
+    ScenarioWorkspace ws;
+    for (std::uint64_t seed : seeds) {
+      ScenarioConfig replicate = config;
+      replicate.seed = seed;
+      sequential.push_back(ws.baseline(replicate, control));
+    }
+  }
+
+  ReplicateBatch batch;
+  const std::vector<BitRate> batched = batch.baseline(config, control, seeds);
+  ASSERT_EQ(batched.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(batched[i], sequential[i]) << "replicate " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PacketTiers, ReplicateBatchBackends,
+                         ::testing::Values(Backend::kFull, Backend::kFast,
+                                           Backend::kHybrid),
+                         [](const auto& info) {
+                           return backend_name(info.param);
+                         });
+
+TEST(ReplicateBatch, SliceWidthNeverChangesResults) {
+  // The round-robin quantum is a wall-clock locality knob only: any slice
+  // partitions the same scheduler pops in the same order.
+  const ScenarioConfig config = small_config(Backend::kFull);
+  const RunControl control = quick_control();
+  const PulseTrain train = small_attack(config);
+  const std::vector<std::uint64_t> seeds = seeds_for(2);
+
+  ReplicateBatchOptions coarse;
+  coarse.slice = sec(10.0);  // one slice covers the whole horizon
+  ReplicateBatch coarse_batch(coarse);
+  const auto a = coarse_batch.run(config, train, control, seeds);
+
+  ReplicateBatchOptions fine;
+  fine.slice = ms(7);  // hundreds of slices, never aligned to events
+  ReplicateBatch fine_batch(fine);
+  const auto b = fine_batch.run(config, train, control, seeds);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("replicate " + std::to_string(i));
+    expect_run_eq(a[i], b[i]);
+  }
+}
+
+TEST(ReplicateBatch, FluidFanOutMatchesPerSeedSolves) {
+  // The fluid solver never reads config.seed, so the batch solves once and
+  // fans out; sequential per-seed solves must produce the exact same bits.
+  const ScenarioConfig config = small_config(Backend::kFluid);
+  const RunControl control = quick_control();
+  const PulseTrain train = small_attack(config);
+  const std::vector<std::uint64_t> seeds = seeds_for(3);
+
+  std::vector<RunResult> sequential;
+  {
+    ScenarioWorkspace ws;
+    for (std::uint64_t seed : seeds) {
+      ScenarioConfig replicate = config;
+      replicate.seed = seed;
+      sequential.push_back(ws.run(replicate, train, control));
+    }
+  }
+
+  ReplicateBatch batch;
+  const auto batched = batch.run(config, train, control, seeds);
+  ASSERT_EQ(batched.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    SCOPED_TRACE("replicate " + std::to_string(i));
+    expect_run_eq(batched[i], sequential[i]);
+  }
+}
+
+TEST(ReplicateBatch, SlotsStayWarmAcrossCalls) {
+  const ScenarioConfig config = small_config(Backend::kFast);
+  const RunControl control = quick_control();
+  const std::vector<std::uint64_t> seeds = seeds_for(3);
+
+  ReplicateBatch batch;
+  const auto first = batch.baseline(config, control, seeds);
+  EXPECT_EQ(batch.slots(), 3u);
+  const auto second = batch.baseline(config, control, seeds);
+  EXPECT_EQ(batch.slots(), 3u);  // reused, not regrown
+  EXPECT_EQ(first, second);      // warm rebuilds are bit-identical
+}
+
+/// run_sweep end-to-end: batched on/off must yield identical result tables
+/// and identical CSV bytes, for both packet tiers and both replicate counts.
+struct SweepCase {
+  Backend backend;
+  int replicates;
+};
+
+class BatchedSweepEquivalence : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(BatchedSweepEquivalence, CsvAndEveryCounterMatchSequential) {
+  SweepSpec spec;
+  spec.backend = GetParam().backend;
+  spec.flow_counts = {3};
+  spec.textents = {ms(50)};
+  spec.rattacks = {mbps(25)};
+  spec.gammas = {0.4};
+  spec.replicates = GetParam().replicates;
+  spec.control.warmup = sec(0.5);
+  spec.control.measure = sec(1.0);
+
+  SweepSpec sequential_spec = spec;
+  sequential_spec.batch_replicates = false;
+  SweepSpec batched_spec = spec;
+  batched_spec.batch_replicates = true;
+
+  SweepOptions options;
+  options.threads = 2;
+  const SweepResult sequential = run_sweep(sequential_spec, options);
+  const SweepResult batched = run_sweep(batched_spec, options);
+
+  ASSERT_EQ(sequential.failures(), 0u);
+  ASSERT_EQ(batched.failures(), 0u);
+  ASSERT_EQ(batched.points.size(), sequential.points.size());
+  for (std::size_t i = 0; i < sequential.points.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    const PointResult& a = batched.points[i];
+    const PointResult& b = sequential.points[i];
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.c_psi, b.c_psi);
+    EXPECT_EQ(a.analytic_degradation, b.analytic_degradation);
+    EXPECT_EQ(a.analytic_gain, b.analytic_gain);
+    EXPECT_EQ(a.shrew, b.shrew);
+    EXPECT_EQ(a.baseline_goodput, b.baseline_goodput);
+    EXPECT_EQ(a.goodput, b.goodput);
+    EXPECT_EQ(a.measured_degradation, b.measured_degradation);
+    EXPECT_EQ(a.measured_gain, b.measured_gain);
+    EXPECT_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.fairness, b.fairness);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.fast_recoveries, b.fast_recoveries);
+    EXPECT_EQ(a.attack_packets, b.attack_packets);
+    EXPECT_EQ(a.events, b.events);
+  }
+
+  std::ostringstream csv_sequential, csv_batched;
+  sequential.write_csv(csv_sequential);
+  batched.write_csv(csv_batched);
+  EXPECT_EQ(csv_batched.str(), csv_sequential.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TiersAndReplicateCounts, BatchedSweepEquivalence,
+    ::testing::Values(SweepCase{Backend::kFull, 2},
+                      SweepCase{Backend::kFull, 8},
+                      SweepCase{Backend::kFast, 2},
+                      SweepCase{Backend::kFast, 8}),
+    [](const auto& info) {
+      return std::string(backend_name(info.param.backend)) + "R" +
+             std::to_string(info.param.replicates);
+    });
+
+TEST(BatchedSweep, FluidReplicateDedupeKeepsCsvBytes) {
+  // The fluid tier's once-per-point solve (the throughput win the bench
+  // gates) must be invisible in the output: same CSV bytes as solving every
+  // replicate.
+  SweepSpec spec;
+  spec.backend = Backend::kFluid;
+  spec.flow_counts = {3};
+  spec.textents = {ms(50)};
+  spec.rattacks = {mbps(25)};
+  spec.gammas = {0.4, 0.6};
+  spec.replicates = 4;
+  spec.control.warmup = sec(0.5);
+  spec.control.measure = sec(1.0);
+
+  SweepSpec sequential_spec = spec;
+  sequential_spec.batch_replicates = false;
+  const SweepResult sequential = run_sweep(sequential_spec, {});
+  const SweepResult batched = run_sweep(spec, {});
+  ASSERT_EQ(sequential.failures(), 0u);
+  ASSERT_EQ(batched.failures(), 0u);
+
+  std::ostringstream a, b;
+  sequential.write_csv(a);
+  batched.write_csv(b);
+  EXPECT_EQ(b.str(), a.str());
+}
+
+TEST(AggregateReplicates, MeanStddevAndCiOverReplicates) {
+  // Hand-checkable statistics: two axes groups, one with gains {1, 2, 3}
+  // (mean 2, sample stddev 1), one with a failed replicate excluded.
+  SweepResult result;
+  auto push = [&result](double gamma, int replicate, double gain,
+                        PointStatus status) {
+    PointResult r;
+    r.index = result.points.size();
+    r.point.gamma = gamma;
+    r.point.replicate = replicate;
+    r.status = status;
+    r.measured_gain = gain;
+    r.measured_degradation = gain / 2.0;
+    r.goodput = gain * 1e6;
+    result.points.push_back(r);
+  };
+  push(0.3, 0, 1.0, PointStatus::kOk);
+  push(0.3, 1, 2.0, PointStatus::kOk);
+  push(0.3, 2, 3.0, PointStatus::kOk);
+  push(0.6, 0, 5.0, PointStatus::kOk);
+  push(0.6, 1, 0.0, PointStatus::kFailed);
+  push(0.6, 2, 7.0, PointStatus::kOk);
+
+  const std::vector<AggregateRow> rows = aggregate_replicates(result);
+  ASSERT_EQ(rows.size(), 2u);
+
+  EXPECT_EQ(rows[0].replicates, 3u);
+  EXPECT_DOUBLE_EQ(rows[0].mean_gain, 2.0);
+  EXPECT_DOUBLE_EQ(rows[0].stddev_gain, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].ci95_gain, 1.96 / std::sqrt(3.0));
+  EXPECT_DOUBLE_EQ(rows[0].mean_degradation, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].mean_goodput, 2e6);
+
+  EXPECT_EQ(rows[1].replicates, 2u);  // the failed replicate is excluded
+  EXPECT_DOUBLE_EQ(rows[1].mean_gain, 6.0);
+  EXPECT_DOUBLE_EQ(rows[1].stddev_gain, std::sqrt(2.0));
+
+  std::ostringstream csv;
+  write_aggregate_csv(rows, csv);
+  EXPECT_NE(csv.str().find("mean_gain"), std::string::npos);
+  EXPECT_NE(csv.str().find("ci95_gain"), std::string::npos);
+
+  std::ostringstream json;
+  write_aggregate_json(rows, json);
+  EXPECT_EQ(json.str().front(), '[');
+  EXPECT_NE(json.str().find("\"replicates\": 3"), std::string::npos);
+}
+
+TEST(AggregateReplicates, SingleReplicateHasZeroSpread) {
+  SweepResult result;
+  PointResult r;
+  r.status = PointStatus::kOk;
+  r.measured_gain = 4.2;
+  result.points.push_back(r);
+  const auto rows = aggregate_replicates(result);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].replicates, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].mean_gain, 4.2);
+  EXPECT_DOUBLE_EQ(rows[0].stddev_gain, 0.0);
+  EXPECT_DOUBLE_EQ(rows[0].ci95_gain, 0.0);
+}
+
+}  // namespace
+}  // namespace pdos::sweep

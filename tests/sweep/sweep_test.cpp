@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
 #include <map>
 #include <random>
 #include <set>
@@ -215,6 +218,46 @@ TEST(RunSweep, ProgressReachesTotal) {
   EXPECT_EQ(result.failures(), 0u);
   EXPECT_EQ(last_done.load(), total.load());
   EXPECT_EQ(total.load(), 2u);  // 1 baseline + 1 point
+}
+
+TEST(RunSweep, CacheHitsAreWeightedNearZeroInEta) {
+  // Satellite of DESIGN.md §14: the ETA extrapolates wall cost from the
+  // SIMULATED tasks only. An all-hit --resume replay must report eta 0 and
+  // cached == done at every snapshot, instead of pricing microsecond cache
+  // replays at full simulation cost.
+  char name[] = "/tmp/pdos_sweep_eta_test_XXXXXX";
+  const int fd = mkstemp(name);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  std::remove(name);
+  const std::string cache_path = name;
+
+  SweepSpec spec = tiny_spec();
+  SweepOptions options;
+  options.threads = 1;
+  options.cache_path = cache_path;
+
+  // First pass simulates everything: no snapshot reports a cache hit.
+  std::size_t snapshots = 0;
+  options.on_progress = [&](const SweepProgress& progress) {
+    EXPECT_EQ(progress.cached, 0u);
+    ++snapshots;
+  };
+  const SweepResult first = run_sweep(spec, options);
+  ASSERT_EQ(first.failures(), 0u);
+  EXPECT_GT(snapshots, 0u);
+
+  // Resume: every task replays from the cache, so the simulated-task count
+  // stays zero and the hit-weighted ETA must stay exactly 0.
+  options.on_progress = [](const SweepProgress& progress) {
+    EXPECT_EQ(progress.cached, progress.done);
+    EXPECT_EQ(progress.eta_seconds, 0.0);
+  };
+  const SweepResult resumed = run_sweep(spec, options);
+  EXPECT_EQ(resumed.failures(), 0u);
+  EXPECT_EQ(resumed.cache_hits, resumed.points.size() + 2u);  // + baselines
+
+  std::remove(cache_path.c_str());
 }
 
 TEST(RunSweep, MeasurementsAreSane) {

@@ -3,14 +3,18 @@
 //
 // Usage:
 //   pdos_sweep SPECFILE [--threads N] [--csv PATH] [--json PATH]
-//              [--resume] [--cache PATH] [--quiet] [--keep-going]
+//              [--aggregate PATH] [--resume] [--cache PATH] [--quiet]
+//              [--keep-going]
 //
 // The spec format is documented in src/sweep/spec.hpp (and README.md,
 // "Running parameter sweeps"). Command-line flags override the file.
 // Progress goes to stderr, the CSV table to --csv/`csv =` or stdout.
-// `--resume` enables the persistent point cache at .pdos-cache/points.cache
-// (or `--cache PATH`): completed points are replayed instead of re-simulated,
-// so an interrupted or repeated campaign picks up where it left off.
+// `--aggregate` additionally writes the per-point replicate statistics
+// (mean / sample stddev / 95% CI of gain and degradation) — CSV, or JSON
+// when the path ends in ".json". `--resume` enables the persistent point
+// cache at .pdos-cache/points.cache (or `--cache PATH`): completed points
+// are replayed instead of re-simulated, so an interrupted or repeated
+// campaign picks up where it left off.
 // Exit status: 0 on success, 1 when any point failed.
 #include <cstdio>
 #include <cstdlib>
@@ -28,8 +32,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: pdos_sweep SPECFILE [--threads N] [--csv PATH] "
-               "[--json PATH] [--resume] [--cache PATH] [--quiet] "
-               "[--keep-going]\n");
+               "[--json PATH] [--aggregate PATH] [--resume] [--cache PATH] "
+               "[--quiet] [--keep-going]\n");
   return 2;
 }
 
@@ -47,6 +51,7 @@ int main(int argc, char** argv) {
   }
 
   bool quiet = false;
+  std::string aggregate_path;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       file.options.threads = std::atoi(argv[++i]);
@@ -54,6 +59,8 @@ int main(int argc, char** argv) {
       file.csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       file.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--aggregate") == 0 && i + 1 < argc) {
+      aggregate_path = argv[++i];
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       if (file.options.cache_path.empty()) {
         file.options.cache_path = ".pdos-cache/points.cache";
@@ -114,6 +121,23 @@ int main(int argc, char** argv) {
     result.write_json(out);
     if (!quiet) {
       std::fprintf(stderr, "pdos_sweep: wrote %s\n", file.json_path.c_str());
+    }
+  }
+  if (!aggregate_path.empty()) {
+    const auto rows = sweep::aggregate_replicates(result);
+    std::ofstream out(aggregate_path);
+    PDOS_REQUIRE(out.good(), "cannot open output: " + aggregate_path);
+    const bool json = aggregate_path.size() >= 5 &&
+                      aggregate_path.rfind(".json") ==
+                          aggregate_path.size() - 5;
+    if (json) {
+      sweep::write_aggregate_json(rows, out);
+    } else {
+      sweep::write_aggregate_csv(rows, out);
+    }
+    if (!quiet) {
+      std::fprintf(stderr, "pdos_sweep: wrote %s (%zu aggregate rows)\n",
+                   aggregate_path.c_str(), rows.size());
     }
   }
 
