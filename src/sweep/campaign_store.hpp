@@ -1,0 +1,136 @@
+// Sharded multi-process result store: the campaign coordination substrate.
+//
+// `PointCache` is one append-only file owned by one process. A campaign is
+// K cooperating processes (possibly serving many submitted specs) sweeping
+// one shared grid, so the store must let them (a) dedup results — a point
+// simulated by any worker is a cache hit for every other worker and for
+// every later campaign — and (b) partition cold work without a central
+// dispatcher. `CampaignStore` does both with files only: no daemon, no
+// shared memory, no sockets, so workers can be independent OS processes
+// (or, later, NFS peers).
+//
+// Layout: a directory of 16 append-only segment files, `seg-0` … `seg-f`,
+// keyed by the top 4 bits of the 64-bit content hash. Sharding bounds
+// lock contention (two workers only collide when their keys share a
+// prefix) and keeps each file small enough that compaction and re-scans
+// stay cheap. Each segment is line-oriented with the same P/B record
+// format (and the same %.17g bit-exact doubles) as the single-file cache,
+// plus two coordination record kinds:
+//
+//   P <key> <outputs…>          completed point        (point_cache.hpp)
+//   B <key> <goodput>           completed baseline
+//   L <key> <owner> <expiry>    lease: <owner> is simulating <key> and
+//                               promises a result (or a release) before
+//                               wall-clock <expiry> (epoch seconds)
+//   R <key> <owner>             release: <owner> gave up its lease
+//
+// Claim protocol (per key): take the segment's flock(2), fold in any
+// records other processes appended since our last scan, then decide —
+// result present → kDone; un-expired lease by another owner → kBusy;
+// otherwise append our own lease and return kAcquired. The lock makes
+// read-tail + append atomic, so exactly one worker wins a cold key. A
+// result record supersedes the lease; a crashed worker's lease simply
+// expires and the key is re-claimed by whoever polls it next — crash
+// recovery needs no fsck pass.
+//
+// Torn-tail tolerance: a worker killed mid-write leaves a partial final
+// line. Loaders skip lines that fail to parse, and every appender checks
+// (under the lock) whether the segment ends in '\n' and prepends one if
+// not, so a torn tail corrupts at most itself — never the next record.
+//
+// An in-memory index (maps keyed by the content hash) answers lookups
+// without I/O; `refresh()` incrementally folds in segment bytes appended
+// by other processes since the last scan (tracked by per-segment offset).
+// `compact()` rewrites each segment in place, dropping lease/release
+// records and duplicate results — run it when the campaign is quiescent
+// (concurrent appends are serialized by the lock and survive, but a crash
+// mid-compaction can lose records, which only costs re-simulation).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sweep/point_cache.hpp"
+
+namespace pdos::sweep {
+
+class CampaignStore : public PointStore {
+ public:
+  /// Open (creating if needed) the store directory at `dir`. `lease_ttl`
+  /// is the wall-clock lifetime of a work claim in seconds: a worker that
+  /// neither stores a result nor releases within the TTL is presumed
+  /// crashed and its key becomes claimable again. Size it well above the
+  /// slowest expected single point; expiry only costs duplicated work,
+  /// never wrong results (both workers compute identical bytes).
+  explicit CampaignStore(std::string dir, double lease_ttl_seconds = 120.0);
+  ~CampaignStore() override;
+
+  CampaignStore(const CampaignStore&) = delete;
+  CampaignStore& operator=(const CampaignStore&) = delete;
+
+  bool lookup_point(std::uint64_t key, CachedPoint& out) const override;
+  bool lookup_baseline(std::uint64_t key, double& goodput) const override;
+  void store_point(std::uint64_t key, const CachedPoint& value) override;
+  void store_baseline(std::uint64_t key, double goodput) override;
+  std::size_t size() const override;
+
+  ClaimStatus claim_point(std::uint64_t key) override;
+  ClaimStatus claim_baseline(std::uint64_t key) override;
+  void release_point(std::uint64_t key) override;
+  void release_baseline(std::uint64_t key) override;
+
+  /// Fold in records appended by other processes since the last scan
+  /// (incremental: reads only new bytes of each segment).
+  void refresh() override;
+
+  /// Rewrite every segment keeping one copy of each result record and no
+  /// coordination records. Returns the number of lines dropped.
+  std::size_t compact();
+
+  const std::string& dir() const { return dir_; }
+  /// This process's lease owner token (pid ⊕ random), for tests/logs.
+  std::uint64_t owner() const { return owner_; }
+  std::size_t segments() const;
+  /// Path of the segment file holding `key`.
+  std::string segment_path(std::uint64_t key) const;
+
+ private:
+  struct Lease {
+    std::uint64_t owner = 0;
+    double expiry = 0.0;  // epoch seconds
+  };
+  struct Segment {
+    std::string path;
+    int fd = -1;          // append fd, opened lazily
+    std::uint64_t scanned = 0;  // bytes consumed by incremental scans
+    bool header_ok = false;     // header line verified (or written by us)
+    bool rewrite = false;       // foreign header: truncate on first append
+  };
+
+  static constexpr int kSegments = 16;
+  static int segment_of(std::uint64_t key) {
+    return static_cast<int>(key >> 60);
+  }
+
+  // All private helpers assume mutex_ is held.
+  bool ensure_open(Segment& seg);
+  void scan_segment(Segment& seg);
+  void apply_line(const char* line, std::size_t len);
+  void append_locked(Segment& seg, const std::string& line);
+  ClaimStatus claim(std::uint64_t key, bool baseline);
+  void release(std::uint64_t key);
+
+  std::string dir_;
+  double lease_ttl_;
+  std::uint64_t owner_;
+  mutable std::mutex mutex_;
+  std::vector<Segment> segments_;
+  std::unordered_map<std::uint64_t, CachedPoint> points_;
+  std::unordered_map<std::uint64_t, double> baselines_;
+  std::unordered_map<std::uint64_t, Lease> leases_;
+};
+
+}  // namespace pdos::sweep

@@ -1,10 +1,15 @@
 #include "sweep/point_cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <sstream>
+#include <fstream>
 
 namespace pdos::sweep {
 
@@ -84,7 +89,11 @@ void hash_common(Fnv1a& h, const SweepSpec& spec, const ScenarioConfig& c,
   // batched sweep stores are byte-for-byte the ones a sequential sweep
   // stores (pinned by the batched/sequential invariance test in
   // point_cache_test.cpp), and either mode must resume all-hit from the
-  // other's cache.
+  // other's cache. The store BACKING (single file vs sharded campaign
+  // directory) and the worker process count are not spec fields at all:
+  // the same keys address both stores, which is what lets K campaign
+  // processes dedup against each other and against past single-process
+  // sweeps.
 
   const RunControl& ctl = spec.control;
   h.f64(ctl.warmup).f64(ctl.measure).f64(ctl.bin_width);
@@ -116,11 +125,7 @@ std::uint64_t baseline_key(const SweepSpec& spec, const PointSpec& probe,
   return h.value();
 }
 
-namespace {
-
-constexpr char kHeader[] = "pdos-point-cache-v1";
-
-std::string format_point(std::uint64_t key, const CachedPoint& v) {
+std::string format_point_record(std::uint64_t key, const CachedPoint& v) {
   char buf[640];
   std::snprintf(
       buf, sizeof(buf),
@@ -134,13 +139,13 @@ std::string format_point(std::uint64_t key, const CachedPoint& v) {
   return buf;
 }
 
-std::string format_baseline(std::uint64_t key, double goodput) {
+std::string format_baseline_record(std::uint64_t key, double goodput) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "B %016" PRIx64 " %.17g\n", key, goodput);
   return buf;
 }
 
-bool parse_point(const char* text, std::uint64_t& key, CachedPoint& v) {
+bool parse_point_record(const char* text, std::uint64_t& key, CachedPoint& v) {
   int shrew = 0;
   const int n = std::sscanf(
       text,
@@ -153,6 +158,15 @@ bool parse_point(const char* text, std::uint64_t& key, CachedPoint& v) {
   v.shrew = shrew != 0;
   return n == 15;
 }
+
+bool parse_baseline_record(const char* text, std::uint64_t& key,
+                           double& goodput) {
+  return std::sscanf(text, "%" SCNx64 " %lg", &key, &goodput) == 2;
+}
+
+namespace {
+
+constexpr char kHeader[] = "pdos-point-cache-v1";
 
 }  // namespace
 
@@ -172,18 +186,21 @@ PointCache::PointCache(std::string path) : path_(std::move(path)) {
     std::uint64_t key = 0;
     if (line[0] == 'P') {
       CachedPoint value;
-      if (parse_point(line.c_str() + 2, key, value)) {
+      if (parse_point_record(line.c_str() + 2, key, value)) {
         points_[key] = value;
       }
     } else if (line[0] == 'B') {
       double goodput = 0.0;
-      if (std::sscanf(line.c_str() + 2, "%" SCNx64 " %lg", &key, &goodput) ==
-          2) {
+      if (parse_baseline_record(line.c_str() + 2, key, goodput)) {
         baselines_[key] = goodput;
       }
     }
     // Unknown record kinds and malformed lines are skipped, not fatal.
   }
+}
+
+PointCache::~PointCache() {
+  if (fd_ >= 0) ::close(fd_);
 }
 
 bool PointCache::lookup_point(std::uint64_t key, CachedPoint& out) const {
@@ -205,13 +222,13 @@ bool PointCache::lookup_baseline(std::uint64_t key, double& goodput) const {
 void PointCache::store_point(std::uint64_t key, const CachedPoint& value) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!points_.emplace(key, value).second) return;  // already recorded
-  append(format_point(key, value));
+  append(format_point_record(key, value));
 }
 
 void PointCache::store_baseline(std::uint64_t key, double goodput) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!baselines_.emplace(key, goodput).second) return;
-  append(format_baseline(key, goodput));
+  append(format_baseline_record(key, goodput));
 }
 
 std::size_t PointCache::size() const {
@@ -220,20 +237,40 @@ std::size_t PointCache::size() const {
 }
 
 void PointCache::append(const std::string& line) {
-  if (!out_.is_open()) {
+  if (fd_ < 0) {
     const std::filesystem::path parent =
         std::filesystem::path(path_).parent_path();
     if (!parent.empty()) {
       std::error_code ec;
       std::filesystem::create_directories(parent, ec);  // best effort
     }
-    const bool fresh = rewrite_ || !std::filesystem::exists(path_);
-    out_.open(path_, rewrite_ ? std::ios::trunc : std::ios::app);
-    if (!out_) return;  // unwritable cache degrades to in-memory only
-    if (fresh) out_ << kHeader << '\n';
+    int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    if (rewrite_) flags |= O_TRUNC;  // foreign header: start over
+    fd_ = ::open(path_.c_str(), flags, 0644);
+    if (fd_ < 0) return;  // unwritable cache degrades to in-memory only
+    rewrite_ = false;
   }
-  out_ << line;
-  out_.flush();
+  // Advisory lock so a concurrent process appending to the same file
+  // cannot interleave with this record (or with the header we may need to
+  // write first). O_APPEND makes each write(2) land atomically at the
+  // current end even without the lock; the lock closes the header race and
+  // keeps the header-check + write pair atomic.
+  ::flock(fd_, LOCK_EX);
+  struct stat st;
+  std::string out;
+  if (::fstat(fd_, &st) == 0 && st.st_size == 0) {
+    out = std::string(kHeader) + "\n";
+  }
+  out += line;
+  const char* data = out.data();
+  std::size_t left = out.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n <= 0) break;  // disk full etc.: degrade, records stay in memory
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ::flock(fd_, LOCK_UN);
 }
 
 }  // namespace pdos::sweep

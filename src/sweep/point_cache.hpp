@@ -19,10 +19,20 @@
 // compiler version. It cannot see code changes that alter simulation
 // semantics at equal parameters — bump kPointCacheSchema when making one,
 // or delete the cache file.
+//
+// Two result stores implement the `PointStore` interface the sweep engine
+// programs against:
+//   - `PointCache` (here): one append-only file, the single-process
+//     `--resume` path. Appends go through an O_APPEND fd under an advisory
+//     flock, so even two processes accidentally pointed at the same file
+//     cannot interleave a record.
+//   - `CampaignStore` (sweep/campaign_store.hpp): a directory of hash-
+//     sharded segment files with the same record format plus lease records
+//     for multi-process work claiming — the coordination substrate for
+//     `pdos_campaign`.
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -66,25 +76,80 @@ std::uint64_t point_key(const SweepSpec& spec, const PointSpec& point,
 std::uint64_t baseline_key(const SweepSpec& spec, const PointSpec& probe,
                            std::uint64_t seed);
 
-class PointCache {
+// Record text codecs shared by PointCache and CampaignStore: one line per
+// record, %.17g doubles for bit-exact reload. The returned lines include
+// the trailing newline.
+std::string format_point_record(std::uint64_t key, const CachedPoint& v);
+std::string format_baseline_record(std::uint64_t key, double goodput);
+/// Parse the text after the "P " / "B " tag. Returns false on a malformed
+/// (e.g. torn) line.
+bool parse_point_record(const char* text, std::uint64_t& key, CachedPoint& v);
+bool parse_baseline_record(const char* text, std::uint64_t& key,
+                           double& goodput);
+
+/// What the sweep engine needs from a result store. `PointCache` is the
+/// single-process file implementation; `CampaignStore` adds multi-process
+/// work claiming on a sharded directory. All methods are thread-safe.
+class PointStore {
+ public:
+  virtual ~PointStore() = default;
+
+  virtual bool lookup_point(std::uint64_t key, CachedPoint& out) const = 0;
+  virtual bool lookup_baseline(std::uint64_t key, double& goodput) const = 0;
+  virtual void store_point(std::uint64_t key, const CachedPoint& value) = 0;
+  virtual void store_baseline(std::uint64_t key, double goodput) = 0;
+  virtual std::size_t size() const = 0;
+
+  /// Work claiming for cooperating processes. A worker claims a task key
+  /// before simulating it; the default (single-process) implementation
+  /// always acquires, so plain caches run every miss themselves.
+  ///   kAcquired — this process owns the task and must simulate it (and
+  ///               then store the result, which supersedes the claim).
+  ///   kBusy     — another live process holds a lease; defer the task and
+  ///               poll for its result (or for lease expiry).
+  ///   kDone     — the result appeared in the store since the lookup miss;
+  ///               re-lookup instead of simulating.
+  enum class ClaimStatus { kAcquired, kBusy, kDone };
+  virtual ClaimStatus claim_point(std::uint64_t key) {
+    (void)key;
+    return ClaimStatus::kAcquired;
+  }
+  virtual ClaimStatus claim_baseline(std::uint64_t key) {
+    (void)key;
+    return ClaimStatus::kAcquired;
+  }
+  /// Give up a claim without a result (simulation failed): lets another
+  /// worker retry immediately instead of waiting out the lease.
+  virtual void release_point(std::uint64_t key) { (void)key; }
+  virtual void release_baseline(std::uint64_t key) { (void)key; }
+
+  /// Pick up records appended by other processes since the last scan.
+  /// No-op for single-process stores.
+  virtual void refresh() {}
+};
+
+class PointCache : public PointStore {
  public:
   /// Load `path` if it exists (tolerating corruption); appends create it,
   /// including missing parent directories.
   explicit PointCache(std::string path);
+  ~PointCache() override;
 
   PointCache(const PointCache&) = delete;
   PointCache& operator=(const PointCache&) = delete;
 
-  bool lookup_point(std::uint64_t key, CachedPoint& out) const;
-  bool lookup_baseline(std::uint64_t key, double& goodput) const;
+  bool lookup_point(std::uint64_t key, CachedPoint& out) const override;
+  bool lookup_baseline(std::uint64_t key, double& goodput) const override;
 
   /// Record a completed point/baseline: insert in memory and append to the
-  /// cache file (flushed per record, so a killed sweep loses at most the
-  /// torn last line). Thread-safe.
-  void store_point(std::uint64_t key, const CachedPoint& value);
-  void store_baseline(std::uint64_t key, double goodput);
+  /// cache file. Appends go through an O_APPEND fd with the full record in
+  /// one write(2) under an advisory flock(2), so concurrent processes
+  /// appending to the same file cannot interleave a record (each sees the
+  /// other's lines whole on its next load). Thread-safe.
+  void store_point(std::uint64_t key, const CachedPoint& value) override;
+  void store_baseline(std::uint64_t key, double goodput) override;
 
-  std::size_t size() const;
+  std::size_t size() const override;
   const std::string& path() const { return path_; }
 
  private:
@@ -95,7 +160,7 @@ class PointCache {
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, CachedPoint> points_;
   std::unordered_map<std::uint64_t, double> baselines_;
-  std::ofstream out_;  // opened lazily on first append
+  int fd_ = -1;  // opened lazily on first append (O_APPEND)
 };
 
 }  // namespace pdos::sweep

@@ -144,6 +144,8 @@ SpecFile parse_spec(const std::string& text) {
       file.json_path = value;
     } else if (key == "cache") {
       file.options.cache_path = value;
+    } else if (key == "store") {
+      file.store_dir = value;
     } else {
       throw ParameterError("spec line " + std::to_string(line) +
                            ": unknown key '" + key + "'");

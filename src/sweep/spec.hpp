@@ -30,6 +30,8 @@
 //   csv          = sweep.csv    # optional output paths
 //   json         = sweep.json
 //   cache        = points.cache # optional persistent point cache
+//   store        = campaign.d   # optional sharded campaign store directory
+//                               # (multi-process; overrides `cache`)
 //
 // Unknown keys are an error (they are always typos).
 #pragma once
@@ -45,6 +47,10 @@ struct SpecFile {
   SweepOptions options;
   std::string csv_path;   // empty: write CSV to stdout
   std::string json_path;  // empty: no JSON output
+  /// `store =`: CampaignStore directory to coordinate through. The caller
+  /// (pdos_sweep/pdos_campaign) owns the store object; this is just the
+  /// parsed path. Takes precedence over `cache` when both are set.
+  std::string store_dir;
 };
 
 /// Parse spec text (the file contents). Throws ParameterError with a

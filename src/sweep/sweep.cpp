@@ -9,6 +9,7 @@
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "core/model.hpp"
@@ -506,12 +507,24 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   ProgressMeter meter(baselines.size() + points.size(), options.on_progress);
   std::atomic<bool> cancel{false};
   std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> simulated{0};
   WorkspacePool workspaces;
   ResourcePool<ReplicateBatch> batches;
-  std::unique_ptr<PointCache> cache;
-  if (!options.cache_path.empty()) {
-    cache = std::make_unique<PointCache>(options.cache_path);
+  std::unique_ptr<PointCache> owned_cache;
+  PointStore* store = options.store;
+  if (store == nullptr && !options.cache_path.empty()) {
+    owned_cache = std::make_unique<PointCache>(options.cache_path);
+    store = owned_cache.get();
   }
+  // Tasks another process holds a live lease on (claim returned kBusy):
+  // deferred here and drained after each phase's main pass, so a pool
+  // worker never idles waiting on a peer process.
+  std::mutex deferred_mutex;
+  std::vector<std::size_t> deferred_baselines;
+  std::vector<std::size_t> deferred_points;
+  const auto poll_interval = std::chrono::duration<double>(
+      std::max(1e-3, options.claim_poll_seconds));
+  using ClaimStatus = PointStore::ClaimStatus;
   const auto start = std::chrono::steady_clock::now();
 
   // Batched replicate execution (DESIGN.md §14): group the R seed-varied
@@ -530,26 +543,49 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
         meter.tick(false);
         return;
       }
+      const std::uint64_t seed =
+          replicate_seed(spec.base_seed, slot.probe.replicate);
+      const std::uint64_t key =
+          store ? baseline_key(spec, slot.probe, seed) : 0;
       bool hit = false;
+      bool claimed = false;
       try {
-        const std::uint64_t seed =
-            replicate_seed(spec.base_seed, slot.probe.replicate);
-        const std::uint64_t key =
-            cache ? baseline_key(spec, slot.probe, seed) : 0;
         double cached = 0.0;
-        if (cache && cache->lookup_baseline(key, cached)) {
+        if (store && store->lookup_baseline(key, cached)) {
           slot.goodput = cached;
           hit = true;
           cache_hits.fetch_add(1, std::memory_order_relaxed);
         } else {
-          const ScenarioConfig scenario = spec.make_scenario(slot.probe);
-          WorkspaceLease ws(workspaces);
-          slot.goodput = ws->baseline(scenario, spec.control);
-          if (cache) cache->store_baseline(key, slot.goodput);
+          if (store) {
+            const ClaimStatus st = store->claim_baseline(key);
+            if (st == ClaimStatus::kBusy) {
+              // A peer process is simulating this baseline; the drain pass
+              // resolves it (and ticks the meter).
+              std::lock_guard<std::mutex> lock(deferred_mutex);
+              deferred_baselines.push_back(i);
+              return;
+            }
+            if (st == ClaimStatus::kDone &&
+                store->lookup_baseline(key, cached)) {
+              slot.goodput = cached;
+              hit = true;
+              cache_hits.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              claimed = true;
+            }
+          }
+          if (!hit) {
+            const ScenarioConfig scenario = spec.make_scenario(slot.probe);
+            WorkspaceLease ws(workspaces);
+            slot.goodput = ws->baseline(scenario, spec.control);
+            if (store) store->store_baseline(key, slot.goodput);
+            simulated.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
         slot.ok = true;
       } catch (const std::exception& e) {
+        if (claimed) store->release_baseline(key);
         slot.error = e.what();
         if (options.cancel_on_failure) {
           cancel.store(true, std::memory_order_relaxed);
@@ -575,6 +611,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
         return;
       }
       std::vector<std::size_t> miss;
+      std::vector<std::uint64_t> miss_keys;
       for (std::size_t j = 0; j < group.count; ++j) {
         const std::size_t bi = group.first + j;
         BaselineSlot& slot = baselines[bi];
@@ -582,17 +619,35 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
           const std::uint64_t seed =
               replicate_seed(spec.base_seed, slot.probe.replicate);
           const std::uint64_t key =
-              cache ? baseline_key(spec, slot.probe, seed) : 0;
+              store ? baseline_key(spec, slot.probe, seed) : 0;
           double cached = 0.0;
-          if (cache && cache->lookup_baseline(key, cached)) {
+          if (store && store->lookup_baseline(key, cached)) {
             slot.goodput = cached;
             cache_hits.fetch_add(1, std::memory_order_relaxed);
             PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
             slot.ok = true;
             meter.tick(true);
-          } else {
-            miss.push_back(bi);
+            continue;
           }
+          if (store) {
+            const ClaimStatus st = store->claim_baseline(key);
+            if (st == ClaimStatus::kBusy) {
+              std::lock_guard<std::mutex> lock(deferred_mutex);
+              deferred_baselines.push_back(bi);
+              continue;
+            }
+            if (st == ClaimStatus::kDone &&
+                store->lookup_baseline(key, cached)) {
+              slot.goodput = cached;
+              cache_hits.fetch_add(1, std::memory_order_relaxed);
+              PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
+              slot.ok = true;
+              meter.tick(true);
+              continue;
+            }
+          }
+          miss.push_back(bi);
+          miss_keys.push_back(key);
         } catch (const std::exception& e) {
           slot.error = e.what();
           if (options.cancel_on_failure) {
@@ -618,10 +673,8 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
           BaselineSlot& slot = baselines[miss[k]];
           try {
             slot.goodput = goodputs[k];
-            if (cache) {
-              cache->store_baseline(
-                  baseline_key(spec, slot.probe, seeds[k]), slot.goodput);
-            }
+            if (store) store->store_baseline(miss_keys[k], slot.goodput);
+            simulated.fetch_add(1, std::memory_order_relaxed);
             PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
             slot.ok = true;
           } catch (const std::exception& e) {
@@ -632,10 +685,12 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
           }
         }
       } catch (const std::exception& e) {
-        // The batch itself failed: every un-run replicate inherits the error.
-        for (std::size_t bi : miss) {
-          if (!baselines[bi].ok && baselines[bi].error.empty()) {
-            baselines[bi].error = e.what();
+        // The batch itself failed: every un-run replicate inherits the error
+        // and gives up its claim so a peer can retry immediately.
+        for (std::size_t k = 0; k < miss.size(); ++k) {
+          if (store) store->release_baseline(miss_keys[k]);
+          if (!baselines[miss[k]].ok && baselines[miss[k]].error.empty()) {
+            baselines[miss[k]].error = e.what();
           }
         }
         if (options.cancel_on_failure) {
@@ -646,6 +701,74 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     });
   }
 
+  // Drain baselines leased to peer processes: poll the store for their
+  // results; once a lease expires unfulfilled (crashed peer) the claim
+  // succeeds here and we simulate locally. Every wait is bounded by the
+  // lease TTL, so the loop terminates.
+  while (store && !deferred_baselines.empty()) {
+    if (cancel.load(std::memory_order_relaxed)) {
+      for (std::size_t i : deferred_baselines) {
+        baselines[i].error = "skipped: sweep cancelled";
+        meter.tick(false);
+      }
+      deferred_baselines.clear();
+      break;
+    }
+    std::this_thread::sleep_for(poll_interval);
+    store->refresh();
+    std::vector<std::size_t> still;
+    for (std::size_t i : deferred_baselines) {
+      BaselineSlot& slot = baselines[i];
+      const std::uint64_t seed =
+          replicate_seed(spec.base_seed, slot.probe.replicate);
+      const std::uint64_t key = baseline_key(spec, slot.probe, seed);
+      bool claimed = false;
+      try {
+        double cached = 0.0;
+        if (store->lookup_baseline(key, cached)) {
+          slot.goodput = cached;
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+          PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
+          slot.ok = true;
+          meter.tick(true);
+          continue;
+        }
+        const ClaimStatus st = store->claim_baseline(key);
+        if (st == ClaimStatus::kBusy) {
+          still.push_back(i);
+          continue;
+        }
+        if (st == ClaimStatus::kDone && store->lookup_baseline(key, cached)) {
+          slot.goodput = cached;
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+          PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
+          slot.ok = true;
+          meter.tick(true);
+          continue;
+        }
+        claimed = (st == ClaimStatus::kAcquired);
+        const ScenarioConfig scenario = spec.make_scenario(slot.probe);
+        {
+          WorkspaceLease ws(workspaces);
+          slot.goodput = ws->baseline(scenario, spec.control);
+        }
+        store->store_baseline(key, slot.goodput);
+        simulated.fetch_add(1, std::memory_order_relaxed);
+        PDOS_REQUIRE(slot.goodput > 0.0, "baseline goodput is zero");
+        slot.ok = true;
+        meter.tick(false);
+      } catch (const std::exception& e) {
+        if (claimed) store->release_baseline(key);
+        slot.error = e.what();
+        if (options.cancel_on_failure) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+        meter.tick(false);
+      }
+    }
+    deferred_baselines.swap(still);
+  }
+
   // Phase 2: the points themselves.
   if (!batched) {
     parallel_for(pool, points.size(), [&](std::size_t i) {
@@ -654,18 +777,34 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
         meter.tick(false);
         return;  // stays kSkipped
       }
+      const std::uint64_t key =
+          store ? point_key(spec, slot.point, slot.seed) : 0;
       bool hit = false;
+      bool claimed = false;
       try {
         // A cached point carries everything, including its baseline — it can
         // complete even when this run's baseline task failed.
-        const std::uint64_t key =
-            cache ? point_key(spec, slot.point, slot.seed) : 0;
         CachedPoint cached;
-        if (cache && cache->lookup_point(key, cached)) {
+        if (store && store->lookup_point(key, cached)) {
           fill_cached_point(slot, cached);
           cache_hits.fetch_add(1, std::memory_order_relaxed);
           meter.tick(true);
           return;
+        }
+        if (store) {
+          const ClaimStatus st = store->claim_point(key);
+          if (st == ClaimStatus::kBusy) {
+            std::lock_guard<std::mutex> lock(deferred_mutex);
+            deferred_points.push_back(i);
+            return;  // resolved (and ticked) by the drain pass
+          }
+          if (st == ClaimStatus::kDone && store->lookup_point(key, cached)) {
+            fill_cached_point(slot, cached);
+            cache_hits.fetch_add(1, std::memory_order_relaxed);
+            meter.tick(true);
+            return;
+          }
+          claimed = (st == ClaimStatus::kAcquired);
         }
 
         const BaselineSlot& baseline = baselines[baseline_index.at(
@@ -684,8 +823,10 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
                               spec.control, baseline.goodput);
         }
         fill_measured(slot, measured, baseline.goodput);
-        if (cache) cache->store_point(key, to_cached_point(slot));
+        if (store) store->store_point(key, to_cached_point(slot));
+        simulated.fetch_add(1, std::memory_order_relaxed);
       } catch (const std::exception& e) {
+        if (claimed) store->release_point(key);
         slot.status = PointStatus::kFailed;
         slot.error = e.what();
         if (options.cancel_on_failure) {
@@ -706,21 +847,38 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
         }
         return;
       }
-      // Cached replicates complete individually; the rest run as one batch.
+      // Cached replicates complete individually; replicates leased to a
+      // peer process defer to the drain pass; the rest run as one batch.
       std::vector<std::size_t> miss;
+      std::vector<std::uint64_t> miss_keys;
       for (std::size_t j = 0; j < group.count; ++j) {
         const std::size_t i = group.first + j;
         PointResult& slot = result.points[i];
         const std::uint64_t key =
-            cache ? point_key(spec, slot.point, slot.seed) : 0;
+            store ? point_key(spec, slot.point, slot.seed) : 0;
         CachedPoint cached;
-        if (cache && cache->lookup_point(key, cached)) {
+        if (store && store->lookup_point(key, cached)) {
           fill_cached_point(slot, cached);
           cache_hits.fetch_add(1, std::memory_order_relaxed);
           meter.tick(true);
-        } else {
-          miss.push_back(i);
+          continue;
         }
+        if (store) {
+          const ClaimStatus st = store->claim_point(key);
+          if (st == ClaimStatus::kBusy) {
+            std::lock_guard<std::mutex> lock(deferred_mutex);
+            deferred_points.push_back(i);
+            continue;
+          }
+          if (st == ClaimStatus::kDone && store->lookup_point(key, cached)) {
+            fill_cached_point(slot, cached);
+            cache_hits.fetch_add(1, std::memory_order_relaxed);
+            meter.tick(true);
+            continue;
+          }
+        }
+        miss.push_back(i);
+        miss_keys.push_back(key);
       }
       if (miss.empty()) return;
       try {
@@ -733,13 +891,16 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
         const AttackPlan plan =
             plan_point_attack(scenario, points[miss.front()]);
         std::vector<std::size_t> runnable;
+        std::vector<std::uint64_t> runnable_keys;
         std::vector<std::uint64_t> seeds;
         std::vector<BitRate> base_goodputs;
-        for (std::size_t i : miss) {
+        for (std::size_t k = 0; k < miss.size(); ++k) {
+          const std::size_t i = miss[k];
           PointResult& slot = result.points[i];
           const BaselineSlot& baseline = baselines[baseline_index.at(
               slot.point.flows, slot.point.replicate)];
           if (!baseline.ok) {
+            if (store) store->release_point(miss_keys[k]);
             slot.status = PointStatus::kFailed;
             slot.error = "baseline failed: " + baseline.error;
             if (options.cancel_on_failure) {
@@ -749,6 +910,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
             continue;
           }
           runnable.push_back(i);
+          runnable_keys.push_back(miss_keys[k]);
           seeds.push_back(slot.seed);
           base_goodputs.push_back(baseline.goodput);
         }
@@ -764,19 +926,21 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
             PointResult& slot = result.points[runnable[k]];
             fill_plan(slot, plan);
             fill_measured(slot, measured[k], base_goodputs[k]);
-            if (cache) {
-              cache->store_point(point_key(spec, slot.point, slot.seed),
-                                 to_cached_point(slot));
+            if (store) {
+              store->store_point(runnable_keys[k], to_cached_point(slot));
             }
+            simulated.fetch_add(1, std::memory_order_relaxed);
             meter.tick(false);
           }
         }
       } catch (const std::exception& e) {
         // Planning or the batch run failed: every replicate that has not
-        // been resolved yet (still kSkipped) inherits the error.
-        for (std::size_t i : miss) {
-          PointResult& slot = result.points[i];
+        // been resolved yet (still kSkipped) inherits the error and gives
+        // up its claim so a peer can retry immediately.
+        for (std::size_t k = 0; k < miss.size(); ++k) {
+          PointResult& slot = result.points[miss[k]];
           if (slot.status != PointStatus::kSkipped) continue;
+          if (store) store->release_point(miss_keys[k]);
           slot.status = PointStatus::kFailed;
           slot.error = e.what();
           meter.tick(false);
@@ -787,7 +951,78 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       }
     });
   }
+
+  // Drain points leased to peer processes (same protocol as the baseline
+  // drain above).
+  while (store && !deferred_points.empty()) {
+    if (cancel.load(std::memory_order_relaxed)) {
+      for (std::size_t i : deferred_points) {
+        (void)i;
+        meter.tick(false);  // slots stay kSkipped
+      }
+      deferred_points.clear();
+      break;
+    }
+    std::this_thread::sleep_for(poll_interval);
+    store->refresh();
+    std::vector<std::size_t> still;
+    for (std::size_t i : deferred_points) {
+      PointResult& slot = result.points[i];
+      const std::uint64_t key = point_key(spec, slot.point, slot.seed);
+      bool claimed = false;
+      try {
+        CachedPoint cached;
+        if (store->lookup_point(key, cached)) {
+          fill_cached_point(slot, cached);
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+          meter.tick(true);
+          continue;
+        }
+        const ClaimStatus st = store->claim_point(key);
+        if (st == ClaimStatus::kBusy) {
+          still.push_back(i);
+          continue;
+        }
+        if (st == ClaimStatus::kDone && store->lookup_point(key, cached)) {
+          fill_cached_point(slot, cached);
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+          meter.tick(true);
+          continue;
+        }
+        claimed = (st == ClaimStatus::kAcquired);
+        const BaselineSlot& baseline = baselines[baseline_index.at(
+            slot.point.flows, slot.point.replicate)];
+        if (!baseline.ok) {
+          throw std::runtime_error("baseline failed: " + baseline.error);
+        }
+        const ScenarioConfig scenario = spec.make_scenario(slot.point);
+        const AttackPlan plan = plan_point_attack(scenario, slot.point);
+        fill_plan(slot, plan);
+        GainMeasurement measured;
+        {
+          WorkspaceLease ws(workspaces);
+          measured = ws->gain(scenario, plan.train, slot.point.kappa,
+                              spec.control, baseline.goodput);
+        }
+        fill_measured(slot, measured, baseline.goodput);
+        store->store_point(key, to_cached_point(slot));
+        simulated.fetch_add(1, std::memory_order_relaxed);
+        meter.tick(false);
+      } catch (const std::exception& e) {
+        if (claimed) store->release_point(key);
+        slot.status = PointStatus::kFailed;
+        slot.error = e.what();
+        if (options.cancel_on_failure) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+        meter.tick(false);
+      }
+    }
+    deferred_points.swap(still);
+  }
+
   result.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  result.simulated = simulated.load(std::memory_order_relaxed);
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -849,6 +1084,24 @@ std::vector<AggregateRow> aggregate_replicates(const SweepResult& result) {
   return rows;
 }
 
+namespace {
+
+/// Spread statistics (stddev/CI) are undefined below two replicates: the
+/// CSV cell is left empty rather than printing a misleading 0 (or a NaN if
+/// a caller aggregated rows by hand). JSON, which has no empty-number
+/// notion, emits 0 for the same cases.
+std::string spread_csv(double value, std::size_t replicates) {
+  if (replicates < 2 || !std::isfinite(value)) return "";
+  return fmt(value);
+}
+
+double spread_json(double value, std::size_t replicates) {
+  if (replicates < 2 || !std::isfinite(value)) return 0.0;
+  return value;
+}
+
+}  // namespace
+
 void write_aggregate_csv(const std::vector<AggregateRow>& rows,
                          std::ostream& out) {
   CsvWriter csv(out, {"scenario_flows", "textent_ms", "rattack_mbps", "gamma",
@@ -860,8 +1113,10 @@ void write_aggregate_csv(const std::vector<AggregateRow>& rows,
              fmt(to_mbps(r.point.rattack)), fmt(r.point.gamma),
              fmt(r.point.kappa),
              fmt(static_cast<std::uint64_t>(r.replicates)), fmt(r.mean_gain),
-             fmt(r.stddev_gain), fmt(r.ci95_gain), fmt(r.mean_degradation),
-             fmt(r.stddev_degradation), fmt(r.ci95_degradation),
+             spread_csv(r.stddev_gain, r.replicates),
+             spread_csv(r.ci95_gain, r.replicates), fmt(r.mean_degradation),
+             spread_csv(r.stddev_degradation, r.replicates),
+             spread_csv(r.ci95_degradation, r.replicates),
              fmt(to_mbps(r.mean_goodput))});
   }
 }
@@ -878,11 +1133,13 @@ void write_aggregate_json(const std::vector<AggregateRow>& rows,
         << ", \"kappa\": " << fmt(r.point.kappa)
         << ", \"replicates\": " << r.replicates
         << ", \"mean_gain\": " << fmt(r.mean_gain)
-        << ", \"stddev_gain\": " << fmt(r.stddev_gain)
-        << ", \"ci95_gain\": " << fmt(r.ci95_gain)
+        << ", \"stddev_gain\": " << fmt(spread_json(r.stddev_gain, r.replicates))
+        << ", \"ci95_gain\": " << fmt(spread_json(r.ci95_gain, r.replicates))
         << ", \"mean_degradation\": " << fmt(r.mean_degradation)
-        << ", \"stddev_degradation\": " << fmt(r.stddev_degradation)
-        << ", \"ci95_degradation\": " << fmt(r.ci95_degradation)
+        << ", \"stddev_degradation\": "
+        << fmt(spread_json(r.stddev_degradation, r.replicates))
+        << ", \"ci95_degradation\": "
+        << fmt(spread_json(r.ci95_degradation, r.replicates))
         << ", \"mean_goodput_mbps\": " << fmt(to_mbps(r.mean_goodput)) << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }

@@ -26,6 +26,8 @@
 
 namespace pdos::sweep {
 
+class PointStore;  // sweep/point_cache.hpp
+
 /// Which paper scenario family the sweep instantiates.
 enum class ScenarioKind { kNs2Dumbbell, kTestbed };
 
@@ -166,6 +168,11 @@ struct SweepResult {
   /// Tasks (baselines + points) answered from the point cache instead of
   /// simulation. 0 when no cache was configured.
   std::size_t cache_hits = 0;
+  /// Tasks this process simulated itself (as opposed to cache hits and
+  /// failures). Campaign workers sum this across processes to verify the
+  /// claim protocol deduplicated the grid: a cold K-worker campaign should
+  /// sum to ~the unique task count, not K× it.
+  std::size_t simulated = 0;
 
   std::size_t failures() const;
   std::size_t completed() const;
@@ -232,6 +239,16 @@ struct SweepOptions {
   /// so re-running a campaign resumes instead of recomputing. Empty
   /// disables caching.
   std::string cache_path;
+  /// External result store overriding `cache_path` (not owned; must outlive
+  /// the call). With a claiming store (CampaignStore), every cold task is
+  /// claimed before simulation: tasks another process holds a live lease on
+  /// are deferred and drained after the main pass — resolved from the store
+  /// when the other worker's result lands, or simulated locally once its
+  /// lease expires. This is what lets K cooperating processes partition one
+  /// grid with near-zero duplicated work.
+  PointStore* store = nullptr;
+  /// Poll interval (seconds) while draining tasks leased to other workers.
+  double claim_poll_seconds = 0.05;
 };
 
 /// Execute the sweep: baselines first (one per unique (flows, replicate)),

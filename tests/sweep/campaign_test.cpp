@@ -1,0 +1,181 @@
+// Campaign orchestration: cross-process dedup through the shared store,
+// the no-duplicated-work invariant of run_campaign, byte-identical merged
+// CSVs across campaigns, and lookup-only replay.
+#include "sweep/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sweep/campaign_store.hpp"
+
+namespace pdos::sweep {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    char name[] = "/tmp/pdos_campaign_test_XXXXXX";
+    EXPECT_NE(mkdtemp(name), nullptr);
+    path_ = name;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string sub(const std::string& leaf) const { return path_ + "/" + leaf; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Small, fast-backend grid: 2 points x 2 replicates + 2 baselines.
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.backend = Backend::kFast;
+  spec.flow_counts = {3};
+  spec.textents = {ms(50)};
+  spec.rattacks = {mbps(25)};
+  spec.gammas = {0.3, 0.6};
+  spec.replicates = 2;
+  spec.control.warmup = sec(0.5);
+  spec.control.measure = sec(1.5);
+  return spec;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string csv_of(const SweepResult& result) {
+  std::ostringstream out;
+  result.write_csv(out);
+  return out.str();
+}
+
+// The cross-process dedup satellite: a child process sweeps the grid cold
+// through a CampaignStore, then this process sweeps the same grid against
+// the same store — every task must be a hit and the tables byte-identical.
+TEST(CampaignTest, SecondProcessGetsAllHitsAndIdenticalCsv) {
+  TempDir dir;
+  const SweepSpec spec = tiny_spec();
+  const std::string child_csv = dir.sub("child.csv");
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    CampaignStore store(dir.sub("store.d"));
+    SweepOptions options;
+    options.threads = 1;
+    options.store = &store;
+    const SweepResult result = run_sweep(spec, options);
+    std::ofstream out(child_csv, std::ios::binary);
+    result.write_csv(out);
+    out.close();  // _exit skips destructors; flush explicitly
+    _exit(result.failures() == 0 ? 0 : 1);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  CampaignStore store(dir.sub("store.d"));
+  SweepOptions options;
+  options.threads = 1;
+  options.store = &store;
+  const SweepResult result = run_sweep(spec, options);
+  EXPECT_EQ(result.failures(), 0u);
+  EXPECT_EQ(result.simulated, 0u);  // 100% cache hits
+  EXPECT_EQ(result.cache_hits, count_unique_tasks(spec));
+  EXPECT_EQ(csv_of(result), slurp(child_csv));
+}
+
+TEST(CampaignTest, ColdCampaignNeverDuplicatesWork) {
+  TempDir dir;
+  CampaignSpec spec;
+  spec.spec = tiny_spec();
+  spec.csv_path = dir.sub("out/tiny.csv");
+  spec.name = "tiny";
+
+  CampaignOptions options;
+  options.store_dir = dir.sub("store.d");
+  options.workers = 2;
+  options.threads = 1;
+  options.claim_poll_seconds = 0.01;
+
+  const CampaignResult cold = run_campaign({spec}, options);
+  EXPECT_TRUE(cold.ok());
+  EXPECT_EQ(cold.worker_failures, 0);
+  EXPECT_EQ(cold.unique_tasks, count_unique_tasks(spec.spec));
+  // The claim protocol's whole point: K workers, each walking the full
+  // grid, together simulate each unique task at most once.
+  EXPECT_LE(cold.worker_simulated + cold.final_simulated, cold.unique_tasks);
+  EXPECT_GT(cold.worker_simulated + cold.final_simulated, 0u);
+  const std::string cold_csv = slurp(spec.csv_path);
+  EXPECT_FALSE(cold_csv.empty());
+
+  // Resubmitting the identical campaign answers everything from the store
+  // and reproduces the merged CSV byte for byte.
+  CampaignSpec again = spec;
+  again.csv_path = dir.sub("out/tiny2.csv");
+  const CampaignResult warm = run_campaign({again}, options);
+  EXPECT_TRUE(warm.ok());
+  EXPECT_EQ(warm.worker_simulated, 0u);
+  EXPECT_EQ(warm.final_simulated, 0u);
+  EXPECT_EQ(slurp(again.csv_path), cold_csv);
+}
+
+TEST(CampaignTest, OverlappingSpecsShareTheStore) {
+  TempDir dir;
+  // Warm the store with a 1-gamma subset...
+  SweepSpec subset = tiny_spec();
+  subset.gammas = {0.3};
+  {
+    CampaignStore store(dir.sub("store.d"));
+    SweepOptions options;
+    options.threads = 1;
+    options.store = &store;
+    const SweepResult r = run_sweep(subset, options);
+    ASSERT_EQ(r.failures(), 0u);
+  }
+  // ...then a lookup-only replay of the 2-gamma superset resolves exactly
+  // the shared sub-grid (keys are content hashes, not per-spec).
+  CampaignStore store(dir.sub("store.d"));
+  const SweepSpec superset = tiny_spec();
+  const SweepResult replay = replay_from_store(superset, store);
+  std::size_t ok = 0, skipped = 0;
+  for (const auto& point : replay.points) {
+    if (point.status == PointStatus::kOk) ++ok;
+    if (point.status == PointStatus::kSkipped) ++skipped;
+  }
+  EXPECT_EQ(ok, subset.enumerate().size());
+  EXPECT_EQ(skipped, superset.enumerate().size() - subset.enumerate().size());
+
+  // A full sweep of the superset only simulates the missing gamma.
+  SweepOptions options;
+  options.threads = 1;
+  options.store = &store;
+  const SweepResult full = run_sweep(superset, options);
+  EXPECT_EQ(full.failures(), 0u);
+  EXPECT_EQ(full.simulated,
+            count_unique_tasks(superset) - count_unique_tasks(subset));
+}
+
+TEST(CampaignTest, CountUniqueTasksIsPointsPlusUniqueBaselines) {
+  const SweepSpec spec = tiny_spec();
+  // One flow count: one baseline per replicate, shared by both gammas.
+  EXPECT_EQ(count_unique_tasks(spec),
+            spec.enumerate().size() + spec.replicates);
+}
+
+}  // namespace
+}  // namespace pdos::sweep

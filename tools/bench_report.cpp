@@ -4,10 +4,12 @@
 // fast-path scenarios (interleaved fast/full A/B), the fluid-surrogate vs
 // packet A/B on a fig. 6 quick grid point, the sharded-vs-single PDES A/B
 // on a 10 Gbps LargeScale scenario, the sequential-vs-batched replicate
-// A/B at R = 8 (DESIGN.md §14), and a fixed fig. 6 quick-mode sweep (cold
-// and cache-resumed), and writes BENCH_engine.json, BENCH_datapath.json,
-// BENCH_sweep.json, BENCH_scale.json, BENCH_fluid.json, BENCH_pdes.json,
-// and BENCH_replicate.json.
+// A/B at R = 8 (DESIGN.md §14), the 1-worker vs K-worker multi-process
+// campaign A/B over a shared CampaignStore (DESIGN.md §15), and a fixed
+// fig. 6 quick-mode sweep (cold and cache-resumed), and writes
+// BENCH_engine.json, BENCH_datapath.json, BENCH_sweep.json,
+// BENCH_scale.json, BENCH_fluid.json, BENCH_pdes.json,
+// BENCH_replicate.json, and BENCH_campaign.json.
 //
 // This is the tracked-baseline half of the perf story: google-benchmark
 // (bench/micro_engine, bench/micro_datapath, bench/micro_setup,
@@ -27,6 +29,7 @@
 //                [--fluid-baseline FILE] [--pdes-out FILE]
 //                [--pdes-baseline FILE] [--fluid-surface-out FILE]
 //                [--replicate-out FILE] [--replicate-baseline FILE]
+//                [--campaign-out FILE] [--campaign-baseline FILE]
 //                [--check] [--reps N] [--skip-sweep]
 //
 //   --out FILE                engine output path (default BENCH_engine.json)
@@ -81,6 +84,19 @@
 //                             microseconds and jitters well past the 30%
 //                             tolerance run to run; the 1.3x same-machine
 //                             floor (measured ~8x) is the real promise.
+//   --campaign-out FILE       multi-process campaign output (default
+//                             BENCH_campaign.json)
+//   --campaign-baseline FILE  committed campaign reference; the K-worker
+//                             cold campaign's task throughput is gated
+//                             against it. Under --check the K-worker vs
+//                             1-worker cold-campaign speedup must clear the
+//                             >= 2.5x floor — but ONLY on hosts with at
+//                             least 4 hardware threads (single-core runners
+//                             print a skip line: forked workers cannot beat
+//                             one process without parallel hardware), and
+//                             the all-hit resume must simulate nothing and
+//                             reproduce the merged CSV byte for byte (that
+//                             pair gates on every host).
 //   --check                   exit non-zero if any micro-benchmark runs >30%
 //                             slower than its baseline (requires the
 //                             corresponding --*baseline)
@@ -110,6 +126,7 @@
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 #include "stats/stats_hub.hpp"
+#include "sweep/campaign.hpp"
 #include "sweep/replicate_batch.hpp"
 #include "sweep/sweep.hpp"
 #include "sweep/thread_pool.hpp"
@@ -148,6 +165,18 @@ constexpr int kPdesShards = 4;
 // reuse, not event work), so only its baseline-gated throughput is tracked.
 constexpr double kReplicateSpeedupFloor = 1.3;
 constexpr int kReplicateCount = 8;
+
+// The multi-process campaign contract (DESIGN.md §15): a cold
+// kCampaignWorkers-process campaign over a shared CampaignStore must beat
+// the same campaign run by one process by at least this much — but, like
+// the PDES floor, only where the hardware can deliver it. Hosts with fewer
+// than kCampaignFloorMinThreads hardware threads skip the floor out loud;
+// the speedup still rides along in the artifact. The resume half of the
+// contract (all-hit, byte-identical merged CSV) is hardware-independent
+// and gates on every host.
+constexpr double kCampaignSpeedupFloor = 2.5;
+constexpr unsigned kCampaignFloorMinThreads = 4;
+constexpr int kCampaignWorkers = 4;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -477,6 +506,86 @@ PdesMeasurement measure_pdes(int reps) {
   return m;
 }
 
+// --- multi-process campaign A/B (mirror tests/sweep, DESIGN.md §15) ------
+
+/// The campaign target grid: one fast-backend fig. 6 slice with enough
+/// independent tasks (32 points + 4 baselines) that four workers can
+/// partition it meaningfully, and per-task horizons long enough that the
+/// simulation dwarfs fork + store overhead.
+sweep::SweepSpec campaign_bench_spec() {
+  sweep::SweepSpec spec;
+  spec.backend = Backend::kFast;
+  spec.flow_counts = {15};
+  spec.textents = {ms(50)};
+  spec.rattacks = {mbps(25)};
+  spec.gammas = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  spec.replicates = 4;
+  spec.control.warmup = sec(5);
+  spec.control.measure = sec(15);
+  return spec;
+}
+
+struct CampaignMeasurement {
+  std::size_t unique_tasks = 0;
+  double single_wall = 0.0;   // cold, 1 worker, fresh store
+  double multi_wall = 0.0;    // cold, kCampaignWorkers workers, fresh store
+  double resume_wall = 0.0;   // identical campaign over the warm store
+  std::size_t single_simulated = 0;
+  std::size_t multi_simulated = 0;
+  std::size_t resume_simulated = 0;  // must be 0: all-hit resume
+  bool csv_identical = false;  // single == multi == resume, byte for byte
+  bool ok = true;              // no point failures, no worker crashes
+};
+
+/// Three campaigns over the same spec: cold single-process, cold
+/// K-process (fresh store each), then a resume of the K-process store.
+/// Single-shot rather than best-of — a cold campaign consumed its own
+/// precondition, and the resume arm is a correctness check first.
+CampaignMeasurement measure_campaign(const std::string& scratch_prefix) {
+  CampaignMeasurement m;
+  sweep::CampaignSpec spec;
+  spec.spec = campaign_bench_spec();
+  spec.name = "bench";
+  const std::string single_dir = scratch_prefix + ".single.store.tmp";
+  const std::string multi_dir = scratch_prefix + ".multi.store.tmp";
+  std::filesystem::remove_all(single_dir);
+  std::filesystem::remove_all(multi_dir);
+
+  sweep::CampaignOptions options;
+  options.threads = 1;  // per worker: process count is the variable
+  options.claim_poll_seconds = 0.01;
+
+  options.store_dir = single_dir;
+  options.workers = 1;
+  const sweep::CampaignResult single = sweep::run_campaign({spec}, options);
+  m.unique_tasks = single.unique_tasks;
+  m.single_wall = single.wall_seconds;
+  m.single_simulated = single.worker_simulated + single.final_simulated;
+  m.ok = m.ok && single.ok();
+
+  options.store_dir = multi_dir;
+  options.workers = kCampaignWorkers;
+  const sweep::CampaignResult multi = sweep::run_campaign({spec}, options);
+  m.multi_wall = multi.wall_seconds;
+  m.multi_simulated = multi.worker_simulated + multi.final_simulated;
+  m.ok = m.ok && multi.ok();
+
+  const sweep::CampaignResult resume = sweep::run_campaign({spec}, options);
+  m.resume_wall = resume.wall_seconds;
+  m.resume_simulated = resume.worker_simulated + resume.final_simulated;
+  m.ok = m.ok && resume.ok();
+
+  std::ostringstream a, b, c;
+  single.specs[0].result.write_csv(a);
+  multi.specs[0].result.write_csv(b);
+  resume.specs[0].result.write_csv(c);
+  m.csv_identical = a.str() == b.str() && b.str() == c.str();
+
+  std::filesystem::remove_all(single_dir);
+  std::filesystem::remove_all(multi_dir);
+  return m;
+}
+
 // --- fluid-tier attack-gain surface (γ × T_extent heatmap) ---------------
 
 /// Sweep the pulse shape over a γ × T_extent grid on the fluid surrogate
@@ -661,6 +770,8 @@ int main(int argc, char** argv) {
   std::string pdes_baseline_path;
   std::string replicate_out_path = "BENCH_replicate.json";
   std::string replicate_baseline_path;
+  std::string campaign_out_path = "BENCH_campaign.json";
+  std::string campaign_baseline_path;
   std::string fluid_surface_path;
   bool check = false;
   bool skip_sweep = false;
@@ -696,6 +807,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--replicate-baseline") == 0 &&
                i + 1 < argc) {
       replicate_baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--campaign-out") == 0 && i + 1 < argc) {
+      campaign_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--campaign-baseline") == 0 &&
+               i + 1 < argc) {
+      campaign_baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--fluid-surface-out") == 0 &&
                i + 1 < argc) {
       fluid_surface_path = argv[++i];
@@ -714,6 +830,7 @@ int main(int argc, char** argv) {
                    "[--fluid-out FILE] [--fluid-baseline FILE] "
                    "[--pdes-out FILE] [--pdes-baseline FILE] "
                    "[--replicate-out FILE] [--replicate-baseline FILE] "
+                   "[--campaign-out FILE] [--campaign-baseline FILE] "
                    "[--fluid-surface-out FILE] "
                    "[--check] [--reps N] [--skip-sweep]\n");
       return 2;
@@ -722,7 +839,7 @@ int main(int argc, char** argv) {
   if (check && baseline_path.empty() && datapath_baseline_path.empty() &&
       sweep_baseline_path.empty() && scale_baseline_path.empty() &&
       fluid_baseline_path.empty() && pdes_baseline_path.empty() &&
-      replicate_baseline_path.empty()) {
+      replicate_baseline_path.empty() && campaign_baseline_path.empty()) {
     std::fprintf(stderr, "bench_report: --check requires a baseline\n");
     return 2;
   }
@@ -850,6 +967,23 @@ int main(int argc, char** argv) {
   replicate_micros[1].rate =
       static_cast<double>(kReplicateCount) / replicate_fluid.batched_wall;
 
+  // Campaign family: cold 1-worker vs cold kCampaignWorkers-worker campaign
+  // over a shared CampaignStore, plus an all-hit resume. The gated metric
+  // is the multi-worker cold campaign's task throughput; the walls, the
+  // speedup, and the resume pair ride along. run_campaign forks, which is
+  // safe here: every ThreadPool the measurements above created has been
+  // joined and destroyed by now.
+  const CampaignMeasurement campaign = measure_campaign(campaign_out_path);
+  const double campaign_speedup =
+      campaign.multi_wall > 0.0 ? campaign.single_wall / campaign.multi_wall
+                                : 0.0;
+  std::vector<Micro> campaign_micros = {
+      {"campaign_multi_tasks_per_sec",
+       static_cast<double>(campaign.unique_tasks)},
+  };
+  campaign_micros[0].rate =
+      static_cast<double>(campaign.unique_tasks) / campaign.multi_wall;
+
   std::vector<Entry> entries;
   for (const Micro& m : micros) {
     std::printf("%-36s %12.0f items/s\n", m.key, m.rate);
@@ -945,6 +1079,45 @@ int main(int argc, char** argv) {
                                     replicate_fluid_speedup});
   replicate_entries.push_back(Entry{"replicate_speedup_floor",
                                     kReplicateSpeedupFloor});
+  std::vector<Entry> campaign_entries;
+  for (const Micro& m : campaign_micros) {
+    std::printf("%-36s %12.2f tasks/s\n", m.key, m.rate);
+    campaign_entries.push_back(Entry{m.key, m.rate});
+  }
+  std::printf("campaign %zu tasks: 1 worker %.3f s, %d workers %.3f s, "
+              "speedup %.2fx (floor %.1fx on >= %u threads); resume %.3f s "
+              "(%zu simulated, csv %s)\n",
+              campaign.unique_tasks, campaign.single_wall, kCampaignWorkers,
+              campaign.multi_wall, campaign_speedup, kCampaignSpeedupFloor,
+              kCampaignFloorMinThreads, campaign.resume_wall,
+              campaign.resume_simulated,
+              campaign.csv_identical ? "identical" : "DIVERGED");
+  campaign_entries.push_back(Entry{
+      "campaign_unique_tasks", static_cast<double>(campaign.unique_tasks)});
+  campaign_entries.push_back(
+      Entry{"campaign_workers", static_cast<double>(kCampaignWorkers)});
+  campaign_entries.push_back(
+      Entry{"campaign_single_wall_seconds", campaign.single_wall});
+  campaign_entries.push_back(
+      Entry{"campaign_multi_wall_seconds", campaign.multi_wall});
+  campaign_entries.push_back(
+      Entry{"campaign_resume_wall_seconds", campaign.resume_wall});
+  campaign_entries.push_back(Entry{
+      "campaign_single_simulated",
+      static_cast<double>(campaign.single_simulated)});
+  campaign_entries.push_back(Entry{
+      "campaign_multi_simulated",
+      static_cast<double>(campaign.multi_simulated)});
+  campaign_entries.push_back(Entry{
+      "campaign_resume_simulated",
+      static_cast<double>(campaign.resume_simulated)});
+  campaign_entries.push_back(
+      Entry{"campaign_resume_csv_identical",
+            campaign.csv_identical ? 1.0 : 0.0});
+  campaign_entries.push_back(
+      Entry{"campaign_speedup_vs_single", campaign_speedup});
+  campaign_entries.push_back(
+      Entry{"campaign_speedup_floor", kCampaignSpeedupFloor});
   {
     const double sim_horizon = large_scale_control().horizon();
     const struct {
@@ -1032,6 +1205,39 @@ int main(int argc, char** argv) {
     regressions += apply_baseline(replicate_baseline_path, replicate_micros,
                                   check, replicate_entries);
   }
+  if (!campaign_baseline_path.empty()) {
+    regressions += apply_baseline(campaign_baseline_path, campaign_micros,
+                                  check, campaign_entries);
+  }
+  if (check) {
+    // The campaign contract (DESIGN.md §15). The speedup half mirrors the
+    // PDES floor: same-machine ratio, gated directly, skipped out loud on
+    // hosts that cannot run 4 workers in parallel. The resume half —
+    // all-hit, byte-identical merged CSV, no failures — is pure protocol
+    // correctness and gates everywhere.
+    const unsigned threads = std::thread::hardware_concurrency();
+    if (threads < kCampaignFloorMinThreads) {
+      std::printf(
+          "campaign speedup floor skipped: %u hardware thread(s) < %u\n",
+          threads, kCampaignFloorMinThreads);
+    } else if (campaign_speedup < kCampaignSpeedupFloor) {
+      std::fprintf(stderr,
+                   "REGRESSION: %d-worker cold campaign is only %.2fx faster "
+                   "than 1 worker (floor: %.1fx on %u threads)\n",
+                   kCampaignWorkers, campaign_speedup, kCampaignSpeedupFloor,
+                   threads);
+      ++regressions;
+    }
+    if (!campaign.ok || campaign.resume_simulated != 0 ||
+        !campaign.csv_identical) {
+      std::fprintf(stderr,
+                   "REGRESSION: campaign resume contract broken (ok=%d, "
+                   "resume simulated %zu, csv %s)\n",
+                   campaign.ok ? 1 : 0, campaign.resume_simulated,
+                   campaign.csv_identical ? "identical" : "diverged");
+      ++regressions;
+    }
+  }
   if (check && replicate_fluid_speedup < kReplicateSpeedupFloor) {
     // Same-machine floor like the fluid and PDES ones (DESIGN.md §14): the
     // batch's once-per-point fluid solve must actually pay off.
@@ -1083,6 +1289,8 @@ int main(int argc, char** argv) {
   write_json(replicate_out_path, "pdos-bench-replicate-v1",
              replicate_entries);
   std::printf("wrote %s\n", replicate_out_path.c_str());
+  write_json(campaign_out_path, "pdos-bench-campaign-v1", campaign_entries);
+  std::printf("wrote %s\n", campaign_out_path.c_str());
   if (!fluid_surface_path.empty()) {
     emit_fluid_surface(fluid_surface_path);
     std::printf("wrote %s\n", fluid_surface_path.c_str());

@@ -3,8 +3,8 @@
 //
 // Usage:
 //   pdos_sweep SPECFILE [--threads N] [--csv PATH] [--json PATH]
-//              [--aggregate PATH] [--resume] [--cache PATH] [--quiet]
-//              [--keep-going]
+//              [--aggregate PATH] [--resume] [--cache PATH]
+//              [--campaign DIR] [--progress-json] [--quiet] [--keep-going]
 //
 // The spec format is documented in src/sweep/spec.hpp (and README.md,
 // "Running parameter sweeps"). Command-line flags override the file.
@@ -14,14 +14,21 @@
 // when the path ends in ".json". `--resume` enables the persistent point
 // cache at .pdos-cache/points.cache (or `--cache PATH`): completed points
 // are replayed instead of re-simulated, so an interrupted or repeated
-// campaign picks up where it left off.
+// campaign picks up where it left off. `--campaign DIR` (or `store =` in
+// the spec) coordinates through a sharded CampaignStore instead: several
+// pdos_sweep processes pointed at the same DIR partition a cold grid via
+// work claiming and share every result (see README.md, "Running
+// campaigns"). `--progress-json` emits machine-readable JSON-lines
+// progress on stderr for orchestrators and CI logs.
 // Exit status: 0 on success, 1 when any point failed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "sweep/campaign_store.hpp"
 #include "sweep/spec.hpp"
 #include "util/assert.hpp"
 
@@ -33,7 +40,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: pdos_sweep SPECFILE [--threads N] [--csv PATH] "
                "[--json PATH] [--aggregate PATH] [--resume] [--cache PATH] "
-               "[--quiet] [--keep-going]\n");
+               "[--campaign DIR] [--progress-json] [--quiet] "
+               "[--keep-going]\n");
   return 2;
 }
 
@@ -51,6 +59,7 @@ int main(int argc, char** argv) {
   }
 
   bool quiet = false;
+  bool progress_json = false;
   std::string aggregate_path;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -67,6 +76,10 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       file.options.cache_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--campaign") == 0 && i + 1 < argc) {
+      file.store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress-json") == 0) {
+      progress_json = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (std::strcmp(argv[i], "--keep-going") == 0) {
@@ -76,8 +89,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A campaign store (from --campaign or `store =`) supersedes the
+  // single-file cache: same keys, plus multi-process claiming.
+  std::unique_ptr<sweep::CampaignStore> store;
+  if (!file.store_dir.empty()) {
+    store = std::make_unique<sweep::CampaignStore>(file.store_dir);
+    file.options.store = store.get();
+  }
+
   const auto points = file.spec.enumerate();
-  if (!quiet) {
+  if (progress_json) {
+    // One JSON object per finished task, machine-readable on stderr (the
+    // CSV table owns stdout). Orchestrators and CI logs consume this.
+    file.options.on_progress = [](const sweep::SweepProgress& progress) {
+      std::fprintf(stderr,
+                   "{\"done\": %zu, \"total\": %zu, \"cached\": %zu, "
+                   "\"elapsed_s\": %.3f, \"eta_s\": %.3f}\n",
+                   progress.done, progress.total, progress.cached,
+                   progress.elapsed_seconds, progress.eta_seconds);
+    };
+  } else if (!quiet) {
     std::fprintf(stderr,
                  "pdos_sweep: %zu points (%s scenario, %s backend, "
                  "base seed %llu)\n",
@@ -99,7 +130,12 @@ int main(int argc, char** argv) {
                  result.completed(), result.failures(),
                  result.cancelled ? " (cancelled)" : "", result.threads,
                  result.wall_seconds);
-    if (!file.options.cache_path.empty()) {
+    if (store) {
+      std::fprintf(stderr,
+                   "pdos_sweep: %zu store hits, %zu simulated (%s)\n",
+                   result.cache_hits, result.simulated,
+                   file.store_dir.c_str());
+    } else if (!file.options.cache_path.empty()) {
       std::fprintf(stderr, "pdos_sweep: %zu cache hits (%s)\n",
                    result.cache_hits, file.options.cache_path.c_str());
     }
