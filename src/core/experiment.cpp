@@ -9,6 +9,7 @@
 #include "attack/distributed.hpp"
 #include "core/experiment_internal.hpp"
 #include "core/model.hpp"
+#include "fluid/batch.hpp"
 #include "fluid/hybrid.hpp"
 #include "net/droptail.hpp"
 #include "net/link.hpp"
@@ -178,25 +179,28 @@ using detail::big_fifo;
 using detail::kFlowStartStream;
 using detail::make_queue;
 
-/// kFluid backend: no simulator at all — translate, solve, and map the
-/// fluid observables onto RunResult so every caller (sweeps, optimizer,
-/// gain/baseline) consumes the surrogate through the same interface.
-RunResult run_fluid_backend(const ScenarioConfig& config,
-                            const std::optional<PulseTrain>& attack,
-                            const RunControl& control) {
-  const fluid::FluidConfig fc = make_fluid_config(config);
+fluid::FluidControl fluid_control_from(const RunControl& control) {
   fluid::FluidControl fctl;
   fctl.warmup = control.warmup;
   fctl.measure = control.measure;
   fctl.bin_width = control.bin_width;
   fctl.traced_class = control.traced_flow;
-  std::optional<fluid::FluidAttack> fattack;
-  if (attack) {
-    fattack = fluid::FluidAttack{attack->textent, attack->rattack,
-                                 attack->tspace, attack->packet_bytes};
-  }
-  fluid::FluidResult fr = fluid::solve(fc, fattack, fctl);
+  return fctl;
+}
 
+std::optional<fluid::FluidAttack> fluid_attack_from(
+    const std::optional<PulseTrain>& attack) {
+  if (!attack) return std::nullopt;
+  return fluid::FluidAttack{attack->textent, attack->rattack, attack->tspace,
+                            attack->packet_bytes};
+}
+
+/// Map the fluid observables onto RunResult so every caller (sweeps,
+/// optimizer, gain/baseline) consumes the surrogate through the same
+/// interface as the packet tiers. Shared by the single-point kFluid
+/// backend and the lane-batched run_fluid_batch.
+RunResult fluid_result_to_run(const std::optional<PulseTrain>& attack,
+                              fluid::FluidResult fr) {
   RunResult result;
   result.goodput_bytes = static_cast<Bytes>(fr.goodput_bytes);
   result.goodput_rate = fr.goodput_rate;
@@ -229,7 +233,58 @@ RunResult run_fluid_backend(const ScenarioConfig& config,
   return result;
 }
 
+/// kFluid backend: no simulator at all — translate, solve, map.
+RunResult run_fluid_backend(const ScenarioConfig& config,
+                            const std::optional<PulseTrain>& attack,
+                            const RunControl& control) {
+  return fluid_result_to_run(
+      attack, fluid::solve(make_fluid_config(config),
+                           fluid_attack_from(attack),
+                           fluid_control_from(control)));
+}
+
 }  // namespace
+
+std::vector<RunResult> run_fluid_batch(
+    const ScenarioConfig& config,
+    const std::vector<std::optional<PulseTrain>>& attacks,
+    const RunControl& control) {
+  config.validate();
+  PDOS_REQUIRE(control.warmup >= 0.0 && control.measure > 0.0,
+               "RunControl: need warmup >= 0 and measure > 0");
+  std::vector<fluid::BatchLane> lanes;
+  lanes.reserve(attacks.size());
+  for (const std::optional<PulseTrain>& attack : attacks) {
+    if (attack) attack->validate();
+    lanes.push_back(fluid::BatchLane{fluid_attack_from(attack)});
+  }
+  std::vector<fluid::FluidResult> solved = fluid::solve_batch(
+      make_fluid_config(config), lanes, fluid_control_from(control));
+  std::vector<RunResult> results;
+  results.reserve(solved.size());
+  for (std::size_t i = 0; i < solved.size(); ++i) {
+    results.push_back(fluid_result_to_run(attacks[i], std::move(solved[i])));
+  }
+  return results;
+}
+
+std::vector<GainMeasurement> fluid_gain_batch(const ScenarioConfig& config,
+                                              const std::vector<PulseTrain>& trains,
+                                              double kappa,
+                                              const RunControl& control,
+                                              BitRate baseline_goodput) {
+  std::vector<std::optional<PulseTrain>> attacks;
+  attacks.reserve(trains.size());
+  for (const PulseTrain& train : trains) attacks.emplace_back(train);
+  std::vector<RunResult> runs = run_fluid_batch(config, attacks, control);
+  std::vector<GainMeasurement> gains;
+  gains.reserve(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    gains.push_back(finish_gain(config, trains[i], kappa, baseline_goodput,
+                                std::move(runs[i])));
+  }
+  return gains;
+}
 
 void ScenarioWorkspace::build(const ScenarioConfig& config,
                               const std::optional<PulseTrain>& attack) {

@@ -350,6 +350,27 @@ GainMeasurement finish_gain(const ScenarioConfig& config,
 BitRate measure_baseline(const ScenarioConfig& config,
                          const RunControl& control);
 
+/// Lane-batched fluid runs (DESIGN.md §16): evaluate every attack plan in
+/// `attacks` (nullopt = unattacked baseline) on the fluid tier in one
+/// `fluid::solve_batch` call — same classes and topology, per-lane pulse
+/// trains. results[i] is bit-identical to `run_scenario` on the kFluid
+/// backend with attacks[i]; the batching only changes throughput. The
+/// scenario's `backend` field is ignored: calling this IS selecting the
+/// fluid tier.
+std::vector<RunResult> run_fluid_batch(
+    const ScenarioConfig& config,
+    const std::vector<std::optional<PulseTrain>>& attacks,
+    const RunControl& control);
+
+/// Batched gain points sharing one baseline: `run_fluid_batch` over
+/// `trains` folded through `finish_gain`. gains[i] is bit-identical to
+/// `measure_gain(config-with-kFluid, trains[i], ...)`.
+std::vector<GainMeasurement> fluid_gain_batch(const ScenarioConfig& config,
+                                              const std::vector<PulseTrain>& trains,
+                                              double kappa,
+                                              const RunControl& control,
+                                              BitRate baseline_goodput);
+
 /// Translate a scenario to the fluid tier's system description: one class
 /// per flow, the same RED parameterization `make_queue` builds, the TCP
 /// stack's AIMD/slow-start/RTO knobs. Used by the kFluid backend, the

@@ -141,29 +141,53 @@ GammaSearchResult run_gamma_search(const GammaSearch& search,
   ++result.packet_runs;
   PDOS_REQUIRE(result.baseline_goodput > 0.0,
                "gamma search: packet baseline produced no goodput");
+  FluidGainCache* cache = fluid_inner ? search.fluid_cache : nullptr;
   if (fluid_inner) {
-    result.fluid_baseline_goodput =
-        workspace.baseline(fluid_cfg, search.control);
-    ++result.fluid_runs;
+    std::optional<BitRate> fluid_baseline =
+        cache ? cache->lookup_baseline(search) : std::nullopt;
+    if (!fluid_baseline) {
+      fluid_baseline = workspace.baseline(fluid_cfg, search.control);
+      ++result.fluid_runs;
+      if (cache) cache->store_baseline(search, *fluid_baseline);
+    }
+    result.fluid_baseline_goodput = *fluid_baseline;
     PDOS_REQUIRE(result.fluid_baseline_goodput > 0.0,
                  "gamma search: fluid baseline produced no goodput");
   }
 
+  // Score the grid on the fluid surrogate: cache hits fill in directly,
+  // the misses are solved as lanes of ONE lane-batched fluid evaluation
+  // (fluid::solve_batch via fluid_gain_batch) — bit-identical to solving
+  // them one at a time, several times faster on SIMD builds.
   result.candidates.resize(static_cast<std::size_t>(search.grid_points));
+  std::vector<std::size_t> miss_index;
+  std::vector<PulseTrain> miss_trains;
   for (int i = 0; i < search.grid_points; ++i) {
     auto& cand = result.candidates[static_cast<std::size_t>(i)];
     cand.gamma = lo + (hi - lo) * static_cast<double>(i) /
                           static_cast<double>(search.grid_points - 1);
-    if (fluid_inner) {
-      const PulseTrain train =
-          PulseTrain::from_gamma(search.textent, search.rattack, cand.gamma,
-                                 packet_cfg.bottleneck);
-      cand.fluid_gain = workspace
-                            .gain(fluid_cfg, train, search.kappa,
-                                  search.control,
-                                  result.fluid_baseline_goodput)
-                            .gain;
+    if (!fluid_inner) continue;
+    if (cache) {
+      if (const std::optional<double> hit =
+              cache->lookup_gain(search, cand.gamma)) {
+        cand.fluid_gain = *hit;
+        continue;
+      }
+    }
+    miss_index.push_back(static_cast<std::size_t>(i));
+    miss_trains.push_back(PulseTrain::from_gamma(search.textent,
+                                                 search.rattack, cand.gamma,
+                                                 packet_cfg.bottleneck));
+  }
+  if (!miss_trains.empty()) {
+    const std::vector<GainMeasurement> gains =
+        fluid_gain_batch(fluid_cfg, miss_trains, search.kappa, search.control,
+                         result.fluid_baseline_goodput);
+    for (std::size_t k = 0; k < miss_index.size(); ++k) {
+      auto& cand = result.candidates[miss_index[k]];
+      cand.fluid_gain = gains[k].gain;
       ++result.fluid_runs;
+      if (cache) cache->store_gain(search, cand.gamma, cand.fluid_gain);
     }
   }
 

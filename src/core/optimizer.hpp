@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -60,7 +61,33 @@ double optimal_mu_risk_neutral_paper(double c_attack, Time textent,
 /// Gain achieved at the optimum, G(γ*).
 double optimal_gain(double cpsi, double kappa);
 
-// --- Empirical search-then-confirm (DESIGN.md §12) ----------------------
+// --- Empirical search-then-confirm (DESIGN.md §12, §16) -----------------
+
+struct GammaSearch;
+
+/// Cache hook for the fluid phase of `search_confirm_gamma`: lets callers
+/// persist surrogate gains and baselines (e.g. in a sweep's PointStore, see
+/// sweep/optimizer_cache.hpp) so a resumed search skips already-solved γ
+/// lanes. The optimizer consults the cache before solving, batches only the
+/// misses through the lane-batched fluid tier, and stores what it solved.
+/// Key derivation is the implementation's business — the optimizer hands
+/// over exactly the (search, γ) pair it would otherwise evaluate. Because
+/// batched fluid results are bit-identical to point-at-a-time ones
+/// (DESIGN.md §16), a hit is indistinguishable from a re-solve; `fluid_runs`
+/// in the result counts only actual solves, so a fully warmed cache yields
+/// fluid_runs == 0.
+class FluidGainCache {
+ public:
+  virtual ~FluidGainCache() = default;
+  /// Cached fluid baseline goodput for this search's scenario, or nullopt.
+  virtual std::optional<BitRate> lookup_baseline(const GammaSearch& search) = 0;
+  virtual void store_baseline(const GammaSearch& search, BitRate baseline) = 0;
+  /// Cached surrogate gain G at γ, or nullopt on a miss.
+  virtual std::optional<double> lookup_gain(const GammaSearch& search,
+                                            double gamma) = 0;
+  virtual void store_gain(const GammaSearch& search, double gamma,
+                          double gain) = 0;
+};
 
 /// One empirical γ* search: fix the pulse shape (T_extent, R_attack) and
 /// scan γ — i.e. T_space via Eq. (7) — over a grid, maximizing measured
@@ -76,6 +103,9 @@ struct GammaSearch {
   int confirm_top = 3;       // fluid-ranked candidates re-run at packet level
   double gamma_lo = 0.0;     // <= 0: auto, max(C_Ψ + 0.02, 0.1)
   double gamma_hi = 0.95;
+  /// Optional fluid-gain cache (non-owning; see FluidGainCache above).
+  /// Null runs every fluid point, matching the pre-cache behaviour.
+  FluidGainCache* fluid_cache = nullptr;
 };
 
 struct GammaCandidate {

@@ -1,0 +1,362 @@
+#include "fluid/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "fluid/kernels.hpp"
+#include "fluid/solve_detail.hpp"
+#include "util/assert.hpp"
+
+namespace pdos::fluid {
+
+namespace {
+
+using detail::kInf;
+using detail::kTimeEps;
+using simd::DVec;
+
+/// The scalar per-lane driver state: everything fluid::solve keeps in
+/// locals, one copy per lane, advanced on each lane's own schedule.
+struct LaneDriver {
+  const FluidAttack* attack = nullptr;  // null: unattacked baseline lane
+  double atk_pps = 0.0;
+  double atk_bytes = 0.0;
+  bool active = false;
+  bool marked = false;
+  double q = 0.0;    // queue level, packets
+  double avg = 0.0;  // RED EWMA estimate
+  Time t = 0.0;
+  Time next_sample = 0.0;
+  std::vector<double> warmup_mark;
+  std::uint64_t loss_events = 0;
+  std::uint64_t timeouts = 0;
+  FluidResult result;
+};
+
+}  // namespace
+
+std::vector<FluidResult> solve_batch(const FluidConfig& config,
+                                     const std::vector<BatchLane>& lanes,
+                                     const FluidControl& control) {
+  config.validate();
+  PDOS_REQUIRE(!lanes.empty(), "solve_batch: need at least one lane");
+  PDOS_REQUIRE(control.warmup >= 0.0 && control.measure > 0.0,
+               "FluidControl: need warmup >= 0 and measure > 0");
+  for (const BatchLane& lane : lanes) {
+    if (lane.attack) {
+      PDOS_REQUIRE(lane.attack->textent > 0.0 && lane.attack->rattack > 0.0 &&
+                       lane.attack->tspace >= 0.0 &&
+                       lane.attack->packet_bytes > 0,
+                   "FluidAttack: invalid pulse train");
+    }
+  }
+  if (control.traced_class >= 0) {
+    PDOS_REQUIRE(static_cast<std::size_t>(control.traced_class) <
+                     config.classes.size(),
+                 "FluidControl: traced_class out of range");
+  }
+
+  const std::size_t n = config.classes.size();
+  const std::size_t width = lanes.size();
+  const std::size_t wpad =
+      (width + simd::kLanes - 1) & ~(simd::kLanes - 1);
+  const std::size_t chunks = wpad / simd::kLanes;
+
+  // Class-major × lane-minor SIMD state: element (class i, lane l) lives
+  // at i * wpad + l, so one 4-wide chunk is four lanes of one class. Pad
+  // lanes (l >= width) are inactive from the start and bit-frozen by the
+  // kernels' skip mask; unlike the single-point path no pad *classes* are
+  // needed — the lane axis provides the vector width, and the reduction
+  // tree (accumulator i & 3, combine (a0+a1)+(a2+a3)) matches the
+  // class-vectorized one term for term because pad classes contribute
+  // exact +0.0 there.
+  std::vector<double> w_s(n * wpad, 1.0);
+  std::vector<double> ssthresh_s(n * wpad, config.initial_ssthresh);
+  std::vector<double> accum_s(n * wpad, 0.0);
+  std::vector<double> md_gate_s(n * wpad, 0.0);
+  std::vector<double> rto_until_s(n * wpad, 0.0);
+  std::vector<double> delivered_s(n * wpad, 0.0);
+  std::vector<double> x_s(n * wpad, 0.0);
+  std::vector<double> cx_s(n * wpad, 0.0);
+  std::vector<double> inv_s(n * wpad, 0.0);
+
+  std::vector<double> rtt_c(n), count_c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rtt_c[i] = config.classes[i].rtt;
+    count_c[i] = config.classes[i].count;
+  }
+
+  // Per-lane step parameters consumed by the kernel passes.
+  std::vector<double> now_a(wpad, 0.0);
+  std::vector<double> dt_a(wpad, 0.0);
+  std::vector<double> qd_a(wpad, 0.0);
+  std::vector<double> p_total_a(wpad, 0.0);
+  std::vector<double> inactive_a(wpad, simd::mask_true());
+  std::vector<double> offered_a(wpad, 0.0);
+  std::vector<double> rto_expiry_a(wpad, 0.0);
+  std::vector<double> q_next_a(wpad, 0.0);
+  std::vector<bool> in_pulse_a(wpad, false);
+  std::vector<std::size_t> chunk_active(chunks, 0);
+
+  kernels::AimdConsts consts;
+  consts.access_pps =
+      config.access / (8.0 * static_cast<double>(config.spacket));
+  consts.a = config.aimd.a;
+  consts.b = config.aimd.b;
+  consts.d = static_cast<double>(config.aimd.d);
+  consts.a_over_d = config.aimd.a / static_cast<double>(config.aimd.d);
+  consts.ss_log =
+      std::log(1.0 + 1.0 / static_cast<double>(config.aimd.d));
+  consts.max_cwnd = config.max_cwnd;
+  consts.rto_min = config.rto_min;
+  consts.dupack_floor = detail::kDupackFloor;
+
+  const double capacity = config.capacity_pps();
+  const double buffer = static_cast<double>(config.red.capacity);
+  const double tcp_bytes = static_cast<double>(config.spacket);
+  const Time horizon = control.horizon();
+  const double ewma_log_keep =
+      config.droptail ? 0.0 : std::log(1.0 - config.red.wq);
+  const std::size_t num_bins = static_cast<std::size_t>(
+      std::ceil(horizon / control.bin_width - kTimeEps));
+
+  std::vector<LaneDriver> drivers(width);
+  std::size_t active_count = 0;
+
+  const auto gather_mark = [&](std::size_t l) {
+    std::vector<double> mark(n);
+    for (std::size_t i = 0; i < n; ++i) mark[i] = delivered_s[i * wpad + l];
+    return mark;
+  };
+  const auto finish_lane = [&](std::size_t l) {
+    LaneDriver& lane = drivers[l];
+    while (lane.next_sample <= horizon + kTimeEps) {
+      lane.result.queue_occupancy.push_back(lane.q);
+      lane.result.red_avg_samples.push_back(config.droptail ? 0.0
+                                                            : lane.avg);
+      lane.next_sample += control.bin_width;
+    }
+    if (!lane.marked) {
+      lane.warmup_mark = gather_mark(l);
+      lane.marked = true;
+    }
+    lane.active = false;
+    dt_a[l] = 0.0;
+    p_total_a[l] = 0.0;
+    inactive_a[l] = simd::mask_true();
+    --active_count;
+    --chunk_active[l / simd::kLanes];
+  };
+
+  for (std::size_t l = 0; l < width; ++l) {
+    LaneDriver& lane = drivers[l];
+    lane.attack = lanes[l].attack ? &*lanes[l].attack : nullptr;
+    if (lane.attack != nullptr) {
+      lane.atk_pps =
+          lane.attack->rattack /
+          (8.0 * static_cast<double>(lane.attack->packet_bytes));
+      lane.atk_bytes = static_cast<double>(lane.attack->packet_bytes);
+    }
+    lane.result.bin_width = control.bin_width;
+    lane.result.incoming_bins.assign(num_bins, 0.0);
+    lane.result.attack_bins.assign(num_bins, 0.0);
+    lane.result.queue_occupancy.reserve(num_bins + 2);
+    lane.result.red_avg_samples.reserve(num_bins + 2);
+    lane.marked = control.warmup == 0.0;
+    if (lane.marked) lane.warmup_mark.assign(n, 0.0);
+    lane.active = true;
+    inactive_a[l] = 0.0;
+    ++active_count;
+    ++chunk_active[l / simd::kLanes];
+    if (!(lane.t < horizon - kTimeEps)) finish_lane(l);
+  }
+
+  const DVec vaccess = simd::splat(consts.access_pps);
+  const DVec vinf = simd::splat(kInf);
+
+  while (active_count > 0) {
+    // --- Per-lane RTO horizon (lane-vectorized min over classes; min is
+    // order-independent, so this matches the scalar scan bitwise).
+    for (std::size_t cb = 0; cb < chunks; ++cb) {
+      if (chunk_active[cb] == 0) continue;
+      const std::size_t lb = cb * simd::kLanes;
+      DVec next = vinf;
+      for (std::size_t i = 0; i < n; ++i) {
+        const DVec r = simd::load(rto_until_s.data() + i * wpad + lb);
+        next = simd::vmin(
+            next, simd::blend(simd::cmp_gt(r, simd::zero()), r, vinf));
+      }
+      simd::store(rto_expiry_a.data() + lb, next);
+    }
+
+    // --- Scalar pre-step driver, one lane at a time: sampling, warmup
+    // mark, pulse phase, dt clipping — the exact head of fluid::solve's
+    // iteration for this lane's (t, q, avg).
+    for (std::size_t l = 0; l < width; ++l) {
+      LaneDriver& lane = drivers[l];
+      if (!lane.active) continue;
+      while (lane.next_sample <= lane.t + kTimeEps) {
+        lane.result.queue_occupancy.push_back(lane.q);
+        lane.result.red_avg_samples.push_back(config.droptail ? 0.0
+                                                              : lane.avg);
+        lane.next_sample += control.bin_width;
+      }
+      if (!lane.marked && lane.t >= control.warmup - kTimeEps) {
+        lane.warmup_mark = gather_mark(l);
+        lane.marked = true;
+      }
+      const detail::PulsePhase phase = detail::pulse_phase(lane.attack,
+                                                           lane.t);
+      in_pulse_a[l] = phase.in_pulse;
+      const Time dt = detail::clip_step(
+          lane.t, config, phase.in_pulse, horizon, phase.next_boundary,
+          lane.next_sample, rto_expiry_a[l], lane.marked, control.warmup,
+          control.bin_width);
+      now_a[l] = lane.t;
+      dt_a[l] = dt;
+      qd_a[l] = lane.q / capacity;
+    }
+
+    // --- Rate kernels + offered-rate block tree, lanes vectorized.
+    for (std::size_t cb = 0; cb < chunks; ++cb) {
+      if (chunk_active[cb] == 0) continue;
+      const std::size_t lb = cb * simd::kLanes;
+      const DVec vnow = simd::load(now_a.data() + lb);
+      const DVec vqd = simd::load(qd_a.data() + lb);
+      DVec acc0 = simd::zero();
+      DVec acc1 = simd::zero();
+      DVec acc2 = simd::zero();
+      DVec acc3 = simd::zero();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t base = i * wpad + lb;
+        const kernels::RateOut r = kernels::rate_kernel(
+            simd::load(w_s.data() + base),
+            simd::load(rto_until_s.data() + base), vnow,
+            simd::splat(rtt_c[i]), vqd, vaccess);
+        simd::store(x_s.data() + base, r.x);
+        simd::store(inv_s.data() + base, r.inv_rtt);
+        const DVec term = simd::splat(count_c[i]) * r.x;
+        simd::store(cx_s.data() + base, term);
+        switch (i & 3) {
+          case 0: acc0 = acc0 + term; break;
+          case 1: acc1 = acc1 + term; break;
+          case 2: acc2 = acc2 + term; break;
+          default: acc3 = acc3 + term; break;
+        }
+      }
+      simd::store(offered_a.data() + lb,
+                  (acc0 + acc1) + (acc2 + acc3));
+    }
+
+    // --- Scalar queue/RED balance and series accounting per lane.
+    for (std::size_t l = 0; l < width; ++l) {
+      LaneDriver& lane = drivers[l];
+      if (!lane.active) continue;
+      const Time dt = dt_a[l];
+      const double offered = offered_a[l];
+      const double atk_rate = in_pulse_a[l] ? lane.atk_pps : 0.0;
+      const double total_in = offered + atk_rate;
+      const detail::QueueStep qs =
+          detail::queue_step(config, ewma_log_keep, capacity, buffer,
+                             lane.q, lane.avg, total_in, dt);
+      lane.avg = qs.avg;
+      lane.result.early_dropped_packets += qs.p_early * total_in * dt;
+      lane.result.forced_dropped_packets +=
+          qs.forced_frac * qs.admitted * dt;
+      const std::size_t bin = std::min(
+          num_bins - 1, static_cast<std::size_t>((lane.t + 0.5 * dt) /
+                                                 control.bin_width));
+      lane.result.incoming_bins[bin] +=
+          offered * dt * tcp_bytes + atk_rate * dt * lane.atk_bytes;
+      lane.result.attack_bins[bin] += atk_rate * dt * lane.atk_bytes;
+      // Matches AimdBank::step's p_total composition exactly.
+      p_total_a[l] = qs.p_early + (1.0 - qs.p_early) * qs.forced_frac;
+      q_next_a[l] = qs.q_next;
+    }
+
+    // --- Step kernels, lanes vectorized, per-lane dt/p/qd vectors.
+    for (std::size_t cb = 0; cb < chunks; ++cb) {
+      if (chunk_active[cb] == 0) continue;
+      const std::size_t lb = cb * simd::kLanes;
+      kernels::StepIn in;
+      in.now = simd::load(now_a.data() + lb);
+      in.dt = simd::load(dt_a.data() + lb);
+      in.p_total = simd::load(p_total_a.data() + lb);
+      in.queue_delay = simd::load(qd_a.data() + lb);
+      in.inactive = simd::load(inactive_a.data() + lb);
+      in.omp_dt = (simd::splat(1.0) - in.p_total) * in.dt;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t base = i * wpad + lb;
+        kernels::BankChunk s;
+        s.w = simd::load(w_s.data() + base);
+        s.ssthresh = simd::load(ssthresh_s.data() + base);
+        s.accum = simd::load(accum_s.data() + base);
+        s.md_gate = simd::load(md_gate_s.data() + base);
+        s.rto_until = simd::load(rto_until_s.data() + base);
+        s.delivered = simd::load(delivered_s.data() + base);
+        in.rtt = simd::splat(rtt_c[i]);
+        in.x = simd::load(x_s.data() + base);
+        in.cx = simd::load(cx_s.data() + base);
+        in.inv_rtt = simd::load(inv_s.data() + base);
+        const kernels::StepOut out = kernels::step_kernel(s, in, consts);
+        simd::store(w_s.data() + base, s.w);
+        simd::store(ssthresh_s.data() + base, s.ssthresh);
+        simd::store(accum_s.data() + base, s.accum);
+        simd::store(md_gate_s.data() + base, s.md_gate);
+        simd::store(rto_until_s.data() + base, s.rto_until);
+        simd::store(delivered_s.data() + base, s.delivered);
+        for (unsigned bits = out.timeout_bits; bits != 0;
+             bits &= bits - 1) {
+          const unsigned b =
+              static_cast<unsigned>(__builtin_ctz(bits));
+          ++drivers[lb + b].timeouts;
+        }
+        for (unsigned bits = out.loss_bits; bits != 0; bits &= bits - 1) {
+          const unsigned b =
+              static_cast<unsigned>(__builtin_ctz(bits));
+          ++drivers[lb + b].loss_events;
+        }
+      }
+    }
+
+    // --- Commit the step per lane, finishing lanes that hit the horizon.
+    for (std::size_t l = 0; l < width; ++l) {
+      LaneDriver& lane = drivers[l];
+      if (!lane.active) continue;
+      if (control.traced_class >= 0) {
+        const std::size_t tc =
+            static_cast<std::size_t>(control.traced_class);
+        lane.result.cwnd_trace.emplace_back(lane.t + dt_a[l],
+                                            w_s[tc * wpad + l]);
+      }
+      lane.q = q_next_a[l];
+      lane.t += dt_a[l];
+      ++lane.result.steps;
+      if (!(lane.t < horizon - kTimeEps)) finish_lane(l);
+    }
+  }
+
+  std::vector<FluidResult> results;
+  results.reserve(width);
+  for (std::size_t l = 0; l < width; ++l) {
+    LaneDriver& lane = drivers[l];
+    FluidResult& result = lane.result;
+    result.per_class_goodput_bytes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double packets =
+          delivered_s[i * wpad + l] - lane.warmup_mark[i];
+      const double bytes = packets * tcp_bytes;
+      result.per_class_goodput_bytes.push_back(bytes);
+      result.goodput_bytes += bytes;
+    }
+    result.goodput_rate = result.goodput_bytes * 8.0 / control.measure;
+    result.utilization = result.goodput_rate / config.bottleneck;
+    result.loss_events = lane.loss_events;
+    result.timeouts = lane.timeouts;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace pdos::fluid

@@ -4,19 +4,17 @@
 #include <cmath>
 #include <limits>
 
+#include "fluid/kernels.hpp"
+#include "fluid/solve_detail.hpp"
 #include "util/assert.hpp"
 
 namespace pdos::fluid {
 
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-// Below this window NewReno cannot raise three dupacks, so a loss episode
-// costs a retransmission timeout instead of a fast recovery.
-constexpr double kDupackFloor = 4.0;
-// Boundary snap tolerance: steps shorter than this are merged into the
-// discontinuity they precede.
-constexpr double kTimeEps = 1e-9;
-}  // namespace
+using detail::kDupackFloor;
+using detail::kInf;
+using detail::kTimeEps;
+
+const char* simd_backend() { return simd::kBackendName; }
 
 void FluidConfig::validate() const {
   aimd.validate();
@@ -41,6 +39,20 @@ void FluidConfig::validate() const {
 std::vector<FluidClass> bin_classes(std::vector<FluidClass> classes,
                                     std::size_t max_classes) {
   PDOS_REQUIRE(max_classes >= 1, "bin_classes: max_classes must be >= 1");
+  // Total count mass in, tracked with Neumaier compensation so the exact
+  // Σcount invariant below is meaningful even for adversarial magnitudes.
+  // (Integer flow counts below 2^53 sum exactly either way.)
+  double total_in = 0.0;
+  double comp_in = 0.0;
+  for (const FluidClass& c : classes) {
+    const double t = total_in + c.count;
+    if (std::abs(total_in) >= std::abs(c.count)) {
+      comp_in += (total_in - t) + c.count;
+    } else {
+      comp_in += (c.count - t) + total_in;
+    }
+    total_in = t;
+  }
   // Exact phase: classes at bit-equal RTTs obey identical ODEs from
   // identical initial state, so summing their counts changes nothing but
   // the bookkeeping. Sorting first makes equal RTTs adjacent and the
@@ -57,29 +69,54 @@ std::vector<FluidClass> bin_classes(std::vector<FluidClass> classes,
       merged.push_back(c);
     }
   }
-  if (merged.size() <= max_classes) return merged;
-  // Lossy phase: quantize the surviving RTTs onto max_classes equal-width
-  // bins over [min, max] and collapse each occupied bin to one class at
-  // its count-weighted mean RTT — the aggregate W/RTT arrival rate of a
-  // bin is preserved to first order in the RTT spread, which is what the
-  // queue balance integrates.
-  const Time lo = merged.front().rtt;
-  const Time hi = merged.back().rtt;
-  const double span = hi - lo;  // > 0: equal RTTs all merged above
-  std::vector<double> count(max_classes, 0.0);
-  std::vector<double> rtt_mass(max_classes, 0.0);
-  for (const FluidClass& c : merged) {
-    std::size_t bin = static_cast<std::size_t>(
-        static_cast<double>(max_classes) * (c.rtt - lo) / span);
-    if (bin >= max_classes) bin = max_classes - 1;
-    count[bin] += c.count;
-    rtt_mass[bin] += c.count * c.rtt;
-  }
   std::vector<FluidClass> binned;
-  for (std::size_t b = 0; b < max_classes; ++b) {
-    if (count[b] <= 0.0) continue;
-    binned.push_back(FluidClass{rtt_mass[b] / count[b], count[b]});
+  if (merged.size() <= max_classes) {
+    binned = std::move(merged);
+  } else {
+    // Lossy phase: quantize the surviving RTTs onto max_classes
+    // equal-width bins over [min, max] and collapse each occupied bin to
+    // one class at its count-weighted mean RTT — the aggregate W/RTT
+    // arrival rate of a bin is preserved to first order in the RTT
+    // spread, which is what the queue balance integrates.
+    const Time lo = merged.front().rtt;
+    const Time hi = merged.back().rtt;
+    const double span = hi - lo;  // > 0: equal RTTs all merged above
+    std::vector<double> count(max_classes, 0.0);
+    std::vector<double> rtt_mass(max_classes, 0.0);
+    for (const FluidClass& c : merged) {
+      std::size_t bin = static_cast<std::size_t>(
+          static_cast<double>(max_classes) * (c.rtt - lo) / span);
+      if (bin >= max_classes) bin = max_classes - 1;
+      count[bin] += c.count;
+      rtt_mass[bin] += c.count * c.rtt;
+    }
+    for (std::size_t b = 0; b < max_classes; ++b) {
+      if (count[b] <= 0.0) continue;
+      binned.push_back(FluidClass{rtt_mass[b] / count[b], count[b]});
+    }
   }
+  // Σcount invariant: binning only ever *adds* counts into buckets, so
+  // the total flow mass must survive exactly up to summation rounding —
+  // a drifted total would silently rescale goodput normalization in
+  // million-flow runs. Compare compensated totals with a 1-ulp-per-term
+  // relative guard; for integer counts both sums are exact and the check
+  // amounts to equality.
+  double total_out = 0.0;
+  double comp_out = 0.0;
+  for (const FluidClass& c : binned) {
+    const double t = total_out + c.count;
+    if (std::abs(total_out) >= std::abs(c.count)) {
+      comp_out += (total_out - t) + c.count;
+    } else {
+      comp_out += (c.count - t) + total_out;
+    }
+    total_out = t;
+  }
+  const double in = total_in + comp_in;
+  const double out = total_out + comp_out;
+  PDOS_CHECK_MSG(std::abs(out - in) <=
+                     1e-12 * std::max(1.0, std::abs(in)),
+                 "bin_classes: total count mass drifted under binning");
   return binned;
 }
 
@@ -107,38 +144,58 @@ AimdBank::AimdBank(const FluidConfig& config)
       max_cwnd_(config.max_cwnd),
       rto_min_(config.rto_min),
       ss_log_(std::log(1.0 + 1.0 / static_cast<double>(config.aimd.d))) {
-  const std::size_t n = config.classes.size();
-  rtt_.reserve(n);
-  count_.reserve(n);
-  for (const FluidClass& c : config.classes) {
-    rtt_.push_back(c.rtt);
-    count_.push_back(c.count);
+  n_ = config.classes.size();
+  // Pad the SoA state to the SIMD block width. Pad classes carry
+  // rtt = +inf and count = 0: their arrival rate is w/inf = +0, their
+  // windows never move (dt_rtts = 0), their loss pressure stays zero,
+  // and their reduction terms are exact +0.0 — so the padded tail is
+  // arithmetically invisible (see kernels.hpp).
+  n_pad_ = (n_ + simd::kLanes - 1) & ~(simd::kLanes - 1);
+  rtt_.assign(n_pad_, kInf);
+  count_.assign(n_pad_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    rtt_[i] = config.classes[i].rtt;
+    count_[i] = config.classes[i].count;
   }
-  w_.assign(n, 1.0);
-  ssthresh_.assign(n, ssthresh0_);
-  accum_.assign(n, 0.0);
-  md_gate_.assign(n, 0.0);
-  rto_until_.assign(n, 0.0);
-  delivered_.assign(n, 0.0);
-  x_.assign(n, 0.0);
+  w_.assign(n_pad_, 1.0);
+  ssthresh_.assign(n_pad_, ssthresh0_);
+  accum_.assign(n_pad_, 0.0);
+  md_gate_.assign(n_pad_, 0.0);
+  rto_until_.assign(n_pad_, 0.0);
+  delivered_.assign(n_pad_, 0.0);
+  x_.assign(n_pad_, 0.0);
+  cx_.assign(n_pad_, 0.0);
+  inv_.assign(n_pad_, 0.0);
+  // Belt and braces: a pad class can never accumulate a packet of loss
+  // pressure, but gate it out of episodes regardless.
+  for (std::size_t i = n_; i < n_pad_; ++i) md_gate_[i] = kInf;
 }
 
 double AimdBank::refresh_rates(Time now, Time queue_delay) const {
   if (now == x_now_ && queue_delay == x_delay_) return x_offered_;
-  double offered = 0.0;
-  // Branchless over the frozen mask so the divide chain vectorizes: the
-  // inner loop is the solver's single hottest statement.
-  for (std::size_t i = 0; i < w_.size(); ++i) {
-    const double active = now < rto_until_[i] ? 0.0 : 1.0;
-    const double x =
-        active * std::min(w_[i] / (rtt_[i] + queue_delay), access_pps_);
-    x_[i] = x;
-    offered += count_[i] * x;
+  using simd::DVec;
+  const DVec vnow = simd::splat(now);
+  const DVec vqd = simd::splat(queue_delay);
+  const DVec vaccess = simd::splat(access_pps_);
+  // Fixed-shape block tree: accumulator lane j holds classes ≡ j (mod 4)
+  // in class order, combined (a0+a1)+(a2+a3) — the identical tree the
+  // lane-batched path builds per lane, so offered rates never depend on
+  // the vectorization axis.
+  DVec acc = simd::zero();
+  for (std::size_t k = 0; k < n_pad_; k += simd::kLanes) {
+    const kernels::RateOut r = kernels::rate_kernel(
+        simd::load(w_.data() + k), simd::load(rto_until_.data() + k), vnow,
+        simd::load(rtt_.data() + k), vqd, vaccess);
+    simd::store(x_.data() + k, r.x);
+    simd::store(inv_.data() + k, r.inv_rtt);
+    const DVec cx = simd::load(count_.data() + k) * r.x;
+    simd::store(cx_.data() + k, cx);
+    acc = acc + cx;
   }
-  x_offered_ = offered;
+  x_offered_ = kernels::tree_total(acc);
   x_now_ = now;
   x_delay_ = queue_delay;
-  return offered;
+  return x_offered_;
 }
 
 double AimdBank::offered_rate(Time now, Time queue_delay) const {
@@ -149,71 +206,81 @@ double AimdBank::step(Time now, Time dt, double p_early, double forced_frac,
                       Time queue_delay) {
   const double p_total = p_early + (1.0 - p_early) * forced_frac;
   const double offered = refresh_rates(now, queue_delay);
-  for (std::size_t i = 0; i < w_.size(); ++i) {
-    if (now < rto_until_[i]) continue;  // frozen: no arrivals, no growth
-    const double rtt = rtt_[i] + queue_delay;
-    const double dt_rtts = dt / rtt;  // the step in units of this class's RTT
-    const double x = x_[i];
-    delivered_[i] += count_[i] * x * (1.0 - p_total) * dt;
-
-    // Loss pressure: expected drops per flow integrate until they amount
-    // to a whole packet, then the class takes one NewReno episode. The
-    // pressure decays over ~2 RTTs when the path runs clean, so isolated
-    // sub-packet residue from an old pulse cannot trigger a phantom
-    // episode much later.
-    if (p_total > 0.0) {
-      accum_[i] += p_total * x * dt;
-    } else if (accum_[i] > 0.0) {
-      accum_[i] *= 1.0 - std::min(1.0, 0.5 * dt_rtts);
-    }
-    if (accum_[i] >= 1.0 && now >= md_gate_[i]) {
-      accum_[i] = 0.0;
-      if (w_[i] < kDupackFloor) {
-        // Too few in-flight segments for three dupacks: RTO. The window
-        // restarts from one in slow start when the freeze expires.
-        ++timeouts;
-        ssthresh_[i] = std::max(2.0, 0.5 * w_[i]);
-        w_[i] = 1.0;
-        rto_until_[i] = now + std::max(rto_min_, 2.0 * rtt);
-        md_gate_[i] = rto_until_[i];
-      } else {
-        ++loss_events;
-        ssthresh_[i] = std::max(2.0, aimd_.b * w_[i]);
-        w_[i] = std::max(1.0, aimd_.b * w_[i]);
-        // One decrease per window's worth of feedback: NewReno ignores
-        // further losses of the same flight.
-        md_gate_[i] = now + rtt;
-      }
-      continue;  // no growth on the episode step
-    }
-
-    if (w_[i] < ssthresh_[i]) {
-      w_[i] += w_[i] * ss_log_ * dt_rtts;  // slow start: doubling per d-RTT
-    } else {
-      w_[i] += aimd_.a * dt_rtts / static_cast<double>(aimd_.d);
-    }
-    if (w_[i] > max_cwnd_) w_[i] = max_cwnd_;
+  kernels::AimdConsts c;
+  c.access_pps = access_pps_;
+  c.a = aimd_.a;
+  c.b = aimd_.b;
+  c.d = static_cast<double>(aimd_.d);
+  c.a_over_d = aimd_.a / static_cast<double>(aimd_.d);
+  c.ss_log = ss_log_;
+  c.max_cwnd = max_cwnd_;
+  c.rto_min = rto_min_;
+  c.dupack_floor = kDupackFloor;
+  kernels::StepIn in;
+  in.now = simd::splat(now);
+  in.dt = simd::splat(dt);
+  in.p_total = simd::splat(p_total);
+  in.queue_delay = simd::splat(queue_delay);
+  in.inactive = simd::zero();
+  in.omp_dt = simd::splat((1.0 - p_total) * dt);
+  for (std::size_t k = 0; k < n_pad_; k += simd::kLanes) {
+    kernels::BankChunk s;
+    s.w = simd::load(w_.data() + k);
+    s.ssthresh = simd::load(ssthresh_.data() + k);
+    s.accum = simd::load(accum_.data() + k);
+    s.md_gate = simd::load(md_gate_.data() + k);
+    s.rto_until = simd::load(rto_until_.data() + k);
+    s.delivered = simd::load(delivered_.data() + k);
+    in.rtt = simd::load(rtt_.data() + k);
+    in.x = simd::load(x_.data() + k);
+    in.cx = simd::load(cx_.data() + k);
+    in.inv_rtt = simd::load(inv_.data() + k);
+    const kernels::StepOut out = kernels::step_kernel(s, in, c);
+    simd::store(w_.data() + k, s.w);
+    simd::store(ssthresh_.data() + k, s.ssthresh);
+    simd::store(accum_.data() + k, s.accum);
+    simd::store(md_gate_.data() + k, s.md_gate);
+    simd::store(rto_until_.data() + k, s.rto_until);
+    simd::store(delivered_.data() + k, s.delivered);
+    timeouts += simd::mask_count(out.timeout_bits);
+    loss_events += simd::mask_count(out.loss_bits);
   }
   x_now_ = -1.0;  // the windows moved: cached rates are stale
   return offered;
 }
 
+std::vector<double> AimdBank::delivered_packets() const {
+  return std::vector<double>(delivered_.begin(),
+                             delivered_.begin() +
+                                 static_cast<std::ptrdiff_t>(n_));
+}
+
 std::vector<double> AimdBank::delivered_since(
     const std::vector<double>& mark) const {
-  PDOS_CHECK(mark.size() == delivered_.size());
-  std::vector<double> window(delivered_.size());
-  for (std::size_t i = 0; i < delivered_.size(); ++i) {
+  PDOS_CHECK(mark.size() == n_);
+  std::vector<double> window(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
     window[i] = delivered_[i] - mark[i];
   }
   return window;
 }
 
 Time AimdBank::next_rto_expiry() const {
-  Time next = kInf;
-  for (double until : rto_until_) {
-    if (until > 0.0 && until < next) next = until;
+  // Vectorized min over positive rto_until entries. Min is
+  // order-independent, so this matches the scalar scan bitwise; pad
+  // classes hold rto_until = 0 and blend to +inf like real idle ones.
+  const simd::DVec vinf = simd::splat(kInf);
+  simd::DVec next = vinf;
+  for (std::size_t k = 0; k < n_pad_; k += simd::kLanes) {
+    const simd::DVec r = simd::load(rto_until_.data() + k);
+    next = simd::vmin(next,
+                      simd::blend(simd::cmp_gt(r, simd::zero()), r, vinf));
   }
-  return next;
+  Time best = kInf;
+  for (std::size_t l = 0; l < simd::kLanes; ++l) {
+    best = std::min(best, simd::lane(next, l));
+  }
+  return best;
 }
 
 FluidResult solve(const FluidConfig& config,
@@ -279,66 +346,23 @@ FluidResult solve(const FluidConfig& config,
       marked = true;
     }
 
-    // Pulse phase and the next square-wave discontinuity.
-    bool in_pulse = false;
-    Time next_boundary = kInf;
-    if (attack) {
-      const Time period = attack->period();
-      const double k = std::floor((t + kTimeEps) / period);
-      const Time pulse_start = k * period;
-      if (t < pulse_start + attack->textent - kTimeEps) {
-        in_pulse = true;
-        next_boundary = pulse_start + attack->textent;
-      } else {
-        next_boundary = (k + 1.0) * period;
-      }
-    }
-
-    // Step size: the base resolution for the current phase, clipped so no
-    // step straddles a pulse edge, an RTO expiry, a sample instant, a bin
-    // edge, the warmup mark, or the horizon.
-    Time dt = in_pulse ? config.dt_pulse : config.dt_idle;
-    dt = std::min(dt, horizon - t);
-    dt = std::min(dt, next_boundary - t);
-    dt = std::min(dt, next_sample - t);
-    const Time rto_expiry = bank.next_rto_expiry();
-    if (rto_expiry > t + kTimeEps) dt = std::min(dt, rto_expiry - t);
-    if (!marked) dt = std::min(dt, control.warmup - t);
-    const Time next_edge =
-        (std::floor(t / control.bin_width + kTimeEps) + 1.0) *
-        control.bin_width;
-    dt = std::min(dt, next_edge - t);
-    if (dt < kTimeEps) dt = kTimeEps;
+    const detail::PulsePhase phase =
+        detail::pulse_phase(attack ? &*attack : nullptr, t);
+    const Time dt = detail::clip_step(
+        t, config, phase.in_pulse, horizon, phase.next_boundary, next_sample,
+        bank.next_rto_expiry(), marked, control.warmup, control.bin_width);
 
     const Time queue_delay = q / capacity;
     const double offered = bank.offered_rate(t, queue_delay);
-    const double atk_rate = in_pulse ? atk_pps : 0.0;
+    const double atk_rate = phase.in_pulse ? atk_pps : 0.0;
     const double total_in = offered + atk_rate;
 
-    // RED's estimator sees every arrival at the current backlog: n
-    // arrivals move avg toward q by (1 - w_q)^n.
-    if (!config.droptail && total_in > 0.0) {
-      avg = q + (avg - q) * std::exp(total_in * dt * ewma_log_keep);
-    }
-    const double p_early =
-        config.droptail ? 0.0 : red_drop_probability(config.red, avg);
+    const detail::QueueStep qs = detail::queue_step(
+        config, ewma_log_keep, capacity, buffer, q, avg, total_in, dt);
+    avg = qs.avg;
 
-    // Queue balance over the step; overflow converts into a forced-drop
-    // fraction applied uniformly to the step's admitted fluid.
-    const double admitted = (1.0 - p_early) * total_in;
-    double q_next = q + (admitted - capacity) * dt;
-    double forced_frac = 0.0;
-    if (q_next > buffer) {
-      const double inflow = admitted * dt;
-      if (inflow > 0.0) {
-        forced_frac = std::min(1.0, (q_next - buffer) / inflow);
-      }
-      q_next = buffer;
-    }
-    if (q_next < 0.0) q_next = 0.0;
-
-    result.early_dropped_packets += p_early * total_in * dt;
-    result.forced_dropped_packets += forced_frac * admitted * dt;
+    result.early_dropped_packets += qs.p_early * total_in * dt;
+    result.forced_dropped_packets += qs.forced_frac * qs.admitted * dt;
 
     const std::size_t bin = std::min(
         num_bins - 1, static_cast<std::size_t>((t + 0.5 * dt) /
@@ -347,13 +371,13 @@ FluidResult solve(const FluidConfig& config,
         offered * dt * tcp_bytes + atk_rate * dt * atk_bytes;
     result.attack_bins[bin] += atk_rate * dt * atk_bytes;
 
-    bank.step(t, dt, p_early, forced_frac, queue_delay);
+    bank.step(t, dt, qs.p_early, qs.forced_frac, queue_delay);
     if (control.traced_class >= 0) {
       result.cwnd_trace.emplace_back(
           t + dt, bank.window(static_cast<std::size_t>(control.traced_class)));
     }
 
-    q = q_next;
+    q = qs.q_next;
     t += dt;
     ++result.steps;
   }

@@ -59,7 +59,10 @@ struct FluidClass {
 /// Output is sorted by RTT. The solver never bins on its own — callers
 /// with N ~ 1e6 flows shrink `FluidConfig::classes` through this before
 /// `solve`, trading an RTT-quantization error (bounded by the bin width)
-/// for a per-step cost that no longer scales with N.
+/// for a per-step cost that no longer scales with N. The total count mass
+/// Σcount is preserved exactly (asserted internally): binning only moves
+/// counts between buckets, and a drifted total would silently rescale
+/// goodput normalization at the million-flow scale.
 std::vector<FluidClass> bin_classes(std::vector<FluidClass> classes,
                                     std::size_t max_classes);
 
@@ -162,14 +165,15 @@ class AimdBank {
   /// the same arguments reuses them instead of recomputing.
   double offered_rate(Time now, Time queue_delay) const;
 
-  /// Aggregate delivered-fluid tally, per class, in packets. `step` adds
+  /// Aggregate delivered-fluid tally, per class, in packets (real classes
+  /// only — the SIMD padding tail is trimmed). `step` adds
   /// (1 - p_total) * x_i * dt each call.
-  const std::vector<double>& delivered_packets() const { return delivered_; }
+  std::vector<double> delivered_packets() const;
   /// Snapshot used to measure a window: delivered minus a mark.
   std::vector<double> delivered_since(const std::vector<double>& mark) const;
 
   double window(std::size_t i) const { return w_[i]; }
-  std::size_t size() const { return w_.size(); }
+  std::size_t size() const { return n_; }
   /// Earliest pending RTO expiry, or +inf; a discontinuity the caller's
   /// step must not straddle.
   Time next_rto_expiry() const;
@@ -190,6 +194,14 @@ class AimdBank {
   /// the cache already holds them; returns the aggregate offered rate.
   double refresh_rates(Time now, Time queue_delay) const;
 
+  // The SoA state below is padded from n_ real classes to n_pad_ (the
+  // next multiple of the SIMD block width). Pad classes carry rtt = +inf
+  // and count = 0, which makes them arithmetically invisible: zero
+  // arrival rate, bit-frozen windows, exact +0.0 reduction terms (see
+  // src/fluid/kernels.hpp). Only the first n_ entries are observable
+  // through the public API.
+  std::size_t n_ = 0;             // real classes
+  std::size_t n_pad_ = 0;         // padded SoA length
   std::vector<double> rtt_;       // propagation RTT per class
   std::vector<double> count_;     // flows per class
   std::vector<double> w_;         // window, segments
@@ -199,9 +211,13 @@ class AimdBank {
   std::vector<double> rto_until_; // > now: frozen in timeout
   std::vector<double> delivered_; // delivered fluid, packets
 
-  // Arrival-rate cache: x_ holds per-class rates valid for (x_now_,
-  // x_delay_); step() invalidates it after mutating the windows.
+  // Arrival-rate cache: x_ holds per-class rates and inv_ the matching
+  // 1/(rtt + queue_delay) reciprocals, valid for (x_now_, x_delay_);
+  // step() invalidates both after mutating the windows. Caching the
+  // reciprocal makes the rate pass the only division per chunk-step.
   mutable std::vector<double> x_;
+  mutable std::vector<double> cx_;   // count * x, the reduction terms
+  mutable std::vector<double> inv_;
   mutable double x_offered_ = 0.0;
   mutable Time x_now_ = -1.0;
   mutable Time x_delay_ = -1.0;
@@ -212,6 +228,13 @@ class AimdBank {
 FluidResult solve(const FluidConfig& config,
                   const std::optional<FluidAttack>& attack,
                   const FluidControl& control);
+
+/// Name of the SIMD backend the fluid kernels were compiled against:
+/// "avx2", "neon", or "scalar" (portable fallback, also what
+/// PDOS_SIMD=OFF forces). Results are bit-identical across backends by
+/// construction (fixed 4-wide block-tree reductions, no FMA contraction
+/// — DESIGN.md §16); this is for bench gating and test skip messages.
+const char* simd_backend();
 
 // --- Committed fluid-vs-packet agreement tolerances ---------------------
 //

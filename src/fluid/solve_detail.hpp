@@ -1,0 +1,110 @@
+// Shared scalar per-step driver pieces of the fluid solver, factored out
+// so the single-point driver (fluid.cpp solve) and the lane-batched
+// driver (batch.cpp solve_batch) execute bit-identical arithmetic for
+// one lane's step schedule: pulse phase, step clipping, and the RED
+// EWMA / queue-balance update. Internal to src/fluid — each function is
+// inline and compiled with the same flags in both TUs, which is what
+// makes "each lane keeps its exact single-point step schedule" a bitwise
+// statement rather than an approximation (DESIGN.md §16).
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "fluid/fluid.hpp"
+
+namespace pdos::fluid::detail {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+// Below this window NewReno cannot raise three dupacks, so a loss episode
+// costs a retransmission timeout instead of a fast recovery.
+inline constexpr double kDupackFloor = 4.0;
+// Boundary snap tolerance: steps shorter than this are merged into the
+// discontinuity they precede.
+inline constexpr double kTimeEps = 1e-9;
+
+/// Square-wave phase at time t: inside a pulse or not, and the next
+/// discontinuity the step must not straddle.
+struct PulsePhase {
+  bool in_pulse = false;
+  Time next_boundary = kInf;
+};
+
+inline PulsePhase pulse_phase(const FluidAttack* attack, Time t) {
+  PulsePhase ph;
+  if (attack != nullptr) {
+    const Time period = attack->period();
+    const double k = std::floor((t + kTimeEps) / period);
+    const Time pulse_start = k * period;
+    if (t < pulse_start + attack->textent - kTimeEps) {
+      ph.in_pulse = true;
+      ph.next_boundary = pulse_start + attack->textent;
+    } else {
+      ph.next_boundary = (k + 1.0) * period;
+    }
+  }
+  return ph;
+}
+
+/// Step size for the current phase, clipped so no step straddles a pulse
+/// edge, an RTO expiry, a sample instant, a bin edge, the warmup mark, or
+/// the horizon.
+inline Time clip_step(Time t, const FluidConfig& config, bool in_pulse,
+                      Time horizon, Time next_boundary, Time next_sample,
+                      Time rto_expiry, bool marked, Time warmup,
+                      Time bin_width) {
+  Time dt = in_pulse ? config.dt_pulse : config.dt_idle;
+  dt = std::min(dt, horizon - t);
+  dt = std::min(dt, next_boundary - t);
+  dt = std::min(dt, next_sample - t);
+  if (rto_expiry > t + kTimeEps) dt = std::min(dt, rto_expiry - t);
+  if (!marked) dt = std::min(dt, warmup - t);
+  const Time next_edge =
+      (std::floor(t / bin_width + kTimeEps) + 1.0) * bin_width;
+  dt = std::min(dt, next_edge - t);
+  if (dt < kTimeEps) dt = kTimeEps;
+  return dt;
+}
+
+/// RED EWMA + queue balance over one step: updated average, early-drop
+/// probability, admitted rate, next queue level, and the forced-drop
+/// fraction the overflow converts into.
+struct QueueStep {
+  double avg = 0.0;
+  double p_early = 0.0;
+  double admitted = 0.0;
+  double q_next = 0.0;
+  double forced_frac = 0.0;
+};
+
+inline QueueStep queue_step(const FluidConfig& config, double ewma_log_keep,
+                            double capacity, double buffer, double q,
+                            double avg, double total_in, Time dt) {
+  QueueStep s;
+  // RED's estimator sees every arrival at the current backlog: n arrivals
+  // move avg toward q by (1 - w_q)^n.
+  if (!config.droptail && total_in > 0.0) {
+    avg = q + (avg - q) * std::exp(total_in * dt * ewma_log_keep);
+  }
+  s.avg = avg;
+  s.p_early =
+      config.droptail ? 0.0 : red_drop_probability(config.red, avg);
+  // Queue balance over the step; overflow converts into a forced-drop
+  // fraction applied uniformly to the step's admitted fluid.
+  s.admitted = (1.0 - s.p_early) * total_in;
+  double q_next = q + (s.admitted - capacity) * dt;
+  double forced_frac = 0.0;
+  if (q_next > buffer) {
+    const double inflow = s.admitted * dt;
+    if (inflow > 0.0) {
+      forced_frac = std::min(1.0, (q_next - buffer) / inflow);
+    }
+    q_next = buffer;
+  }
+  if (q_next < 0.0) q_next = 0.0;
+  s.q_next = q_next;
+  s.forced_frac = forced_frac;
+  return s;
+}
+
+}  // namespace pdos::fluid::detail

@@ -1,0 +1,53 @@
+// PointStore-backed FluidGainCache (DESIGN.md §16).
+//
+// `search_confirm_gamma` scores its γ grid on the fluid surrogate before
+// packet-confirming the leaders. Those surrogate scores are pure functions
+// of (scenario, control, pulse shape, κ, γ) — no seed — so a sweep or
+// campaign that runs many searches (or resumes an interrupted one) can
+// persist them in the same PointStore that caches its points. This adapter
+// bridges the optimizer's FluidGainCache interface onto any PointStore:
+//
+//   - keys come from `scenario_digest` (point_cache.hpp) with the search's
+//     scenario coerced to the fluid backend — the cached value is a fluid
+//     result no matter which tier the search will confirm on — under the
+//     "fluid-gain" / "fluid-baseline" tags;
+//   - values are single doubles (the surrogate gain G, the fluid baseline
+//     goodput), stored as baseline-format records, so the store's record
+//     codecs, flock'd appends, and campaign sharding all apply unchanged.
+//
+// A search resumed against a warmed store reports fluid_runs == 0 and
+// returns bit-identical results: batched fluid solves are bit-identical to
+// point-at-a-time ones, so replaying a stored double IS replaying the run.
+#pragma once
+
+#include "core/optimizer.hpp"
+#include "sweep/point_cache.hpp"
+
+namespace pdos::sweep {
+
+class FluidGainPointStoreCache : public FluidGainCache {
+ public:
+  /// Non-owning: `store` must outlive the adapter.
+  explicit FluidGainPointStoreCache(PointStore& store) : store_(store) {}
+
+  std::optional<BitRate> lookup_baseline(const GammaSearch& search) override;
+  void store_baseline(const GammaSearch& search, BitRate baseline) override;
+  std::optional<double> lookup_gain(const GammaSearch& search,
+                                    double gamma) override;
+  void store_gain(const GammaSearch& search, double gamma,
+                  double gain) override;
+
+ private:
+  PointStore& store_;
+};
+
+/// Key of one fluid surrogate-gain evaluation: the search's scenario
+/// (backend coerced to kFluid), its control, and (T_extent, R_attack, κ, γ).
+/// Exposed for the key-sensitivity tests.
+std::uint64_t fluid_gain_key(const GammaSearch& search, double gamma);
+
+/// Key of the fluid baseline those gains normalize against: same scenario
+/// and control, no pulse axes (the baseline run has no attack).
+std::uint64_t fluid_baseline_key(const GammaSearch& search);
+
+}  // namespace pdos::sweep

@@ -42,16 +42,10 @@ class Fnv1a {
   std::uint64_t hash_ = 0xcbf29ce484222325ULL;
 };
 
-/// Everything that parameterizes a run: the derived ScenarioConfig (every
-/// field, including the TCP stack), the measurement windows, and the build
-/// fingerprint. Field order is part of the schema.
-void hash_common(Fnv1a& h, const SweepSpec& spec, const ScenarioConfig& c,
-                 std::uint64_t seed) {
-  h.i64(kPointCacheSchema);
-  h.str(__VERSION__);  // compiler change may legally perturb FP results
-  h.i64(static_cast<std::int64_t>(spec.scenario));
-  h.i64(static_cast<std::int64_t>(spec.queue));
-
+/// Every ScenarioConfig field that shapes a run (including the TCP stack);
+/// field order is part of the schema. Shared by the sweep keys below and
+/// by `scenario_digest` (the fluid-surrogate keys of optimizer_cache.hpp).
+void hash_scenario(Fnv1a& h, const ScenarioConfig& c) {
   h.i64(c.num_flows).f64(c.bottleneck).f64(c.access).f64(c.bottleneck_delay);
   h.i64(static_cast<std::int64_t>(c.rtts.size()));
   for (double rtt : c.rtts) h.f64(rtt);
@@ -94,15 +88,40 @@ void hash_common(Fnv1a& h, const SweepSpec& spec, const ScenarioConfig& c,
   // the same keys address both stores, which is what lets K campaign
   // processes dedup against each other and against past single-process
   // sweeps.
+}
 
-  const RunControl& ctl = spec.control;
+void hash_control(Fnv1a& h, const RunControl& ctl) {
   h.f64(ctl.warmup).f64(ctl.measure).f64(ctl.bin_width);
   h.i64(ctl.traced_flow);
+}
 
+/// Everything that parameterizes a sweep run: the derived ScenarioConfig,
+/// the measurement windows, and the build fingerprint.
+void hash_common(Fnv1a& h, const SweepSpec& spec, const ScenarioConfig& c,
+                 std::uint64_t seed) {
+  h.i64(kPointCacheSchema);
+  h.str(__VERSION__);  // compiler change may legally perturb FP results
+  h.i64(static_cast<std::int64_t>(spec.scenario));
+  h.i64(static_cast<std::int64_t>(spec.queue));
+  hash_scenario(h, c);
+  hash_control(h, spec.control);
   h.u64(seed);
 }
 
 }  // namespace
+
+std::uint64_t scenario_digest(const char* tag, const ScenarioConfig& config,
+                              const RunControl& control, const double* extra,
+                              std::size_t n_extra) {
+  Fnv1a h;
+  h.str(tag);
+  h.i64(kPointCacheSchema);
+  h.str(__VERSION__);
+  hash_scenario(h, config);
+  hash_control(h, control);
+  for (std::size_t i = 0; i < n_extra; ++i) h.f64(extra[i]);
+  return h.value();
+}
 
 std::uint64_t point_key(const SweepSpec& spec, const PointSpec& point,
                         std::uint64_t seed) {

@@ -46,7 +46,11 @@ namespace pdos::sweep {
 /// Schema 2: the key covers the simulation tier (ScenarioConfig::backend,
 /// fast_path, and the hybrid/fluid tuning knobs), so points computed on
 /// different backends never alias.
-inline constexpr int kPointCacheSchema = 2;
+/// Schema 3: the vectorized fluid tier (DESIGN.md §16) moved the solver's
+/// cross-class reductions onto a fixed-shape block tree — every fluid and
+/// hybrid result shifts at ULP level at identical parameters, so schema-2
+/// fluid records must not replay.
+inline constexpr int kPointCacheSchema = 3;
 
 /// The measured (and analytic) outputs of one completed point — every
 /// PointResult field the CSV/JSON writers derive from a run.
@@ -75,6 +79,16 @@ std::uint64_t point_key(const SweepSpec& spec, const PointSpec& point,
 /// Digest for the no-attack baseline of a (flows, replicate) pair.
 std::uint64_t baseline_key(const SweepSpec& spec, const PointSpec& probe,
                            std::uint64_t seed);
+
+/// Digest of (tag + schema/compiler fingerprint + full ScenarioConfig +
+/// RunControl + `extra` doubles, in order). The key core of the fluid
+/// surrogate-gain cache (sweep/optimizer_cache.hpp), exposed here so every
+/// store key shares one hash discipline (and one schema bump). No seed
+/// parameter on purpose: the callers cache fluid-tier results, which are
+/// seed-invariant.
+std::uint64_t scenario_digest(const char* tag, const ScenarioConfig& config,
+                              const RunControl& control, const double* extra,
+                              std::size_t n_extra);
 
 // Record text codecs shared by PointCache and CampaignStore: one line per
 // record, %.17g doubles for bit-exact reload. The returned lines include

@@ -399,6 +399,31 @@ std::vector<TaskGroup> group_consecutive(std::size_t n, GetSpec&& spec_of) {
   return groups;
 }
 
+/// Group consecutive entries sharing a flows value. On the fluid tier all
+/// points with the same flows share one topology (make_scenario varies only
+/// in the seed, which the fluid solver never reads), so each group is one
+/// lane-batched solve_batch workload (DESIGN.md §16). `enumerate()` emits
+/// flows as the outermost axis, so these groups cover whole flows blocks.
+template <typename GetSpec>
+std::vector<TaskGroup> group_by_flows(std::size_t n, GetSpec&& spec_of) {
+  std::vector<TaskGroup> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!groups.empty() &&
+        spec_of(groups.back().first).flows == spec_of(i).flows) {
+      ++groups.back().count;
+      continue;
+    }
+    groups.push_back(TaskGroup{i, 1});
+  }
+  return groups;
+}
+
+/// Lanes per fluid solve_batch call in the fluid-tier point path: two
+/// full SIMD chunks — wide enough to amortize the per-step scalar driver,
+/// small enough that a ragged tail wastes little work. Not a result knob:
+/// batched lanes are bit-identical to single-point solves at any width.
+constexpr std::size_t kFluidBatchWidth = 8;
+
 }  // namespace
 
 namespace {
@@ -770,7 +795,137 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   }
 
   // Phase 2: the points themselves.
-  if (!batched) {
+  if (spec.backend == Backend::kFluid) {
+    // Fluid tier (DESIGN.md §16): each flows-group shares one topology and
+    // the solver is seed-invariant, so the group's cache misses collapse to
+    // their unique attack plans — solved as lanes of lane-batched fluid
+    // evaluations, kFluidBatchWidth at a time — and every replicate is
+    // finished against its own baseline. The records this path stores are
+    // bit-identical to the point-at-a-time path's: solve_batch's identity
+    // contract plus the seed-invariance fan-out the batched replicate
+    // runner already relies on (replicate_batch.cpp).
+    const std::vector<TaskGroup> groups =
+        group_by_flows(points.size(), [&](std::size_t i) -> const PointSpec& {
+          return points[i];
+        });
+    parallel_for(pool, groups.size(), [&](std::size_t gi) {
+      const TaskGroup group = groups[gi];
+      if (cancel.load(std::memory_order_relaxed)) {
+        for (std::size_t j = 0; j < group.count; ++j) {
+          meter.tick(false);  // slots stay kSkipped
+        }
+        return;
+      }
+      std::vector<std::size_t> miss;
+      std::vector<std::uint64_t> miss_keys;
+      for (std::size_t j = 0; j < group.count; ++j) {
+        const std::size_t i = group.first + j;
+        PointResult& slot = result.points[i];
+        const std::uint64_t key =
+            store ? point_key(spec, slot.point, slot.seed) : 0;
+        CachedPoint cached;
+        if (store && store->lookup_point(key, cached)) {
+          fill_cached_point(slot, cached);
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+          meter.tick(true);
+          continue;
+        }
+        if (store) {
+          const ClaimStatus st = store->claim_point(key);
+          if (st == ClaimStatus::kBusy) {
+            std::lock_guard<std::mutex> lock(deferred_mutex);
+            deferred_points.push_back(i);
+            continue;
+          }
+          if (st == ClaimStatus::kDone && store->lookup_point(key, cached)) {
+            fill_cached_point(slot, cached);
+            cache_hits.fetch_add(1, std::memory_order_relaxed);
+            meter.tick(true);
+            continue;
+          }
+        }
+        miss.push_back(i);
+        miss_keys.push_back(key);
+      }
+      if (miss.empty()) return;
+      try {
+        // One topology per group: the derived scenarios differ only in
+        // their (unread) seed.
+        const ScenarioConfig scenario =
+            spec.make_scenario(points[miss.front()]);
+        // Unique plans among the misses. Axes-equal points stay adjacent
+        // through the cache pass, so one backward comparison suffices.
+        std::vector<AttackPlan> plans;
+        std::vector<std::size_t> plan_of(miss.size());
+        std::vector<std::size_t> plan_first;
+        for (std::size_t k = 0; k < miss.size(); ++k) {
+          if (!plan_first.empty() &&
+              same_point_axes(points[miss[k]],
+                              points[miss[plan_first.back()]])) {
+            plan_of[k] = plan_first.size() - 1;
+            continue;
+          }
+          plan_first.push_back(k);
+          plan_of[k] = plans.size();
+          plans.push_back(plan_point_attack(scenario, points[miss[k]]));
+        }
+        std::vector<RunResult> plan_runs(plans.size());
+        for (std::size_t start = 0; start < plans.size();
+             start += kFluidBatchWidth) {
+          const std::size_t stop =
+              std::min(plans.size(), start + kFluidBatchWidth);
+          std::vector<std::optional<PulseTrain>> attacks;
+          attacks.reserve(stop - start);
+          for (std::size_t p = start; p < stop; ++p) {
+            attacks.emplace_back(plans[p].train);
+          }
+          std::vector<RunResult> solved =
+              run_fluid_batch(scenario, attacks, spec.control);
+          for (std::size_t p = start; p < stop; ++p) {
+            plan_runs[p] = std::move(solved[p - start]);
+          }
+        }
+        for (std::size_t k = 0; k < miss.size(); ++k) {
+          PointResult& slot = result.points[miss[k]];
+          const BaselineSlot& baseline = baselines[baseline_index.at(
+              slot.point.flows, slot.point.replicate)];
+          if (!baseline.ok) {
+            if (store) store->release_point(miss_keys[k]);
+            slot.status = PointStatus::kFailed;
+            slot.error = "baseline failed: " + baseline.error;
+            if (options.cancel_on_failure) {
+              cancel.store(true, std::memory_order_relaxed);
+            }
+            meter.tick(false);
+            continue;
+          }
+          const std::size_t p = plan_of[k];
+          const GainMeasurement measured =
+              finish_gain(scenario, plans[p].train, slot.point.kappa,
+                          baseline.goodput, RunResult(plan_runs[p]));
+          fill_plan(slot, plans[p]);
+          fill_measured(slot, measured, baseline.goodput);
+          if (store) store->store_point(miss_keys[k], to_cached_point(slot));
+          simulated.fetch_add(1, std::memory_order_relaxed);
+          meter.tick(false);
+        }
+      } catch (const std::exception& e) {
+        // Planning or a batched solve failed: every unresolved replicate
+        // inherits the error and gives up its claim.
+        for (std::size_t k = 0; k < miss.size(); ++k) {
+          PointResult& slot = result.points[miss[k]];
+          if (slot.status != PointStatus::kSkipped) continue;
+          if (store) store->release_point(miss_keys[k]);
+          slot.status = PointStatus::kFailed;
+          slot.error = e.what();
+          meter.tick(false);
+        }
+        if (options.cancel_on_failure) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  } else if (!batched) {
     parallel_for(pool, points.size(), [&](std::size_t i) {
       PointResult& slot = result.points[i];
       if (cancel.load(std::memory_order_relaxed)) {

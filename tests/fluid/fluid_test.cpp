@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <random>
 
 #include "core/experiment.hpp"
 #include "util/assert.hpp"
@@ -178,6 +179,50 @@ TEST(BinClassesTest, NoOpWhenUnderBudget) {
   for (std::size_t i = 0; i < binned.size(); ++i) {
     EXPECT_EQ(binned[i].rtt, config.classes[i].rtt);
     EXPECT_EQ(binned[i].count, config.classes[i].count);
+  }
+}
+
+TEST(BinClassesTest, ExactCountMassPropertyOverRandomPopulations) {
+  // Binning must preserve total flow count EXACTLY, not just to rounding:
+  // integer counts sum without error below 2^53, and bin_classes uses
+  // compensated accumulation so the output mass is the same integer. A
+  // drifting Σcount would silently rescale goodput in every binned-1e6
+  // fluid run. Fixed seed — failures reproduce.
+  std::mt19937_64 rng(0xb1c1a55e5ull);
+  std::uniform_int_distribution<int> n_classes(1, 5000);
+  std::uniform_int_distribution<int> max_count(1, 4000);
+  std::uniform_real_distribution<double> rtt_ms_dist(10.0, 800.0);
+  std::uniform_int_distribution<int> budget_dist(1, 64);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = n_classes(rng);
+    std::uniform_int_distribution<int> count_dist(1, max_count(rng));
+    std::vector<FluidClass> classes;
+    classes.reserve(static_cast<std::size_t>(n));
+    double total_in = 0.0;
+    for (int i = 0; i < n; ++i) {
+      // A few duplicated RTTs per population exercises the exact-merge
+      // path alongside quantization.
+      const double rtt = (i % 7 == 0 && i > 0)
+                             ? classes[static_cast<std::size_t>(i - 1)].rtt
+                             : ms(rtt_ms_dist(rng));
+      const double count = static_cast<double>(count_dist(rng));
+      classes.push_back(FluidClass{rtt, count});
+      total_in += count;  // integers: this sum is itself exact
+    }
+    const auto binned = bin_classes(classes, budget_dist(rng));
+    double total_out = 0.0;
+    double comp = 0.0;  // Neumaier, same as the implementation
+    for (const FluidClass& c : binned) {
+      const double t = total_out + c.count;
+      comp += (std::abs(total_out) >= std::abs(c.count))
+                  ? (total_out - t) + c.count
+                  : (c.count - t) + total_out;
+      total_out = t;
+    }
+    SCOPED_TRACE(testing::Message()
+                 << "trial " << trial << " classes " << n << " total "
+                 << total_in << " binned to " << binned.size());
+    EXPECT_EQ(total_out + comp, total_in);
   }
 }
 

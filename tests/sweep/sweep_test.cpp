@@ -12,6 +12,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/planner.hpp"
 #include "sweep/spec.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -347,6 +348,54 @@ TEST(RunSweep, FluidBackendProducesComparableDegradation) {
   EXPECT_GT(fluid.points[0].baseline_goodput, 0.0);
   EXPECT_NEAR(fluid.points[0].measured_degradation,
               packet.points[0].measured_degradation, 0.25);
+}
+
+TEST(RunSweep, FluidBatchedPointsMatchDirectMeasurement) {
+  // The fluid tier's phase-2 path groups a flows block's points, dedupes
+  // replicates (fluid is seed-invariant), and solves the unique plans as
+  // lanes of batched fluid evaluations (DESIGN.md §16). Every recorded
+  // point must still be bit-identical to a direct single-point
+  // measure_gain on the same scenario — across a grid wide enough to
+  // force multiple batches and a ragged tail (2 textents × 5 gammas = 10
+  // unique plans at width 8), plus replicates that must fan out.
+  SweepSpec spec;
+  spec.flow_counts = {9};
+  spec.textents = {ms(50), ms(80)};
+  spec.rattacks = {mbps(25)};
+  spec.gammas = {0.2, 0.35, 0.5, 0.65, 0.8};
+  spec.replicates = 2;
+  spec.backend = Backend::kFluid;
+  spec.control.warmup = sec(2);
+  spec.control.measure = sec(6);
+
+  SweepOptions options;
+  options.threads = 1;
+  const SweepResult swept = run_sweep(spec, options);
+  ASSERT_EQ(swept.failures(), 0u);
+  ASSERT_EQ(swept.points.size(), 20u);
+
+  for (const PointResult& point : swept.points) {
+    const ScenarioConfig scenario = spec.make_scenario(point.point);
+    const RunControl& control = spec.control;
+    const BitRate baseline = measure_baseline(scenario, control);
+    EXPECT_EQ(point.baseline_goodput, baseline);
+    // The exact train the sweep planner derives for this point.
+    AttackPlanRequest request;
+    request.victim = scenario.victim_profile();
+    request.textent = point.point.textent;
+    request.rattack = point.point.rattack;
+    request.kappa = point.point.kappa;
+    request.attack_packet_bytes = scenario.attack_packet_bytes;
+    request.victim_min_rto = scenario.tcp.rto_min;
+    const AttackPlan plan = plan_attack_at_gamma(request, point.point.gamma);
+    const GainMeasurement direct = measure_gain(
+        scenario, plan.train, point.point.kappa, control, baseline);
+    EXPECT_EQ(point.measured_gain, direct.gain)
+        << "textent " << point.point.textent << " gamma "
+        << point.point.gamma << " replicate " << point.point.replicate;
+    EXPECT_EQ(point.measured_degradation, direct.degradation);
+    EXPECT_EQ(point.goodput, direct.run.goodput_rate);
+  }
 }
 
 TEST(SweepResult, CsvHasHeaderAndOneRowPerPoint) {
